@@ -1,0 +1,81 @@
+// Figure 4: execution time of the redundancy-reducing techniques, serial,
+// no SIMD (Section VIII-B1). Algorithms: EH-like, CFL-like, SE, LM, MSC,
+// LIGHT on P2 / P4 / P6 over the yt- and lj-analog graphs.
+//
+// Expected shape (paper): LIGHT <= LM <= SE, LIGHT <= MSC <= SE; MSC ~ SE on
+// P4 (no reusable cover); EH and CFL at or above SE, with EH blowing up on
+// the disconnected-order cases (INF = out of time).
+
+#include "baselines/cfl_like.h"
+#include "baselines/eh_like.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace light;
+  using namespace light::bench;
+  const BenchArgs args =
+      BenchArgs::Parse(argc, argv, /*scale=*/0.25, /*limit=*/60.0,
+                       {"yt_s", "lj_s"}, {"P2", "P4", "P6"});
+  PrintHeader("Figure 4: execution time, serial, scalar kernels", args);
+
+  std::printf("%-6s %-4s | %10s %10s %10s %10s %10s %10s | %14s\n", "graph",
+              "P", "EH", "CFL", "SE", "LM", "MSC", "LIGHT", "matches");
+  for (const std::string& dataset : args.datasets) {
+    const BenchGraph bg = LoadBenchGraph(dataset, args.scale);
+    for (const std::string& pname : args.patterns) {
+      const Pattern pattern = LoadPattern(pname);
+
+      // Section VIII-B1 runs SE, LM, MSC, and LIGHT under the same
+      // enumeration order pi^1; we pin the order the full LIGHT cost model
+      // selects.
+      PlanOptions order_probe = PlanOptions::Light();
+      order_probe.kernel = IntersectKernel::kMerge;
+      const std::vector<int> pinned =
+          BuildPlan(pattern, bg.graph, bg.stats, order_probe).pi;
+
+      // EH-like: single WCOJ / bag join under EH's global order.
+      RunResult eh;
+      {
+        BspOptions options;
+        options.kernel = IntersectKernel::kMerge;
+        options.time_limit_seconds = args.time_limit_seconds;
+        const BspResult r = RunEhLike(bg.graph, pattern, options);
+        eh.seconds = r.TotalSeconds();
+        eh.matches = r.num_matches;
+        eh.oot = !r.status.ok();
+      }
+
+      // CFL-like: BFS order + binary-search intersections.
+      RunResult cfl;
+      {
+        const ExecutionPlan plan = BuildCflLikePlan(pattern, true);
+        Enumerator enumerator(bg.graph, plan);
+        enumerator.SetTimeLimit(args.time_limit_seconds);
+        cfl.matches = enumerator.Count();
+        cfl.seconds = enumerator.stats().elapsed_seconds;
+        cfl.oot = enumerator.stats().timed_out;
+      }
+
+      auto serial = [&](PlanOptions options) {
+        options.kernel = IntersectKernel::kMerge;  // "without SIMD"
+        return RunSerial(bg, pattern, options, args.time_limit_seconds,
+                         &pinned);
+      };
+      const RunResult se = serial(PlanOptions::Se());
+      const RunResult lm = serial(PlanOptions::Lm());
+      const RunResult msc = serial(PlanOptions::Msc());
+      const RunResult light = serial(PlanOptions::Light());
+
+      std::printf("%-6s %-4s | %10s %10s %10s %10s %10s %10s | %14llu\n",
+                  bg.name.c_str(), pname.c_str(), eh.TimeCell().c_str(),
+                  cfl.TimeCell().c_str(), se.TimeCell().c_str(),
+                  lm.TimeCell().c_str(), msc.TimeCell().c_str(),
+                  light.TimeCell().c_str(),
+                  static_cast<unsigned long long>(light.matches));
+    }
+  }
+  std::printf(
+      "\nINF marks runs exceeding the time limit, matching the paper's "
+      "bar-chart convention.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 6: execution time of LIGHT under the four set-intersection methods
+// Merge, MergeAVX2, Hybrid, HybridAVX2, one thread (Section VIII-B2).
+//
+// Expected shape: Hybrid >= Merge (larger gap on the skew-heavy yt analog),
+// AVX2 variants beat their scalar counterparts by 1.2-3.2x.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace light;
+  using namespace light::bench;
+  const BenchArgs args =
+      BenchArgs::Parse(argc, argv, /*scale=*/1.0, /*limit=*/120.0,
+                       {"yt_s", "lj_s"}, {"P2", "P4", "P6"});
+  PrintHeader("Figure 6: LIGHT with different set intersection methods", args);
+
+  const IntersectKernel kernels[] = {
+      IntersectKernel::kMerge, IntersectKernel::kMergeAvx2,
+      IntersectKernel::kHybrid, IntersectKernel::kHybridAvx2};
+
+  std::printf("%-6s %-4s | %12s %12s %12s %12s | %12s\n", "graph", "P",
+              "Merge", "MergeAVX2", "Hybrid", "HybridAVX2", "best speedup");
+  for (const std::string& dataset : args.datasets) {
+    const BenchGraph bg = LoadBenchGraph(dataset, args.scale);
+    for (const std::string& pname : args.patterns) {
+      const Pattern pattern = LoadPattern(pname);
+      PlanOptions order_probe = PlanOptions::Light();
+      const std::vector<int> pinned =
+          BuildPlan(pattern, bg.graph, bg.stats, order_probe).pi;
+
+      double merge_time = 0.0;
+      double best_time = 0.0;
+      std::string cells;
+      for (const IntersectKernel kernel : kernels) {
+        PlanOptions options = PlanOptions::Light();
+        options.kernel = kernel;
+        if (!KernelAvailable(kernel)) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), " %12s", "n/a");
+          cells += buf;
+          continue;
+        }
+        const RunResult r =
+            RunSerial(bg, pattern, options, args.time_limit_seconds, &pinned);
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " %12s", r.TimeCell().c_str());
+        cells += buf;
+        if (kernel == IntersectKernel::kMerge) merge_time = r.seconds;
+        best_time = r.seconds;  // last kernel = HybridAVX2 when available
+      }
+      std::printf("%-6s %-4s |%s | %11.2fx\n", bg.name.c_str(), pname.c_str(),
+                  cells.c_str(),
+                  best_time > 0 ? merge_time / best_time : 0.0);
+    }
+  }
+  std::printf(
+      "\n'best speedup' = Merge time / HybridAVX2 time (paper reports "
+      "1.2-6.5x).\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table II analog: properties of the synthetic stand-in datasets.
+// Paper columns: Dataset, Name, N (million), M (million), Memory (GB).
+// Our rows additionally show the paper's original sizes for reference.
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace light;
+  using namespace light::bench;
+  const BenchArgs args = BenchArgs::Parse(argc, argv, /*scale=*/1.0,
+                                          /*limit=*/0, {}, {});
+  PrintHeader("Table II: properties of the (synthetic) datasets", args);
+
+  std::printf("%-8s %-18s %12s %12s %12s %10s  %s\n", "name", "models", "N",
+              "M", "mem (MB)", "d_avg", "paper original");
+  for (const DatasetSpec& spec : Catalog()) {
+    const BenchGraph bg = LoadBenchGraph(spec.name, args.scale);
+    std::printf("%-8s %-18s %12llu %12llu %12.2f %10.2f  %s\n",
+                spec.name.c_str(), spec.paper_name.c_str(),
+                static_cast<unsigned long long>(bg.stats.num_vertices),
+                static_cast<unsigned long long>(bg.stats.num_edges),
+                static_cast<double>(bg.stats.memory_bytes) / (1024.0 * 1024.0),
+                bg.stats.avg_degree, spec.notes.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table V: memory consumption of the candidate sets on P5 with 64 workers
+// (Section VIII-B4). LIGHT keeps one candidate buffer per pattern vertex per
+// worker -- O(k * n * d_max) -- so the footprint stays tiny even on the
+// largest graphs; that is the parallel-DFS space argument of Section VII-B.
+
+#include "bench_util.h"
+#include "parallel/parallel_enumerator.h"
+
+int main(int argc, char** argv) {
+  using namespace light;
+  using namespace light::bench;
+  const BenchArgs args = BenchArgs::Parse(
+      argc, argv, /*scale=*/1.0, /*limit=*/120.0,
+      {"yt_s", "eu_s", "lj_s", "ot_s", "uk_s", "fs_s"}, {"P5"});
+  PrintHeader("Table V: candidate-set memory on P5 (64 workers)", args);
+
+  const int kWorkers = 64;
+  std::printf("%-8s | %14s %14s %12s\n", "dataset", "cand. memory",
+              "graph memory", "d_max");
+  for (const std::string& dataset : args.datasets) {
+    const BenchGraph bg = LoadBenchGraph(dataset, args.scale);
+    const Pattern pattern = LoadPattern(args.patterns[0]);
+    PlanOptions options = PlanOptions::Light();
+    options.kernel = BestKernel();
+    const ExecutionPlan plan =
+        BuildPlan(pattern, bg.graph, bg.stats, options);
+    // One enumerator's buffers, scaled by the worker count (each worker owns
+    // a private set; the parallel runtime reports the same number when
+    // actually running 64 workers, see parallel_test).
+    Enumerator enumerator(bg.graph, plan);
+    const double cand_mb =
+        static_cast<double>(enumerator.stats().candidate_memory_bytes) *
+        kWorkers / (1024.0 * 1024.0);
+    std::printf("%-8s | %11.3f MB %11.1f MB %12u\n", bg.name.c_str(), cand_mb,
+                static_cast<double>(bg.stats.memory_bytes) / (1024.0 * 1024.0),
+                bg.stats.max_degree);
+  }
+  std::printf(
+      "\nPaper (Table V): 0.008-0.239 GB across the six datasets; the value\n"
+      "scales with d_max, not with result counts (the BFS baselines' "
+      "weakness).\n");
+  return 0;
+}

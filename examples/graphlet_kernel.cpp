@@ -1,0 +1,105 @@
+// Graphlet kernel: compare graphs by their graphlet frequency vectors, the
+// graphlet-kernel application from the paper's introduction [22].
+//
+// The program builds three graphs of different character (scale-free,
+// small-world, random), computes each one's normalized 3- and 4-vertex
+// graphlet frequency vector with the enumeration engine, and prints the
+// pairwise cosine similarities. Structurally similar graphs score close
+// to 1.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "engine/enumerator.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+#include "pattern/pattern.h"
+#include "plan/plan.h"
+
+namespace {
+
+using light::Pattern;
+
+std::vector<std::pair<const char*, Pattern>> Graphlets() {
+  return {
+      {"wedge", Pattern::FromEdges(3, {{0, 1}, {1, 2}})},
+      {"triangle", Pattern::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}})},
+      {"path4", Pattern::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}})},
+      {"star4", Pattern::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}})},
+      {"paw", Pattern::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}})},
+      {"c4", Pattern::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}})},
+      {"diamond",
+       Pattern::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})},
+      {"k4",
+       Pattern::FromEdges(4,
+                          {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})},
+  };
+}
+
+std::vector<double> GraphletVector(const light::Graph& graph) {
+  using namespace light;
+  const GraphStats stats = ComputeGraphStats(graph, true);
+  PlanOptions options = PlanOptions::Light();
+  if (!KernelAvailable(options.kernel)) {
+    options.kernel = IntersectKernel::kHybrid;
+  }
+  std::vector<double> v;
+  for (const auto& [name, pattern] : Graphlets()) {
+    const ExecutionPlan plan = BuildPlan(pattern, graph, stats, options);
+    Enumerator enumerator(graph, plan);
+    v.push_back(static_cast<double>(enumerator.Count()));
+  }
+  // L2 normalization (log-scaled to tame the heavy counts).
+  for (double& x : v) x = std::log1p(x);
+  double norm = 0.0;
+  for (double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (double& x : v) x /= norm;
+  }
+  return v;
+}
+
+double Cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) dot += a[i] * b[i];
+  return dot;
+}
+
+}  // namespace
+
+int main() {
+  using namespace light;
+  struct Entry {
+    const char* name;
+    Graph graph;
+  };
+  std::vector<Entry> graphs;
+  graphs.push_back({"scale-free-A", RelabelByDegree(BarabasiAlbert(6000, 3, 1))});
+  graphs.push_back({"scale-free-B", RelabelByDegree(BarabasiAlbert(6000, 3, 2))});
+  graphs.push_back({"small-world", RelabelByDegree(WattsStrogatz(6000, 6, 0.05, 3))});
+  graphs.push_back({"random", RelabelByDegree(ErdosRenyi(6000, 18000, 4))});
+
+  std::vector<std::vector<double>> vectors;
+  for (const Entry& entry : graphs) {
+    std::printf("computing graphlet vector of %-14s ...\n", entry.name);
+    vectors.push_back(GraphletVector(entry.graph));
+  }
+
+  std::printf("\ncosine similarity matrix:\n%-16s", "");
+  for (const Entry& entry : graphs) std::printf("%14s", entry.name);
+  std::printf("\n");
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    std::printf("%-16s", graphs[i].name);
+    for (size_t j = 0; j < graphs.size(); ++j) {
+      std::printf("%14.4f", Cosine(vectors[i], vectors[j]));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nThe two scale-free graphs (same generator, different seeds) should\n"
+      "be the most similar off-diagonal pair.\n");
+  return 0;
+}

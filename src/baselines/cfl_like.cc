@@ -1,0 +1,47 @@
+#include "baselines/cfl_like.h"
+
+#include <algorithm>
+
+namespace light {
+
+std::vector<int> CflLikeOrder(const Pattern& pattern) {
+  const int n = pattern.NumVertices();
+  int root = 0;
+  for (int u = 1; u < n; ++u) {
+    if (pattern.Degree(u) > pattern.Degree(root)) root = u;
+  }
+  std::vector<int> order;
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  std::vector<int> frontier = {root};
+  visited[static_cast<size_t>(root)] = true;
+  while (!frontier.empty()) {
+    // Within a BFS level, denser vertices first.
+    std::sort(frontier.begin(), frontier.end(), [&](int a, int b) {
+      const int da = pattern.Degree(a);
+      const int db = pattern.Degree(b);
+      return da != db ? da > db : a < b;
+    });
+    std::vector<int> next;
+    for (int u : frontier) {
+      order.push_back(u);
+      for (int v = 0; v < n; ++v) {
+        if (pattern.HasEdge(u, v) && !visited[static_cast<size_t>(v)]) {
+          visited[static_cast<size_t>(v)] = true;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return order;
+}
+
+ExecutionPlan BuildCflLikePlan(const Pattern& pattern,
+                               bool symmetry_breaking) {
+  PlanOptions options = PlanOptions::Se();
+  options.kernel = IntersectKernel::kBinarySearch;
+  options.symmetry_breaking = symmetry_breaking;
+  return BuildPlanWithOrder(pattern, CflLikeOrder(pattern), options);
+}
+
+}  // namespace light

@@ -1,0 +1,26 @@
+#ifndef LIGHT_BASELINES_CFL_LIKE_H_
+#define LIGHT_BASELINES_CFL_LIKE_H_
+
+#include "engine/enumerator.h"
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+#include "plan/plan.h"
+
+namespace light {
+
+/// CFL-like baseline (Section VIII-B1). The paper reduces its CFL comparison
+/// to two differences from SE: (1) CFL computes intersections by looping
+/// over the smaller set and binary-searching the other, and (2) it derives
+/// its enumeration order from a BFS tree rooted at a dense vertex rather
+/// than from the cost model. This wrapper builds exactly that plan:
+/// eager materialization, no set cover, kBinarySearch kernel, BFS order
+/// rooted at the maximum-degree pattern vertex (ties to the smaller id),
+/// vertices within a BFS level ordered by degree descending.
+ExecutionPlan BuildCflLikePlan(const Pattern& pattern, bool symmetry_breaking);
+
+/// The BFS-based enumeration order itself (exposed for tests).
+std::vector<int> CflLikeOrder(const Pattern& pattern);
+
+}  // namespace light
+
+#endif  // LIGHT_BASELINES_CFL_LIKE_H_

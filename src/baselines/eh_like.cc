@@ -1,0 +1,193 @@
+#include "baselines/eh_like.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/timer.h"
+#include "engine/enumerator.h"
+#include "engine/visitors.h"
+#include "join/decompose.h"
+#include "join/hash_join.h"
+#include "join/relation.h"
+#include "pattern/symmetry_breaking.h"
+#include "plan/plan.h"
+
+namespace light {
+namespace {
+
+PartialOrder LocalConstraints(const PartialOrder& global,
+                              const std::vector<int>& vertices) {
+  auto local_of = [&](int v) {
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      if (vertices[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  PartialOrder local;
+  for (const auto& [a, b] : global) {
+    const int la = local_of(a);
+    const int lb = local_of(b);
+    if (la >= 0 && lb >= 0) local.emplace_back(la, lb);
+  }
+  return local;
+}
+
+// The global order restricted to the unit's vertices, in local indices.
+std::vector<int> RestrictOrder(const std::vector<int>& global_order,
+                               const std::vector<int>& vertices) {
+  std::vector<int> local_order;
+  for (int v : global_order) {
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      if (vertices[i] == v) local_order.push_back(static_cast<int>(i));
+    }
+  }
+  return local_order;
+}
+
+}  // namespace
+
+std::vector<int> EhGlobalOrder(const Pattern& pattern) {
+  std::vector<int> order(static_cast<size_t>(pattern.NumVertices()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int da = pattern.Degree(a);
+    const int db = pattern.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+  return order;
+}
+
+BspResult RunEhLike(const Graph& graph, const Pattern& pattern,
+                    const BspOptions& options) {
+  BspResult result;
+  Timer timer;
+  const PartialOrder constraints =
+      options.symmetry_breaking ? ComputeSymmetryBreaking(pattern)
+                                : PartialOrder{};
+  const std::vector<int> global_order = EhGlobalOrder(pattern);
+
+  auto remaining = [&] {
+    return options.time_limit_seconds - timer.ElapsedSeconds();
+  };
+  auto finish = [&](Status status) {
+    result.status = std::move(status);
+    result.cpu_seconds = timer.ElapsedSeconds();
+    result.simulated_io_seconds = 0.0;  // EH runs on one machine
+    return result;
+  };
+
+  PlanOptions plan_options = PlanOptions::Se();  // plain WCOJ per bag
+  plan_options.kernel = options.kernel;
+
+  if (pattern.NumVertices() <= 4) {
+    // Single WCOJ under the (possibly disconnected) global order.
+    const ExecutionPlan plan = BuildPlanWithConstraints(
+        pattern, global_order, plan_options, PartialOrder(constraints));
+    Enumerator enumerator(graph, plan);
+    enumerator.SetTimeLimit(remaining());
+    result.num_matches = enumerator.Count();
+    if (enumerator.stats().timed_out) {
+      return finish(Status::DeadlineExceeded("single-bag WCOJ"));
+    }
+    return finish(Status::OK());
+  }
+
+  // Bag pipeline: materialize every bag in memory, then join.
+  const std::vector<JoinUnit> bags = DecomposeGhdBags(pattern);
+  std::vector<Relation> relations;
+  size_t live_bytes = 0;
+  for (const JoinUnit& bag : bags) {
+    const ExecutionPlan plan = BuildPlanWithConstraints(
+        bag.pattern, RestrictOrder(global_order, bag.vertices), plan_options,
+        LocalConstraints(constraints, bag.vertices));
+    Relation relation(bag.vertices);
+    const uint64_t max_tuples =
+        options.memory_budget_bytes /
+        (bag.vertices.size() * sizeof(VertexID));
+    std::vector<int> projection(bag.vertices.size());
+    std::iota(projection.begin(), projection.end(), 0);
+    FlatTupleVisitor visitor(projection, max_tuples,
+                             relation.mutable_data());
+    Enumerator enumerator(graph, plan);
+    enumerator.SetTimeLimit(remaining());
+    enumerator.Enumerate(&visitor);
+    if (enumerator.stats().timed_out) {
+      return finish(Status::DeadlineExceeded("bag enumeration"));
+    }
+    if (visitor.hit_limit()) {
+      return finish(Status::ResourceExhausted("bag results exceed memory"));
+    }
+    live_bytes += relation.MemoryBytes();
+    result.tuples_materialized += relation.NumTuples();
+    result.peak_bytes = std::max(result.peak_bytes, live_bytes);
+    if (live_bytes > options.memory_budget_bytes) {
+      return finish(Status::ResourceExhausted("bag results exceed memory"));
+    }
+    relations.push_back(std::move(relation));
+  }
+
+  // Order bags so each join shares at least one vertex with the prefix.
+  std::vector<size_t> join_order = {0};
+  {
+    std::vector<bool> taken(relations.size(), false);
+    taken[0] = true;
+    uint32_t joined_mask = 0;
+    for (int v : relations[0].schema()) joined_mask |= 1u << v;
+    while (join_order.size() < relations.size()) {
+      size_t best = relations.size();
+      int best_shared = -1;
+      for (size_t i = 0; i < relations.size(); ++i) {
+        if (taken[i]) continue;
+        int shared = 0;
+        for (int v : relations[i].schema()) {
+          if ((joined_mask >> v) & 1u) ++shared;
+        }
+        if (shared > best_shared) {
+          best_shared = shared;
+          best = i;
+        }
+      }
+      join_order.push_back(best);
+      taken[best] = true;
+      for (int v : relations[best].schema()) joined_mask |= 1u << v;
+    }
+    std::vector<Relation> reordered;
+    reordered.reserve(relations.size());
+    for (size_t idx : join_order) reordered.push_back(std::move(relations[idx]));
+    relations = std::move(reordered);
+  }
+
+  // Left-deep joins; the final one streams counts.
+  Relation current = std::move(relations[0]);
+  for (size_t i = 1; i < relations.size(); ++i) {
+    if (remaining() <= 0) return finish(Status::DeadlineExceeded("bag join"));
+    if (i + 1 == relations.size()) {
+      uint64_t count = 0;
+      JoinMetrics metrics;
+      const Status status = HashJoinCount(current, relations[i], constraints,
+                                          &count, &metrics);
+      if (!status.ok()) return finish(status);
+      result.num_matches = count;
+      return finish(Status::OK());
+    }
+    Relation joined;
+    JoinMetrics metrics;
+    JoinBudget budget;
+    budget.max_bytes = options.memory_budget_bytes;
+    const Status status = HashJoin(current, relations[i], constraints, budget,
+                                   &joined, &metrics);
+    if (!status.ok()) return finish(status);
+    live_bytes += joined.MemoryBytes();
+    result.peak_bytes = std::max(result.peak_bytes, live_bytes);
+    result.tuples_materialized += joined.NumTuples();
+    if (live_bytes > options.memory_budget_bytes) {
+      return finish(Status::ResourceExhausted("join results exceed memory"));
+    }
+    current = std::move(joined);
+  }
+  // relations.size() == 1: count the single bag's rows (already validated).
+  result.num_matches = current.NumTuples();
+  return finish(Status::OK());
+}
+
+}  // namespace light

@@ -1,0 +1,39 @@
+#ifndef LIGHT_BASELINES_EH_LIKE_H_
+#define LIGHT_BASELINES_EH_LIKE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "join/bsp_engine.h"
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// EmptyHeaded-like baseline (Section VIII-B1). EH compiles a query into a
+/// generalized-hypertree decomposition, evaluates each bag with a WCOJ over
+/// a single global attribute order, materializes the bag results in memory,
+/// and joins them. Two properties the paper measured fall out of this
+/// design: (1) the global attribute order restricted to a bag can be a
+/// disconnected enumeration order, forcing whole-vertex-set scans and far
+/// more intersections than SE; (2) materialized bag results exhaust memory
+/// on the larger patterns (EH fails on P4/P6 with OOM).
+///
+/// This simulation decomposes with DecomposeGhdBags, evaluates each bag with
+/// the engine under the EH-style global order, and joins the bags in memory
+/// under `options.memory_budget_bytes` (reuse BspOptions; shuffle bandwidth
+/// is ignored — EH is a single-machine engine, so simulated_io_seconds
+/// stays 0).
+BspResult RunEhLike(const Graph& graph, const Pattern& pattern,
+                    const BspOptions& options);
+
+/// EH's global attribute order: pattern vertices sorted by degree ascending,
+/// ties by id (exposed for tests). On the Fig. 1a pattern this reproduces
+/// the order (u1, u3, u0, u2) the paper reports for EH — disconnected,
+/// hence the whole-vertex-set scans. For patterns with at most 4 vertices
+/// RunEhLike evaluates a single WCOJ under this order (as EH did for P2);
+/// larger patterns go through the bag decomposition (as EH did for P4/P6).
+std::vector<int> EhGlobalOrder(const Pattern& pattern);
+
+}  // namespace light
+
+#endif  // LIGHT_BASELINES_EH_LIKE_H_

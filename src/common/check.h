@@ -1,0 +1,34 @@
+#ifndef LIGHT_COMMON_CHECK_H_
+#define LIGHT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace light::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace light::internal
+
+/// Invariant check that stays on in release builds. Use for programming
+/// errors; use Status for environmental failures.
+#define LIGHT_CHECK(expr)                                         \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::light::internal::CheckFailed(__FILE__, __LINE__, #expr);  \
+    }                                                             \
+  } while (0)
+
+#ifdef NDEBUG
+#define LIGHT_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define LIGHT_DCHECK(expr) LIGHT_CHECK(expr)
+#endif
+
+#endif  // LIGHT_COMMON_CHECK_H_

@@ -1,0 +1,72 @@
+#ifndef LIGHT_COMMON_STATUS_H_
+#define LIGHT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace light {
+
+/// Lightweight error type for fallible operations (IO, parsing, resource
+/// budgets). The library does not use exceptions; programming errors are
+/// checked with LIGHT_CHECK (common/check.h) instead.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kIOError,
+    kNotFound,
+    kOutOfRange,
+    kResourceExhausted,  // used by the BSP join engine's OOS simulation
+    kDeadlineExceeded,   // used by time budgets (OOT simulation)
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+#define LIGHT_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::light::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace light
+
+#endif  // LIGHT_COMMON_STATUS_H_

@@ -1,0 +1,34 @@
+#ifndef LIGHT_COMMON_TIMER_H_
+#define LIGHT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace light {
+
+/// Wall-clock stopwatch used by the benchmark harness and the engines' time
+/// budgets (OOT simulation).
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration for benchmark tables: "1.23 ms", "4.56 s", "INF" style
+/// handled by callers.
+std::string FormatSeconds(double seconds);
+
+}  // namespace light
+
+#endif  // LIGHT_COMMON_TIMER_H_

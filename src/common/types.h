@@ -1,0 +1,28 @@
+#ifndef LIGHT_COMMON_TYPES_H_
+#define LIGHT_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace light {
+
+/// Vertex identifier. The paper stores each ID as a 32-bit unsigned integer
+/// (Section II-A, "Graph Storage in Memory").
+using VertexID = uint32_t;
+
+/// Edge identifier / offset into a CSR neighbors array. 64-bit so graphs with
+/// more than 4B directed edge slots are representable.
+using EdgeID = uint64_t;
+
+/// Sentinel for "no vertex" / unmapped pattern vertex.
+inline constexpr VertexID kInvalidVertex =
+    std::numeric_limits<VertexID>::max();
+
+/// Maximum number of pattern vertices supported by the planner and engine.
+/// Pattern adjacency is kept as per-vertex 32-bit masks; the paper's patterns
+/// have 4-6 vertices, so 32 leaves ample headroom.
+inline constexpr int kMaxPatternVertices = 32;
+
+}  // namespace light
+
+#endif  // LIGHT_COMMON_TYPES_H_

@@ -1,0 +1,140 @@
+#ifndef LIGHT_ENGINE_ENUMERATOR_H_
+#define LIGHT_ENGINE_ENUMERATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/timer.h"
+#include "common/types.h"
+#include "engine/visitors.h"
+#include "graph/graph.h"
+#include "intersect/set_intersection.h"
+#include "plan/plan.h"
+
+namespace light {
+
+/// Per-run counters. comp_counts[u] observes |Phi_u| — the number of
+/// candidate-set computations of u — which Propositions III.1 and IV.2
+/// characterize (and our tests verify). candidate_memory_bytes is the
+/// Table V metric.
+struct EngineStats {
+  uint64_t num_matches = 0;
+  uint64_t num_partial_results = 0;  // successful MAT extensions
+  IntersectStats intersections;
+  std::vector<uint64_t> comp_counts;  // indexed by pattern vertex
+  std::vector<uint64_t> mat_counts;   // indexed by pattern vertex
+  size_t candidate_memory_bytes = 0;
+  double elapsed_seconds = 0.0;
+  bool timed_out = false;
+
+  void Add(const EngineStats& other);
+};
+
+/// Executes an ExecutionPlan against a data graph with the recursive DFS of
+/// Algorithms 1/2 (which of the two depends on how the plan was built). One
+/// Enumerator holds one partial result plus one candidate buffer per pattern
+/// vertex — the O(n * d_max) footprint of Section VII-B — so the parallel
+/// runtime instantiates one per worker.
+class Enumerator {
+ public:
+  /// graph and plan must outlive the enumerator. The graph's vertex IDs
+  /// should be degree-ordered (graph/reorder.h) when the plan enforces
+  /// symmetry breaking.
+  ///
+  /// `data_labels` (optional, size N, must outlive the enumerator) enables
+  /// labeled subgraph matching: a pattern vertex with a non-zero label only
+  /// binds to data vertices carrying the same label (label 0 on a pattern
+  /// vertex is the wildcard). Without labels the engine is the paper's
+  /// unlabeled enumerator.
+  Enumerator(const Graph& graph, const ExecutionPlan& plan,
+             const std::vector<uint32_t>* data_labels = nullptr);
+
+  Enumerator(const Enumerator&) = delete;
+  Enumerator& operator=(const Enumerator&) = delete;
+
+  /// Counts all matches. Resets stats first.
+  uint64_t Count();
+
+  /// Enumerates all matches through the visitor. Resets stats first.
+  uint64_t Enumerate(MatchVisitor* visitor);
+
+  /// Processes a single root binding pi[1] -> v. Does not reset stats;
+  /// the parallel runtime drives this from its task loop.
+  void RunRoot(VertexID v);
+
+  /// Processes roots in [begin, end). Does not reset stats.
+  void RunRootRange(VertexID begin, VertexID end);
+
+  /// Sets the visitor for subsequent RunRoot calls (null = counting only).
+  void SetVisitor(MatchVisitor* visitor) { visitor_ = visitor; }
+
+  /// Restricts pattern vertex u to allowed[u] (sorted candidate lists, e.g.
+  /// from filter/candidate_space.h). Computed candidate sets are
+  /// intersected against the lists; root bindings outside allowed[pi[1]]
+  /// are skipped. Null disables. Must outlive the enumerator.
+  void SetAllowedCandidates(const std::vector<std::vector<VertexID>>* allowed) {
+    allowed_ = allowed;
+  }
+
+  /// Wall-clock budget; when exceeded the run unwinds and stats().timed_out
+  /// is set. Models the paper's OOT handling.
+  void SetTimeLimit(double seconds) { time_limit_seconds_ = seconds; }
+
+  /// Restarts the time-limit clock; RunRoot does not restart it so the
+  /// parallel runtime can impose a global budget.
+  void RestartClock() { timer_.Restart(); }
+
+  bool Stopped() const { return stop_; }
+
+  const EngineStats& stats() const { return stats_; }
+  EngineStats* mutable_stats() { return &stats_; }
+  void ResetStats();
+
+  const ExecutionPlan& plan() const { return plan_; }
+
+ private:
+  void Run(size_t op_index);
+  void RunCompute(size_t op_index);
+  void RunMaterialize(size_t op_index);
+  void EmitMatch();
+  bool CheckDeadline();
+
+  /// Post-intersection label filter for pattern vertex u; returns the new
+  /// size after compacting `data[0, size)` in place is not possible for
+  /// aliased spans, so filtering writes into the vertex's own buffer.
+  uint32_t FilterByLabel(int u, const VertexID* data, uint32_t size);
+  bool LabelMatches(int u, VertexID v) const {
+    const uint32_t want = plan_.pattern.Label(u);
+    return want == 0 || data_labels_ == nullptr ||
+           (*data_labels_)[v] == want;
+  }
+
+  const Graph& graph_;
+  const ExecutionPlan& plan_;
+  const std::vector<uint32_t>* data_labels_;
+  const std::vector<std::vector<VertexID>>* allowed_ = nullptr;
+  IntersectKernel kernel_;
+  size_t num_ops_ = 0;
+
+  // Per pattern vertex.
+  std::vector<VertexID> mapping_;
+  std::vector<std::vector<VertexID>> cand_buffer_;
+  std::vector<const VertexID*> cand_data_;
+  std::vector<uint32_t> cand_size_;
+  std::vector<bool> universal_;  // COMP with no operands: candidates = V(G)
+
+  std::vector<VertexID> bound_values_;  // materialized data vertices (stack)
+  std::vector<VertexID> scratch_;
+
+  MatchVisitor* visitor_ = nullptr;
+  EngineStats stats_;
+  Timer timer_;
+  double time_limit_seconds_ = std::numeric_limits<double>::infinity();
+  uint32_t deadline_ticks_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_ENGINE_ENUMERATOR_H_

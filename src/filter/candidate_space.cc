@@ -1,0 +1,132 @@
+#include "filter/candidate_space.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace light {
+
+bool CandidateSpace::Contains(int u, VertexID v) const {
+  const auto& list = candidates[static_cast<size_t>(u)];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+size_t CandidateSpace::TotalCandidates() const {
+  size_t total = 0;
+  for (const auto& list : candidates) total += list.size();
+  return total;
+}
+
+std::string CandidateSpace::ToString() const {
+  std::string out;
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    out += "|C(u" + std::to_string(u) +
+           ")|=" + std::to_string(candidates[u].size()) + " ";
+  }
+  return out;
+}
+
+namespace {
+
+// Per-label neighbor counts of a pattern vertex.
+std::map<uint32_t, int> PatternNlf(const Pattern& pattern, int u) {
+  std::map<uint32_t, int> counts;
+  for (int w = 0; w < pattern.NumVertices(); ++w) {
+    if (pattern.HasEdge(u, w)) ++counts[pattern.Label(w)];
+  }
+  return counts;
+}
+
+bool PassesNlf(const Graph& graph, const std::vector<uint32_t>& labels,
+               VertexID v, const std::map<uint32_t, int>& required) {
+  // Count v's neighbors per label, lazily over the required labels only.
+  for (const auto& [label, need] : required) {
+    if (label == 0) continue;  // wildcard pattern neighbors need any vertex
+    int have = 0;
+    for (VertexID w : graph.Neighbors(v)) {
+      if (labels[w] == label && ++have >= need) break;
+    }
+    if (have < need) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CandidateSpace BuildCandidateSpace(const Graph& graph, const Pattern& pattern,
+                                   const std::vector<uint32_t>* data_labels,
+                                   const CandidateSpaceOptions& options) {
+  const int n = pattern.NumVertices();
+  CandidateSpace space;
+  space.candidates.resize(static_cast<size_t>(n));
+
+  // Initial filter: label equality, degree, and (optionally) NLF.
+  for (int u = 0; u < n; ++u) {
+    const uint32_t want = pattern.Label(u);
+    const auto degree_needed = static_cast<uint32_t>(pattern.Degree(u));
+    std::map<uint32_t, int> nlf;
+    if (options.nlf_filter && data_labels != nullptr) {
+      nlf = PatternNlf(pattern, u);
+    }
+    auto& list = space.candidates[static_cast<size_t>(u)];
+    for (VertexID v = 0; v < graph.NumVertices(); ++v) {
+      if (graph.Degree(v) < degree_needed) continue;
+      if (data_labels != nullptr && want != 0 && (*data_labels)[v] != want) {
+        continue;
+      }
+      if (!nlf.empty() && !PassesNlf(graph, *data_labels, v, nlf)) continue;
+      list.push_back(v);
+    }
+  }
+
+  // Structural refinement: v survives in C(u) only if every pattern
+  // neighbor w of u has a candidate adjacent to v. Membership bitmaps make
+  // each check O(d(v)) worst case with early exit.
+  const VertexID big_n = graph.NumVertices();
+  const size_t words = (static_cast<size_t>(big_n) + 63) / 64;
+  std::vector<std::vector<uint64_t>> bitmap(
+      static_cast<size_t>(n), std::vector<uint64_t>(words, 0));
+  auto rebuild_bitmap = [&](int u) {
+    auto& bits = bitmap[static_cast<size_t>(u)];
+    std::fill(bits.begin(), bits.end(), 0);
+    for (VertexID v : space.candidates[static_cast<size_t>(u)]) {
+      bits[v >> 6] |= uint64_t{1} << (v & 63);
+    }
+  };
+  for (int u = 0; u < n; ++u) rebuild_bitmap(u);
+
+  for (int round = 0; round < options.refinement_rounds; ++round) {
+    bool changed = false;
+    for (int u = 0; u < n; ++u) {
+      auto& list = space.candidates[static_cast<size_t>(u)];
+      std::vector<VertexID> kept;
+      kept.reserve(list.size());
+      for (VertexID v : list) {
+        bool ok = true;
+        for (int w = 0; w < n && ok; ++w) {
+          if (!pattern.HasEdge(u, w)) continue;
+          const auto& wbits = bitmap[static_cast<size_t>(w)];
+          bool found = false;
+          for (VertexID nbr : graph.Neighbors(v)) {
+            if ((wbits[nbr >> 6] >> (nbr & 63)) & 1u) {
+              found = true;
+              break;
+            }
+          }
+          ok = found;
+        }
+        if (ok) kept.push_back(v);
+      }
+      if (kept.size() != list.size()) {
+        list = std::move(kept);
+        rebuild_bitmap(u);
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return space;
+}
+
+}  // namespace light

@@ -1,0 +1,49 @@
+#ifndef LIGHT_FILTER_CANDIDATE_SPACE_H_
+#define LIGHT_FILTER_CANDIDATE_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// Per-pattern-vertex candidate lists in the style of the auxiliary
+/// structures labeled matchers build before enumeration (CFL's compact path
+/// index, TurboISO's candidate regions — Section II-B's "light-weight
+/// index"). For unlabeled patterns only the degree filter applies, which is
+/// why the paper finds such indexes "often ineffective on unlabeled
+/// graphs"; with labels they prune hard. The enumeration engine accepts a
+/// CandidateSpace and intersects every computed candidate set against it.
+struct CandidateSpace {
+  /// candidates[u] is sorted ascending; a data vertex outside the list can
+  /// never be bound to pattern vertex u in any match.
+  std::vector<std::vector<VertexID>> candidates;
+
+  bool Contains(int u, VertexID v) const;
+  size_t TotalCandidates() const;
+  std::string ToString() const;
+};
+
+struct CandidateSpaceOptions {
+  /// Apply the Neighborhood Label Frequency filter (requires data labels):
+  /// v is a candidate of u only if for every label l the number of
+  /// l-labeled neighbors of v is at least u's count.
+  bool nlf_filter = true;
+  /// Rounds of structural refinement: drop v from candidates[u] if some
+  /// pattern neighbor w of u has no candidate adjacent to v. 0 disables.
+  int refinement_rounds = 3;
+};
+
+/// Builds the candidate space. `data_labels` may be null (unlabeled mode:
+/// degree + refinement only). Every true match is preserved:
+/// phi in R(P) implies phi(u) in candidates[u] for all u.
+CandidateSpace BuildCandidateSpace(const Graph& graph, const Pattern& pattern,
+                                   const std::vector<uint32_t>* data_labels,
+                                   const CandidateSpaceOptions& options = {});
+
+}  // namespace light
+
+#endif  // LIGHT_FILTER_CANDIDATE_SPACE_H_

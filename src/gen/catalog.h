@@ -1,0 +1,41 @@
+#ifndef LIGHT_GEN_CATALOG_H_
+#define LIGHT_GEN_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace light {
+
+/// Scaled synthetic stand-ins for the paper's six real-world data graphs
+/// (Table II). Each spec names the paper dataset it models, the generator
+/// family chosen to match its degree-distribution character (social networks
+/// -> Barabási–Albert; web graphs -> skewed R-MAT), and the baseline size.
+/// The `scale` argument of MakeCatalogGraph multiplies the vertex count, so
+/// larger machines can push the instances toward paper scale.
+struct DatasetSpec {
+  std::string name;        // short id used by benches, e.g. "yt_s"
+  std::string paper_name;  // e.g. "youtube (yt)"
+  std::string family;      // "ba" or "rmat"
+  VertexID base_vertices;  // at scale 1.0
+  double target_avg_degree;
+  std::string notes;
+};
+
+/// All catalog entries in the order the paper lists them (yt, eu, lj, ot,
+/// uk, fs).
+const std::vector<DatasetSpec>& Catalog();
+
+/// Looks up a spec by name.
+Status FindDataset(const std::string& name, DatasetSpec* out);
+
+/// Builds the named dataset at the given scale. The result is relabeled by
+/// degree (graph/reorder.h) so the symmetry-breaking ID order of Section II-A
+/// holds. Seeded deterministically from the dataset name.
+Status MakeCatalogGraph(const std::string& name, double scale, Graph* out);
+
+}  // namespace light
+
+#endif  // LIGHT_GEN_CATALOG_H_

@@ -1,0 +1,240 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace light {
+
+Graph ErdosRenyi(VertexID n, EdgeID m, uint64_t seed) {
+  LIGHT_CHECK(n >= 2);
+  const EdgeID max_edges = static_cast<EdgeID>(n) * (n - 1) / 2;
+  LIGHT_CHECK(m <= max_edges);
+  Rng rng(seed);
+  // Sample with replacement, deduplicate, keep the first m distinct edges.
+  // Oversampling covers collisions at the densities we use; very dense tiny
+  // graphs may come out marginally short, as documented in the header.
+  std::vector<std::pair<VertexID, VertexID>> batch;
+  const EdgeID samples = m + m / 4 + 64;
+  batch.reserve(samples);
+  for (EdgeID i = 0; i < samples; ++i) {
+    VertexID u = static_cast<VertexID>(rng.NextBounded(n));
+    VertexID v = static_cast<VertexID>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    batch.emplace_back(u, v);
+  }
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+  if (batch.size() > m) batch.resize(m);
+  GraphBuilder builder(n);
+  builder.Reserve(batch.size());
+  for (const auto& [u, v] : batch) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(VertexID n, uint32_t edges_per_vertex, uint64_t seed) {
+  LIGHT_CHECK(n > edges_per_vertex);
+  LIGHT_CHECK(edges_per_vertex >= 1);
+  Rng rng(seed);
+  const uint32_t k = edges_per_vertex;
+  // `targets` holds one entry per edge endpoint; sampling uniformly from it
+  // implements preferential attachment.
+  std::vector<VertexID> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * 2 * k);
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(n) * k);
+  // Seed clique over the first k+1 vertices.
+  for (VertexID u = 0; u <= k; ++u) {
+    for (VertexID v = u + 1; v <= k; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<VertexID> chosen;
+  for (VertexID v = k + 1; v < n; ++v) {
+    chosen.clear();
+    int guard = 0;
+    while (chosen.size() < k && guard++ < 256) {
+      VertexID t = endpoints[rng.NextBounded(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+    }
+    for (VertexID t : chosen) {
+      builder.AddEdge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbertClustered(VertexID n, uint32_t edges_per_vertex,
+                              double triad_prob, uint64_t seed) {
+  LIGHT_CHECK(n > edges_per_vertex);
+  LIGHT_CHECK(edges_per_vertex >= 1);
+  LIGHT_CHECK(triad_prob >= 0.0 && triad_prob <= 1.0);
+  Rng rng(seed);
+  const uint32_t k = edges_per_vertex;
+  // Seed clique large enough to host small cliques, and "burst" vertices
+  // (every 8th) attach with 2k edges: real social networks show this degree
+  // burstiness inside communities, and it is what makes 5-cliques (P7)
+  // exist at all when k is small. The average degree stays ~2k * 9/8.
+  const VertexID seed_clique = std::max<VertexID>(k + 1, 6);
+  LIGHT_CHECK(n > seed_clique);
+  std::vector<VertexID> endpoints;
+  endpoints.reserve(static_cast<size_t>(n) * 2 * k);
+  // Adjacency-so-far for the triad step; only neighbor sampling is needed,
+  // so a flat list per vertex suffices.
+  std::vector<std::vector<VertexID>> adj(n);
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(n) * k);
+  auto add_edge = [&](VertexID a, VertexID b) {
+    builder.AddEdge(a, b);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+  for (VertexID u = 0; u < seed_clique; ++u) {
+    for (VertexID v = u + 1; v < seed_clique; ++v) add_edge(u, v);
+  }
+  std::vector<VertexID> chosen;
+  for (VertexID v = seed_clique; v < n; ++v) {
+    chosen.clear();
+    VertexID last_target = kInvalidVertex;
+    const uint32_t edges_to_add = (v % 8 == 0) ? 2 * k : k;
+    int guard = 0;
+    while (chosen.size() < edges_to_add && guard++ < 256) {
+      VertexID t;
+      if (last_target != kInvalidVertex && !adj[last_target].empty() &&
+          rng.NextDouble() < triad_prob) {
+        // Triad formation: close a triangle through the previous target.
+        t = adj[last_target][rng.NextBounded(adj[last_target].size())];
+      } else {
+        t = endpoints[rng.NextBounded(endpoints.size())];
+      }
+      if (t == v ||
+          std::find(chosen.begin(), chosen.end(), t) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(t);
+      last_target = t;
+    }
+    for (VertexID t : chosen) add_edge(v, t);
+  }
+  return builder.Build();
+}
+
+Graph RMat(uint32_t scale, double edge_factor, double a, double b, double c,
+           uint64_t seed) {
+  LIGHT_CHECK(scale >= 1 && scale < 31);
+  const double d = 1.0 - a - b - c;
+  LIGHT_CHECK(a >= 0 && b >= 0 && c >= 0 && d >= -1e-9);
+  const VertexID n = VertexID{1} << scale;
+  const EdgeID m = static_cast<EdgeID>(edge_factor * static_cast<double>(n));
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.Reserve(m);
+  for (EdgeID i = 0; i < m; ++i) {
+    VertexID u = 0;
+    VertexID v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      const double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // quadrant (0, 0)
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(VertexID n, uint32_t k, double beta, uint64_t seed) {
+  LIGHT_CHECK(k % 2 == 0);
+  LIGHT_CHECK(n > k);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(n) * k / 2);
+  for (VertexID u = 0; u < n; ++u) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      VertexID v = (u + j) % n;
+      if (rng.NextDouble() < beta) {
+        // Rewire to a uniform random endpoint; the builder drops the rare
+        // self-loop / duplicate.
+        v = static_cast<VertexID>(rng.NextBounded(n));
+      }
+      builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+Graph Complete(VertexID n) {
+  GraphBuilder builder(n);
+  builder.Reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (VertexID u = 0; u < n; ++u) {
+    for (VertexID v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph Cycle(VertexID n) {
+  LIGHT_CHECK(n >= 3);
+  GraphBuilder builder(n);
+  for (VertexID u = 0; u < n; ++u) builder.AddEdge(u, (u + 1) % n);
+  return builder.Build();
+}
+
+Graph Path(VertexID n) {
+  LIGHT_CHECK(n >= 2);
+  GraphBuilder builder(n);
+  for (VertexID u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return builder.Build();
+}
+
+Graph Star(VertexID n) {
+  LIGHT_CHECK(n >= 2);
+  GraphBuilder builder(n);
+  for (VertexID v = 1; v < n; ++v) builder.AddEdge(0, v);
+  return builder.Build();
+}
+
+Graph RandomRegular(VertexID n, uint32_t degree, uint64_t seed) {
+  LIGHT_CHECK(static_cast<uint64_t>(n) * degree % 2 == 0);
+  LIGHT_CHECK(degree < n);
+  Rng rng(seed);
+  std::vector<VertexID> stubs;
+  stubs.reserve(static_cast<size_t>(n) * degree);
+  for (VertexID v = 0; v < n; ++v) {
+    for (uint32_t i = 0; i < degree; ++i) stubs.push_back(v);
+  }
+  // Fisher-Yates shuffle, then pair consecutive stubs; conflicting pairs
+  // (self-loops, duplicates) are simply dropped, so degrees can fall slightly
+  // short of the target -- acceptable for benchmarking purposes.
+  for (size_t i = stubs.size(); i > 1; --i) {
+    std::swap(stubs[i - 1], stubs[rng.NextBounded(i)]);
+  }
+  GraphBuilder builder(n);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    builder.AddEdge(stubs[i], stubs[i + 1]);
+  }
+  return builder.Build();
+}
+
+}  // namespace light

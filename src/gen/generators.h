@@ -1,0 +1,66 @@
+#ifndef LIGHT_GEN_GENERATORS_H_
+#define LIGHT_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace light {
+
+/// Deterministic synthetic graph generators. These substitute for the SNAP /
+/// KONECT / WEB datasets of the paper (Table II), which cannot be downloaded
+/// in this offline environment; see DESIGN.md Section 6. Every generator is a
+/// pure function of its arguments including the seed.
+
+/// G(n, m): m distinct uniform random edges (no self-loops). The actual edge
+/// count can be marginally below m if duplicates exhaust the retry budget on
+/// tiny graphs.
+Graph ErdosRenyi(VertexID n, EdgeID m, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches
+/// `edges_per_vertex` edges to existing vertices chosen proportionally to
+/// degree. Produces the heavy-tailed degree distributions typical of the
+/// social networks in the paper (yt, lj, ot, fs).
+Graph BarabasiAlbert(VertexID n, uint32_t edges_per_vertex, uint64_t seed);
+
+/// Holme–Kim powerlaw-cluster graph: Barabási–Albert with a triad-formation
+/// step — after each preferential attachment to t, with probability
+/// triad_prob the next edge goes to a random neighbor of t instead. Keeps
+/// the heavy-tailed degrees and adds the triangle/clique structure real
+/// social networks have (pure BA is nearly clique-free, which would starve
+/// the dense patterns P3/P6/P7).
+Graph BarabasiAlbertClustered(VertexID n, uint32_t edges_per_vertex,
+                              double triad_prob, uint64_t seed);
+
+/// R-MAT / Kronecker generator (Chakrabarti et al., SDM 2004) over
+/// n = 2^scale vertices and approximately edge_factor * n edges. Skewed
+/// parameter choices (a >> d) model web graphs (eu, uk) with pronounced
+/// hubs and community structure. d is implicitly 1 - a - b - c.
+Graph RMat(uint32_t scale, double edge_factor, double a, double b, double c,
+           uint64_t seed);
+
+/// Watts–Strogatz small world: ring of n vertices, each joined to its k
+/// nearest neighbors, with each edge rewired with probability beta. High
+/// clustering at low beta; useful for triangle-heavy workloads.
+Graph WattsStrogatz(VertexID n, uint32_t k, double beta, uint64_t seed);
+
+/// Complete graph K_n. The AGM-bound worst case of Examples II.1/III.1.
+Graph Complete(VertexID n);
+
+/// Cycle C_n.
+Graph Cycle(VertexID n);
+
+/// Path with n vertices.
+Graph Path(VertexID n);
+
+/// Star: vertex 0 joined to vertices 1..n-1.
+Graph Star(VertexID n);
+
+/// Approximate d-regular random graph via the configuration model with
+/// rejection of self-loops/multi-edges; a few vertices may end with degree
+/// below d.
+Graph RandomRegular(VertexID n, uint32_t degree, uint64_t seed);
+
+}  // namespace light
+
+#endif  // LIGHT_GEN_GENERATORS_H_

@@ -1,0 +1,162 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace light {
+
+std::vector<VertexID> ConnectedComponents(const Graph& graph,
+                                          VertexID* num_components) {
+  const VertexID n = graph.NumVertices();
+  std::vector<VertexID> component(n, kInvalidVertex);
+  std::vector<VertexID> stack;
+  VertexID next_id = 0;
+  for (VertexID start = 0; start < n; ++start) {
+    if (component[start] != kInvalidVertex) continue;
+    const VertexID id = next_id++;
+    component[start] = id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const VertexID u = stack.back();
+      stack.pop_back();
+      for (VertexID v : graph.Neighbors(u)) {
+        if (component[v] == kInvalidVertex) {
+          component[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_id;
+  return component;
+}
+
+VertexID LargestComponentSize(const Graph& graph) {
+  VertexID num_components = 0;
+  const auto component = ConnectedComponents(graph, &num_components);
+  std::vector<VertexID> sizes(num_components, 0);
+  for (VertexID id : component) ++sizes[id];
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+std::vector<uint32_t> CoreDecomposition(const Graph& graph) {
+  // Batagelj-Zaversnik peeling with bucket sort over degrees.
+  const VertexID n = graph.NumVertices();
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexID v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // bucket[d] holds the start offset of degree-d vertices in `order`.
+  std::vector<VertexID> bucket(max_degree + 2, 0);
+  for (VertexID v = 0; v < n; ++v) ++bucket[degree[v] + 1];
+  for (size_t d = 1; d < bucket.size(); ++d) bucket[d] += bucket[d - 1];
+  std::vector<VertexID> order(n);     // vertices sorted by current degree
+  std::vector<VertexID> position(n);  // inverse permutation
+  {
+    std::vector<VertexID> cursor(bucket.begin(), bucket.end() - 1);
+    for (VertexID v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      order[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+  std::vector<uint32_t> core(n, 0);
+  std::vector<bool> removed(n, false);
+  for (VertexID i = 0; i < n; ++i) {
+    const VertexID v = order[i];
+    core[v] = degree[v];
+    removed[v] = true;
+    for (VertexID w : graph.Neighbors(v)) {
+      if (removed[w] || degree[w] <= degree[v]) continue;
+      // Move w one bucket down: swap it with the first vertex of its
+      // current degree bucket, then decrement.
+      const VertexID d = degree[w];
+      const VertexID bucket_start = bucket[d];
+      const VertexID swap_vertex = order[bucket_start];
+      if (swap_vertex != w) {
+        std::swap(order[position[w]], order[bucket_start]);
+        std::swap(position[w], position[swap_vertex]);
+      }
+      ++bucket[d];
+      --degree[w];
+    }
+  }
+  return core;
+}
+
+uint32_t Degeneracy(const Graph& graph) {
+  const auto core = CoreDecomposition(graph);
+  return core.empty() ? 0 : *std::max_element(core.begin(), core.end());
+}
+
+double LocalClusteringCoefficient(const Graph& graph, VertexID v) {
+  const uint32_t d = graph.Degree(v);
+  if (d < 2) return 0.0;
+  uint64_t closed = 0;
+  const auto nbrs = graph.Neighbors(v);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      if (graph.HasEdge(nbrs[i], nbrs[j])) ++closed;
+    }
+  }
+  return 2.0 * static_cast<double>(closed) /
+         (static_cast<double>(d) * (d - 1));
+}
+
+double AverageClusteringCoefficient(const Graph& graph) {
+  double total = 0.0;
+  uint64_t counted = 0;
+  for (VertexID v = 0; v < graph.NumVertices(); ++v) {
+    if (graph.Degree(v) < 2) continue;
+    total += LocalClusteringCoefficient(graph, v);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+uint32_t ApproximateEffectiveDiameter(const Graph& graph, int samples,
+                                      uint64_t seed) {
+  const VertexID n = graph.NumVertices();
+  if (n == 0) return 0;
+  LIGHT_CHECK(samples > 0);
+  Rng rng(seed);
+  std::vector<uint32_t> eccentricities;
+  std::vector<uint32_t> dist(n);
+  std::vector<VertexID> frontier;
+  std::vector<VertexID> next;
+  for (int s = 0; s < samples; ++s) {
+    const VertexID start = static_cast<VertexID>(rng.NextBounded(n));
+    std::fill(dist.begin(), dist.end(), UINT32_MAX);
+    dist[start] = 0;
+    frontier = {start};
+    uint32_t depth = 0;
+    while (!frontier.empty()) {
+      next.clear();
+      for (VertexID u : frontier) {
+        for (VertexID v : graph.Neighbors(u)) {
+          if (dist[v] == UINT32_MAX) {
+            dist[v] = depth + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      if (!next.empty()) ++depth;
+      frontier.swap(next);
+    }
+    eccentricities.push_back(depth);
+  }
+  std::sort(eccentricities.begin(), eccentricities.end());
+  // 90th percentile of sampled eccentricities.
+  const size_t idx =
+      std::min(eccentricities.size() - 1,
+               static_cast<size_t>(0.9 * static_cast<double>(
+                                             eccentricities.size())));
+  return eccentricities[idx];
+}
+
+}  // namespace light

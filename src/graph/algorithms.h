@@ -1,0 +1,47 @@
+#ifndef LIGHT_GRAPH_ALGORITHMS_H_
+#define LIGHT_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace light {
+
+/// Classic graph analyses used for dataset characterization (Table II
+/// analogs), generator validation, and as library surface for downstream
+/// users.
+
+/// Connected components; returns component id per vertex (ids are dense,
+/// 0-based, assigned in order of lowest member vertex).
+std::vector<VertexID> ConnectedComponents(const Graph& graph,
+                                          VertexID* num_components = nullptr);
+
+/// Size of the largest connected component.
+VertexID LargestComponentSize(const Graph& graph);
+
+/// Coreness (k-core number) of every vertex via the standard peeling
+/// algorithm (Batagelj-Zaversnik), O(M).
+std::vector<uint32_t> CoreDecomposition(const Graph& graph);
+
+/// Maximum core number (degeneracy) of the graph. Bounds the largest clique
+/// and is a good single-number proxy for "dense pocket" structure, which
+/// drives the clique patterns' (P3/P7) match counts.
+uint32_t Degeneracy(const Graph& graph);
+
+/// Local clustering coefficient of a vertex: triangles(v) / C(d(v), 2).
+double LocalClusteringCoefficient(const Graph& graph, VertexID v);
+
+/// Average local clustering coefficient over vertices with degree >= 2
+/// (Watts-Strogatz definition). O(sum d^2) — fine at catalog scale.
+double AverageClusteringCoefficient(const Graph& graph);
+
+/// Exact diameter is too expensive; this returns an approximate effective
+/// diameter via BFS from `samples` seed vertices (the 90th percentile of
+/// observed eccentricities). Deterministic given the seed.
+uint32_t ApproximateEffectiveDiameter(const Graph& graph, int samples,
+                                      uint64_t seed);
+
+}  // namespace light
+
+#endif  // LIGHT_GRAPH_ALGORITHMS_H_

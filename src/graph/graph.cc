@@ -1,0 +1,36 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace light {
+
+Graph::Graph(std::vector<EdgeID> offsets, std::vector<VertexID> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  LIGHT_CHECK(!offsets_.empty());
+  LIGHT_CHECK(offsets_.front() == 0);
+  LIGHT_CHECK(offsets_.back() == neighbors_.size());
+  const VertexID n = NumVertices();
+  for (VertexID v = 0; v < n; ++v) {
+    LIGHT_DCHECK(offsets_[v] <= offsets_[v + 1]);
+    max_degree_ = std::max(max_degree_, Degree(v));
+#ifndef NDEBUG
+    auto nbrs = Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      LIGHT_DCHECK(nbrs[i] < n);
+      LIGHT_DCHECK(nbrs[i] != v);
+      if (i > 0) LIGHT_DCHECK(nbrs[i - 1] < nbrs[i]);
+    }
+#endif
+  }
+}
+
+bool Graph::HasEdge(VertexID u, VertexID v) const {
+  if (u >= NumVertices() || v >= NumVertices()) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace light

@@ -1,0 +1,75 @@
+#ifndef LIGHT_GRAPH_GRAPH_H_
+#define LIGHT_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace light {
+
+/// Immutable unlabeled undirected graph in compressed sparse row (CSR)
+/// format, as described in Section II-A of the paper: an offset array plus a
+/// neighbors array whose per-vertex slices are sorted ascending by ID, so a
+/// neighbor set is retrieved in O(1) and is directly usable as a sorted-set
+/// operand for the intersection kernels.
+///
+/// Construct through GraphBuilder (graph/graph_builder.h), which symmetrizes,
+/// deduplicates, and sorts the input edges.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of prebuilt CSR arrays. offsets.size() must be N+1,
+  /// offsets.back() == neighbors.size(), and each slice must be sorted and
+  /// free of duplicates/self-loops. Checked in debug builds.
+  Graph(std::vector<EdgeID> offsets, std::vector<VertexID> neighbors);
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  /// N = |V(G)|.
+  VertexID NumVertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexID>(offsets_.size() - 1);
+  }
+
+  /// M = |E(G)| counting each undirected edge once.
+  EdgeID NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Degree of v.
+  uint32_t Degree(VertexID v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor set N(v).
+  std::span<const VertexID> Neighbors(VertexID v) const {
+    return {neighbors_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// Edge membership test; binary search over the smaller adjacency list.
+  bool HasEdge(VertexID u, VertexID v) const;
+
+  uint32_t MaxDegree() const { return max_degree_; }
+
+  /// Bytes held by the CSR arrays (the "Memory" column of Table II).
+  size_t MemoryBytes() const {
+    return offsets_.size() * sizeof(EdgeID) +
+           neighbors_.size() * sizeof(VertexID);
+  }
+
+  const std::vector<EdgeID>& offsets() const { return offsets_; }
+  const std::vector<VertexID>& neighbors() const { return neighbors_; }
+
+ private:
+  std::vector<EdgeID> offsets_;      // size N+1
+  std::vector<VertexID> neighbors_;  // size 2M, sorted per vertex
+  uint32_t max_degree_ = 0;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_GRAPH_GRAPH_H_

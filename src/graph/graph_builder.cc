@@ -1,0 +1,53 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace light {
+
+void GraphBuilder::AddEdge(VertexID u, VertexID v) {
+  if (u == v) return;  // self-loops carry no subgraph-enumeration information
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  if (v + 1 > num_vertices_) num_vertices_ = v + 1;
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const VertexID n = num_vertices_;
+  std::vector<EdgeID> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (VertexID v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexID> neighbors(edges_.size() * 2);
+  std::vector<EdgeID> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Edges were emitted in sorted (u, v) order, so each u-slice received its
+  // v-endpoints ascending already; the v-slices received u-endpoints
+  // ascending too because edges are scanned with u ascending. A per-slice
+  // sort is therefore unnecessary, but we keep a debug verification in the
+  // Graph constructor.
+  edges_.clear();
+  num_vertices_ = 0;
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph GraphBuilder::FromEdges(
+    const std::vector<std::pair<VertexID, VertexID>>& edges,
+    VertexID num_vertices_hint) {
+  GraphBuilder builder(num_vertices_hint);
+  builder.Reserve(edges.size());
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+}  // namespace light

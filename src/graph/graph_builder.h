@@ -1,0 +1,44 @@
+#ifndef LIGHT_GRAPH_GRAPH_BUILDER_H_
+#define LIGHT_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace light {
+
+/// Accumulates undirected edges and produces a normalized CSR Graph:
+/// self-loops dropped, parallel edges deduplicated, both directions stored,
+/// adjacency sorted ascending. Vertex IDs are dense [0, N); N is
+/// max(provided hint, largest endpoint + 1).
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-sizes the vertex set; useful when isolated trailing vertices matter.
+  explicit GraphBuilder(VertexID num_vertices_hint)
+      : num_vertices_(num_vertices_hint) {}
+
+  void AddEdge(VertexID u, VertexID v);
+
+  void Reserve(size_t num_edges) { edges_.reserve(num_edges); }
+
+  size_t NumPendingEdges() const { return edges_.size(); }
+
+  /// Builds the graph. The builder is left empty afterwards.
+  Graph Build();
+
+  /// Convenience: build a graph directly from an edge list.
+  static Graph FromEdges(const std::vector<std::pair<VertexID, VertexID>>& edges,
+                         VertexID num_vertices_hint = 0);
+
+ private:
+  std::vector<std::pair<VertexID, VertexID>> edges_;
+  VertexID num_vertices_ = 0;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,130 @@
+#include "graph/graph_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace light {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'C', 'S', 'R'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status LoadEdgeList(const std::string& path, Graph* out) {
+  FilePtr file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  GraphBuilder builder;
+  char line[256];
+  size_t lineno = 0;
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    ++lineno;
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '#' || *p == '%' || *p == '\n' || *p == '\0') continue;
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (std::sscanf(p, "%" SCNu64 " %" SCNu64, &u, &v) != 2) {
+      return Status::InvalidArgument("malformed edge at " + path + ":" +
+                                     std::to_string(lineno));
+    }
+    if (u > kInvalidVertex - 1 || v > kInvalidVertex - 1) {
+      return Status::OutOfRange("vertex ID exceeds 32 bits at " + path + ":" +
+                                std::to_string(lineno));
+    }
+    builder.AddEdge(static_cast<VertexID>(u), static_cast<VertexID>(v));
+  }
+  *out = builder.Build();
+  return Status::OK();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const VertexID n = graph.NumVertices();
+  for (VertexID u = 0; u < n; ++u) {
+    for (VertexID v : graph.Neighbors(u)) {
+      if (u < v) std::fprintf(file.get(), "%u %u\n", u, v);
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const uint64_t n = graph.NumVertices();
+  const uint64_t slots = graph.neighbors().size();
+  bool ok = std::fwrite(kMagic, 1, 4, file.get()) == 4 &&
+            std::fwrite(&kVersion, sizeof(kVersion), 1, file.get()) == 1 &&
+            std::fwrite(&n, sizeof(n), 1, file.get()) == 1 &&
+            std::fwrite(&slots, sizeof(slots), 1, file.get()) == 1;
+  if (ok && n > 0) {
+    ok = std::fwrite(graph.offsets().data(), sizeof(EdgeID), n + 1,
+                     file.get()) == n + 1;
+  }
+  if (ok && slots > 0) {
+    ok = std::fwrite(graph.neighbors().data(), sizeof(VertexID), slots,
+                     file.get()) == slots;
+  }
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status LoadBinary(const std::string& path, Graph* out) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t n = 0;
+  uint64_t slots = 0;
+  if (std::fread(magic, 1, 4, file.get()) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(path + " is not an LCSR file");
+  }
+  if (std::fread(&version, sizeof(version), 1, file.get()) != 1 ||
+      version != kVersion) {
+    return Status::InvalidArgument("unsupported LCSR version in " + path);
+  }
+  if (std::fread(&n, sizeof(n), 1, file.get()) != 1 ||
+      std::fread(&slots, sizeof(slots), 1, file.get()) != 1) {
+    return Status::IOError("truncated header in " + path);
+  }
+  std::vector<EdgeID> offsets(n + 1, 0);
+  std::vector<VertexID> neighbors(slots);
+  if (n > 0 &&
+      std::fread(offsets.data(), sizeof(EdgeID), n + 1, file.get()) != n + 1) {
+    return Status::IOError("truncated offsets in " + path);
+  }
+  if (slots > 0 && std::fread(neighbors.data(), sizeof(VertexID), slots,
+                              file.get()) != slots) {
+    return Status::IOError("truncated neighbors in " + path);
+  }
+  if (offsets.back() != slots) {
+    return Status::InvalidArgument("inconsistent CSR arrays in " + path);
+  }
+  *out = Graph(std::move(offsets), std::move(neighbors));
+  return Status::OK();
+}
+
+}  // namespace light

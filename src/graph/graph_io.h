@@ -1,0 +1,27 @@
+#ifndef LIGHT_GRAPH_GRAPH_IO_H_
+#define LIGHT_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace light {
+
+/// Loads a whitespace-separated edge-list text file ("u v" per line; lines
+/// starting with '#' or '%' are comments). This is the format SNAP and
+/// KONECT distribute the paper's datasets in.
+Status LoadEdgeList(const std::string& path, Graph* out);
+
+/// Writes a graph as an edge-list text file (one canonical "u v" with u < v
+/// per undirected edge).
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Binary CSR snapshot: magic "LCSR", u32 version, u64 N, u64 slots, then the
+/// offset and neighbor arrays. Loading is a bulk read with no re-sorting.
+Status SaveBinary(const Graph& graph, const std::string& path);
+Status LoadBinary(const std::string& path, Graph* out);
+
+}  // namespace light
+
+#endif  // LIGHT_GRAPH_GRAPH_IO_H_

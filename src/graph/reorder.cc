@@ -1,0 +1,46 @@
+#include "graph/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace light {
+
+Graph RelabelByDegree(const Graph& graph, std::vector<VertexID>* old_to_new) {
+  const VertexID n = graph.NumVertices();
+  std::vector<VertexID> order(n);  // new ID -> old ID
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](VertexID a, VertexID b) {
+    const uint32_t da = graph.Degree(a);
+    const uint32_t db = graph.Degree(b);
+    return da != db ? da < db : a < b;
+  });
+
+  std::vector<VertexID> to_new(n);
+  for (VertexID new_id = 0; new_id < n; ++new_id) to_new[order[new_id]] = new_id;
+
+  std::vector<EdgeID> offsets(n + 1, 0);
+  for (VertexID new_id = 0; new_id < n; ++new_id) {
+    offsets[new_id + 1] = offsets[new_id] + graph.Degree(order[new_id]);
+  }
+  std::vector<VertexID> neighbors(graph.neighbors().size());
+  for (VertexID new_id = 0; new_id < n; ++new_id) {
+    EdgeID pos = offsets[new_id];
+    for (VertexID old_nbr : graph.Neighbors(order[new_id])) {
+      neighbors[pos++] = to_new[old_nbr];
+    }
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[new_id]),
+              neighbors.begin() + static_cast<ptrdiff_t>(pos));
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(to_new);
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+bool IsDegreeOrdered(const Graph& graph) {
+  const VertexID n = graph.NumVertices();
+  for (VertexID v = 1; v < n; ++v) {
+    if (graph.Degree(v - 1) > graph.Degree(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace light

@@ -1,0 +1,26 @@
+#ifndef LIGHT_GRAPH_REORDER_H_
+#define LIGHT_GRAPH_REORDER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace light {
+
+/// Relabels vertices so that IDs respect the total order the paper's
+/// symmetry-breaking relies on (Section II-A): v < v' iff
+/// d(v) < d(v') or (d(v) = d(v') and old ID(v) < old ID(v')).
+/// After relabeling, comparing two IDs directly implements the partial-order
+/// constraints "phi(u) < phi(u')" of the symmetry-breaking technique.
+///
+/// If old_to_new is non-null it receives the permutation (old ID -> new ID).
+Graph RelabelByDegree(const Graph& graph,
+                      std::vector<VertexID>* old_to_new = nullptr);
+
+/// Returns true if IDs are already degree-ordered (d non-decreasing with ID).
+bool IsDegreeOrdered(const Graph& graph);
+
+}  // namespace light
+
+#endif  // LIGHT_GRAPH_REORDER_H_

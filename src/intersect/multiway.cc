@@ -1,0 +1,52 @@
+#include "intersect/multiway.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace light {
+
+size_t IntersectMultiway(std::span<const std::span<const VertexID>> sets,
+                         VertexID* out, VertexID* scratch,
+                         IntersectKernel kernel, IntersectStats* stats) {
+  const size_t k = sets.size();
+  LIGHT_CHECK(k >= 1);
+  LIGHT_CHECK(k <= kMaxPatternVertices);
+
+  if (k == 1) {
+    std::memcpy(out, sets[0].data(), sets[0].size() * sizeof(VertexID));
+    return sets[0].size();
+  }
+
+  // Order operands ascending by size (min property).
+  std::array<uint32_t, kMaxPatternVertices> order;
+  for (size_t i = 0; i < k; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.begin() + static_cast<ptrdiff_t>(k),
+            [&](uint32_t a, uint32_t b) {
+              return sets[a].size() < sets[b].size();
+            });
+
+  // Ping-pong between scratch and out so the final intersection lands in
+  // out: with r = k - 1 pairwise steps, start in `out` when r is odd.
+  VertexID* bufs[2] = {scratch, out};
+  int cur = (k - 1) % 2 == 1 ? 1 : 0;
+
+  size_t size = IntersectSorted(sets[order[0]], sets[order[1]], bufs[cur],
+                                kernel, stats);
+  for (size_t i = 2; i < k; ++i) {
+    if (size == 0) break;
+    const int next = cur ^ 1;
+    size = IntersectSorted({bufs[cur], size}, sets[order[i]], bufs[next],
+                           kernel, stats);
+    cur = next;
+  }
+  if (bufs[cur] != out) {
+    std::memcpy(out, bufs[cur], size * sizeof(VertexID));
+  }
+  return size;
+}
+
+}  // namespace light

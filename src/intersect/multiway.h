@@ -1,0 +1,28 @@
+#ifndef LIGHT_INTERSECT_MULTIWAY_H_
+#define LIGHT_INTERSECT_MULTIWAY_H_
+
+#include <span>
+#include <vector>
+
+#include "intersect/set_intersection.h"
+
+namespace light {
+
+/// Intersects a constant-cardinality collection of sorted sets, the primitive
+/// behind candidate-set computation (Equation 6). Operands are processed in
+/// ascending size order so the running time is proportional to the smallest
+/// operand — the "min property" of Definition II.6 — and intermediate results
+/// only shrink.
+///
+/// `out` receives the result (capacity >= size of the smallest operand);
+/// `scratch` must provide the same capacity. Returns the result size. With a
+/// single operand the set is copied and no intersection is counted, matching
+/// Equation 7's w_u = |K1| + |K2| - 1 accounting.
+size_t IntersectMultiway(std::span<const std::span<const VertexID>> sets,
+                         VertexID* out, VertexID* scratch,
+                         IntersectKernel kernel,
+                         IntersectStats* stats = nullptr);
+
+}  // namespace light
+
+#endif  // LIGHT_INTERSECT_MULTIWAY_H_

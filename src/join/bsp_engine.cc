@@ -1,0 +1,415 @@
+#include "join/bsp_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "engine/enumerator.h"
+#include "engine/visitors.h"
+#include "intersect/multiway.h"
+#include "join/decompose.h"
+#include "join/hash_join.h"
+#include "join/relation.h"
+#include "plan/order_optimizer.h"
+#include "plan/plan.h"
+
+namespace light {
+namespace {
+
+// Constraints whose endpoints both lie in `vertices`, remapped to local ids.
+PartialOrder LocalConstraints(const PartialOrder& global,
+                              const std::vector<int>& vertices) {
+  auto local_of = [&](int v) {
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      if (vertices[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  PartialOrder local;
+  for (const auto& [a, b] : global) {
+    const int la = local_of(a);
+    const int lb = local_of(b);
+    if (la >= 0 && lb >= 0) local.emplace_back(la, lb);
+  }
+  return local;
+}
+
+// Any valid order for the unit: a connected one when possible (the engine
+// then avoids whole-vertex-set scans), otherwise the identity permutation.
+std::vector<int> UnitOrder(const Pattern& pattern) {
+  const int n = pattern.NumVertices();
+  std::vector<int> order;
+  uint32_t used = 0;
+  order.push_back(0);
+  used = 1;
+  while (static_cast<int>(order.size()) < n) {
+    int next = -1;
+    for (int u = 0; u < n; ++u) {
+      if ((used >> u) & 1u) continue;
+      if ((pattern.NeighborMask(u) & used) != 0) {
+        next = u;
+        break;
+      }
+    }
+    if (next < 0) {
+      // Disconnected unit: append the remaining vertices as-is.
+      for (int u = 0; u < n; ++u) {
+        if (((used >> u) & 1u) == 0) {
+          next = u;
+          break;
+        }
+      }
+    }
+    order.push_back(next);
+    used |= 1u << next;
+  }
+  return order;
+}
+
+// Materializes the unit's matches (schema = unit.vertices, global ids).
+Status MaterializeUnit(const Graph& graph, const JoinUnit& unit,
+                       const PartialOrder& global_constraints,
+                       const BspOptions& options, double deadline_seconds,
+                       Relation* out) {
+  PlanOptions plan_options;  // full LIGHT machinery for the unit itself
+  plan_options.kernel = options.kernel;
+  const bool connected = unit.pattern.IsConnected();
+  if (!connected) plan_options.lazy_materialization = false;
+  const ExecutionPlan plan = BuildPlanWithConstraints(
+      unit.pattern, UnitOrder(unit.pattern), plan_options,
+      options.symmetry_breaking
+          ? LocalConstraints(global_constraints, unit.vertices)
+          : PartialOrder{});
+
+  *out = Relation(unit.vertices);
+  const size_t tuple_bytes = unit.vertices.size() * sizeof(VertexID);
+  const uint64_t max_tuples = options.memory_budget_bytes / tuple_bytes;
+  std::vector<int> projection(unit.vertices.size());
+  for (size_t i = 0; i < projection.size(); ++i) {
+    projection[i] = static_cast<int>(i);  // local vertex i -> column i
+  }
+  FlatTupleVisitor visitor(projection, max_tuples, out->mutable_data());
+  Enumerator enumerator(graph, plan);
+  enumerator.SetTimeLimit(deadline_seconds);
+  enumerator.Enumerate(&visitor);
+  if (enumerator.stats().timed_out) {
+    return Status::DeadlineExceeded("unit enumeration ran out of time");
+  }
+  if (visitor.hit_limit()) {
+    return Status::ResourceExhausted(
+        "unit " + unit.kind + " exceeded the space budget");
+  }
+  return Status::OK();
+}
+
+// Greedy left-deep join order: largest unit first, then any unit sharing a
+// vertex with the joined prefix.
+std::vector<size_t> JoinOrder(const std::vector<JoinUnit>& units) {
+  std::vector<size_t> order;
+  std::vector<bool> taken(units.size(), false);
+  size_t first = 0;
+  for (size_t i = 1; i < units.size(); ++i) {
+    if (units[i].pattern.NumEdges() > units[first].pattern.NumEdges()) {
+      first = i;
+    }
+  }
+  order.push_back(first);
+  taken[first] = true;
+  uint32_t joined_mask = 0;
+  for (int v : units[first].vertices) joined_mask |= 1u << v;
+  while (order.size() < units.size()) {
+    size_t best = units.size();
+    int best_shared = -1;
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (taken[i]) continue;
+      int shared = 0;
+      for (int v : units[i].vertices) {
+        if ((joined_mask >> v) & 1u) ++shared;
+      }
+      if (shared > best_shared) {
+        best_shared = shared;
+        best = i;
+      }
+    }
+    LIGHT_CHECK(best < units.size());
+    LIGHT_CHECK(best_shared > 0);  // connected pattern => always overlaps
+    order.push_back(best);
+    taken[best] = true;
+    for (int v : units[best].vertices) joined_mask |= 1u << v;
+  }
+  return order;
+}
+
+}  // namespace
+
+std::string BspResult::Outcome() const {
+  if (status.ok()) return "OK";
+  if (status.code() == Status::Code::kResourceExhausted) return "OOS";
+  if (status.code() == Status::Code::kDeadlineExceeded) return "OOT";
+  return status.ToString();
+}
+
+BspResult RunSeedLike(const Graph& graph, const Pattern& pattern,
+                      const BspOptions& options) {
+  BspResult result;
+  Timer timer;
+  const PartialOrder constraints =
+      options.symmetry_breaking ? ComputeSymmetryBreaking(pattern)
+                                : PartialOrder{};
+  const std::vector<JoinUnit> units = DecomposeCliqueStar(pattern);
+
+  auto remaining = [&] { return options.time_limit_seconds - timer.ElapsedSeconds(); };
+  auto finish = [&](Status status) {
+    result.status = std::move(status);
+    result.cpu_seconds = timer.ElapsedSeconds();
+    result.simulated_io_seconds =
+        static_cast<double>(result.bytes_shuffled) /
+        options.shuffle_bandwidth_bytes_per_sec;
+    return result;
+  };
+
+  if (units.size() == 1) {
+    // The whole pattern is one join unit (e.g. a clique); SEED enumerates it
+    // directly in the final round with no intermediate results.
+    // Stream: count without materializing by using the engine directly.
+    PlanOptions plan_options;
+    plan_options.kernel = options.kernel;
+    const ExecutionPlan plan = BuildPlanWithConstraints(
+        units[0].pattern, UnitOrder(units[0].pattern), plan_options,
+        options.symmetry_breaking
+            ? LocalConstraints(constraints, units[0].vertices)
+            : PartialOrder{});
+    Enumerator enumerator(graph, plan);
+    enumerator.SetTimeLimit(remaining());
+    result.num_matches = enumerator.Count();
+    if (enumerator.stats().timed_out) {
+      return finish(Status::DeadlineExceeded("single-unit enumeration"));
+    }
+    return finish(Status::OK());
+  }
+
+  const std::vector<size_t> order = JoinOrder(units);
+
+  Relation current;
+  Status status = MaterializeUnit(graph, units[order[0]], constraints,
+                                  options, remaining(), &current);
+  if (!status.ok()) return finish(std::move(status));
+  result.tuples_materialized += current.NumTuples();
+  result.bytes_shuffled += current.MemoryBytes();
+  result.peak_bytes = std::max(result.peak_bytes, current.MemoryBytes());
+
+  for (size_t step = 1; step < order.size(); ++step) {
+    if (remaining() <= 0) {
+      return finish(Status::DeadlineExceeded("join pipeline"));
+    }
+    Relation next;
+    status = MaterializeUnit(graph, units[order[step]], constraints, options,
+                             remaining(), &next);
+    if (!status.ok()) return finish(std::move(status));
+    result.tuples_materialized += next.NumTuples();
+    result.bytes_shuffled += next.MemoryBytes();
+    result.peak_bytes = std::max(
+        result.peak_bytes, current.MemoryBytes() + next.MemoryBytes());
+
+    if (step + 1 == order.size()) {
+      // Final round streams counts.
+      uint64_t count = 0;
+      JoinMetrics metrics;
+      status = HashJoinCount(current, next, constraints, &count, &metrics);
+      if (!status.ok()) return finish(std::move(status));
+      result.num_matches = count;
+      return finish(Status::OK());
+    }
+
+    Relation joined;
+    JoinMetrics metrics;
+    JoinBudget budget;
+    budget.max_bytes = options.memory_budget_bytes;
+    status = HashJoin(current, next, constraints, budget, &joined, &metrics);
+    if (!status.ok()) return finish(std::move(status));
+    result.tuples_materialized += joined.NumTuples();
+    result.bytes_shuffled += joined.MemoryBytes();
+    result.peak_bytes =
+        std::max(result.peak_bytes, current.MemoryBytes() +
+                                        next.MemoryBytes() +
+                                        joined.MemoryBytes());
+    if (joined.MemoryBytes() > options.memory_budget_bytes) {
+      return finish(Status::ResourceExhausted("intermediate join result"));
+    }
+    current = std::move(joined);
+  }
+  // Single join step already returned; reaching here means units.size() == 1
+  // which was handled above.
+  return finish(Status::Internal("unreachable"));
+}
+
+BspResult RunCrystalLike(const Graph& graph, const Pattern& pattern,
+                         const BspOptions& options) {
+  BspResult result;
+  Timer timer;
+  const PartialOrder constraints =
+      options.symmetry_breaking ? ComputeSymmetryBreaking(pattern)
+                                : PartialOrder{};
+  const CrystalDecomposition decomposition = DecomposeCoreCrystal(pattern);
+
+  auto remaining = [&] { return options.time_limit_seconds - timer.ElapsedSeconds(); };
+  auto finish = [&](Status status) {
+    result.status = std::move(status);
+    result.cpu_seconds = timer.ElapsedSeconds();
+    result.simulated_io_seconds =
+        static_cast<double>(result.bytes_shuffled) /
+        options.shuffle_bandwidth_bytes_per_sec;
+    return result;
+  };
+
+  if (decomposition.crystals.empty()) {
+    // Core is the whole pattern.
+    PlanOptions plan_options;
+    plan_options.kernel = options.kernel;
+    plan_options.symmetry_breaking = options.symmetry_breaking;
+    const GraphStats stats = ComputeGraphStats(graph);
+    const ExecutionPlan plan = BuildPlan(pattern, graph, stats, plan_options);
+    Enumerator enumerator(graph, plan);
+    enumerator.SetTimeLimit(remaining());
+    result.num_matches = enumerator.Count();
+    if (enumerator.stats().timed_out) {
+      return finish(Status::DeadlineExceeded("core-only enumeration"));
+    }
+    return finish(Status::OK());
+  }
+
+  // Stage 1: materialize core matches.
+  Relation core;
+  Status status = MaterializeUnit(graph, decomposition.core_unit, constraints,
+                                  options, remaining(), &core);
+  if (!status.ok()) return finish(std::move(status));
+  result.tuples_materialized += core.NumTuples();
+  result.bytes_shuffled += core.MemoryBytes();
+  result.peak_bytes = std::max(result.peak_bytes, core.MemoryBytes());
+
+  // Stage 2: per core match, compute every bud's candidate set and count
+  // valid (injective, constraint-satisfying) assignments. The compressed
+  // representation CRYSTAL would store is (core tuple, candidate sets);
+  // we account those bytes against the budget.
+  const size_t num_buds = decomposition.crystals.size();
+  std::vector<std::vector<VertexID>> bud_candidates(num_buds);
+  std::vector<uint32_t> bud_sizes(num_buds, 0);
+  for (auto& buffer : bud_candidates) buffer.resize(graph.MaxDegree());
+  std::vector<VertexID> scratch(graph.MaxDegree());
+
+  // Precompute per-bud constraint columns against core vertices and other
+  // buds.
+  struct BudConstraint {
+    int core_column = -1;  // compare against this core column
+    int other_bud = -1;    // or against another bud (by index)
+    bool bud_is_smaller = false;
+  };
+  std::vector<std::vector<BudConstraint>> bud_constraints(num_buds);
+  auto bud_index_of = [&](int vertex) {
+    for (size_t i = 0; i < num_buds; ++i) {
+      if (decomposition.crystals[i].bud == vertex) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const auto& [a, b] : constraints) {
+    const int ba = bud_index_of(a);
+    const int bb = bud_index_of(b);
+    if (ba < 0 && bb < 0) continue;  // core-core: already pushed into core
+    if (ba >= 0 && bb >= 0) {
+      // bud-bud: attach to the later bud in index order.
+      const int later = std::max(ba, bb);
+      BudConstraint c;
+      c.other_bud = std::min(ba, bb);
+      // phi(a) < phi(b): if the later-assigned bud is a, its value must be
+      // the smaller one.
+      c.bud_is_smaller = (later == ba);
+      bud_constraints[static_cast<size_t>(later)].push_back(c);
+    } else if (ba >= 0) {
+      BudConstraint c;
+      c.core_column = core.ColumnOf(b);
+      c.bud_is_smaller = true;  // phi(bud) < phi(core vertex)
+      bud_constraints[static_cast<size_t>(ba)].push_back(c);
+    } else {
+      BudConstraint c;
+      c.core_column = core.ColumnOf(a);
+      c.bud_is_smaller = false;  // phi(core vertex) < phi(bud)
+      bud_constraints[static_cast<size_t>(bb)].push_back(c);
+    }
+  }
+
+  uint64_t total = 0;
+  size_t compressed_bytes = 0;
+  std::array<VertexID, kMaxPatternVertices> chosen{};
+  for (uint64_t row = 0; row < core.NumTuples(); ++row) {
+    if ((row & 0x3FF) == 0 && remaining() <= 0) {
+      return finish(Status::DeadlineExceeded("crystal expansion"));
+    }
+    auto tuple = core.Tuple(row);
+    bool empty = false;
+    for (size_t i = 0; i < num_buds; ++i) {
+      const auto& crystal = decomposition.crystals[i];
+      std::array<std::span<const VertexID>, kMaxPatternVertices> sets;
+      size_t k = 0;
+      for (int anchor : crystal.anchors) {
+        sets[k++] = graph.Neighbors(
+            tuple[static_cast<size_t>(core.ColumnOf(anchor))]);
+      }
+      bud_sizes[i] = static_cast<uint32_t>(
+          IntersectMultiway({sets.data(), k}, bud_candidates[i].data(),
+                            scratch.data(), options.kernel, nullptr));
+      if (bud_sizes[i] == 0) {
+        empty = true;
+        break;
+      }
+    }
+    if (empty) continue;
+    compressed_bytes += tuple.size() * sizeof(VertexID);
+    for (size_t i = 0; i < num_buds; ++i) {
+      compressed_bytes += bud_sizes[i] * sizeof(VertexID);
+    }
+    if (compressed_bytes > options.memory_budget_bytes) {
+      return finish(
+          Status::ResourceExhausted("compressed crystal representation"));
+    }
+
+    // Count injective, constraint-satisfying bud assignments.
+    auto count_buds = [&](auto&& self, size_t i) -> uint64_t {
+      if (i == num_buds) return 1;
+      uint64_t sum = 0;
+      for (uint32_t c = 0; c < bud_sizes[i]; ++c) {
+        const VertexID v = bud_candidates[i][c];
+        bool ok = true;
+        for (VertexID used : tuple) {
+          if (used == v) ok = false;
+        }
+        for (size_t j = 0; j < i && ok; ++j) {
+          if (chosen[j] == v) ok = false;
+        }
+        for (const BudConstraint& bc : bud_constraints[i]) {
+          if (!ok) break;
+          if (bc.core_column >= 0) {
+            const VertexID w = tuple[static_cast<size_t>(bc.core_column)];
+            ok = bc.bud_is_smaller ? v < w : w < v;
+          } else if (static_cast<size_t>(bc.other_bud) < i) {
+            const VertexID w = chosen[static_cast<size_t>(bc.other_bud)];
+            ok = bc.bud_is_smaller ? v < w : w < v;
+          }
+        }
+        if (!ok) continue;
+        chosen[i] = v;
+        sum += self(self, i + 1);
+      }
+      return sum;
+    };
+    total += count_buds(count_buds, 0);
+  }
+  result.num_matches = total;
+  result.peak_bytes =
+      std::max(result.peak_bytes, core.MemoryBytes() + compressed_bytes);
+  result.bytes_shuffled += compressed_bytes;
+  return finish(Status::OK());
+}
+
+}  // namespace light

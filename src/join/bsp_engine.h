@@ -1,0 +1,58 @@
+#ifndef LIGHT_JOIN_BSP_ENGINE_H_
+#define LIGHT_JOIN_BSP_ENGINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "intersect/set_intersection.h"
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// Simulation parameters for the BFS/BSP join engines standing in for the
+/// MapReduce baselines (DESIGN.md Section 6). The space budget models the
+/// cluster's disk/memory for intermediate results (OOS when exceeded); the
+/// shuffle bandwidth converts bytes moved between rounds into simulated I/O
+/// time, the dominant cost the paper attributes to the BFS approach.
+struct BspOptions {
+  size_t memory_budget_bytes = size_t{1} << 30;
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  /// Effective end-to-end shuffle+HDFS bandwidth. ~100 MB/s is a generous
+  /// figure for the paper's 12-node Hadoop cluster era.
+  double shuffle_bandwidth_bytes_per_sec = 100e6;
+  IntersectKernel kernel = IntersectKernel::kHybrid;
+  bool symmetry_breaking = true;
+};
+
+struct BspResult {
+  Status status;  // OK, ResourceExhausted (OOS), or DeadlineExceeded (OOT)
+  uint64_t num_matches = 0;
+  uint64_t tuples_materialized = 0;  // across all intermediate relations
+  size_t peak_bytes = 0;             // max live intermediate footprint
+  uint64_t bytes_shuffled = 0;       // total materialized bytes
+  double cpu_seconds = 0.0;
+  double simulated_io_seconds = 0.0;
+  double TotalSeconds() const { return cpu_seconds + simulated_io_seconds; }
+  std::string Outcome() const;  // "OK" / "OOS" / "OOT"
+};
+
+/// SEED-like evaluation [13]: decompose into clique-star join units,
+/// materialize each unit's matches, left-deep hash joins with full
+/// intermediate materialization; the final join streams counts.
+BspResult RunSeedLike(const Graph& graph, const Pattern& pattern,
+                      const BspOptions& options);
+
+/// CRYSTAL-like evaluation [19]: materialize matches of the minimum
+/// connected vertex cover (the core), then for each core match compute the
+/// candidate set of every bud by intersection and count the valid bud
+/// assignments. Space accounting covers the compressed
+/// (core match, candidate sets) representation.
+BspResult RunCrystalLike(const Graph& graph, const Pattern& pattern,
+                         const BspOptions& options);
+
+}  // namespace light
+
+#endif  // LIGHT_JOIN_BSP_ENGINE_H_

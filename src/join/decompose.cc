@@ -1,0 +1,262 @@
+#include "join/decompose.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace light {
+namespace {
+
+// Unit over `global_vertices` whose local edges are those of `edges`
+// (pairs of global ids).
+JoinUnit MakeUnit(const std::vector<int>& global_vertices,
+                  const std::vector<std::pair<int, int>>& edges,
+                  std::string kind) {
+  JoinUnit unit;
+  unit.vertices = global_vertices;
+  unit.kind = std::move(kind);
+  unit.pattern = Pattern(static_cast<int>(global_vertices.size()));
+  auto local = [&](int global) {
+    for (size_t i = 0; i < global_vertices.size(); ++i) {
+      if (global_vertices[i] == global) return static_cast<int>(i);
+    }
+    LIGHT_CHECK(false);
+    return -1;
+  };
+  for (const auto& [a, b] : edges) unit.pattern.AddEdge(local(a), local(b));
+  return unit;
+}
+
+bool IsClique(const Pattern& p, uint32_t mask) {
+  uint32_t rest = mask;
+  while (rest != 0) {
+    const int u = __builtin_ctz(rest);
+    rest &= rest - 1;
+    if ((p.NeighborMask(u) & mask & ~(1u << u)) != (mask & ~(1u << u))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> MaskToVertices(uint32_t mask) {
+  std::vector<int> out;
+  while (mask != 0) {
+    out.push_back(__builtin_ctz(mask));
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<JoinUnit> DecomposeCliqueStar(const Pattern& pattern) {
+  const int n = pattern.NumVertices();
+  LIGHT_CHECK(n >= 2 && n <= 16);
+  // Remaining uncovered adjacency.
+  std::vector<uint32_t> uncovered(static_cast<size_t>(n));
+  for (int u = 0; u < n; ++u) uncovered[static_cast<size_t>(u)] =
+      pattern.NeighborMask(u);
+  auto uncovered_edges_in = [&](uint32_t mask) {
+    int count = 0;
+    uint32_t rest = mask;
+    while (rest != 0) {
+      const int u = __builtin_ctz(rest);
+      rest &= rest - 1;
+      count += __builtin_popcount(uncovered[static_cast<size_t>(u)] & rest);
+    }
+    return count;
+  };
+  auto remove_edges_in = [&](uint32_t mask) {
+    for (int u : MaskToVertices(mask)) {
+      for (int v : MaskToVertices(mask)) {
+        if (u == v) continue;
+        uncovered[static_cast<size_t>(u)] &= ~(1u << v);
+      }
+    }
+  };
+  auto total_uncovered = [&] {
+    int count = 0;
+    for (int u = 0; u < n; ++u) {
+      count += __builtin_popcount(uncovered[static_cast<size_t>(u)]);
+    }
+    return count / 2;
+  };
+
+  std::vector<JoinUnit> units;
+  const uint32_t full = (n == 32 ? ~0u : (1u << n) - 1);
+
+  // Clique phase: repeatedly take the clique (>= 3 vertices) covering the
+  // most uncovered edges, as long as it covers at least 2 of them.
+  while (total_uncovered() > 0) {
+    uint32_t best = 0;
+    int best_cover = 0;
+    for (uint32_t mask = 1; mask <= full; ++mask) {
+      if (__builtin_popcount(mask) < 3) continue;
+      if (!IsClique(pattern, mask)) continue;
+      const int cover = uncovered_edges_in(mask);
+      if (cover > best_cover ||
+          (cover == best_cover && __builtin_popcount(mask) >
+                                      __builtin_popcount(best))) {
+        best = mask;
+        best_cover = cover;
+      }
+    }
+    if (best_cover < 2) break;
+    std::vector<std::pair<int, int>> edges;
+    const auto verts = MaskToVertices(best);
+    for (size_t i = 0; i < verts.size(); ++i) {
+      for (size_t j = i + 1; j < verts.size(); ++j) {
+        edges.emplace_back(verts[i], verts[j]);
+      }
+    }
+    units.push_back(MakeUnit(verts, edges, "clique"));
+    remove_edges_in(best);
+  }
+
+  // Star phase over the remaining edges.
+  while (total_uncovered() > 0) {
+    int center = -1;
+    int best_deg = 0;
+    for (int u = 0; u < n; ++u) {
+      const int deg = __builtin_popcount(uncovered[static_cast<size_t>(u)]);
+      if (deg > best_deg) {
+        best_deg = deg;
+        center = u;
+      }
+    }
+    std::vector<int> verts = {center};
+    std::vector<std::pair<int, int>> edges;
+    for (int v : MaskToVertices(uncovered[static_cast<size_t>(center)])) {
+      verts.push_back(v);
+      edges.emplace_back(center, v);
+      uncovered[static_cast<size_t>(center)] &= ~(1u << v);
+      uncovered[static_cast<size_t>(v)] &= ~(1u << center);
+    }
+    units.push_back(
+        MakeUnit(verts, edges, edges.size() == 1 ? "edge" : "star"));
+  }
+  LIGHT_CHECK(!units.empty());
+  return units;
+}
+
+std::vector<int> MinimumConnectedVertexCover(const Pattern& pattern) {
+  const int n = pattern.NumVertices();
+  LIGHT_CHECK(n >= 2 && n <= 16);
+  const uint32_t full = (n == 32 ? ~0u : (1u << n) - 1);
+  const auto edges = pattern.Edges();
+  uint32_t best = full;
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (__builtin_popcount(mask) >= __builtin_popcount(best)) continue;
+    bool covers = true;
+    for (const auto& [a, b] : edges) {
+      if (((mask >> a) & 1u) == 0 && ((mask >> b) & 1u) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (!covers) continue;
+    if (__builtin_popcount(mask) > 1 && !pattern.InducedConnected(mask)) {
+      continue;
+    }
+    best = mask;
+  }
+  return MaskToVertices(best);
+}
+
+CrystalDecomposition DecomposeCoreCrystal(const Pattern& pattern) {
+  CrystalDecomposition result;
+  result.core = MinimumConnectedVertexCover(pattern);
+  uint32_t core_mask = 0;
+  for (int v : result.core) core_mask |= 1u << v;
+
+  std::vector<std::pair<int, int>> core_edges;
+  for (const auto& [a, b] : pattern.Edges()) {
+    if (((core_mask >> a) & 1u) && ((core_mask >> b) & 1u)) {
+      core_edges.emplace_back(a, b);
+    }
+  }
+  result.core_unit = MakeUnit(result.core, core_edges, "core");
+
+  for (int u = 0; u < pattern.NumVertices(); ++u) {
+    if ((core_mask >> u) & 1u) continue;
+    CrystalDecomposition::Crystal crystal;
+    crystal.bud = u;
+    crystal.anchors = MaskToVertices(pattern.NeighborMask(u));
+    // Cover property: every neighbor of a non-core vertex is in the core.
+    for (int a : crystal.anchors) {
+      LIGHT_CHECK((core_mask >> a) & 1u);
+    }
+    result.crystals.push_back(std::move(crystal));
+  }
+  return result;
+}
+
+std::vector<JoinUnit> DecomposeGhdBags(const Pattern& pattern) {
+  const int n = pattern.NumVertices();
+  LIGHT_CHECK(n >= 2 && n <= 10);
+  std::vector<int> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+
+  int best_width = n + 1;
+  std::vector<uint32_t> best_bags;
+  do {
+    // Simulate elimination with fill-in.
+    std::vector<uint32_t> adj(static_cast<size_t>(n));
+    for (int u = 0; u < n; ++u) adj[static_cast<size_t>(u)] =
+        pattern.NeighborMask(u);
+    uint32_t remaining = (n == 32 ? ~0u : (1u << n) - 1);
+    std::vector<uint32_t> bags;
+    int width = 0;
+    for (int v : perm) {
+      const uint32_t nbrs = adj[static_cast<size_t>(v)] & remaining;
+      const uint32_t bag = nbrs | (1u << v);
+      bags.push_back(bag);
+      width = std::max(width, __builtin_popcount(bag));
+      if (width >= best_width) break;  // prune
+      // Fill in: connect the neighbors pairwise.
+      for (int a : MaskToVertices(nbrs)) {
+        adj[static_cast<size_t>(a)] |= nbrs & ~(1u << a);
+      }
+      remaining &= ~(1u << v);
+    }
+    if (width < best_width && bags.size() == static_cast<size_t>(n)) {
+      best_width = width;
+      best_bags = bags;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  // Absorb bags contained in others.
+  std::vector<uint32_t> maximal;
+  for (uint32_t bag : best_bags) {
+    bool contained = false;
+    for (uint32_t other : best_bags) {
+      if (other != bag && (bag & ~other) == 0) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained &&
+        std::find(maximal.begin(), maximal.end(), bag) == maximal.end()) {
+      maximal.push_back(bag);
+    }
+  }
+
+  std::vector<JoinUnit> units;
+  for (uint32_t bag : maximal) {
+    const auto verts = MaskToVertices(bag);
+    std::vector<std::pair<int, int>> edges;
+    for (size_t i = 0; i < verts.size(); ++i) {
+      for (size_t j = i + 1; j < verts.size(); ++j) {
+        if (pattern.HasEdge(verts[i], verts[j])) {
+          edges.emplace_back(verts[i], verts[j]);
+        }
+      }
+    }
+    units.push_back(MakeUnit(verts, edges, "bag"));
+  }
+  return units;
+}
+
+}  // namespace light

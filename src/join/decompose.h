@@ -1,0 +1,54 @@
+#ifndef LIGHT_JOIN_DECOMPOSE_H_
+#define LIGHT_JOIN_DECOMPOSE_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// A piece of the pattern evaluated independently and joined with the other
+/// pieces — the "join unit" abstraction of the distributed baselines.
+struct JoinUnit {
+  /// The unit's own edge set over local vertex indices.
+  Pattern pattern;
+  /// Local index -> global pattern vertex.
+  std::vector<int> vertices;
+  /// "clique", "star", or "bag" — for diagnostics and reports.
+  std::string kind;
+};
+
+/// SEED-style decomposition [13]: greedily peel maximal cliques (size >= 3)
+/// covering the most uncovered edges, then stars over the remaining edges.
+/// Every pattern edge is covered by exactly one unit.
+std::vector<JoinUnit> DecomposeCliqueStar(const Pattern& pattern);
+
+/// CRYSTAL-style decomposition [19]: a minimum connected vertex cover as the
+/// core; every non-core vertex becomes a bud whose anchors (all of its
+/// neighbors, necessarily in the core) define its crystal. Non-core vertices
+/// are pairwise non-adjacent by the cover property, which is what makes the
+/// (core match, candidate sets) compression lossless.
+struct CrystalDecomposition {
+  std::vector<int> core;  // global vertex ids
+  JoinUnit core_unit;     // vertex-induced pattern on the core
+  struct Crystal {
+    int bud;                   // global vertex id
+    std::vector<int> anchors;  // global vertex ids (= N(bud))
+  };
+  std::vector<Crystal> crystals;
+};
+CrystalDecomposition DecomposeCoreCrystal(const Pattern& pattern);
+
+/// EH-style bags: tree-decomposition bags from the minimum-width elimination
+/// order (exhaustive over n! orders; patterns are tiny), with subset bags
+/// absorbed. Bags are vertex-induced subpatterns, so every edge lies in some
+/// bag.
+std::vector<JoinUnit> DecomposeGhdBags(const Pattern& pattern);
+
+/// Minimum connected vertex cover of the pattern (exposed for tests).
+std::vector<int> MinimumConnectedVertexCover(const Pattern& pattern);
+
+}  // namespace light
+
+#endif  // LIGHT_JOIN_DECOMPOSE_H_

@@ -1,0 +1,43 @@
+#ifndef LIGHT_JOIN_HASH_JOIN_H_
+#define LIGHT_JOIN_HASH_JOIN_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+#include "join/relation.h"
+
+namespace light {
+
+/// Space budget for materializing join output; exceeding it returns
+/// ResourceExhausted — the OOS condition the distributed baselines hit in
+/// Figure 8.
+struct JoinBudget {
+  uint64_t max_tuples = std::numeric_limits<uint64_t>::max();
+  size_t max_bytes = std::numeric_limits<size_t>::max();
+};
+
+struct JoinMetrics {
+  uint64_t probe_tuples = 0;
+  uint64_t output_tuples = 0;
+  size_t output_bytes = 0;
+};
+
+/// Natural hash join of two match relations on their shared pattern
+/// vertices (at least one required). The output schema is left's schema
+/// followed by right's non-shared vertices. Emitted tuples are validated
+/// with TupleValid against `constraints` (injectivity + symmetry breaking).
+Status HashJoin(const Relation& left, const Relation& right,
+                const PartialOrder& constraints, const JoinBudget& budget,
+                Relation* out, JoinMetrics* metrics);
+
+/// Streaming variant: counts valid join results without materializing them,
+/// the way the final MapReduce round only emits counters (Section VIII-A
+/// enumerates without storing matches).
+Status HashJoinCount(const Relation& left, const Relation& right,
+                     const PartialOrder& constraints, uint64_t* count,
+                     JoinMetrics* metrics);
+
+}  // namespace light
+
+#endif  // LIGHT_JOIN_HASH_JOIN_H_

@@ -1,0 +1,58 @@
+#include "join/relation.h"
+
+#include <algorithm>
+
+namespace light {
+
+int Relation::ColumnOf(int vertex) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i] == vertex) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Relation::ToString(uint64_t max_rows) const {
+  std::string out = "schema=(";
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "u" + std::to_string(schema_[i]);
+  }
+  out += ") rows=" + std::to_string(NumTuples()) + "\n";
+  const uint64_t rows = std::min<uint64_t>(NumTuples(), max_rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    auto tuple = Tuple(r);
+    out += "  (";
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(tuple[i]);
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+bool TupleValid(const std::vector<int>& schema,
+                std::span<const VertexID> tuple,
+                const PartialOrder& constraints) {
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    for (size_t j = i + 1; j < tuple.size(); ++j) {
+      if (tuple[i] == tuple[j]) return false;
+    }
+  }
+  for (const auto& [a, b] : constraints) {
+    int col_a = -1;
+    int col_b = -1;
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (schema[i] == a) col_a = static_cast<int>(i);
+      if (schema[i] == b) col_b = static_cast<int>(i);
+    }
+    if (col_a >= 0 && col_b >= 0 &&
+        !(tuple[static_cast<size_t>(col_a)] <
+          tuple[static_cast<size_t>(col_b)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace light

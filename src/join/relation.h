@@ -1,0 +1,62 @@
+#ifndef LIGHT_JOIN_RELATION_H_
+#define LIGHT_JOIN_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "pattern/symmetry_breaking.h"
+
+namespace light {
+
+/// A materialized table of partial matches, the unit of data in the BSP join
+/// engine that simulates the distributed baselines (SEED [13], CRYSTAL [19]).
+/// Each column corresponds to a pattern vertex (the schema); rows are stored
+/// flat for cache-friendly scans and cheap byte accounting — the quantity the
+/// paper's OOS failures are about.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<int> schema) : schema_(std::move(schema)) {}
+
+  int Arity() const { return static_cast<int>(schema_.size()); }
+  uint64_t NumTuples() const {
+    return schema_.empty() ? 0 : data_.size() / schema_.size();
+  }
+  size_t MemoryBytes() const { return data_.size() * sizeof(VertexID); }
+
+  std::span<const VertexID> Tuple(uint64_t row) const {
+    return {data_.data() + row * schema_.size(), schema_.size()};
+  }
+
+  void AppendTuple(std::span<const VertexID> tuple) {
+    data_.insert(data_.end(), tuple.begin(), tuple.end());
+  }
+
+  const std::vector<int>& schema() const { return schema_; }
+  std::vector<VertexID>* mutable_data() { return &data_; }
+  const std::vector<VertexID>& data() const { return data_; }
+
+  /// Column index of a pattern vertex, or -1 if absent.
+  int ColumnOf(int vertex) const;
+
+  std::string ToString(uint64_t max_rows = 10) const;
+
+ private:
+  std::vector<int> schema_;  // pattern vertex per column
+  std::vector<VertexID> data_;
+};
+
+/// Validates a (partial) match tuple: pairwise-distinct data vertices and
+/// every partial-order constraint whose endpoints both appear in the schema.
+/// Used at join emission so intermediate results only contain tuples that
+/// can still extend to valid matches.
+bool TupleValid(const std::vector<int>& schema,
+                std::span<const VertexID> tuple,
+                const PartialOrder& constraints);
+
+}  // namespace light
+
+#endif  // LIGHT_JOIN_RELATION_H_

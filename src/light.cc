@@ -1,0 +1,68 @@
+#include "light.h"
+
+#include <limits>
+
+namespace light {
+namespace {
+
+PlanOptions MakePlanOptions(const CountOptions& options) {
+  PlanOptions plan_options = PlanOptions::Light();
+  plan_options.symmetry_breaking = options.unique_subgraphs;
+  plan_options.induced = options.induced;
+  plan_options.kernel = KernelAvailable(IntersectKernel::kHybridAvx512)
+                            ? IntersectKernel::kHybridAvx512
+                        : KernelAvailable(IntersectKernel::kHybridAvx2)
+                            ? IntersectKernel::kHybridAvx2
+                            : IntersectKernel::kHybrid;
+  return plan_options;
+}
+
+double Limit(const CountOptions& options) {
+  return options.time_limit_seconds > 0
+             ? options.time_limit_seconds
+             : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
+                           const CountOptions& options) {
+  const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
+  const ExecutionPlan plan =
+      BuildPlan(pattern, graph, stats, MakePlanOptions(options));
+  CountResult result;
+  if (options.threads == 1) {
+    Enumerator enumerator(graph, plan, options.data_labels);
+    enumerator.SetTimeLimit(Limit(options));
+    result.num_matches = enumerator.Count();
+    result.elapsed_seconds = enumerator.stats().elapsed_seconds;
+    result.timed_out = enumerator.stats().timed_out;
+    return result;
+  }
+  ParallelOptions popts;
+  popts.num_threads = options.threads;
+  popts.time_limit_seconds = Limit(options);
+  const ParallelResult presult =
+      ParallelCount(graph, plan, popts, options.data_labels);
+  result.num_matches = presult.num_matches;
+  result.elapsed_seconds = presult.elapsed_seconds;
+  result.timed_out = presult.timed_out;
+  return result;
+}
+
+CountResult EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
+                               MatchVisitor* visitor,
+                               const CountOptions& options) {
+  const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
+  const ExecutionPlan plan =
+      BuildPlan(pattern, graph, stats, MakePlanOptions(options));
+  Enumerator enumerator(graph, plan, options.data_labels);
+  enumerator.SetTimeLimit(Limit(options));
+  CountResult result;
+  result.num_matches = enumerator.Enumerate(visitor);
+  result.elapsed_seconds = enumerator.stats().elapsed_seconds;
+  result.timed_out = enumerator.stats().timed_out;
+  return result;
+}
+
+}  // namespace light

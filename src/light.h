@@ -1,0 +1,64 @@
+#ifndef LIGHT_LIGHT_H_
+#define LIGHT_LIGHT_H_
+
+/// Umbrella header and one-call facade for the LIGHT subgraph enumeration
+/// library. For fine-grained control include the module headers directly
+/// (see README "Architecture"); for the common case — "count or stream the
+/// embeddings of this pattern in this graph" — use light::CountSubgraphs /
+/// light::EnumerateSubgraphs below.
+
+#include <cstdint>
+
+#include "engine/enumerator.h"
+#include "engine/visitors.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+#include "parallel/parallel_enumerator.h"
+#include "pattern/catalog.h"
+#include "pattern/parse.h"
+#include "pattern/pattern.h"
+#include "plan/plan.h"
+
+namespace light {
+
+/// Options of the one-call API.
+struct CountOptions {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial.
+  int threads = 0;
+  /// Report each subgraph once (symmetry breaking). With false, all
+  /// automorphic images are counted.
+  bool unique_subgraphs = true;
+  /// Vertex-induced (motif) semantics instead of Definition II.1.
+  bool induced = false;
+  /// Optional data vertex labels (see Enumerator); must outlive the call.
+  const std::vector<uint32_t>* data_labels = nullptr;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_limit_seconds = 0;
+};
+
+struct CountResult {
+  uint64_t num_matches = 0;
+  double elapsed_seconds = 0;
+  bool timed_out = false;
+};
+
+/// Counts the embeddings of `pattern` in `graph` with the full LIGHT
+/// pipeline (degree stats, sampling order optimizer, lazy materialization,
+/// minimum set cover, best available SIMD kernel, work-stealing parallel
+/// DFS). The graph should be degree-relabeled (RelabelByDegree) when
+/// unique_subgraphs is on.
+CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
+                           const CountOptions& options = {});
+
+/// Streams every match through `visitor` (serial; visitors see matches in a
+/// deterministic order). Returns the match count.
+CountResult EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
+                               MatchVisitor* visitor,
+                               const CountOptions& options = {});
+
+}  // namespace light
+
+#endif  // LIGHT_LIGHT_H_

@@ -1,0 +1,102 @@
+#include "parallel/distributed_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace light {
+
+double DistributedSimResult::MaxSeconds() const {
+  return machine_seconds.empty()
+             ? 0.0
+             : *std::max_element(machine_seconds.begin(),
+                                 machine_seconds.end());
+}
+
+double DistributedSimResult::MeanSeconds() const {
+  if (machine_seconds.empty()) return 0.0;
+  return std::accumulate(machine_seconds.begin(), machine_seconds.end(),
+                         0.0) /
+         static_cast<double>(machine_seconds.size());
+}
+
+double DistributedSimResult::Imbalance() const {
+  const double mean = MeanSeconds();
+  return mean > 0.0 ? MaxSeconds() / mean : 1.0;
+}
+
+namespace {
+
+DistributedSimResult RunPartition(
+    const Graph& graph, const ExecutionPlan& plan,
+    const std::vector<RootRangeBoundary>& partition) {
+  DistributedSimResult result;
+  Enumerator enumerator(graph, plan);
+  for (const RootRangeBoundary& range : partition) {
+    enumerator.ResetStats();
+    Timer timer;
+    enumerator.RunRootRange(range.begin, range.end);
+    result.machine_seconds.push_back(timer.ElapsedSeconds());
+    result.num_matches += enumerator.stats().num_matches;
+  }
+  return result;
+}
+
+}  // namespace
+
+DistributedSimResult SimulateNaiveDistributed(const Graph& graph,
+                                              const ExecutionPlan& plan,
+                                              int num_machines) {
+  LIGHT_CHECK(num_machines >= 1);
+  const VertexID n = graph.NumVertices();
+  const VertexID step =
+      (n + static_cast<VertexID>(num_machines) - 1) /
+      static_cast<VertexID>(num_machines);
+  std::vector<RootRangeBoundary> partition;
+  for (int m = 0; m < num_machines; ++m) {
+    const VertexID begin =
+        std::min<VertexID>(n, static_cast<VertexID>(m) * step);
+    partition.push_back({begin, std::min<VertexID>(n, begin + step)});
+  }
+  return RunPartition(graph, plan, partition);
+}
+
+std::vector<RootRangeBoundary> EstimateBalancedPartition(const Graph& graph,
+                                                         int num_machines) {
+  LIGHT_CHECK(num_machines >= 1);
+  const VertexID n = graph.NumVertices();
+  double total = 0.0;
+  std::vector<double> weight(n);
+  for (VertexID v = 0; v < n; ++v) {
+    const double d = graph.Degree(v);
+    weight[v] = 1.0 + d * std::sqrt(d);
+    total += weight[v];
+  }
+  std::vector<RootRangeBoundary> partition;
+  const double target = total / num_machines;
+  VertexID begin = 0;
+  double acc = 0.0;
+  for (VertexID v = 0; v < n; ++v) {
+    acc += weight[v];
+    if (acc >= target &&
+        static_cast<int>(partition.size()) + 1 < num_machines) {
+      partition.push_back({begin, v + 1});
+      begin = v + 1;
+      acc = 0.0;
+    }
+  }
+  partition.push_back({begin, n});
+  return partition;
+}
+
+DistributedSimResult SimulateBalancedDistributed(const Graph& graph,
+                                                 const ExecutionPlan& plan,
+                                                 int num_machines) {
+  return RunPartition(graph, plan,
+                      EstimateBalancedPartition(graph, num_machines));
+}
+
+}  // namespace light

@@ -1,0 +1,57 @@
+#ifndef LIGHT_PARALLEL_DISTRIBUTED_SIM_H_
+#define LIGHT_PARALLEL_DISTRIBUTED_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/enumerator.h"
+#include "graph/graph.h"
+#include "plan/plan.h"
+
+namespace light {
+
+/// Simulation of the paper's naive distributed LIGHT (Section VIII-A):
+/// replicate the data graph on every machine and split the search space by
+/// partitioning the candidate set of pi[1] (i.e. V(G)) evenly. The paper
+/// reports that this yields limited speedup because of load imbalance, the
+/// two missing pieces being workload estimation per partition and dynamic
+/// load balancing across machines.
+struct DistributedSimResult {
+  uint64_t num_matches = 0;
+  /// Per-machine wall-clock (each machine runs its partition serially).
+  std::vector<double> machine_seconds;
+  double MaxSeconds() const;   // makespan = the slowest machine
+  double MeanSeconds() const;  // ideal balanced time
+  /// makespan / mean; 1.0 = perfectly balanced. The paper's observation is
+  /// that this is far above 1 on skewed graphs.
+  double Imbalance() const;
+};
+
+/// Runs the plan over `num_machines` equal slices of V(G), sequentially on
+/// this host, timing each slice independently (machines are independent and
+/// share nothing, so sequential timing is exact up to cache warmth).
+DistributedSimResult SimulateNaiveDistributed(const Graph& graph,
+                                              const ExecutionPlan& plan,
+                                              int num_machines);
+
+struct RootRangeBoundary {
+  VertexID begin = 0;
+  VertexID end = 0;
+};
+
+/// The fix the paper says the naive version lacks: estimate each root's
+/// workload and partition V(G) into contiguous ranges of roughly equal
+/// estimated work instead of equal size. A simple d(v)^1.5 proxy for the
+/// per-root search cost already removes most of the skew that the
+/// degree-relabeling otherwise piles into the last machine.
+std::vector<RootRangeBoundary> EstimateBalancedPartition(const Graph& graph,
+                                                         int num_machines);
+
+/// Like SimulateNaiveDistributed but over the workload-balanced partition.
+DistributedSimResult SimulateBalancedDistributed(const Graph& graph,
+                                                 const ExecutionPlan& plan,
+                                                 int num_machines);
+
+}  // namespace light
+
+#endif  // LIGHT_PARALLEL_DISTRIBUTED_SIM_H_

@@ -1,0 +1,98 @@
+#include "parallel/parallel_enumerator.h"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "parallel/task_queue.h"
+
+namespace light {
+namespace {
+
+void WorkerLoop(const Graph& graph, const ExecutionPlan& plan,
+                const ParallelOptions& options,
+                const std::vector<uint32_t>* data_labels, TaskQueue* queue,
+                EngineStats* out_stats, std::mutex* out_mutex) {
+  Enumerator enumerator(graph, plan, data_labels);
+  enumerator.SetTimeLimit(options.time_limit_seconds);
+  enumerator.RestartClock();
+  RootRange range;
+  uint32_t ticks = 0;
+  while (queue->Pop(&range)) {
+    VertexID v = range.begin;
+    while (v < range.end) {
+      // Sender-initiated stealing: if peers are starving and the global
+      // queue is dry, donate the second half of the remaining range.
+      if (range.end - v > options.min_split_size &&
+          (++ticks % options.donation_check_interval) == 0 &&
+          queue->IdleWorkersWaiting()) {
+        const VertexID mid = v + (range.end - v) / 2;
+        queue->Push({mid, range.end});
+        range.end = mid;
+      }
+      enumerator.RunRoot(v);
+      ++v;
+      if (enumerator.Stopped()) {
+        queue->Abort();
+        break;
+      }
+      if (queue->aborted()) break;
+    }
+    if (enumerator.Stopped() || queue->aborted()) break;
+  }
+  std::lock_guard<std::mutex> lock(*out_mutex);
+  out_stats->Add(enumerator.stats());
+}
+
+}  // namespace
+
+ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
+                             const ParallelOptions& options,
+                             const std::vector<uint32_t>* data_labels) {
+  ParallelOptions opts = options;
+  if (opts.num_threads <= 0) {
+    opts.num_threads =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+  Timer timer;
+  TaskQueue queue(opts.num_threads);
+
+  // Bootstrap chunks; donation keeps the tail balanced afterwards.
+  const VertexID n = graph.NumVertices();
+  const int chunks =
+      std::max(1, opts.num_threads * opts.initial_chunks_per_worker);
+  const VertexID step =
+      std::max<VertexID>(1, (n + static_cast<VertexID>(chunks) - 1) /
+                                static_cast<VertexID>(chunks));
+  for (VertexID begin = 0; begin < n; begin += step) {
+    queue.Push({begin, std::min<VertexID>(n, begin + step)});
+  }
+
+  EngineStats merged;
+  std::mutex merge_mutex;
+  if (opts.num_threads == 1) {
+    WorkerLoop(graph, plan, opts, data_labels, &queue, &merged, &merge_mutex);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(opts.num_threads));
+    for (int t = 0; t < opts.num_threads; ++t) {
+      workers.emplace_back(WorkerLoop, std::cref(graph), std::cref(plan),
+                           std::cref(opts), data_labels, &queue, &merged,
+                           &merge_mutex);
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  ParallelResult result;
+  result.stats = std::move(merged);
+  result.num_matches = result.stats.num_matches;
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.timed_out = result.stats.timed_out;
+  result.threads_used = opts.num_threads;
+  return result;
+}
+
+}  // namespace light

@@ -1,0 +1,51 @@
+#ifndef LIGHT_PARALLEL_PARALLEL_ENUMERATOR_H_
+#define LIGHT_PARALLEL_PARALLEL_ENUMERATOR_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "engine/enumerator.h"
+#include "graph/graph.h"
+#include "plan/plan.h"
+
+namespace light {
+
+/// Configuration of the SMT parallelization (Section VII-B).
+struct ParallelOptions {
+  /// Number of workers; 0 picks the hardware concurrency. The paper runs up
+  /// to 64 threads on 20 physical cores (Figure 7).
+  int num_threads = 0;
+  /// Wall-clock budget; exceeding it aborts the run (OOT).
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  /// Ranges at or below this size are not split further when donating.
+  VertexID min_split_size = 8;
+  /// A busy worker checks for starving peers every this many roots.
+  uint32_t donation_check_interval = 16;
+  /// Number of initial chunks per worker seeded into the queue before
+  /// donation takes over (bootstrap only; balancing is donation-driven).
+  int initial_chunks_per_worker = 4;
+};
+
+struct ParallelResult {
+  uint64_t num_matches = 0;
+  EngineStats stats;  // merged across workers
+  double elapsed_seconds = 0.0;
+  bool timed_out = false;
+  int threads_used = 0;
+};
+
+/// Counts all matches of the plan using `options.num_threads` workers, each
+/// running the DFS engine on root ranges drawn from a global concurrent
+/// queue with sender-initiated work stealing. Workers each hold one partial
+/// result and one candidate buffer per pattern vertex, so the total
+/// footprint is O(k * n * d_max) as stated in Section VII-B.
+/// `data_labels` enables labeled matching exactly as in Enumerator's
+/// constructor (optional; must outlive the call).
+ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
+                             const ParallelOptions& options = {},
+                             const std::vector<uint32_t>* data_labels =
+                                 nullptr);
+
+}  // namespace light
+
+#endif  // LIGHT_PARALLEL_PARALLEL_ENUMERATOR_H_

@@ -1,0 +1,54 @@
+#include "parallel/task_queue.h"
+
+#include "common/check.h"
+
+namespace light {
+
+TaskQueue::TaskQueue(int num_workers) : num_workers_(num_workers) {
+  LIGHT_CHECK(num_workers >= 1);
+}
+
+void TaskQueue::Push(RootRange range) {
+  if (range.size() == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(range);
+    approx_empty_.store(false, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+}
+
+bool TaskQueue::Pop(RootRange* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  num_waiting_.fetch_add(1, std::memory_order_relaxed);
+  // If every worker is now waiting and no work remains, the run is over.
+  if (queue_.empty() &&
+      num_waiting_.load(std::memory_order_relaxed) == num_workers_) {
+    finished_ = true;
+    cv_.notify_all();
+  }
+  cv_.wait(lock, [&] {
+    return !queue_.empty() || finished_ ||
+           aborted_.load(std::memory_order_relaxed);
+  });
+  if (queue_.empty()) {
+    // finished_ or aborted_: leave num_waiting_ elevated so the
+    // all-idle invariant keeps holding for the remaining workers.
+    return false;
+  }
+  *out = queue_.front();
+  queue_.pop_front();
+  approx_empty_.store(queue_.empty(), std::memory_order_relaxed);
+  num_waiting_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TaskQueue::Abort() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace light

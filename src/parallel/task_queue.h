@@ -1,0 +1,67 @@
+#ifndef LIGHT_PARALLEL_TASK_QUEUE_H_
+#define LIGHT_PARALLEL_TASK_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/types.h"
+
+namespace light {
+
+/// A contiguous range of root candidates (bindings of pi[1]); the unit of
+/// work-sharing in the parallel DFS of Section VII-B.
+struct RootRange {
+  VertexID begin = 0;
+  VertexID end = 0;
+  VertexID size() const { return end - begin; }
+};
+
+/// The global concurrent queue of Section VII-B with sender-initiated work
+/// stealing: idle workers block in Pop; busy workers poll
+/// IdleWorkersWaiting() and donate half of their remaining range when
+/// somebody is starving and the queue is empty, waking the idle worker
+/// almost immediately [2].
+///
+/// Termination: when every worker is blocked in Pop and the queue is empty,
+/// the computation is complete and all Pops return false.
+class TaskQueue {
+ public:
+  explicit TaskQueue(int num_workers);
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Adds a task and wakes an idle worker.
+  void Push(RootRange range);
+
+  /// Blocks until a task is available, all workers are idle (returns false),
+  /// or Abort() was called (returns false).
+  bool Pop(RootRange* out);
+
+  /// Approximate signal for donation decisions; cheap (two atomics).
+  bool IdleWorkersWaiting() const {
+    return num_waiting_.load(std::memory_order_relaxed) > 0 &&
+           approx_empty_.load(std::memory_order_relaxed);
+  }
+
+  /// Wakes everyone and makes all Pops fail; used on time-out.
+  void Abort();
+
+  bool aborted() const { return aborted_.load(std::memory_order_relaxed); }
+
+ private:
+  const int num_workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<RootRange> queue_;
+  std::atomic<int> num_waiting_{0};
+  std::atomic<bool> approx_empty_{true};
+  std::atomic<bool> aborted_{false};
+  bool finished_ = false;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_PARALLEL_TASK_QUEUE_H_

@@ -1,0 +1,145 @@
+#include "pattern/catalog.h"
+
+namespace light {
+namespace {
+
+Pattern MakeClique(int n) {
+  Pattern p(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) p.AddEdge(u, v);
+  }
+  return p;
+}
+
+Pattern MakeCycle(int n) {
+  Pattern p(n);
+  for (int u = 0; u < n; ++u) p.AddEdge(u, (u + 1) % n);
+  return p;
+}
+
+Pattern MakePath(int edges) {
+  Pattern p(edges + 1);
+  for (int u = 0; u < edges; ++u) p.AddEdge(u, u + 1);
+  return p;
+}
+
+Pattern MakeStar(int leaves) {
+  Pattern p(leaves + 1);
+  for (int v = 1; v <= leaves; ++v) p.AddEdge(0, v);
+  return p;
+}
+
+std::vector<PatternEntry>* BuildCatalog() {
+  auto* catalog = new std::vector<PatternEntry>();
+
+  // P1: square C4 (n=4, m=4).
+  catalog->push_back({"P1", "square: 4-cycle", MakeCycle(4)});
+
+  // P2: chordal square / diamond, the Figure 1a pattern (n=4, m=5): a
+  // 4-cycle u0-u1-u2-u3 plus the chord (u0, u2).
+  catalog->push_back(
+      {"P2", "chordal square (K4 minus an edge), Fig. 1a pattern",
+       Pattern::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})});
+
+  // P3: 4-clique (n=4, m=6).
+  catalog->push_back({"P3", "4-clique", MakeClique(4)});
+
+  // P4: house, a 5-cycle with one chord (n=5, m=6).
+  catalog->push_back(
+      {"P4", "house: 5-cycle u0..u4 plus chord (u0, u3)",
+       Pattern::FromEdges(5,
+                          {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 3}})});
+
+  // P5: book graph B4 (n=6, m=9): spine edge (u0, u1) plus four page
+  // vertices adjacent to both spine endpoints. The 6-vertex pattern of
+  // Table V.
+  catalog->push_back(
+      {"P5", "book B4: spine (u0,u1) with 4 triangle pages",
+       Pattern::FromEdges(6, {{0, 1},
+                              {0, 2},
+                              {1, 2},
+                              {0, 3},
+                              {1, 3},
+                              {0, 4},
+                              {1, 4},
+                              {0, 5},
+                              {1, 5}})});
+
+  // P6: chordal house (n=5, m=8): K4 on {u0..u3} plus u4 adjacent to u0 and
+  // u1 (the EH decomposition the paper describes: {u0,u1,u2,u3} + triangle
+  // {u0,u1,u4}).
+  catalog->push_back(
+      {"P6", "chordal house: K4 on u0..u3 plus triangle (u0,u1,u4)",
+       Pattern::FromEdges(5, {{0, 1},
+                              {0, 2},
+                              {0, 3},
+                              {1, 2},
+                              {1, 3},
+                              {2, 3},
+                              {0, 4},
+                              {1, 4}})});
+
+  // P7: 5-clique (n=5, m=10).
+  catalog->push_back({"P7", "5-clique", MakeClique(5)});
+
+  // Extras for tests, examples, and tools.
+  catalog->push_back({"triangle", "3-clique", MakeClique(3)});
+  catalog->push_back({"square", "4-cycle", MakeCycle(4)});
+  catalog->push_back(
+      {"diamond", "K4 minus an edge",
+       Pattern::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})});
+  catalog->push_back({"k4", "4-clique", MakeClique(4)});
+  catalog->push_back({"k5", "5-clique", MakeClique(5)});
+  catalog->push_back({"k6", "6-clique", MakeClique(6)});
+  catalog->push_back(
+      {"house",
+       "5-cycle plus chord",
+       Pattern::FromEdges(5,
+                          {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 3}})});
+  catalog->push_back({"book4", "book graph B4",
+                      (*catalog)[4].pattern});
+  catalog->push_back({"chordal_house", "K4 plus pendant triangle",
+                      (*catalog)[5].pattern});
+  catalog->push_back({"path2", "path with 2 edges", MakePath(2)});
+  catalog->push_back({"path3", "path with 3 edges", MakePath(3)});
+  catalog->push_back({"path4", "path with 4 edges", MakePath(4)});
+  catalog->push_back({"star3", "claw K1,3", MakeStar(3)});
+  catalog->push_back({"star4", "star K1,4", MakeStar(4)});
+  catalog->push_back({"star5", "star K1,5", MakeStar(5)});
+  catalog->push_back({"c5", "5-cycle", MakeCycle(5)});
+  catalog->push_back({"c6", "6-cycle", MakeCycle(6)});
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<PatternEntry>& PatternCatalog() {
+  static const std::vector<PatternEntry>* catalog = BuildCatalog();
+  return *catalog;
+}
+
+Status FindPattern(const std::string& name, Pattern* out) {
+  for (const PatternEntry& entry : PatternCatalog()) {
+    if (entry.name == name) {
+      *out = entry.pattern;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no pattern named " + name);
+}
+
+std::vector<Pattern> ExperimentPatterns() {
+  std::vector<Pattern> patterns;
+  for (const std::string& name : ExperimentPatternNames()) {
+    Pattern p;
+    (void)FindPattern(name, &p);
+    patterns.push_back(p);
+  }
+  return patterns;
+}
+
+std::vector<std::string> ExperimentPatternNames() {
+  return {"P1", "P2", "P3", "P4", "P5", "P6", "P7"};
+}
+
+}  // namespace light

@@ -1,0 +1,38 @@
+#ifndef LIGHT_PATTERN_CATALOG_H_
+#define LIGHT_PATTERN_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// Named pattern graphs. P1-P7 reconstruct the paper's experimental patterns
+/// (Figure 3, taken from SEED); DESIGN.md Section 5 documents the textual
+/// clues behind the reconstruction. Additional classics (triangle, paths,
+/// stars, cliques, cycles) are provided for tests and examples.
+struct PatternEntry {
+  std::string name;
+  std::string description;
+  Pattern pattern;
+};
+
+/// All named patterns; P1..P7 first.
+const std::vector<PatternEntry>& PatternCatalog();
+
+/// Looks up a pattern by name ("P1".."P7", "triangle", "square", "diamond",
+/// "k4", "k5", "house", "book4", "chordal_house", "path2".."path4",
+/// "star3".."star5", "c5", "c6").
+Status FindPattern(const std::string& name, Pattern* out);
+
+/// The seven experimental patterns P1..P7 in order.
+std::vector<Pattern> ExperimentPatterns();
+
+/// Names "P1".."P7".
+std::vector<std::string> ExperimentPatternNames();
+
+}  // namespace light
+
+#endif  // LIGHT_PATTERN_CATALOG_H_

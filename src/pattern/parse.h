@@ -1,0 +1,23 @@
+#ifndef LIGHT_PATTERN_PARSE_H_
+#define LIGHT_PATTERN_PARSE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// Parses a pattern from a compact edge-list string, e.g. "0-1,1-2,0-2" for
+/// a triangle. Vertex count is 1 + the largest index mentioned. Optional
+/// labels attach with ':' per vertex after a ';' separator:
+/// "0-1,1-2,0-2;0:5,2:7" labels u0 with 5 and u2 with 7.
+/// Used by light_cli's --pattern-edges for ad-hoc queries.
+Status ParsePattern(const std::string& text, Pattern* out);
+
+/// Inverse of ParsePattern (canonical form, labels included when present).
+std::string FormatPattern(const Pattern& pattern);
+
+}  // namespace light
+
+#endif  // LIGHT_PATTERN_PARSE_H_

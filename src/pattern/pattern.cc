@@ -1,0 +1,98 @@
+#include "pattern/pattern.h"
+
+#include "common/check.h"
+
+namespace light {
+
+Pattern::Pattern(int n) : n_(n), adj_(static_cast<size_t>(n), 0) {
+  LIGHT_CHECK(n >= 1 && n <= kMaxPatternVertices);
+}
+
+Pattern Pattern::FromEdges(int n,
+                           const std::vector<std::pair<int, int>>& edges) {
+  Pattern p(n);
+  for (const auto& [u, v] : edges) p.AddEdge(u, v);
+  return p;
+}
+
+void Pattern::AddEdge(int u, int v) {
+  LIGHT_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v);
+  if (HasEdge(u, v)) return;
+  adj_[u] |= 1u << v;
+  adj_[v] |= 1u << u;
+  ++m_;
+}
+
+void Pattern::SetLabel(int u, uint32_t label) {
+  LIGHT_CHECK(u >= 0 && u < n_);
+  if (labels_.empty()) labels_.assign(static_cast<size_t>(n_), 0);
+  labels_[static_cast<size_t>(u)] = label;
+}
+
+bool Pattern::HasLabels() const {
+  for (uint32_t label : labels_) {
+    if (label != 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<int, int>> Pattern::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<size_t>(m_));
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      if (HasEdge(u, v)) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+bool Pattern::IsConnected() const {
+  if (n_ == 0) return false;
+  return InducedConnected((n_ == 32 ? ~0u : (1u << n_) - 1));
+}
+
+bool Pattern::InducedConnected(uint32_t mask) const {
+  if (mask == 0) return true;
+  const int start = __builtin_ctz(mask);
+  uint32_t reached = 1u << start;
+  uint32_t frontier = reached;
+  while (frontier != 0) {
+    uint32_t next = 0;
+    uint32_t f = frontier;
+    while (f != 0) {
+      const int u = __builtin_ctz(f);
+      f &= f - 1;
+      next |= adj_[u] & mask & ~reached;
+    }
+    reached |= next;
+    frontier = next;
+  }
+  return reached == mask;
+}
+
+int Pattern::InducedEdgeCount(uint32_t mask) const {
+  int count = 0;
+  uint32_t rest = mask;
+  while (rest != 0) {
+    const int u = __builtin_ctz(rest);
+    rest &= rest - 1;
+    count += __builtin_popcount(adj_[u] & rest);
+  }
+  return count;
+}
+
+std::string Pattern::ToString() const {
+  std::string out =
+      "n=" + std::to_string(n_) + " m=" + std::to_string(m_) + " edges={";
+  bool first = true;
+  for (const auto& [u, v] : Edges()) {
+    if (!first) out += ",";
+    first = false;
+    out += "(" + std::to_string(u) + "," + std::to_string(v) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace light

@@ -1,0 +1,79 @@
+#ifndef LIGHT_PATTERN_PATTERN_H_
+#define LIGHT_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace light {
+
+/// Unlabeled undirected pattern graph P. The paper's patterns have 4-6
+/// vertices; we support up to kMaxPatternVertices (32) with per-vertex
+/// adjacency bitmasks, which makes subset tests (the minimum-set-cover
+/// construction of Algorithm 3) single AND/compare operations.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Edgeless pattern with n vertices.
+  explicit Pattern(int n);
+
+  static Pattern FromEdges(int n,
+                           const std::vector<std::pair<int, int>>& edges);
+
+  void AddEdge(int u, int v);
+
+  int NumVertices() const { return n_; }
+  int NumEdges() const { return m_; }
+  bool HasEdge(int u, int v) const {
+    return (adj_[u] >> v) & 1u;
+  }
+  int Degree(int u) const { return __builtin_popcount(adj_[u]); }
+
+  /// Neighbors of u as a bitmask over vertex indices.
+  uint32_t NeighborMask(int u) const { return adj_[u]; }
+
+  /// Optional vertex labels for labeled subgraph matching (the paper treats
+  /// unlabeled enumeration as the all-same-label special case, Section
+  /// II-B). Label 0 is the wildcard: it matches any data vertex. A pattern
+  /// whose labels are all 0 behaves exactly as an unlabeled pattern.
+  void SetLabel(int u, uint32_t label);
+  uint32_t Label(int u) const {
+    return labels_.empty() ? 0 : labels_[static_cast<size_t>(u)];
+  }
+  /// True if any vertex carries a non-wildcard label.
+  bool HasLabels() const;
+
+  /// All edges (u, v) with u < v, in lexicographic order.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  bool IsConnected() const;
+
+  /// True if the vertex-induced subgraph P[mask] is connected (empty and
+  /// singleton masks count as connected).
+  bool InducedConnected(uint32_t mask) const;
+
+  /// Number of edges inside P[mask].
+  int InducedEdgeCount(uint32_t mask) const;
+
+  /// "n=4 m=5 edges={(0,1),(0,2),...}" for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.n_ == b.n_ && a.adj_ == b.adj_ && a.HasLabels() == b.HasLabels() &&
+           (!a.HasLabels() || a.labels_ == b.labels_);
+  }
+
+ private:
+  int n_ = 0;
+  int m_ = 0;
+  std::vector<uint32_t> adj_;
+  std::vector<uint32_t> labels_;  // empty = unlabeled
+};
+
+}  // namespace light
+
+#endif  // LIGHT_PATTERN_PATTERN_H_

@@ -1,0 +1,30 @@
+#ifndef LIGHT_PATTERN_SYMMETRY_BREAKING_H_
+#define LIGHT_PATTERN_SYMMETRY_BREAKING_H_
+
+#include <utility>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// A constraint (u, v) requires phi(u) < phi(v) on data-vertex IDs. The data
+/// graph is relabeled so IDs respect the degree order of Section II-A
+/// (graph/reorder.h), which is what makes these comparisons meaningful.
+using PartialOrder = std::vector<std::pair<int, int>>;
+
+/// Computes symmetry-breaking constraints with the technique of Grochow and
+/// Kellis [7], referenced in Section II-A: repeatedly pick the smallest
+/// vertex moved by the remaining automorphism group, constrain it below its
+/// orbit, and restrict the group to its stabilizer. With the returned
+/// constraints enforced, every subgraph of G isomorphic to P is reported by
+/// exactly one match, i.e.
+///   count(no constraints) == count(with constraints) * |Aut(P)|.
+PartialOrder ComputeSymmetryBreaking(const Pattern& pattern);
+
+/// Number of automorphisms of the pattern.
+size_t AutomorphismCount(const Pattern& pattern);
+
+}  // namespace light
+
+#endif  // LIGHT_PATTERN_SYMMETRY_BREAKING_H_

@@ -1,0 +1,164 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "plan/cardinality.h"
+#include "plan/order_optimizer.h"
+
+namespace light {
+namespace {
+
+void WireConstraints(ExecutionPlan* plan) {
+  const int n = plan->pattern.NumVertices();
+  plan->lower_bounds.assign(static_cast<size_t>(n), {});
+  plan->upper_bounds.assign(static_cast<size_t>(n), {});
+  if (!plan->options.symmetry_breaking) return;
+  std::vector<int> mat_pos(static_cast<size_t>(n), -1);
+  for (int i = 0; i < static_cast<int>(plan->sigma.size()); ++i) {
+    const Operation& op = plan->sigma[static_cast<size_t>(i)];
+    if (op.type == OpType::kMaterialize) {
+      mat_pos[static_cast<size_t>(op.vertex)] = i;
+    }
+  }
+  // A constraint phi(a) < phi(b) is checked when the later-materialized of
+  // the two is bound; by then the other endpoint's mapping is available.
+  for (const auto& [a, b] : plan->partial_order) {
+    if (mat_pos[static_cast<size_t>(a)] < mat_pos[static_cast<size_t>(b)]) {
+      plan->lower_bounds[static_cast<size_t>(b)].push_back(a);
+    } else {
+      plan->upper_bounds[static_cast<size_t>(a)].push_back(b);
+    }
+  }
+}
+
+void WireInducedChecks(ExecutionPlan* plan) {
+  const int n = plan->pattern.NumVertices();
+  plan->non_adjacent.assign(static_cast<size_t>(n), {});
+  if (!plan->options.induced) return;
+  std::vector<int> mat_pos(static_cast<size_t>(n), -1);
+  for (int i = 0; i < static_cast<int>(plan->sigma.size()); ++i) {
+    const Operation& op = plan->sigma[static_cast<size_t>(i)];
+    if (op.type == OpType::kMaterialize) {
+      mat_pos[static_cast<size_t>(op.vertex)] = i;
+    }
+  }
+  // Each non-edge pair is checked exactly once: when its later-materialized
+  // endpoint is bound.
+  for (int u = 0; u < n; ++u) {
+    for (int w = 0; w < u; ++w) {
+      if (plan->pattern.HasEdge(u, w)) continue;
+      const int later =
+          mat_pos[static_cast<size_t>(u)] > mat_pos[static_cast<size_t>(w)]
+              ? u
+              : w;
+      const int earlier = later == u ? w : u;
+      plan->non_adjacent[static_cast<size_t>(later)].push_back(earlier);
+    }
+  }
+}
+
+ExecutionPlan Assemble(const Pattern& pattern, const std::vector<int>& pi,
+                       const PlanOptions& options,
+                       PartialOrder partial_order) {
+  ExecutionPlan plan;
+  plan.pattern = pattern;
+  plan.options = options;
+  plan.pi = pi;
+  // Lazy sigma (Algorithm 2) assumes a connected order — otherwise the first
+  // operation would not be MAT(pi[1]). Disconnected orders (EH-like plans)
+  // must use the eager schedule.
+  LIGHT_CHECK(!options.lazy_materialization || IsConnectedOrder(pattern, pi));
+  plan.sigma = options.lazy_materialization
+                   ? GenerateLazyExecutionOrder(pattern, pi)
+                   : GenerateEagerExecutionOrder(pattern, pi);
+  plan.operands = GenerateOperands(pattern, pi, options.minimum_set_cover);
+  plan.partial_order = std::move(partial_order);
+  WireConstraints(&plan);
+  WireInducedChecks(&plan);
+  return plan;
+}
+
+}  // namespace
+
+namespace {
+
+ExecutionPlan BuildPlanWithEstimator(const Pattern& pattern,
+                                     const CardinalityEstimator& estimator,
+                                     const PlanOptions& options) {
+  LIGHT_CHECK(pattern.IsConnected());
+  PartialOrder partial_order =
+      options.symmetry_breaking ? ComputeSymmetryBreaking(pattern)
+                                : PartialOrder{};
+  const std::vector<int> pi = OptimizeEnumerationOrder(
+      pattern, estimator, partial_order, options.lazy_materialization,
+      options.minimum_set_cover);
+  return Assemble(pattern, pi, options, std::move(partial_order));
+}
+
+}  // namespace
+
+ExecutionPlan BuildPlan(const Pattern& pattern, const GraphStats& stats,
+                        const PlanOptions& options) {
+  const CardinalityEstimator estimator(stats);
+  return BuildPlanWithEstimator(pattern, estimator, options);
+}
+
+ExecutionPlan BuildPlan(const Pattern& pattern, const Graph& graph,
+                        const GraphStats& stats, const PlanOptions& options) {
+  const CardinalityEstimator estimator(graph, stats);
+  return BuildPlanWithEstimator(pattern, estimator, options);
+}
+
+ExecutionPlan BuildPlanWithOrder(const Pattern& pattern,
+                                 const std::vector<int>& pi,
+                                 const PlanOptions& options) {
+  PartialOrder partial_order =
+      options.symmetry_breaking ? ComputeSymmetryBreaking(pattern)
+                                : PartialOrder{};
+  return Assemble(pattern, pi, options, std::move(partial_order));
+}
+
+ExecutionPlan BuildPlanWithConstraints(const Pattern& pattern,
+                                       const std::vector<int>& pi,
+                                       const PlanOptions& options,
+                                       PartialOrder constraints) {
+  PlanOptions opts = options;
+  opts.symmetry_breaking = true;  // wire the provided constraints
+  return Assemble(pattern, pi, opts, std::move(constraints));
+}
+
+std::string ExecutionPlan::ToString() const {
+  std::string out = "pattern: " + pattern.ToString() + "\n";
+  out += "pi: (";
+  for (size_t i = 0; i < pi.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "u" + std::to_string(pi[i]);
+  }
+  out += ")\nsigma: " + ExecutionOrderToString(sigma) + "\n";
+  for (size_t i = 1; i < pi.size(); ++i) {
+    const int u = pi[i];
+    const Operands& ops = operands[static_cast<size_t>(u)];
+    out += "operands(u" + std::to_string(u) + "): K1={";
+    for (size_t j = 0; j < ops.k1.size(); ++j) {
+      if (j > 0) out += ",";
+      out += "u" + std::to_string(ops.k1[j]);
+    }
+    out += "} K2={";
+    for (size_t j = 0; j < ops.k2.size(); ++j) {
+      if (j > 0) out += ",";
+      out += "u" + std::to_string(ops.k2[j]);
+    }
+    out += "}\n";
+  }
+  if (!partial_order.empty()) {
+    out += "partial order:";
+    for (const auto& [a, b] : partial_order) {
+      out += " u" + std::to_string(a) + "<u" + std::to_string(b);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace light

@@ -1,0 +1,107 @@
+#ifndef LIGHT_PLAN_PLAN_H_
+#define LIGHT_PLAN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_stats.h"
+#include "intersect/set_intersection.h"
+#include "pattern/pattern.h"
+#include "pattern/symmetry_breaking.h"
+#include "plan/execution_order.h"
+#include "plan/set_cover.h"
+
+namespace light {
+
+/// Knobs selecting the algorithm variant of Section VIII-B1:
+///   SE    = {lazy=false, set_cover=false}
+///   LM    = {lazy=true,  set_cover=false}
+///   MSC   = {lazy=false, set_cover=true}
+///   LIGHT = {lazy=true,  set_cover=true}
+struct PlanOptions {
+  bool lazy_materialization = true;
+  bool minimum_set_cover = true;
+  /// Pairwise intersection method (Figure 6 compares these).
+  IntersectKernel kernel = IntersectKernel::kHybrid;
+  /// Enforce the symmetry-breaking partial order so each subgraph is
+  /// reported once. Disable to count all matches (= subgraphs x |Aut(P)|).
+  bool symmetry_breaking = true;
+  /// Induced (vertex-induced) matching: pattern NON-edges must map to data
+  /// non-edges, the semantics of network-motif counting [26]. The paper's
+  /// problem statement is the non-induced one (Definition II.1), which
+  /// remains the default. Automorphisms are identical under both semantics,
+  /// so symmetry breaking composes unchanged.
+  bool induced = false;
+
+  static PlanOptions Se() { return {false, false}; }
+  static PlanOptions Lm() { return {true, false}; }
+  static PlanOptions Msc() { return {false, true}; }
+  static PlanOptions Light() { return {}; }
+
+  PlanOptions() = default;
+  PlanOptions(bool lazy, bool cover)
+      : lazy_materialization(lazy), minimum_set_cover(cover) {}
+};
+
+/// The compiled, immutable artifact the enumeration engine executes: the
+/// enumeration order pi, the execution order sigma, per-vertex operands
+/// (K1/K2), and symmetry-breaking constraints wired to the MAT operation at
+/// which they become checkable.
+struct ExecutionPlan {
+  Pattern pattern;
+  PlanOptions options;
+  std::vector<int> pi;
+  ExecutionOrder sigma;
+  /// Indexed by pattern vertex; empty operands with a COMP op mean the
+  /// vertex has no backward neighbors (disconnected order, EH-like) and its
+  /// candidate set is the whole vertex set.
+  std::vector<Operands> operands;
+  PartialOrder partial_order;
+  /// Indexed by pattern vertex u: constraints checkable when u is
+  /// materialized. lower_bounds[u] holds x with phi(x) < phi(u) required;
+  /// upper_bounds[u] holds y with phi(u) < phi(y) required; in both cases
+  /// MAT(x)/MAT(y) precedes MAT(u) in sigma.
+  std::vector<std::vector<int>> lower_bounds;
+  std::vector<std::vector<int>> upper_bounds;
+  /// Induced matching only (empty otherwise): non_adjacent[u] lists pattern
+  /// vertices w with no (u, w) pattern edge whose MAT precedes MAT(u) in
+  /// sigma; binding u to v requires e(v, phi(w)) to be absent from E(G).
+  std::vector<std::vector<int>> non_adjacent;
+
+  int FirstVertex() const { return pi[0]; }
+
+  /// Multi-line human-readable plan description.
+  std::string ToString() const;
+};
+
+/// Full Section-VI pipeline: symmetry breaking, order optimization against
+/// the data-graph statistics (analytic cardinality model), sigma generation,
+/// operand generation.
+ExecutionPlan BuildPlan(const Pattern& pattern, const GraphStats& stats,
+                        const PlanOptions& options);
+
+/// Same pipeline, but the order optimizer uses the SEED-style sampling
+/// estimator over the data graph (Section VI) — more faithful on skewed
+/// graphs; preferred whenever the graph is at hand.
+ExecutionPlan BuildPlan(const Pattern& pattern, const Graph& graph,
+                        const GraphStats& stats, const PlanOptions& options);
+
+/// Builds a plan over a caller-chosen enumeration order (experiments with
+/// pinned orders, EH-like disconnected orders, tests). The order must be a
+/// permutation; connectivity is not required.
+ExecutionPlan BuildPlanWithOrder(const Pattern& pattern,
+                                 const std::vector<int>& pi,
+                                 const PlanOptions& options);
+
+/// Like BuildPlanWithOrder but enforcing a caller-supplied partial order
+/// instead of the pattern's own symmetry-breaking constraints. The BSP join
+/// engine uses this to push the subset of global constraints local to a join
+/// unit into the unit's enumeration.
+ExecutionPlan BuildPlanWithConstraints(const Pattern& pattern,
+                                       const std::vector<int>& pi,
+                                       const PlanOptions& options,
+                                       PartialOrder constraints);
+
+}  // namespace light
+
+#endif  // LIGHT_PLAN_PLAN_H_

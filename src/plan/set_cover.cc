@@ -1,0 +1,141 @@
+#include "plan/set_cover.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "common/check.h"
+#include "plan/execution_order.h"
+
+namespace light {
+
+std::vector<int> MinimumSetCover(uint32_t universe,
+                                 const std::vector<uint32_t>& sets) {
+  if (universe == 0) return {};
+  const int bits = __builtin_popcount(universe);
+  LIGHT_CHECK(bits <= 20);
+
+  // Compress universe bits to contiguous indices.
+  std::array<int, 32> compress{};
+  int next = 0;
+  for (int b = 0; b < 32; ++b) {
+    if ((universe >> b) & 1u) compress[static_cast<size_t>(b)] = next++;
+  }
+  auto compress_mask = [&](uint32_t mask) {
+    uint32_t out = 0;
+    uint32_t m = mask & universe;
+    while (m != 0) {
+      const int b = __builtin_ctz(m);
+      m &= m - 1;
+      out |= 1u << compress[static_cast<size_t>(b)];
+    }
+    return out;
+  };
+
+  const uint32_t full = bits == 32 ? ~0u : (1u << bits) - 1;
+  struct Cell {
+    int num_sets = std::numeric_limits<int>::max();
+    int num_singletons = std::numeric_limits<int>::max();
+    int chosen_set = -1;
+    uint32_t prev_state = 0;
+  };
+  std::vector<Cell> dp(static_cast<size_t>(full) + 1);
+  dp[0].num_sets = 0;
+  dp[0].num_singletons = 0;
+
+  std::vector<uint32_t> cmasks(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) cmasks[i] = compress_mask(sets[i]);
+
+  for (uint32_t state = 0; state <= full; ++state) {
+    if (dp[state].num_sets == std::numeric_limits<int>::max()) continue;
+    for (size_t i = 0; i < sets.size(); ++i) {
+      const uint32_t nstate = state | cmasks[i];
+      if (nstate == state) continue;
+      const int nsets = dp[state].num_sets + 1;
+      const int nsingle = dp[state].num_singletons +
+                          (__builtin_popcount(cmasks[i]) == 1 ? 1 : 0);
+      Cell& cell = dp[nstate];
+      if (nsets < cell.num_sets ||
+          (nsets == cell.num_sets && nsingle < cell.num_singletons)) {
+        cell.num_sets = nsets;
+        cell.num_singletons = nsingle;
+        cell.chosen_set = static_cast<int>(i);
+        cell.prev_state = state;
+      }
+    }
+  }
+  LIGHT_CHECK(dp[full].num_sets != std::numeric_limits<int>::max());
+
+  std::vector<int> chosen;
+  uint32_t state = full;
+  while (state != 0) {
+    chosen.push_back(dp[state].chosen_set);
+    state = dp[state].prev_state;
+  }
+  std::reverse(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+std::vector<Operands> GenerateOperands(const Pattern& pattern,
+                                       const std::vector<int>& pi,
+                                       bool use_set_cover) {
+  const int n = pattern.NumVertices();
+  const auto backward = BackwardNeighbors(pattern, pi);
+  std::vector<Operands> operands(static_cast<size_t>(n));
+
+  auto backward_mask = [&](int u) {
+    uint32_t mask = 0;
+    for (int w : backward[static_cast<size_t>(u)]) mask |= 1u << w;
+    return mask;
+  };
+
+  for (int i = 1; i < n; ++i) {
+    const int u = pi[static_cast<size_t>(i)];
+    Operands& ops = operands[static_cast<size_t>(u)];
+    if (!use_set_cover) {
+      ops.k1 = backward[static_cast<size_t>(u)];
+      continue;
+    }
+    const uint32_t universe = backward_mask(u);
+    // Build the collection S of Algorithm 3 (lines 4-7): singleton sets for
+    // every backward neighbor, plus N+^pi(u') for earlier vertices u' with
+    // N+^pi(u') a nonempty subset of the universe. Duplicate masks keep only
+    // their first source ("select one randomly" in the paper; we pick the
+    // earliest in pi for determinism).
+    std::vector<uint32_t> sets;
+    std::vector<int> source;  // pattern vertex behind each set; singletons
+                              // record the covered anchor vertex
+    std::vector<bool> is_singleton;
+    for (int w : backward[static_cast<size_t>(u)]) {
+      sets.push_back(1u << w);
+      source.push_back(w);
+      is_singleton.push_back(true);
+    }
+    for (int j = 0; j < i; ++j) {
+      const int w = pi[static_cast<size_t>(j)];
+      const uint32_t mask = backward_mask(w);
+      if (mask == 0) continue;  // pi[1] or no backward neighbors
+      if ((mask & ~universe) != 0) continue;
+      if (__builtin_popcount(mask) <= 1) continue;  // singleton already in S
+      // Labeled matching: C(w) was filtered to label(w)'s vertices, so it is
+      // only a superset of what u needs when w's filter is no stricter.
+      if (pattern.Label(w) != 0 && pattern.Label(w) != pattern.Label(u)) {
+        continue;
+      }
+      if (std::find(sets.begin(), sets.end(), mask) != sets.end()) continue;
+      sets.push_back(mask);
+      source.push_back(w);
+      is_singleton.push_back(false);
+    }
+    for (int idx : MinimumSetCover(universe, sets)) {
+      if (is_singleton[static_cast<size_t>(idx)]) {
+        ops.k1.push_back(source[static_cast<size_t>(idx)]);
+      } else {
+        ops.k2.push_back(source[static_cast<size_t>(idx)]);
+      }
+    }
+  }
+  return operands;
+}
+
+}  // namespace light

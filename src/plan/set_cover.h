@@ -1,0 +1,46 @@
+#ifndef LIGHT_PLAN_SET_COVER_H_
+#define LIGHT_PLAN_SET_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// Per-vertex candidate-computation operands (Section V). Equation 6:
+///   C_phi(u) = (AND over x in K1 of N(phi(x))) AND (AND over y in K2 of
+///   C_phi(y))
+/// K1 holds anchor vertices whose mapped data vertex's neighbor list is an
+/// operand; K2 holds earlier pattern vertices whose cached candidate set is
+/// an operand. The per-computation intersection count is
+/// |K1| + |K2| - 1 (Equation 7).
+struct Operands {
+  std::vector<int> k1;
+  std::vector<int> k2;
+
+  int NumIntersections() const {
+    const int total = static_cast<int>(k1.size() + k2.size());
+    return total > 0 ? total - 1 : 0;
+  }
+};
+
+/// Exact minimum set cover: returns indices into `sets` of a smallest
+/// sub-collection whose union covers `universe`. Among minimum covers,
+/// prefers the one using the fewest singleton sets (cached candidate sets
+/// are smaller operands than raw neighbor lists, so favoring multi-element
+/// sets is the better tie-break). Caller guarantees a cover exists.
+/// Exponential in |universe| (DP over subsets) — pattern graphs are tiny.
+std::vector<int> MinimumSetCover(uint32_t universe,
+                                 const std::vector<uint32_t>& sets);
+
+/// Algorithm 3's GenerateOperands. With use_set_cover=false it degenerates
+/// to SE's operands (K1 = backward neighbors, K2 empty), which is how the SE
+/// and LM variants are configured.
+std::vector<Operands> GenerateOperands(const Pattern& pattern,
+                                       const std::vector<int>& pi,
+                                       bool use_set_cover);
+
+}  // namespace light
+
+#endif  // LIGHT_PLAN_SET_COVER_H_

@@ -1,0 +1,61 @@
+#include "results/match_writer.h"
+
+namespace light {
+namespace {
+
+constexpr size_t kFlushThresholdBytes = 1 << 16;
+
+}  // namespace
+
+Status MatchFileWriter::Open(const std::string& path, uint64_t limit,
+                             std::unique_ptr<MatchFileWriter>* out) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out->reset(new MatchFileWriter(file, limit));
+  return Status::OK();
+}
+
+MatchFileWriter::MatchFileWriter(std::FILE* file, uint64_t limit)
+    : file_(file), limit_(limit) {
+  buffer_.reserve(kFlushThresholdBytes + 256);
+}
+
+MatchFileWriter::~MatchFileWriter() {
+  (void)Close();
+}
+
+bool MatchFileWriter::OnMatch(std::span<const VertexID> mapping) {
+  for (size_t i = 0; i < mapping.size(); ++i) {
+    if (i > 0) buffer_ += ' ';
+    buffer_ += std::to_string(mapping[i]);
+  }
+  buffer_ += '\n';
+  ++written_;
+  if (buffer_.size() >= kFlushThresholdBytes) FlushBuffer();
+  return limit_ == 0 || written_ < limit_;
+}
+
+void MatchFileWriter::FlushBuffer() {
+  if (file_ == nullptr || buffer_.empty()) return;
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+      buffer_.size()) {
+    write_error_ = true;
+  }
+  buffer_.clear();
+}
+
+Status MatchFileWriter::Close() {
+  if (file_ == nullptr) {
+    return write_error_ ? Status::IOError("previous write failed")
+                        : Status::OK();
+  }
+  FlushBuffer();
+  if (std::fclose(file_) != 0) write_error_ = true;
+  file_ = nullptr;
+  return write_error_ ? Status::IOError("write or close failed")
+                      : Status::OK();
+}
+
+}  // namespace light

@@ -1,0 +1,51 @@
+#ifndef LIGHT_RESULTS_MATCH_WRITER_H_
+#define LIGHT_RESULTS_MATCH_WRITER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "engine/visitors.h"
+
+namespace light {
+
+/// Streams matches to a text file, one line per match ("v0 v1 ... vk" in
+/// pattern-vertex order), with internal buffering so enumeration throughput
+/// is not dominated by stdio calls. The paper's experiments enumerate
+/// without storing results; this writer is the library surface for users
+/// who do want them persisted.
+class MatchFileWriter : public MatchVisitor {
+ public:
+  /// Creates/truncates `path`. `limit` caps the number of matches written
+  /// (0 = unlimited); the enumeration stops once reached.
+  static Status Open(const std::string& path, uint64_t limit,
+                     std::unique_ptr<MatchFileWriter>* out);
+
+  ~MatchFileWriter() override;
+
+  MatchFileWriter(const MatchFileWriter&) = delete;
+  MatchFileWriter& operator=(const MatchFileWriter&) = delete;
+
+  bool OnMatch(std::span<const VertexID> mapping) override;
+
+  /// Flushes buffers and reports any deferred write error.
+  Status Close();
+
+  uint64_t matches_written() const { return written_; }
+
+ private:
+  MatchFileWriter(std::FILE* file, uint64_t limit);
+
+  void FlushBuffer();
+
+  std::FILE* file_;
+  uint64_t limit_;
+  uint64_t written_ = 0;
+  bool write_error_ = false;
+  std::string buffer_;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_RESULTS_MATCH_WRITER_H_

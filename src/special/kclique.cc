@@ -1,0 +1,81 @@
+#include "special/kclique.h"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace light {
+namespace {
+
+// Out-neighbors of v: the suffix of the sorted adjacency above v.
+std::span<const VertexID> OutNeighbors(const Graph& graph, VertexID v) {
+  const auto nbrs = graph.Neighbors(v);
+  const auto it = std::upper_bound(nbrs.begin(), nbrs.end(), v);
+  return {&*it, static_cast<size_t>(nbrs.end() - it)};
+}
+
+struct Context {
+  const Graph* graph;
+  int k;
+  // One candidate buffer per recursion level.
+  std::vector<std::vector<VertexID>> buffers;
+};
+
+// Counts cliques of size `remaining` whose vertices all come from `cand`
+// (pairwise adjacency within cand is NOT assumed; it is enforced by
+// repeated out-neighborhood intersection).
+uint64_t Count(Context& ctx, std::span<const VertexID> cand, int remaining) {
+  if (remaining == 1) return cand.size();
+  uint64_t total = 0;
+  auto& buffer = ctx.buffers[static_cast<size_t>(remaining)];
+  for (const VertexID v : cand) {
+    const auto out = OutNeighbors(*ctx.graph, v);
+    // next = cand (above v) intersect out-neighbors of v.
+    size_t n = 0;
+    const VertexID* a = cand.data();
+    const VertexID* a_end = cand.data() + cand.size();
+    a = std::upper_bound(a, a_end, v);
+    const VertexID* b = out.data();
+    const VertexID* b_end = out.data() + out.size();
+    while (a != a_end && b != b_end) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        buffer[n++] = *a;
+        ++a;
+        ++b;
+      }
+    }
+    // Need remaining-1 more vertices out of the intersection.
+    if (n >= static_cast<size_t>(remaining - 1)) {
+      total += Count(ctx, {buffer.data(), n}, remaining - 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+uint64_t CountKCliques(const Graph& graph, int k) {
+  LIGHT_CHECK(k >= 1);
+  if (k == 1) return graph.NumVertices();
+  if (k == 2) return graph.NumEdges();
+  Context ctx;
+  ctx.graph = &graph;
+  ctx.k = k;
+  ctx.buffers.resize(static_cast<size_t>(k) + 1);
+  for (auto& buffer : ctx.buffers) buffer.resize(graph.MaxDegree());
+  uint64_t total = 0;
+  for (VertexID v = 0; v < graph.NumVertices(); ++v) {
+    const auto out = OutNeighbors(graph, v);
+    if (out.size() + 1 < static_cast<size_t>(k)) continue;
+    total += Count(ctx, out, k - 1);
+  }
+  return total;
+}
+
+}  // namespace light

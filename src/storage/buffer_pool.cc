@@ -1,0 +1,59 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace light {
+
+BufferPool::BufferPool(std::FILE* file, uint64_t region_offset,
+                       uint64_t region_bytes, size_t page_bytes,
+                       size_t max_pages)
+    : file_(file),
+      region_offset_(region_offset),
+      region_bytes_(region_bytes),
+      page_bytes_(page_bytes),
+      max_pages_(max_pages) {
+  LIGHT_CHECK(file_ != nullptr);
+  LIGHT_CHECK(page_bytes_ > 0);
+  LIGHT_CHECK(max_pages_ > 0);
+}
+
+const uint8_t* BufferPool::Fetch(uint64_t page_id) {
+  LIGHT_CHECK(page_id < NumPages());
+  ++stats_.lookups;
+  if (const auto it = frames_.find(page_id); it != frames_.end()) {
+    ++stats_.hits;
+    // Move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->data.data();
+  }
+  ++stats_.misses;
+
+  // Evict the least-recently-used frame if at capacity.
+  if (lru_.size() >= max_pages_) {
+    ++stats_.evictions;
+    frames_.erase(lru_.back().page_id);
+    lru_.pop_back();
+  }
+
+  Frame frame;
+  frame.page_id = page_id;
+  frame.data.assign(page_bytes_, 0);
+  const uint64_t offset = page_id * page_bytes_;
+  const size_t want = static_cast<size_t>(
+      std::min<uint64_t>(page_bytes_, region_bytes_ - offset));
+  if (std::fseek(file_, static_cast<long>(region_offset_ + offset),
+                 SEEK_SET) != 0) {
+    return nullptr;
+  }
+  if (std::fread(frame.data.data(), 1, want, file_) != want) {
+    return nullptr;
+  }
+  stats_.bytes_read += want;
+  lru_.push_front(std::move(frame));
+  frames_[page_id] = lru_.begin();
+  return lru_.front().data.data();
+}
+
+}  // namespace light

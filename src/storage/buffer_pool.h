@@ -1,0 +1,79 @@
+#ifndef LIGHT_STORAGE_BUFFER_POOL_H_
+#define LIGHT_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace light {
+
+/// Counters for cache behaviour; the out-of-core benchmarks report hit
+/// rates as the pool size shrinks below the file size (the regime DUALSIM
+/// is designed for — the paper gives it a 32 GB buffer so it stays
+/// in-memory, Section VIII-A).
+struct BufferPoolStats {
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_read = 0;
+
+  double HitRate() const {
+    return lookups == 0 ? 1.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// A fixed-capacity LRU page cache over one file region. Pages are read
+/// lazily; the pool owns the frames and hands out raw pointers valid until
+/// the next Fetch (single-threaded use by one enumeration worker, matching
+/// DUALSIM's per-worker buffer design).
+class BufferPool {
+ public:
+  /// `file` stays owned by the caller and must outlive the pool.
+  /// `region_offset`/`region_bytes` delimit the paged area of the file.
+  BufferPool(std::FILE* file, uint64_t region_offset, uint64_t region_bytes,
+             size_t page_bytes, size_t max_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pointer to the page's bytes (page_bytes long, short final
+  /// page zero-padded), or null on IO failure. The pointer is invalidated
+  /// by the next Fetch that causes an eviction.
+  const uint8_t* Fetch(uint64_t page_id);
+
+  size_t PageBytes() const { return page_bytes_; }
+  uint64_t NumPages() const {
+    return (region_bytes_ + page_bytes_ - 1) / page_bytes_;
+  }
+  const BufferPoolStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferPoolStats(); }
+
+ private:
+  struct Frame {
+    uint64_t page_id = 0;
+    std::vector<uint8_t> data;
+  };
+
+  std::FILE* file_;
+  uint64_t region_offset_;
+  uint64_t region_bytes_;
+  size_t page_bytes_;
+  size_t max_pages_;
+  // LRU order: front = most recent. map: page -> iterator into lru_.
+  std::list<Frame> lru_;
+  std::unordered_map<uint64_t, std::list<Frame>::iterator> frames_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,196 @@
+#include "storage/disk_enumerator.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "intersect/multiway.h"
+
+namespace light {
+
+DiskEnumerator::DiskEnumerator(DiskGraph* graph, const ExecutionPlan& plan)
+    : graph_(graph), plan_(plan), kernel_(plan.options.kernel) {
+  const int n = plan_.pattern.NumVertices();
+  num_ops_ = plan_.sigma.size();
+  LIGHT_CHECK(num_ops_ >= 1);
+  LIGHT_CHECK(plan_.sigma[0].type == OpType::kMaterialize);
+  if (!KernelAvailable(kernel_)) kernel_ = IntersectKernel::kHybrid;
+
+  mapping_.assign(static_cast<size_t>(n), kInvalidVertex);
+  adjacency_.resize(static_cast<size_t>(n));
+  adjacency_size_.assign(static_cast<size_t>(n), 0);
+  cand_buffer_.resize(static_cast<size_t>(n));
+  cand_size_.assign(static_cast<size_t>(n), 0);
+  bound_values_.reserve(static_cast<size_t>(n));
+  scratch_.resize(graph_->MaxDegree());
+
+  needs_adjacency_.assign(static_cast<size_t>(n), false);
+  for (const Operands& ops : plan_.operands) {
+    for (int x : ops.k1) needs_adjacency_[static_cast<size_t>(x)] = true;
+  }
+  size_t cand_bytes = 0;
+  for (const Operation& op : plan_.sigma) {
+    if (op.type == OpType::kMaterialize) {
+      // Staging buffer for the adjacency of whatever u binds, if some later
+      // COMP lists u in its K1.
+      if (needs_adjacency_[static_cast<size_t>(op.vertex)]) {
+        adjacency_[static_cast<size_t>(op.vertex)].resize(graph_->MaxDegree());
+      }
+      continue;
+    }
+    const Operands& ops = plan_.operands[static_cast<size_t>(op.vertex)];
+    if (ops.k1.empty() && ops.k2.empty()) continue;  // disconnected order
+    cand_buffer_[static_cast<size_t>(op.vertex)].resize(graph_->MaxDegree());
+    cand_bytes +=
+        cand_buffer_[static_cast<size_t>(op.vertex)].size() * sizeof(VertexID);
+  }
+  stats_.candidate_memory_bytes = cand_bytes;
+}
+
+bool DiskEnumerator::CheckDeadline() {
+  if ((++deadline_ticks_ & 0x3FFu) == 0 &&
+      timer_.ElapsedSeconds() > time_limit_seconds_) {
+    stop_ = true;
+    stats_.timed_out = true;
+  }
+  return stop_;
+}
+
+uint64_t DiskEnumerator::Count() {
+  const size_t cand_bytes = stats_.candidate_memory_bytes;
+  stats_ = EngineStats();
+  stats_.comp_counts.assign(
+      static_cast<size_t>(plan_.pattern.NumVertices()), 0);
+  stats_.mat_counts.assign(static_cast<size_t>(plan_.pattern.NumVertices()),
+                           0);
+  stats_.candidate_memory_bytes = cand_bytes;
+  stop_ = false;
+  graph_->ResetPoolStats();
+  timer_.Restart();
+
+  const int first = plan_.FirstVertex();
+  for (VertexID v = 0; v < graph_->NumVertices() && !stop_; ++v) {
+    if (CheckDeadline()) break;
+    ++stats_.mat_counts[static_cast<size_t>(first)];
+    ++stats_.num_partial_results;
+    mapping_[static_cast<size_t>(first)] = v;
+    if (needs_adjacency_[static_cast<size_t>(first)]) {
+      adjacency_size_[static_cast<size_t>(first)] = graph_->CopyNeighbors(
+          v, adjacency_[static_cast<size_t>(first)].data());
+    }
+    bound_values_.push_back(v);
+    if (num_ops_ == 1) {
+      ++stats_.num_matches;
+    } else {
+      Run(1);
+    }
+    bound_values_.pop_back();
+    mapping_[static_cast<size_t>(first)] = kInvalidVertex;
+  }
+  stats_.elapsed_seconds = timer_.ElapsedSeconds();
+  return stats_.num_matches;
+}
+
+void DiskEnumerator::Run(size_t op_index) {
+  if (plan_.sigma[op_index].type == OpType::kCompute) {
+    RunCompute(op_index);
+  } else {
+    RunMaterialize(op_index);
+  }
+}
+
+void DiskEnumerator::RunCompute(size_t op_index) {
+  const int u = plan_.sigma[op_index].vertex;
+  const Operands& ops = plan_.operands[static_cast<size_t>(u)];
+  if (ops.k1.empty() && ops.k2.empty()) {
+    Run(op_index + 1);  // candidates = V(G), handled at MAT
+    return;
+  }
+  std::array<std::span<const VertexID>, kMaxPatternVertices> sets;
+  size_t k = 0;
+  for (int x : ops.k1) {
+    // The staged adjacency of x is maintained by MAT(x) below.
+    sets[k++] = {adjacency_[static_cast<size_t>(x)].data(),
+                 adjacency_size_[static_cast<size_t>(x)]};
+  }
+  for (int y : ops.k2) {
+    sets[k++] = {cand_buffer_[static_cast<size_t>(y)].data(),
+                 cand_size_[static_cast<size_t>(y)]};
+  }
+  ++stats_.comp_counts[static_cast<size_t>(u)];
+  auto& buffer = cand_buffer_[static_cast<size_t>(u)];
+  const size_t size =
+      IntersectMultiway({sets.data(), k}, buffer.data(), scratch_.data(),
+                        kernel_, &stats_.intersections);
+  cand_size_[static_cast<size_t>(u)] = static_cast<uint32_t>(size);
+  if (size > 0) Run(op_index + 1);
+}
+
+void DiskEnumerator::RunMaterialize(size_t op_index) {
+  const int u = plan_.sigma[op_index].vertex;
+  VertexID lo = 0;
+  VertexID hi = graph_->NumVertices();
+  for (int x : plan_.lower_bounds[static_cast<size_t>(u)]) {
+    lo = std::max(lo, mapping_[static_cast<size_t>(x)] + 1);
+  }
+  for (int y : plan_.upper_bounds[static_cast<size_t>(u)]) {
+    hi = std::min(hi, mapping_[static_cast<size_t>(y)]);
+  }
+  if (lo >= hi) return;
+
+  const bool last_op = op_index + 1 == num_ops_;
+  const Operands& ops = plan_.operands[static_cast<size_t>(u)];
+  const bool universal = ops.k1.empty() && ops.k2.empty();
+
+  auto try_vertex = [&](VertexID v) {
+    for (VertexID b : bound_values_) {
+      if (b == v) return;
+    }
+    // Induced matching: verify pattern non-edges through the buffer pool
+    // (copy the smaller-degree endpoint's adjacency, binary search).
+    for (int w : plan_.non_adjacent[static_cast<size_t>(u)]) {
+      VertexID a = v;
+      VertexID b = mapping_[static_cast<size_t>(w)];
+      if (graph_->Degree(a) > graph_->Degree(b)) std::swap(a, b);
+      const uint32_t size = graph_->CopyNeighbors(a, scratch_.data());
+      if (std::binary_search(scratch_.data(), scratch_.data() + size, b)) {
+        return;
+      }
+    }
+    ++stats_.mat_counts[static_cast<size_t>(u)];
+    ++stats_.num_partial_results;
+    if (last_op) {
+      ++stats_.num_matches;
+      return;
+    }
+    mapping_[static_cast<size_t>(u)] = v;
+    if (needs_adjacency_[static_cast<size_t>(u)]) {
+      // Stage N(v) for later K1 references to u.
+      adjacency_size_[static_cast<size_t>(u)] = graph_->CopyNeighbors(
+          v, adjacency_[static_cast<size_t>(u)].data());
+    }
+    bound_values_.push_back(v);
+    Run(op_index + 1);
+    bound_values_.pop_back();
+    mapping_[static_cast<size_t>(u)] = kInvalidVertex;
+  };
+
+  if (universal) {
+    for (VertexID v = lo; v < hi && !stop_; ++v) {
+      if (CheckDeadline()) return;
+      try_vertex(v);
+    }
+    return;
+  }
+  const VertexID* data = cand_buffer_[static_cast<size_t>(u)].data();
+  const VertexID* begin = data;
+  const VertexID* end = data + cand_size_[static_cast<size_t>(u)];
+  if (lo > 0) begin = std::lower_bound(begin, end, lo);
+  if (hi < graph_->NumVertices()) end = std::lower_bound(begin, end, hi);
+  for (const VertexID* it = begin; it != end && !stop_; ++it) {
+    if (CheckDeadline()) return;
+    try_vertex(*it);
+  }
+}
+
+}  // namespace light

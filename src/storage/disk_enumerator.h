@@ -1,0 +1,74 @@
+#ifndef LIGHT_STORAGE_DISK_ENUMERATOR_H_
+#define LIGHT_STORAGE_DISK_ENUMERATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/timer.h"
+#include "engine/enumerator.h"
+#include "plan/plan.h"
+#include "storage/disk_graph.h"
+
+namespace light {
+
+/// Executes an ExecutionPlan against an out-of-core DiskGraph — the
+/// DUALSIM-style configuration where the data graph does not fit in memory
+/// and adjacency lists stream through a buffer pool.
+///
+/// Differences from the in-memory Enumerator (engine/enumerator.h), which
+/// motivate a dedicated implementation rather than a template:
+///  - neighbor lists are copied out of the pool into per-anchor scratch
+///    buffers (no pinning, page lifetimes never escape a COMP), so the
+///    memory footprint gains an O(n * d_max) adjacency staging area;
+///  - candidate sets can never alias graph storage;
+///  - per-run stats additionally expose the pool's hit/miss/eviction
+///    counters, the quantity the out-of-core benchmark sweeps.
+class DiskEnumerator {
+ public:
+  DiskEnumerator(DiskGraph* graph, const ExecutionPlan& plan);
+
+  DiskEnumerator(const DiskEnumerator&) = delete;
+  DiskEnumerator& operator=(const DiskEnumerator&) = delete;
+
+  /// Counts all matches (resets engine stats and pool stats first).
+  uint64_t Count();
+
+  void SetTimeLimit(double seconds) { time_limit_seconds_ = seconds; }
+
+  const EngineStats& stats() const { return stats_; }
+  const BufferPoolStats& pool_stats() const { return graph_->pool_stats(); }
+
+ private:
+  void Run(size_t op_index);
+  void RunCompute(size_t op_index);
+  void RunMaterialize(size_t op_index);
+  bool CheckDeadline();
+
+  DiskGraph* graph_;
+  const ExecutionPlan& plan_;
+  IntersectKernel kernel_;
+  size_t num_ops_ = 0;
+
+  std::vector<VertexID> mapping_;
+  // Adjacency staging: one buffer per pattern vertex for the neighbor list
+  // of the data vertex currently bound to it.
+  std::vector<std::vector<VertexID>> adjacency_;
+  std::vector<uint32_t> adjacency_size_;
+  std::vector<std::vector<VertexID>> cand_buffer_;
+  std::vector<uint32_t> cand_size_;
+  std::vector<VertexID> bound_values_;
+  std::vector<VertexID> scratch_;
+  // Whether any COMP's K1 references this pattern vertex (controls staging).
+  std::vector<bool> needs_adjacency_;
+
+  EngineStats stats_;
+  Timer timer_;
+  double time_limit_seconds_ = std::numeric_limits<double>::infinity();
+  uint32_t deadline_ticks_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_STORAGE_DISK_ENUMERATOR_H_

@@ -1,0 +1,86 @@
+#include "storage/disk_graph.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace light {
+namespace {
+
+constexpr char kMagic[4] = {'L', 'C', 'S', 'R'};
+constexpr uint32_t kVersion = 1;
+// Header layout written by SaveBinary: magic(4) version(4) n(8) slots(8).
+constexpr uint64_t kHeaderBytes = 4 + 4 + 8 + 8;
+
+}  // namespace
+
+Status DiskGraph::Open(const std::string& path, size_t pool_bytes,
+                       DiskGraph* out, size_t page_bytes) {
+  DiskGraph graph;
+  graph.file_.reset(std::fopen(path.c_str(), "rb"));
+  if (graph.file_ == nullptr) {
+    return Status::IOError("cannot open " + path);
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t n = 0;
+  uint64_t slots = 0;
+  std::FILE* f = graph.file_.get();
+  if (std::fread(magic, 1, 4, f) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::InvalidArgument(path + " is not an LCSR file");
+  }
+  if (std::fread(&version, sizeof(version), 1, f) != 1 ||
+      version != kVersion) {
+    return Status::InvalidArgument("unsupported LCSR version in " + path);
+  }
+  if (std::fread(&n, sizeof(n), 1, f) != 1 ||
+      std::fread(&slots, sizeof(slots), 1, f) != 1) {
+    return Status::IOError("truncated header in " + path);
+  }
+  graph.offsets_.assign(n + 1, 0);
+  if (n > 0 &&
+      std::fread(graph.offsets_.data(), sizeof(EdgeID), n + 1, f) != n + 1) {
+    return Status::IOError("truncated offsets in " + path);
+  }
+  if (graph.offsets_.back() != slots) {
+    return Status::InvalidArgument("inconsistent CSR arrays in " + path);
+  }
+  graph.num_slots_ = slots;
+  for (uint64_t v = 0; v < n; ++v) {
+    graph.max_degree_ = std::max(
+        graph.max_degree_,
+        static_cast<uint32_t>(graph.offsets_[v + 1] - graph.offsets_[v]));
+  }
+  const uint64_t region_offset =
+      kHeaderBytes + (n + 1) * sizeof(EdgeID);
+  const uint64_t region_bytes = slots * sizeof(VertexID);
+  const size_t max_pages =
+      std::max<size_t>(1, pool_bytes / std::max<size_t>(1, page_bytes));
+  graph.pool_ = std::make_unique<BufferPool>(f, region_offset, region_bytes,
+                                             page_bytes, max_pages);
+  *out = std::move(graph);
+  return Status::OK();
+}
+
+uint32_t DiskGraph::CopyNeighbors(VertexID v, VertexID* out) const {
+  const uint64_t begin_byte = offsets_[v] * sizeof(VertexID);
+  const uint64_t end_byte = offsets_[v + 1] * sizeof(VertexID);
+  const size_t page_bytes = pool_->PageBytes();
+  uint64_t byte = begin_byte;
+  uint8_t* dst = reinterpret_cast<uint8_t*>(out);
+  while (byte < end_byte) {
+    const uint64_t page_id = byte / page_bytes;
+    const uint64_t in_page = byte % page_bytes;
+    const uint64_t take =
+        std::min<uint64_t>(end_byte - byte, page_bytes - in_page);
+    const uint8_t* page = pool_->Fetch(page_id);
+    LIGHT_CHECK(page != nullptr);
+    std::memcpy(dst, page + in_page, take);
+    dst += take;
+    byte += take;
+  }
+  return static_cast<uint32_t>((end_byte - begin_byte) / sizeof(VertexID));
+}
+
+}  // namespace light

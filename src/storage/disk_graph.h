@@ -1,0 +1,69 @@
+#ifndef LIGHT_STORAGE_DISK_GRAPH_H_
+#define LIGHT_STORAGE_DISK_GRAPH_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+
+namespace light {
+
+/// A CSR graph whose neighbors array stays on disk and is accessed through
+/// an LRU buffer pool — the storage model of disk-based enumerators like
+/// DUALSIM [11]. The offset array (8 bytes per vertex) is loaded into
+/// memory; adjacency pages are fetched on demand.
+///
+/// Reads the same LCSR files SaveBinary (graph/graph_io.h) writes, so any
+/// in-memory graph can be spilled and re-opened out-of-core.
+class DiskGraph {
+ public:
+  /// Opens `path` with a pool of `pool_bytes` for adjacency pages
+  /// (`page_bytes` granularity). A pool at least as large as the adjacency
+  /// region behaves like an in-memory graph after warm-up.
+  static Status Open(const std::string& path, size_t pool_bytes,
+                     DiskGraph* out, size_t page_bytes = 64 * 1024);
+
+  DiskGraph() = default;
+  DiskGraph(DiskGraph&&) = default;
+  DiskGraph& operator=(DiskGraph&&) = default;
+
+  VertexID NumVertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexID>(offsets_.size() - 1);
+  }
+  EdgeID NumEdges() const { return num_slots_ / 2; }
+  uint32_t MaxDegree() const { return max_degree_; }
+  uint32_t Degree(VertexID v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Copies the sorted neighbor list of v into `out` (capacity >=
+  /// Degree(v)); returns the size. Neighbor lists may straddle page
+  /// boundaries, hence the copy-out interface — no pinning to manage.
+  uint32_t CopyNeighbors(VertexID v, VertexID* out) const;
+
+  const BufferPoolStats& pool_stats() const { return pool_->stats(); }
+  void ResetPoolStats() { pool_->ResetStats(); }
+
+  /// Bytes of the on-disk adjacency region.
+  uint64_t AdjacencyBytes() const { return num_slots_ * sizeof(VertexID); }
+
+ private:
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<EdgeID> offsets_;
+  uint64_t num_slots_ = 0;
+  uint32_t max_degree_ = 0;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_STORAGE_DISK_GRAPH_H_

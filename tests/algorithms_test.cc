@@ -1,0 +1,95 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "graph/graph_builder.h"
+
+namespace light {
+namespace {
+
+TEST(ConnectedComponentsTest, CountsAndLabels) {
+  // Two triangles and an isolated vertex.
+  GraphBuilder builder(7);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(3, 5);
+  const Graph g = builder.Build();
+  VertexID num_components = 0;
+  const auto component = ConnectedComponents(g, &num_components);
+  EXPECT_EQ(num_components, 3u);
+  EXPECT_EQ(component[0], component[1]);
+  EXPECT_EQ(component[0], component[2]);
+  EXPECT_EQ(component[3], component[4]);
+  EXPECT_NE(component[0], component[3]);
+  EXPECT_NE(component[6], component[0]);
+  EXPECT_EQ(LargestComponentSize(g), 3u);
+}
+
+TEST(ConnectedComponentsTest, ConnectedGraphIsOneComponent) {
+  const Graph g = BarabasiAlbert(500, 3, /*seed=*/3);
+  VertexID num_components = 0;
+  ConnectedComponents(g, &num_components);
+  EXPECT_EQ(num_components, 1u);  // BA attaches every vertex
+  EXPECT_EQ(LargestComponentSize(g), 500u);
+}
+
+TEST(CoreDecompositionTest, KnownGraphs) {
+  // A clique K4 has coreness 3 everywhere.
+  const auto clique_core = CoreDecomposition(Complete(4));
+  for (uint32_t c : clique_core) EXPECT_EQ(c, 3u);
+  EXPECT_EQ(Degeneracy(Complete(4)), 3u);
+
+  // A cycle has coreness 2 everywhere; a path 1.
+  for (uint32_t c : CoreDecomposition(Cycle(8))) EXPECT_EQ(c, 2u);
+  for (uint32_t c : CoreDecomposition(Path(8))) EXPECT_LE(c, 1u);
+
+  // K4 with a pendant vertex: the pendant has coreness 1, clique 3.
+  GraphBuilder builder;
+  for (int u = 0; u < 4; ++u) {
+    for (int v = u + 1; v < 4; ++v) {
+      builder.AddEdge(static_cast<VertexID>(u), static_cast<VertexID>(v));
+    }
+  }
+  builder.AddEdge(0, 4);
+  const auto core = CoreDecomposition(builder.Build());
+  EXPECT_EQ(core[4], 1u);
+  EXPECT_EQ(core[0], 3u);
+  EXPECT_EQ(core[3], 3u);
+}
+
+TEST(CoreDecompositionTest, DegeneracyBoundsClique) {
+  // Degeneracy >= clique size - 1; for BA with seed clique k+1 it is >= k.
+  const Graph g = BarabasiAlbert(1000, 4, /*seed=*/9);
+  EXPECT_GE(Degeneracy(g), 4u);
+}
+
+TEST(ClusteringTest, ClosedAndOpenTriads) {
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(Complete(5), 0), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(Complete(5)), 1.0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(Cycle(10)), 0.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(Star(5), 0), 0.0);
+  // Degree < 2 vertices contribute nothing.
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(Path(3), 0), 0.0);
+}
+
+TEST(ClusteringTest, TriadFormationRaisesClustering) {
+  const Graph plain = BarabasiAlbert(3000, 3, /*seed=*/21);
+  const Graph clustered = BarabasiAlbertClustered(3000, 3, 0.6, /*seed=*/21);
+  EXPECT_GT(AverageClusteringCoefficient(clustered),
+            2.0 * AverageClusteringCoefficient(plain));
+}
+
+TEST(DiameterTest, PathAndCompleteGraphExtremes) {
+  EXPECT_GE(ApproximateEffectiveDiameter(Path(100), 16, 1), 50u);
+  EXPECT_EQ(ApproximateEffectiveDiameter(Complete(50), 8, 1), 1u);
+  // Small-world graphs have tiny diameters relative to size.
+  EXPECT_LE(ApproximateEffectiveDiameter(BarabasiAlbert(5000, 4, 2), 8, 3),
+            8u);
+}
+
+}  // namespace
+}  // namespace light

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace light {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            Status::Code::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(Status::Internal("x").code(), Status::Code::kInternal);
+  EXPECT_EQ(Status::IOError("disk on fire").ToString(),
+            "IOError: disk on fire");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = [] { return Status::NotFound("missing"); };
+  auto wrapper = [&]() -> Status {
+    LIGHT_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), Status::Code::kNotFound);
+}
+
+TEST(RngTest, DeterministicAndSeedSensitive) {
+  Rng a(1);
+  Rng b(1);
+  Rng c(2);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    EXPECT_NE(va, c.Next());  // overwhelmingly likely
+  }
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit over 1000 draws
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(t.ElapsedSeconds(), 0.0);
+  EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds() * 1e3);  // monotone clock
+  const double before = t.ElapsedSeconds();
+  t.Restart();
+  EXPECT_LE(t.ElapsedSeconds(), before + 1.0);
+}
+
+TEST(TimerTest, FormatSecondsRanges) {
+  EXPECT_EQ(FormatSeconds(5e-7), "0.5 us");
+  EXPECT_EQ(FormatSeconds(0.0025), "2.50 ms");
+  EXPECT_EQ(FormatSeconds(1.5), "1.50 s");
+  EXPECT_EQ(FormatSeconds(300.0), "5.0 min");
+}
+
+}  // namespace
+}  // namespace light

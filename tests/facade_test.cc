@@ -1,0 +1,123 @@
+#include "light.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gen/generators.h"
+#include "pattern/symmetry_breaking.h"
+#include "results/match_writer.h"
+
+namespace light {
+namespace {
+
+Graph TestGraph() {
+  return RelabelByDegree(BarabasiAlbertClustered(800, 4, 0.4, /*seed=*/77));
+}
+
+TEST(FacadeTest, CountMatchesEngine) {
+  const Graph g = TestGraph();
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+
+  CountOptions serial;
+  serial.threads = 1;
+  const CountResult a = CountSubgraphs(g, p2, serial);
+  EXPECT_GT(a.num_matches, 0u);
+  EXPECT_FALSE(a.timed_out);
+
+  CountOptions parallel;
+  parallel.threads = 4;
+  EXPECT_EQ(CountSubgraphs(g, p2, parallel).num_matches, a.num_matches);
+
+  // Automorphism invariant through the facade flags.
+  CountOptions all;
+  all.threads = 1;
+  all.unique_subgraphs = false;
+  EXPECT_EQ(CountSubgraphs(g, p2, all).num_matches,
+            a.num_matches * AutomorphismCount(p2));
+}
+
+TEST(FacadeTest, InducedFlagTightensCounts) {
+  const Graph g = TestGraph();
+  Pattern square;
+  ASSERT_TRUE(FindPattern("square", &square).ok());
+  CountOptions plain;
+  plain.threads = 1;
+  CountOptions induced = plain;
+  induced.induced = true;
+  EXPECT_LE(CountSubgraphs(g, square, induced).num_matches,
+            CountSubgraphs(g, square, plain).num_matches);
+}
+
+TEST(FacadeTest, TimeLimitReported) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/5));
+  Pattern p5;
+  ASSERT_TRUE(FindPattern("P5", &p5).ok());
+  CountOptions options;
+  options.threads = 1;
+  options.time_limit_seconds = 1e-3;
+  EXPECT_TRUE(CountSubgraphs(g, p5, options).timed_out);
+}
+
+TEST(FacadeTest, EnumerateStreamsToVisitor) {
+  const Graph g = TestGraph();
+  Pattern triangle;
+  ASSERT_TRUE(FindPattern("triangle", &triangle).ok());
+  CollectingVisitor visitor;
+  CountOptions options;
+  options.threads = 1;
+  const CountResult r = EnumerateSubgraphs(g, triangle, &visitor, options);
+  EXPECT_EQ(r.num_matches, visitor.matches().size());
+}
+
+TEST(MatchWriterTest, WritesMatchesToFile) {
+  const Graph g = TestGraph();
+  Pattern triangle;
+  ASSERT_TRUE(FindPattern("triangle", &triangle).ok());
+  const std::string path = ::testing::TempDir() + "/matches.txt";
+  std::unique_ptr<MatchFileWriter> writer;
+  ASSERT_TRUE(MatchFileWriter::Open(path, /*limit=*/0, &writer).ok());
+  const CountResult r = EnumerateSubgraphs(g, triangle, writer.get(), {});
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_EQ(writer->matches_written(), r.num_matches);
+
+  // Count lines and spot-check the format.
+  FILE* f = fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  uint64_t lines = 0;
+  unsigned a = 0;
+  unsigned b = 0;
+  unsigned c = 0;
+  while (fscanf(f, "%u %u %u", &a, &b, &c) == 3) {
+    ++lines;
+    EXPECT_TRUE(g.HasEdge(a, b));
+    EXPECT_TRUE(g.HasEdge(b, c));
+    EXPECT_TRUE(g.HasEdge(a, c));
+  }
+  fclose(f);
+  EXPECT_EQ(lines, r.num_matches);
+  std::remove(path.c_str());
+}
+
+TEST(MatchWriterTest, LimitStopsEnumeration) {
+  const Graph g = TestGraph();
+  Pattern triangle;
+  ASSERT_TRUE(FindPattern("triangle", &triangle).ok());
+  const std::string path = ::testing::TempDir() + "/limited.txt";
+  std::unique_ptr<MatchFileWriter> writer;
+  ASSERT_TRUE(MatchFileWriter::Open(path, /*limit=*/7, &writer).ok());
+  EnumerateSubgraphs(g, triangle, writer.get(), {});
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_EQ(writer->matches_written(), 7u);
+  std::remove(path.c_str());
+}
+
+TEST(MatchWriterTest, OpenFailsOnBadPath) {
+  std::unique_ptr<MatchFileWriter> writer;
+  EXPECT_EQ(MatchFileWriter::Open("/no/such/dir/x.txt", 0, &writer).code(),
+            Status::Code::kIOError);
+}
+
+}  // namespace
+}  // namespace light

@@ -1,0 +1,136 @@
+#include "filter/candidate_space.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/enumerator.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+#include "pattern/catalog.h"
+#include "plan/plan.h"
+
+namespace light {
+namespace {
+
+std::vector<uint32_t> RandomLabels(VertexID n, uint32_t num_labels,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> labels(n);
+  for (VertexID v = 0; v < n; ++v) {
+    labels[v] = 1 + static_cast<uint32_t>(rng.NextBounded(num_labels));
+  }
+  return labels;
+}
+
+TEST(CandidateSpaceTest, DegreeFilterApplies) {
+  const Graph g = RelabelByDegree(Star(10));  // center degree 9, leaves 1
+  Pattern triangle;
+  ASSERT_TRUE(FindPattern("triangle", &triangle).ok());
+  CandidateSpaceOptions options;
+  options.refinement_rounds = 0;
+  const CandidateSpace space =
+      BuildCandidateSpace(g, triangle, nullptr, options);
+  // Triangle vertices need degree >= 2; only the star center qualifies.
+  for (int u = 0; u < 3; ++u) {
+    EXPECT_EQ(space.candidates[static_cast<size_t>(u)].size(), 1u);
+  }
+}
+
+TEST(CandidateSpaceTest, RefinementEmptiesImpossiblePatterns) {
+  // A star contains no triangle; refinement must empty the candidate sets
+  // (the center has no neighbor that is itself a center-candidate).
+  const Graph g = RelabelByDegree(Star(10));
+  Pattern triangle;
+  ASSERT_TRUE(FindPattern("triangle", &triangle).ok());
+  const CandidateSpace space = BuildCandidateSpace(g, triangle, nullptr, {});
+  EXPECT_EQ(space.TotalCandidates(), 0u);
+}
+
+TEST(CandidateSpaceTest, SoundnessEveryMatchVertexIsCandidate) {
+  const Graph g =
+      RelabelByDegree(BarabasiAlbertClustered(300, 3, 0.4, /*seed=*/3));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  for (const char* name : {"P2", "P4", "P6"}) {
+    Pattern pattern;
+    ASSERT_TRUE(FindPattern(name, &pattern).ok());
+    const CandidateSpace space = BuildCandidateSpace(g, pattern, nullptr, {});
+    const ExecutionPlan plan =
+        BuildPlan(pattern, g, stats, PlanOptions::Light());
+    Enumerator enumerator(g, plan);
+    CollectingVisitor visitor;
+    enumerator.Enumerate(&visitor);
+    for (const auto& match : visitor.matches()) {
+      for (int u = 0; u < pattern.NumVertices(); ++u) {
+        EXPECT_TRUE(space.Contains(u, match[static_cast<size_t>(u)]))
+            << name << " u" << u;
+      }
+    }
+  }
+}
+
+TEST(CandidateSpaceTest, EngineWithSpacePreservesCounts) {
+  const Graph g =
+      RelabelByDegree(BarabasiAlbertClustered(400, 4, 0.4, /*seed=*/9));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  for (const char* name : {"P1", "P2", "P4", "P5", "P6"}) {
+    Pattern pattern;
+    ASSERT_TRUE(FindPattern(name, &pattern).ok());
+    const CandidateSpace space = BuildCandidateSpace(g, pattern, nullptr, {});
+    // Set cover + candidate space together is the regression-prone
+    // combination (K2 reuse must not inherit another vertex's restriction).
+    for (PlanOptions options : {PlanOptions::Se(), PlanOptions::Light()}) {
+      const ExecutionPlan plan = BuildPlan(pattern, g, stats, options);
+      Enumerator plain(g, plan);
+      const uint64_t expected = plain.Count();
+      Enumerator filtered(g, plan);
+      filtered.SetAllowedCandidates(&space.candidates);
+      EXPECT_EQ(filtered.Count(), expected)
+          << name << " cover=" << options.minimum_set_cover;
+    }
+  }
+}
+
+TEST(CandidateSpaceTest, LabeledNlfPrunesAndPreservesCounts) {
+  const Graph g = RelabelByDegree(ErdosRenyi(200, 1400, /*seed=*/11));
+  const std::vector<uint32_t> labels = RandomLabels(g.NumVertices(), 3, 5);
+  Pattern pattern;
+  ASSERT_TRUE(FindPattern("P2", &pattern).ok());
+  pattern.SetLabel(0, 1);
+  pattern.SetLabel(2, 2);
+
+  const CandidateSpace space = BuildCandidateSpace(g, pattern, &labels, {});
+  // Label filter: all candidates of u0 carry label 1.
+  for (VertexID v : space.candidates[0]) EXPECT_EQ(labels[v], 1u);
+  EXPECT_LT(space.candidates[0].size(), g.NumVertices());
+
+  const ExecutionPlan plan = BuildPlan(
+      pattern, g, ComputeGraphStats(g, true), PlanOptions::Light());
+  Enumerator plain(g, plan, &labels);
+  const uint64_t expected = plain.Count();
+  Enumerator filtered(g, plan, &labels);
+  filtered.SetAllowedCandidates(&space.candidates);
+  EXPECT_EQ(filtered.Count(), expected);
+}
+
+TEST(CandidateSpaceTest, DisconnectedOrderUsesAllowedListDirectly) {
+  // EH-style disconnected order: the universal vertex's candidates come
+  // straight from the space instead of a whole-vertex-set scan.
+  const Graph g = RelabelByDegree(ErdosRenyi(120, 700, /*seed=*/13));
+  const Pattern p2 =
+      Pattern::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+  const CandidateSpace space = BuildCandidateSpace(g, p2, nullptr, {});
+  PlanOptions options = PlanOptions::Se();
+  const ExecutionPlan plan =
+      BuildPlanWithOrder(p2, {1, 3, 0, 2}, options);  // disconnected
+  Enumerator plain(g, plan);
+  const uint64_t expected = plain.Count();
+  Enumerator filtered(g, plan);
+  filtered.SetAllowedCandidates(&space.candidates);
+  EXPECT_EQ(filtered.Count(), expected);
+  // The universal-vertex scan shrank.
+  EXPECT_LT(filtered.stats().mat_counts[3], plain.stats().mat_counts[3] + 1);
+}
+
+}  // namespace
+}  // namespace light

@@ -1,0 +1,140 @@
+#include "gen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/catalog.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+
+namespace light {
+namespace {
+
+void ExpectWellFormed(const Graph& g) {
+  uint64_t slots = 0;
+  for (VertexID v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+    for (VertexID u : nbrs) {
+      EXPECT_NE(u, v);
+      EXPECT_LT(u, g.NumVertices());
+    }
+    slots += nbrs.size();
+  }
+  EXPECT_EQ(slots, 2 * g.NumEdges());
+}
+
+TEST(GeneratorsTest, ErdosRenyiShape) {
+  const Graph g = ErdosRenyi(1000, 5000, /*seed=*/1);
+  EXPECT_EQ(g.NumVertices(), 1000u);
+  EXPECT_EQ(g.NumEdges(), 5000u);
+  ExpectWellFormed(g);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  const Graph a = ErdosRenyi(500, 2000, 7);
+  const Graph b = ErdosRenyi(500, 2000, 7);
+  const Graph c = ErdosRenyi(500, 2000, 8);
+  EXPECT_EQ(a.neighbors(), b.neighbors());
+  EXPECT_NE(a.neighbors(), c.neighbors());
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShapeAndSkew) {
+  const Graph g = BarabasiAlbert(5000, 4, /*seed=*/2);
+  EXPECT_EQ(g.NumVertices(), 5000u);
+  ExpectWellFormed(g);
+  const GraphStats stats = ComputeGraphStats(g);
+  // Preferential attachment: max degree far above average.
+  EXPECT_GT(stats.max_degree, 10 * stats.avg_degree);
+  // Roughly k edges per vertex.
+  EXPECT_NEAR(stats.avg_degree, 8.0, 2.0);
+}
+
+TEST(GeneratorsTest, RMatShapeAndSkew) {
+  const Graph g = RMat(12, 8.0, 0.57, 0.19, 0.19, /*seed=*/3);
+  EXPECT_EQ(g.NumVertices(), 4096u);
+  ExpectWellFormed(g);
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_GT(stats.max_degree, 5 * stats.avg_degree);
+}
+
+TEST(GeneratorsTest, WattsStrogatzClustering) {
+  const Graph g = WattsStrogatz(2000, 6, 0.05, /*seed=*/4);
+  ExpectWellFormed(g);
+  const GraphStats low_beta = ComputeGraphStats(g, true);
+  const Graph h = WattsStrogatz(2000, 6, 0.9, /*seed=*/4);
+  const GraphStats high_beta = ComputeGraphStats(h, true);
+  // Rewiring destroys triangles.
+  EXPECT_GT(low_beta.num_triangles, high_beta.num_triangles);
+}
+
+TEST(GeneratorsTest, DeterministicFamilies) {
+  EXPECT_EQ(BarabasiAlbert(300, 3, 9).neighbors(),
+            BarabasiAlbert(300, 3, 9).neighbors());
+  EXPECT_EQ(RMat(10, 4.0, 0.57, 0.19, 0.19, 9).neighbors(),
+            RMat(10, 4.0, 0.57, 0.19, 0.19, 9).neighbors());
+  EXPECT_EQ(WattsStrogatz(300, 4, 0.1, 9).neighbors(),
+            WattsStrogatz(300, 4, 0.1, 9).neighbors());
+}
+
+TEST(GeneratorsTest, StructuredGraphs) {
+  EXPECT_EQ(Complete(6).NumEdges(), 15u);
+  EXPECT_EQ(Cycle(8).NumEdges(), 8u);
+  EXPECT_EQ(Path(8).NumEdges(), 7u);
+  EXPECT_EQ(Star(8).NumEdges(), 7u);
+  EXPECT_EQ(Star(8).Degree(0), 7u);
+  ExpectWellFormed(Complete(6));
+}
+
+TEST(GeneratorsTest, RandomRegularApproximatesDegree) {
+  const Graph g = RandomRegular(1000, 6, /*seed=*/5);
+  ExpectWellFormed(g);
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_NEAR(stats.avg_degree, 6.0, 0.5);
+  EXPECT_LE(stats.max_degree, 6u);
+}
+
+TEST(CatalogTest, AllDatasetsBuildAtTinyScale) {
+  for (const DatasetSpec& spec : Catalog()) {
+    Graph g;
+    ASSERT_TRUE(MakeCatalogGraph(spec.name, /*scale=*/0.02, &g).ok())
+        << spec.name;
+    EXPECT_GT(g.NumVertices(), 0u) << spec.name;
+    EXPECT_GT(g.NumEdges(), 0u) << spec.name;
+    EXPECT_TRUE(IsDegreeOrdered(g)) << spec.name;
+    ExpectWellFormed(g);
+  }
+}
+
+TEST(CatalogTest, DensityOrderingPreserved) {
+  // The paper's density ordering on the originals: yt sparsest among the
+  // social graphs, ot densest. Verify the analogs keep per-spec targets
+  // within a factor of two.
+  for (const DatasetSpec& spec : Catalog()) {
+    Graph g;
+    ASSERT_TRUE(MakeCatalogGraph(spec.name, /*scale=*/0.05, &g).ok());
+    const GraphStats stats = ComputeGraphStats(g);
+    EXPECT_GT(stats.avg_degree, spec.target_avg_degree * 0.5) << spec.name;
+    EXPECT_LT(stats.avg_degree, spec.target_avg_degree * 2.0) << spec.name;
+  }
+}
+
+TEST(CatalogTest, UnknownNameAndBadScaleRejected) {
+  Graph g;
+  EXPECT_EQ(MakeCatalogGraph("nope", 1.0, &g).code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(MakeCatalogGraph("yt_s", 0.0, &g).code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(CatalogTest, ScaleGrowsVertices) {
+  Graph small, large;
+  ASSERT_TRUE(MakeCatalogGraph("yt_s", 0.02, &small).ok());
+  ASSERT_TRUE(MakeCatalogGraph("yt_s", 0.05, &large).ok());
+  EXPECT_LT(small.NumVertices(), large.NumVertices());
+}
+
+}  // namespace
+}  // namespace light

@@ -1,0 +1,134 @@
+#include "parallel/parallel_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+#include "parallel/task_queue.h"
+#include "pattern/catalog.h"
+
+namespace light {
+namespace {
+
+TEST(TaskQueueTest, SingleWorkerDrainsAndFinishes) {
+  TaskQueue queue(1);
+  queue.Push({0, 10});
+  queue.Push({10, 20});
+  RootRange range;
+  ASSERT_TRUE(queue.Pop(&range));
+  EXPECT_EQ(range.begin, 0u);
+  ASSERT_TRUE(queue.Pop(&range));
+  EXPECT_EQ(range.begin, 10u);
+  EXPECT_FALSE(queue.Pop(&range));  // all workers idle + empty => finished
+}
+
+TEST(TaskQueueTest, EmptyRangesIgnored) {
+  TaskQueue queue(1);
+  queue.Push({5, 5});
+  RootRange range;
+  EXPECT_FALSE(queue.Pop(&range));
+}
+
+TEST(TaskQueueTest, AbortWakesWaiters) {
+  TaskQueue queue(2);
+  std::thread waiter([&] {
+    RootRange range;
+    EXPECT_FALSE(queue.Pop(&range));
+  });
+  // Give the waiter time to block, then abort.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Abort();
+  waiter.join();
+  EXPECT_TRUE(queue.aborted());
+}
+
+TEST(TaskQueueTest, IdleSignalReflectsWaiters) {
+  TaskQueue queue(2);
+  EXPECT_FALSE(queue.IdleWorkersWaiting());
+  std::thread waiter([&] {
+    RootRange range;
+    queue.Pop(&range);  // blocks until we push
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(queue.IdleWorkersWaiting());
+  queue.Push({0, 4});
+  waiter.join();
+}
+
+class ParallelCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelCountTest, MatchesSerialCount) {
+  const int threads = GetParam();
+  const Graph g = RelabelByDegree(BarabasiAlbert(3000, 5, /*seed=*/13));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  for (const char* name : {"P1", "P2", "P3", "P5"}) {
+    Pattern p;
+    ASSERT_TRUE(FindPattern(name, &p).ok());
+    const ExecutionPlan plan = BuildPlan(p, stats, PlanOptions::Light());
+    Enumerator serial(g, plan);
+    const uint64_t expected = serial.Count();
+
+    ParallelOptions options;
+    options.num_threads = threads;
+    const ParallelResult result = ParallelCount(g, plan, options);
+    EXPECT_EQ(result.num_matches, expected)
+        << name << " threads=" << threads;
+    EXPECT_FALSE(result.timed_out);
+    EXPECT_EQ(result.threads_used, threads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelCountTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ParallelCountTest, StatsMergeAcrossWorkers) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(2000, 5, /*seed=*/19));
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+  const ExecutionPlan plan =
+      BuildPlan(p2, ComputeGraphStats(g, true), PlanOptions::Light());
+  Enumerator serial(g, plan);
+  serial.Count();
+
+  ParallelOptions options;
+  options.num_threads = 4;
+  const ParallelResult result = ParallelCount(g, plan, options);
+  // Work-stealing partitions the root range, so aggregated counters must
+  // equal the serial ones exactly.
+  EXPECT_EQ(result.stats.intersections.num_intersections,
+            serial.stats().intersections.num_intersections);
+  EXPECT_EQ(result.stats.num_partial_results,
+            serial.stats().num_partial_results);
+  // Table V metric: 4 workers' candidate buffers.
+  EXPECT_EQ(result.stats.candidate_memory_bytes,
+            4 * serial.stats().candidate_memory_bytes);
+}
+
+TEST(ParallelCountTest, TimeLimitAborts) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 10, /*seed=*/23));
+  Pattern p5;
+  ASSERT_TRUE(FindPattern("P5", &p5).ok());
+  const ExecutionPlan plan =
+      BuildPlan(p5, ComputeGraphStats(g, true), PlanOptions::Se());
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.time_limit_seconds = 1e-3;
+  const ParallelResult result = ParallelCount(g, plan, options);
+  EXPECT_TRUE(result.timed_out);
+}
+
+TEST(ParallelCountTest, DefaultThreadsResolveToHardware) {
+  const Graph g = RelabelByDegree(ErdosRenyi(200, 600, /*seed=*/3));
+  Pattern tri;
+  ASSERT_TRUE(FindPattern("triangle", &tri).ok());
+  const ExecutionPlan plan =
+      BuildPlan(tri, ComputeGraphStats(g, true), PlanOptions::Light());
+  const ParallelResult result = ParallelCount(g, plan, {});
+  EXPECT_GE(result.threads_used, 1);
+}
+
+}  // namespace
+}  // namespace light

@@ -1,0 +1,292 @@
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "pattern/catalog.h"
+#include "plan/cardinality.h"
+#include "plan/execution_order.h"
+#include "plan/order_optimizer.h"
+#include "plan/set_cover.h"
+
+namespace light {
+namespace {
+
+Pattern Fig1aPattern() {
+  // The running-example pattern (Figure 1a / P2): 4-cycle plus chord (0,2).
+  return Pattern::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}});
+}
+
+TEST(ExecutionOrderTest, PaperExampleSigma) {
+  // Example IV.1: pi = (u0, u2, u1, u3) yields sigma =
+  // (MAT u0, COMP u2, MAT u2, COMP u1, COMP u3, MAT u1, MAT u3).
+  const Pattern p = Fig1aPattern();
+  const std::vector<int> pi = {0, 2, 1, 3};
+  const ExecutionOrder sigma = GenerateLazyExecutionOrder(p, pi);
+  const ExecutionOrder expected = {
+      {OpType::kMaterialize, 0}, {OpType::kCompute, 2},
+      {OpType::kMaterialize, 2}, {OpType::kCompute, 1},
+      {OpType::kCompute, 3},     {OpType::kMaterialize, 1},
+      {OpType::kMaterialize, 3},
+  };
+  EXPECT_EQ(sigma, expected) << ExecutionOrderToString(sigma);
+  EXPECT_TRUE(ValidateExecutionOrder(p, pi, sigma));
+}
+
+TEST(ExecutionOrderTest, EagerSigmaInterleaves) {
+  const Pattern p = Fig1aPattern();
+  const std::vector<int> pi = {0, 2, 1, 3};
+  const ExecutionOrder sigma = GenerateEagerExecutionOrder(p, pi);
+  ASSERT_EQ(sigma.size(), 7u);
+  EXPECT_EQ(sigma[0], (Operation{OpType::kMaterialize, 0}));
+  EXPECT_EQ(sigma[1], (Operation{OpType::kCompute, 2}));
+  EXPECT_EQ(sigma[2], (Operation{OpType::kMaterialize, 2}));
+  EXPECT_TRUE(ValidateExecutionOrder(p, pi, sigma));
+}
+
+TEST(ExecutionOrderTest, LazySigmaValidForAllCatalogPatternsAndOrders) {
+  for (const PatternEntry& entry : PatternCatalog()) {
+    if (!entry.pattern.IsConnected()) continue;
+    const auto orders = EnumerateConnectedOrders(entry.pattern, {});
+    for (const auto& pi : orders) {
+      const ExecutionOrder lazy = GenerateLazyExecutionOrder(entry.pattern, pi);
+      EXPECT_TRUE(ValidateExecutionOrder(entry.pattern, pi, lazy))
+          << entry.name << ": " << ExecutionOrderToString(lazy);
+      const ExecutionOrder eager =
+          GenerateEagerExecutionOrder(entry.pattern, pi);
+      EXPECT_TRUE(ValidateExecutionOrder(entry.pattern, pi, eager))
+          << entry.name;
+    }
+  }
+}
+
+TEST(ExecutionOrderTest, AnchorAndFreeVerticesOfExample) {
+  // Example IV.2: A(u3) = {u0, u2}, F(u3) = {u1}.
+  const Pattern p = Fig1aPattern();
+  const std::vector<int> pi = {0, 2, 1, 3};
+  const ExecutionOrder sigma = GenerateLazyExecutionOrder(p, pi);
+  const auto anchors = AnchorVertices(p, pi, sigma);
+  const auto free = FreeVertices(p, pi, sigma);
+  EXPECT_EQ(anchors[3], 0b0101u);  // u0, u2
+  EXPECT_EQ(free[3], 0b0010u);     // u1
+  EXPECT_EQ(anchors[1], 0b0101u);  // u1's anchors are also u0, u2
+  EXPECT_EQ(free[1], 0u);
+}
+
+TEST(ExecutionOrderTest, AnchorsAreConnectedVertexCover) {
+  // Proposition IV.1: A(u) is a vertex cover of P_i and induces a connected
+  // subgraph.
+  for (const char* name : {"P1", "P2", "P4", "P5", "P6", "P7"}) {
+    Pattern p;
+    ASSERT_TRUE(FindPattern(name, &p).ok());
+    for (const auto& pi : EnumerateConnectedOrders(p, {})) {
+      const ExecutionOrder sigma = GenerateLazyExecutionOrder(p, pi);
+      const auto anchors = AnchorVertices(p, pi, sigma);
+      uint32_t prefix_mask = 1u << pi[0];
+      for (size_t i = 1; i < pi.size(); ++i) {
+        const int u = pi[i];
+        const uint32_t a = anchors[static_cast<size_t>(u)];
+        // Vertex cover of P_i: every edge within the prefix has an endpoint
+        // in A(u).
+        for (int x = 0; x < p.NumVertices(); ++x) {
+          for (int y = x + 1; y < p.NumVertices(); ++y) {
+            if (!p.HasEdge(x, y)) continue;
+            if (((prefix_mask >> x) & 1u) == 0 ||
+                ((prefix_mask >> y) & 1u) == 0) {
+              continue;
+            }
+            EXPECT_TRUE(((a >> x) & 1u) || ((a >> y) & 1u))
+                << name << " u=" << u;
+          }
+        }
+        EXPECT_TRUE(p.InducedConnected(a)) << name << " u=" << u;
+        prefix_mask |= 1u << u;
+      }
+    }
+  }
+}
+
+TEST(SetCoverTest, ExactSolverSmallInstances) {
+  // Universe {0,1,2}; sets: {0}, {1}, {2}, {0,1}, {1,2}.
+  const std::vector<uint32_t> sets = {0b001, 0b010, 0b100, 0b011, 0b110};
+  const auto cover = MinimumSetCover(0b111, sets);
+  EXPECT_EQ(cover.size(), 2u);
+  uint32_t covered = 0;
+  for (int idx : cover) covered |= sets[static_cast<size_t>(idx)];
+  EXPECT_EQ(covered, 0b111u);
+}
+
+TEST(SetCoverTest, SingleSetCoversAll) {
+  const std::vector<uint32_t> sets = {0b01, 0b10, 0b11};
+  const auto cover = MinimumSetCover(0b11, sets);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(sets[static_cast<size_t>(cover[0])], 0b11u);
+}
+
+TEST(SetCoverTest, EmptyUniverse) {
+  EXPECT_TRUE(MinimumSetCover(0, {0b1}).empty());
+}
+
+TEST(SetCoverTest, PrefersFewerSingletons) {
+  // Two minimum covers of size 2 exist: {0,1}+{2} using a singleton, or
+  // {0,1}+{1,2} with none. The tie-break must avoid the singleton.
+  const std::vector<uint32_t> sets = {0b011, 0b100, 0b110};
+  const auto cover = MinimumSetCover(0b111, sets);
+  ASSERT_EQ(cover.size(), 2u);
+  for (int idx : cover) {
+    EXPECT_GT(__builtin_popcount(sets[static_cast<size_t>(idx)]), 1);
+  }
+}
+
+TEST(OperandsTest, PaperExampleV1) {
+  // Example V.1: for u3 with pi = (u0, u2, u1, u3), S' = {{u0, u2}} so
+  // K1 = {} and K2 = {u1}; one assignment, zero intersections.
+  const Pattern p = Fig1aPattern();
+  const std::vector<int> pi = {0, 2, 1, 3};
+  const auto operands = GenerateOperands(p, pi, /*use_set_cover=*/true);
+  EXPECT_TRUE(operands[3].k1.empty());
+  ASSERT_EQ(operands[3].k2.size(), 1u);
+  EXPECT_EQ(operands[3].k2[0], 1);
+  EXPECT_EQ(operands[3].NumIntersections(), 0);
+  // u1's own operands: backward neighbors {u0, u2}, no reusable set.
+  EXPECT_EQ(operands[1].k1.size(), 2u);
+  EXPECT_TRUE(operands[1].k2.empty());
+  EXPECT_EQ(operands[1].NumIntersections(), 1);
+}
+
+TEST(OperandsTest, WithoutSetCoverEqualsBackwardNeighbors) {
+  const Pattern p = Fig1aPattern();
+  const std::vector<int> pi = {0, 2, 1, 3};
+  const auto operands = GenerateOperands(p, pi, /*use_set_cover=*/false);
+  const auto backward = BackwardNeighbors(p, pi);
+  for (int u = 0; u < p.NumVertices(); ++u) {
+    EXPECT_EQ(operands[static_cast<size_t>(u)].k1,
+              backward[static_cast<size_t>(u)]);
+    EXPECT_TRUE(operands[static_cast<size_t>(u)].k2.empty());
+  }
+}
+
+TEST(OperandsTest, PropositionV1CoverNeverWorse) {
+  // w^(2)_u <= w^(1)_u for every vertex, pattern, and order.
+  for (const PatternEntry& entry : PatternCatalog()) {
+    if (!entry.pattern.IsConnected()) continue;
+    for (const auto& pi : EnumerateConnectedOrders(entry.pattern, {})) {
+      const auto with = GenerateOperands(entry.pattern, pi, true);
+      const auto without = GenerateOperands(entry.pattern, pi, false);
+      for (int u = 0; u < entry.pattern.NumVertices(); ++u) {
+        EXPECT_LE(with[static_cast<size_t>(u)].NumIntersections(),
+                  without[static_cast<size_t>(u)].NumIntersections())
+            << entry.name;
+      }
+    }
+  }
+}
+
+TEST(CardinalityTest, BasicMonotonicity) {
+  const Graph g = BarabasiAlbert(2000, 5, /*seed=*/17);
+  const CardinalityEstimator est(ComputeGraphStats(g, true));
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+  // Single vertex ~ N; single edge ~ 2M; larger patterns grow.
+  EXPECT_DOUBLE_EQ(est.EstimateMatches(p2, 0b0001), 2000.0);
+  EXPECT_DOUBLE_EQ(est.EstimateMatches(p2, 0b0101),
+                   2.0 * static_cast<double>(g.NumEdges()));
+  // Extending by a new vertex multiplies by the extension factor (> 1):
+  // {u1, u2, u3} induces the wedge u1-u2-u3 in the diamond.
+  EXPECT_GT(est.EstimateMatches(p2, 0b1110), est.EstimateMatches(p2, 0b0110));
+  // Disconnected pair of vertices multiplies.
+  EXPECT_DOUBLE_EQ(est.EstimateMatches(p2, 0b1010), 2000.0 * 2000.0);
+}
+
+TEST(CardinalityTest, DenserSubpatternsEstimateSmaller) {
+  // Adding a closing edge multiplies by a probability <= 1.
+  const Graph g = ErdosRenyi(3000, 15000, /*seed=*/23);
+  const CardinalityEstimator est(ComputeGraphStats(g, true));
+  const Pattern path = Pattern::FromEdges(3, {{0, 1}, {1, 2}});
+  const Pattern tri = Pattern::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_LT(est.EstimateMatches(tri), est.EstimateMatches(path));
+}
+
+TEST(OrderOptimizerTest, AllOrdersConnectedAndComplete) {
+  Pattern p4;
+  ASSERT_TRUE(FindPattern("P4", &p4).ok());
+  const auto orders = EnumerateConnectedOrders(p4, {});
+  EXPECT_FALSE(orders.empty());
+  for (const auto& pi : orders) {
+    EXPECT_TRUE(IsConnectedOrder(p4, pi));
+    EXPECT_EQ(pi.size(), static_cast<size_t>(p4.NumVertices()));
+  }
+}
+
+TEST(OrderOptimizerTest, PartialOrderPruningRespected) {
+  Pattern k4;
+  ASSERT_TRUE(FindPattern("k4", &k4).ok());
+  const PartialOrder po = ComputeSymmetryBreaking(k4);
+  const auto orders = EnumerateConnectedOrders(k4, po);
+  // K4's total order 0<1<2<3 admits exactly one permutation.
+  ASSERT_EQ(orders.size(), 1u);
+  EXPECT_EQ(orders[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(OrderOptimizerTest, CostPrefersDenseAnchors) {
+  // For the Fig. 1a pattern the optimizer should avoid orders starting with
+  // the sparse path side; mostly we assert determinism and validity.
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+  const Graph g = BarabasiAlbert(2000, 5, /*seed=*/29);
+  const CardinalityEstimator est(ComputeGraphStats(g, true));
+  const auto pi = OptimizeEnumerationOrder(p2, est, {}, true, true);
+  EXPECT_TRUE(IsConnectedOrder(p2, pi));
+  const auto pi_again = OptimizeEnumerationOrder(p2, est, {}, true, true);
+  EXPECT_EQ(pi, pi_again);
+}
+
+TEST(PlanTest, VariantFactoriesSetFlags) {
+  EXPECT_FALSE(PlanOptions::Se().lazy_materialization);
+  EXPECT_FALSE(PlanOptions::Se().minimum_set_cover);
+  EXPECT_TRUE(PlanOptions::Lm().lazy_materialization);
+  EXPECT_FALSE(PlanOptions::Lm().minimum_set_cover);
+  EXPECT_FALSE(PlanOptions::Msc().lazy_materialization);
+  EXPECT_TRUE(PlanOptions::Msc().minimum_set_cover);
+  EXPECT_TRUE(PlanOptions::Light().lazy_materialization);
+  EXPECT_TRUE(PlanOptions::Light().minimum_set_cover);
+}
+
+TEST(PlanTest, BuildPlanProducesValidSigmaAndConstraints) {
+  const Graph g = BarabasiAlbert(500, 4, /*seed=*/31);
+  const GraphStats stats = ComputeGraphStats(g, true);
+  for (const char* name : {"P1", "P2", "P3", "P4", "P5", "P6", "P7"}) {
+    Pattern p;
+    ASSERT_TRUE(FindPattern(name, &p).ok());
+    const ExecutionPlan plan = BuildPlan(p, stats, PlanOptions::Light());
+    EXPECT_TRUE(ValidateExecutionOrder(p, plan.pi, plan.sigma)) << name;
+    // Every constraint endpoint pair must appear in exactly one direction.
+    for (const auto& [a, b] : plan.partial_order) {
+      const auto& lower = plan.lower_bounds[static_cast<size_t>(b)];
+      const auto& upper = plan.upper_bounds[static_cast<size_t>(a)];
+      const bool in_lower =
+          std::find(lower.begin(), lower.end(), a) != lower.end();
+      const bool in_upper =
+          std::find(upper.begin(), upper.end(), b) != upper.end();
+      EXPECT_TRUE(in_lower != in_upper) << name;
+    }
+  }
+}
+
+TEST(PlanTest, ToStringMentionsAllParts) {
+  const Graph g = BarabasiAlbert(500, 4, /*seed=*/37);
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+  const ExecutionPlan plan =
+      BuildPlan(p2, ComputeGraphStats(g, true), PlanOptions::Light());
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("pi:"), std::string::npos);
+  EXPECT_NE(s.find("sigma:"), std::string::npos);
+  EXPECT_NE(s.find("operands"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace light

@@ -1,0 +1,67 @@
+#ifndef LIGHT_TESTS_REFERENCE_H_
+#define LIGHT_TESTS_REFERENCE_H_
+
+// Brute-force reference implementations used to validate the engines on
+// small inputs. Deliberately simple and independent of the library's search
+// machinery.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pattern/pattern.h"
+#include "pattern/symmetry_breaking.h"
+
+namespace light::testing {
+
+// Counts injective edge-preserving maps P -> G by trying every assignment.
+// With induced=true, pattern non-edges must also map to non-edges
+// (vertex-induced / motif semantics). O(N^n); use only on tiny graphs.
+inline uint64_t BruteForceCountMatches(const Pattern& pattern,
+                                       const Graph& graph,
+                                       const PartialOrder& partial_order = {},
+                                       bool induced = false) {
+  const int n = pattern.NumVertices();
+  const VertexID big_n = graph.NumVertices();
+  std::vector<VertexID> mapping(static_cast<size_t>(n), kInvalidVertex);
+  uint64_t count = 0;
+
+  auto recurse = [&](auto&& self, int u) -> void {
+    if (u == n) {
+      ++count;
+      return;
+    }
+    for (VertexID v = 0; v < big_n; ++v) {
+      bool ok = true;
+      for (int w = 0; w < u && ok; ++w) {
+        if (mapping[static_cast<size_t>(w)] == v) ok = false;
+      }
+      for (int w = 0; w < u && ok; ++w) {
+        const bool data_edge = graph.HasEdge(v, mapping[static_cast<size_t>(w)]);
+        if (pattern.HasEdge(u, w) && !data_edge) ok = false;
+        if (induced && !pattern.HasEdge(u, w) && data_edge) ok = false;
+      }
+      for (const auto& [a, b] : partial_order) {
+        if (!ok) break;
+        if (a == u && b < u &&
+            !(v < mapping[static_cast<size_t>(b)])) {
+          ok = false;
+        }
+        if (b == u && a < u &&
+            !(mapping[static_cast<size_t>(a)] < v)) {
+          ok = false;
+        }
+      }
+      if (!ok) continue;
+      mapping[static_cast<size_t>(u)] = v;
+      self(self, u + 1);
+      mapping[static_cast<size_t>(u)] = kInvalidVertex;
+    }
+  };
+  recurse(recurse, 0);
+  return count;
+}
+
+}  // namespace light::testing
+
+#endif  // LIGHT_TESTS_REFERENCE_H_

@@ -1,0 +1,97 @@
+#include "special/kclique.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/enumerator.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+#include "pattern/catalog.h"
+#include "pattern/parse.h"
+#include "plan/plan.h"
+
+namespace light {
+namespace {
+
+uint64_t Binomial(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < k; ++i) result = result * (n - i) / (i + 1);
+  return result;
+}
+
+TEST(KCliqueTest, CompleteGraphClosedForm) {
+  const Graph g = Complete(12);
+  for (int k = 1; k <= 6; ++k) {
+    EXPECT_EQ(CountKCliques(g, k), Binomial(12, static_cast<uint64_t>(k)))
+        << "k=" << k;
+  }
+}
+
+TEST(KCliqueTest, TriangleFreeGraphs) {
+  EXPECT_EQ(CountKCliques(Cycle(20), 3), 0u);
+  EXPECT_EQ(CountKCliques(Star(10), 3), 0u);
+  EXPECT_EQ(CountKCliques(Path(10), 3), 0u);
+  EXPECT_EQ(CountKCliques(Cycle(20), 2), 20u);
+}
+
+TEST(KCliqueTest, TriangleCountMatchesGraphStats) {
+  const Graph g = RelabelByDegree(BarabasiAlbertClustered(2000, 4, 0.5, 7));
+  EXPECT_EQ(CountKCliques(g, 3), CountTriangles(g));
+}
+
+TEST(KCliqueTest, MatchesGeneralEngineOnCliquePatterns) {
+  const Graph g = RelabelByDegree(BarabasiAlbertClustered(1500, 5, 0.5, 13));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  const struct {
+    const char* name;
+    int k;
+  } cases[] = {{"triangle", 3}, {"P3", 4}, {"P7", 5}};
+  for (const auto& c : cases) {
+    Pattern pattern;
+    ASSERT_TRUE(FindPattern(c.name, &pattern).ok());
+    const ExecutionPlan plan =
+        BuildPlan(pattern, g, stats, PlanOptions::Light());
+    Enumerator enumerator(g, plan);
+    EXPECT_EQ(CountKCliques(g, c.k), enumerator.Count()) << c.name;
+  }
+}
+
+TEST(PatternParseTest, RoundTrips) {
+  Pattern p;
+  ASSERT_TRUE(ParsePattern("0-1,1-2,0-2", &p).ok());
+  EXPECT_EQ(p.NumVertices(), 3);
+  EXPECT_EQ(p.NumEdges(), 3);
+  EXPECT_TRUE(p.HasEdge(0, 2));
+  EXPECT_EQ(FormatPattern(p), "0-1,0-2,1-2");
+
+  Pattern labeled;
+  ASSERT_TRUE(ParsePattern("0-1,1-2;0:5,2:7", &labeled).ok());
+  EXPECT_EQ(labeled.Label(0), 5u);
+  EXPECT_EQ(labeled.Label(1), 0u);
+  EXPECT_EQ(labeled.Label(2), 7u);
+  EXPECT_EQ(FormatPattern(labeled), "0-1,1-2;0:5,2:7");
+}
+
+TEST(PatternParseTest, RejectsMalformedInput) {
+  Pattern p;
+  EXPECT_FALSE(ParsePattern("", &p).ok());
+  EXPECT_FALSE(ParsePattern("0-", &p).ok());
+  EXPECT_FALSE(ParsePattern("0_1", &p).ok());
+  EXPECT_FALSE(ParsePattern("0-0", &p).ok());  // self loop
+  EXPECT_FALSE(ParsePattern("0-1,", &p).ok());
+  EXPECT_FALSE(ParsePattern("0-1;9:2", &p).ok());   // label on absent vertex
+  EXPECT_FALSE(ParsePattern("0-1;0-2", &p).ok());   // wrong label syntax
+  EXPECT_FALSE(ParsePattern("0-99", &p).ok());      // above kMaxPatternVertices
+}
+
+TEST(PatternParseTest, ParsedPatternsEnumerate) {
+  Pattern p;
+  ASSERT_TRUE(ParsePattern("0-1,1-2,2-3,3-0,0-2", &p).ok());  // diamond
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+  EXPECT_EQ(p, p2);
+}
+
+}  // namespace
+}  // namespace light

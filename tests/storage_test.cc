@@ -1,0 +1,130 @@
+#include "storage/disk_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "engine/enumerator.h"
+#include "gen/generators.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+#include "pattern/catalog.h"
+#include "plan/plan.h"
+#include "storage/disk_enumerator.h"
+
+namespace light {
+namespace {
+
+std::string SpillGraph(const Graph& graph, const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name + ".lcsr";
+  EXPECT_TRUE(SaveBinary(graph, path).ok());
+  return path;
+}
+
+TEST(DiskGraphTest, NeighborsMatchInMemoryGraph) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(2000, 4, /*seed=*/5));
+  const std::string path = SpillGraph(g, "nbrs");
+  DiskGraph disk;
+  // Tiny pool (4 pages of 4 KB) to force heavy paging.
+  ASSERT_TRUE(DiskGraph::Open(path, 16 * 1024, &disk, 4 * 1024).ok());
+  ASSERT_EQ(disk.NumVertices(), g.NumVertices());
+  ASSERT_EQ(disk.NumEdges(), g.NumEdges());
+  ASSERT_EQ(disk.MaxDegree(), g.MaxDegree());
+  std::vector<VertexID> buffer(g.MaxDegree());
+  for (VertexID v = 0; v < g.NumVertices(); ++v) {
+    const uint32_t size = disk.CopyNeighbors(v, buffer.data());
+    auto expected = g.Neighbors(v);
+    ASSERT_EQ(size, expected.size()) << "v=" << v;
+    for (uint32_t i = 0; i < size; ++i) EXPECT_EQ(buffer[i], expected[i]);
+  }
+  // The pool is smaller than the adjacency region, so evictions must have
+  // happened during the full scan.
+  EXPECT_GT(disk.pool_stats().evictions, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, LargePoolReachesHighHitRate) {
+  const Graph g = RelabelByDegree(ErdosRenyi(3000, 20000, /*seed=*/7));
+  const std::string path = SpillGraph(g, "hits");
+  DiskGraph disk;
+  ASSERT_TRUE(DiskGraph::Open(path, 64 * 1024 * 1024, &disk).ok());
+  std::vector<VertexID> buffer(g.MaxDegree());
+  // Two full passes: the second is fully cached.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (VertexID v = 0; v < g.NumVertices(); ++v) {
+      disk.CopyNeighbors(v, buffer.data());
+    }
+  }
+  EXPECT_GT(disk.pool_stats().HitRate(), 0.5);
+  EXPECT_EQ(disk.pool_stats().evictions, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskGraphTest, RejectsGarbageFiles) {
+  const std::string path = ::testing::TempDir() + "/garbage.lcsr";
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fputs("not a graph", f);
+  fclose(f);
+  DiskGraph disk;
+  EXPECT_FALSE(DiskGraph::Open(path, 1024, &disk).ok());
+  std::remove(path.c_str());
+  EXPECT_EQ(DiskGraph::Open("/no/such/file", 1024, &disk).code(),
+            Status::Code::kIOError);
+}
+
+class DiskEnumeratorTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DiskEnumeratorTest, CountsMatchInMemoryEngineAtAnyPoolSize) {
+  const size_t pool_bytes = GetParam();
+  const Graph g =
+      RelabelByDegree(BarabasiAlbertClustered(1500, 4, 0.4, /*seed=*/11));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  const std::string path = SpillGraph(g, "enum");
+  DiskGraph disk;
+  ASSERT_TRUE(DiskGraph::Open(path, pool_bytes, &disk, 4 * 1024).ok());
+
+  for (const char* name : {"P1", "P2", "P3", "P6"}) {
+    Pattern pattern;
+    ASSERT_TRUE(FindPattern(name, &pattern).ok());
+    const ExecutionPlan plan =
+        BuildPlan(pattern, g, stats, PlanOptions::Light());
+    Enumerator memory_engine(g, plan);
+    const uint64_t expected = memory_engine.Count();
+    DiskEnumerator disk_engine(&disk, plan);
+    EXPECT_EQ(disk_engine.Count(), expected) << name;
+    // Out-of-core runs execute the identical search: intersection counts
+    // agree exactly.
+    EXPECT_EQ(disk_engine.stats().intersections.num_intersections,
+              memory_engine.stats().intersections.num_intersections)
+        << name;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, DiskEnumeratorTest,
+                         ::testing::Values(4 * 1024,        // thrashing
+                                           64 * 1024,       // tight
+                                           8 * 1024 * 1024  // in-memory
+                                           ));
+
+TEST(DiskEnumeratorTest, TimeLimitAborts) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/13));
+  const std::string path = SpillGraph(g, "oot");
+  DiskGraph disk;
+  ASSERT_TRUE(DiskGraph::Open(path, 1 * 1024 * 1024, &disk).ok());
+  Pattern p5;
+  ASSERT_TRUE(FindPattern("P5", &p5).ok());
+  const ExecutionPlan plan = BuildPlan(
+      p5, g, ComputeGraphStats(g, true), PlanOptions::Se());
+  DiskEnumerator engine(&disk, plan);
+  engine.SetTimeLimit(1e-3);
+  engine.Count();
+  EXPECT_TRUE(engine.stats().timed_out);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace light

@@ -1,0 +1,219 @@
+// Command-line front end for the LIGHT subgraph enumeration library.
+//
+// Examples:
+//   light_cli --dataset yt_s --pattern P2
+//   light_cli --graph edges.txt --pattern k4 --algorithm se --threads 8
+//   light_cli --dataset lj_s --scale 0.5 --pattern P6 --show-plan
+//   light_cli --dataset yt_s --pattern P1 --algorithm seed|crystal|eh|cfl
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "baselines/cfl_like.h"
+#include "baselines/eh_like.h"
+#include "common/timer.h"
+#include "engine/enumerator.h"
+#include "gen/catalog.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+#include "join/bsp_engine.h"
+#include "parallel/parallel_enumerator.h"
+#include "pattern/catalog.h"
+#include "pattern/parse.h"
+#include "plan/plan.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr, R"(light_cli: parallel subgraph enumeration (LIGHT, ICDE 2019 reproduction)
+
+  --dataset NAME     synthetic catalog graph (yt_s eu_s lj_s ot_s uk_s fs_s)
+  --scale S          scale factor for --dataset (default 1.0)
+  --graph PATH       load an edge-list file instead of a catalog graph
+  --pattern NAME     pattern (P1..P7, triangle, k4, k5, house, ... )
+  --pattern-edges S  ad-hoc pattern, e.g. "0-1,1-2,0-2" (see pattern/parse.h)
+  --algorithm A      light (default) | se | lm | msc | cfl | eh | seed | crystal
+  --threads K        worker threads (default 1; light/se/lm/msc only)
+  --kernel NAME      merge | merge_avx2 | galloping | hybrid | hybrid_avx2 | merge_avx512 | hybrid_avx512
+  --time-limit SEC   abort after SEC seconds
+  --no-symmetry      count all matches instead of unique subgraphs
+  --show-plan        print the compiled execution plan
+)");
+}
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+bool FlagSet(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace light;
+  if (argc <= 1 || FlagSet(argc, argv, "--help")) {
+    Usage();
+    return argc <= 1 ? 1 : 0;
+  }
+
+  const char* dataset = FlagValue(argc, argv, "--dataset");
+  const char* graph_path = FlagValue(argc, argv, "--graph");
+  const char* pattern_name = FlagValue(argc, argv, "--pattern");
+  const char* pattern_edges = FlagValue(argc, argv, "--pattern-edges");
+  const char* algorithm = FlagValue(argc, argv, "--algorithm");
+  const char* kernel_name = FlagValue(argc, argv, "--kernel");
+  const char* threads_str = FlagValue(argc, argv, "--threads");
+  const char* scale_str = FlagValue(argc, argv, "--scale");
+  const char* limit_str = FlagValue(argc, argv, "--time-limit");
+
+  if ((pattern_name == nullptr && pattern_edges == nullptr) ||
+      (dataset == nullptr && graph_path == nullptr)) {
+    Usage();
+    return 1;
+  }
+
+  Pattern pattern;
+  if (pattern_edges != nullptr) {
+    if (Status s = ParsePattern(pattern_edges, &pattern); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (!pattern.IsConnected()) {
+      std::fprintf(stderr, "error: pattern must be connected\n");
+      return 1;
+    }
+    pattern_name = pattern_edges;
+  } else if (Status s = FindPattern(pattern_name, &pattern); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  Graph graph;
+  Timer load_timer;
+  if (graph_path != nullptr) {
+    Graph raw;
+    if (Status s = LoadEdgeList(graph_path, &raw); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    graph = RelabelByDegree(raw);
+  } else {
+    const double scale = scale_str != nullptr ? std::atof(scale_str) : 1.0;
+    if (Status s = MakeCatalogGraph(dataset, scale, &graph); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
+  std::printf("graph: %s (loaded in %s)\n", stats.ToString().c_str(),
+              FormatSeconds(load_timer.ElapsedSeconds()).c_str());
+  std::printf("pattern %s: %s\n", pattern_name, pattern.ToString().c_str());
+
+  const std::string algo = algorithm != nullptr ? algorithm : "light";
+  const double time_limit = limit_str != nullptr
+                                ? std::atof(limit_str)
+                                : std::numeric_limits<double>::infinity();
+  const bool symmetry = !FlagSet(argc, argv, "--no-symmetry");
+
+  IntersectKernel kernel = IntersectKernel::kHybridAvx2;
+  if (!KernelAvailable(kernel)) kernel = IntersectKernel::kHybrid;
+  if (kernel_name != nullptr) {
+    const std::string k = kernel_name;
+    if (k == "merge") kernel = IntersectKernel::kMerge;
+    else if (k == "merge_avx2") kernel = IntersectKernel::kMergeAvx2;
+    else if (k == "galloping") kernel = IntersectKernel::kGalloping;
+    else if (k == "hybrid") kernel = IntersectKernel::kHybrid;
+    else if (k == "hybrid_avx2") kernel = IntersectKernel::kHybridAvx2;
+    else if (k == "merge_avx512") kernel = IntersectKernel::kMergeAvx512;
+    else if (k == "hybrid_avx512") kernel = IntersectKernel::kHybridAvx512;
+    else {
+      std::fprintf(stderr, "error: unknown kernel %s\n", kernel_name);
+      return 1;
+    }
+    if (!KernelAvailable(kernel)) {
+      std::fprintf(stderr, "error: kernel %s not available on this build/CPU\n",
+                   kernel_name);
+      return 1;
+    }
+  }
+
+  // Distributed-baseline simulators.
+  if (algo == "seed" || algo == "crystal" || algo == "eh") {
+    BspOptions options;
+    options.kernel = kernel;
+    options.time_limit_seconds = time_limit;
+    options.symmetry_breaking = symmetry;
+    const BspResult result = algo == "seed"
+                                 ? RunSeedLike(graph, pattern, options)
+                                 : algo == "crystal"
+                                       ? RunCrystalLike(graph, pattern, options)
+                                       : RunEhLike(graph, pattern, options);
+    std::printf("%s-like: %s matches=%llu cpu=%s io=%s peak=%.1f MB\n",
+                algo.c_str(), result.Outcome().c_str(),
+                static_cast<unsigned long long>(result.num_matches),
+                FormatSeconds(result.cpu_seconds).c_str(),
+                FormatSeconds(result.simulated_io_seconds).c_str(),
+                static_cast<double>(result.peak_bytes) / (1024.0 * 1024.0));
+    return result.status.ok() ? 0 : 2;
+  }
+
+  PlanOptions options;
+  if (algo == "se") options = PlanOptions::Se();
+  else if (algo == "lm") options = PlanOptions::Lm();
+  else if (algo == "msc") options = PlanOptions::Msc();
+  else if (algo == "light") options = PlanOptions::Light();
+  else if (algo != "cfl") {
+    std::fprintf(stderr, "error: unknown algorithm %s\n", algo.c_str());
+    return 1;
+  }
+  options.kernel = kernel;
+  options.symmetry_breaking = symmetry;
+
+  const ExecutionPlan plan = algo == "cfl"
+                                 ? BuildCflLikePlan(pattern, symmetry)
+                                 : BuildPlan(pattern, graph, stats, options);
+  if (FlagSet(argc, argv, "--show-plan")) {
+    std::printf("%s", plan.ToString().c_str());
+  }
+
+  const int threads = threads_str != nullptr ? std::atoi(threads_str) : 1;
+  if (threads > 1) {
+    ParallelOptions parallel;
+    parallel.num_threads = threads;
+    parallel.time_limit_seconds = time_limit;
+    const ParallelResult result = ParallelCount(graph, plan, parallel);
+    std::printf("%s x%d: %s matches=%llu time=%s intersections=%llu\n",
+                algo.c_str(), result.threads_used,
+                result.timed_out ? "OOT" : "OK",
+                static_cast<unsigned long long>(result.num_matches),
+                FormatSeconds(result.elapsed_seconds).c_str(),
+                static_cast<unsigned long long>(
+                    result.stats.intersections.num_intersections));
+    return result.timed_out ? 2 : 0;
+  }
+
+  Enumerator enumerator(graph, plan);
+  enumerator.SetTimeLimit(time_limit);
+  const uint64_t matches = enumerator.Count();
+  const EngineStats& engine_stats = enumerator.stats();
+  std::printf("%s: %s matches=%llu time=%s intersections=%llu galloping=%.1f%%\n",
+              algo.c_str(), engine_stats.timed_out ? "OOT" : "OK",
+              static_cast<unsigned long long>(matches),
+              FormatSeconds(engine_stats.elapsed_seconds).c_str(),
+              static_cast<unsigned long long>(
+                  engine_stats.intersections.num_intersections),
+              100.0 * engine_stats.intersections.GallopingFraction());
+  return engine_stats.timed_out ? 2 : 0;
+}
