@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
         const RunResult r =
             RunParallel(bg, pattern, options, t, args.time_limit_seconds);
         std::printf(" %10s", r.TimeCell().c_str());
+        RecordRun(args, "fig7_threads", dataset, pname, "light", t, r);
         if (t == 1) t1 = r.seconds;
         if (!r.oot) best = r.seconds;
       }

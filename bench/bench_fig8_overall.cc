@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
       light_options.kernel = BestKernel();
       const RunResult light = RunParallel(bg, pattern, light_options, threads,
                                           args.time_limit_seconds);
+      RecordRun(args, "fig8_overall", dataset, pname, "light", threads, light);
       if (!light.oot) ++light_ok;
 
       // DUALSIM-like: SE's enumeration with the same parallel runtime.
@@ -65,6 +66,8 @@ int main(int argc, char** argv) {
       dualsim_options.kernel = IntersectKernel::kMerge;
       const RunResult dualsim = RunParallel(bg, pattern, dualsim_options,
                                             threads, args.time_limit_seconds);
+      RecordRun(args, "fig8_overall", dataset, pname, "dualsim", threads,
+                dualsim);
       if (dualsim.oot) ++dualsim_fail;
 
       BspOptions bsp;

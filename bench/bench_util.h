@@ -17,6 +17,7 @@
 #include "engine/enumerator.h"
 #include "gen/catalog.h"
 #include "graph/graph_stats.h"
+#include "obs/json.h"
 #include "parallel/parallel_enumerator.h"
 #include "pattern/catalog.h"
 #include "plan/plan.h"
@@ -28,6 +29,10 @@ struct BenchArgs {
   double time_limit_seconds = 60.0;
   std::vector<std::string> datasets;
   std::vector<std::string> patterns;
+  /// With --json PATH, every run is also appended to PATH as one JSON
+  /// object per line (JSONL) — the machine-readable twin of the printed
+  /// tables. See RecordRun.
+  std::string json_path;
 
   static BenchArgs Parse(int argc, char** argv, double default_scale,
                          double default_limit,
@@ -47,6 +52,8 @@ struct BenchArgs {
         args.datasets = {argv[i + 1]};
       } else if (std::strcmp(argv[i], "--pattern") == 0) {
         args.patterns = {argv[i + 1]};
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        args.json_path = argv[i + 1];
       }
     }
     return args;
@@ -87,12 +94,61 @@ struct RunResult {
   uint64_t matches = 0;
   bool oot = false;
   EngineStats stats;
+  // Parallel runs only (zero otherwise).
+  int threads_used = 0;
+  double load_imbalance = 0.0;
+  uint64_t total_steals = 0;
 
   /// "1.23 s" or "INF" the way the paper's charts mark OOT runs.
   std::string TimeCell() const {
     return oot ? "INF" : FormatSeconds(seconds);
   }
 };
+
+/// Appends one JSONL record for a finished run when --json was given.
+/// Schema: {bench, dataset, pattern, variant, threads, scale, seconds,
+/// matches, oot, intersections, galloping_fraction, candidate_memory_bytes,
+/// comp_counts, mat_counts, threads_used, load_imbalance, total_steals}.
+inline void RecordRun(const BenchArgs& args, const char* bench,
+                      const std::string& dataset, const std::string& pattern,
+                      const char* variant, int threads,
+                      const RunResult& result) {
+  if (args.json_path.empty()) return;
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", bench);
+  w.KV("dataset", dataset);
+  w.KV("pattern", pattern);
+  w.KV("variant", variant);
+  w.KV("threads", threads);
+  w.KV("scale", args.scale);
+  w.KV("seconds", result.seconds);
+  w.KV("matches", result.matches);
+  w.KV("oot", result.oot);
+  w.KV("intersections", result.stats.intersections.num_intersections);
+  w.KV("galloping_fraction", result.stats.intersections.GallopingFraction());
+  w.KV("candidate_memory_bytes",
+       static_cast<uint64_t>(result.stats.candidate_memory_bytes));
+  w.Key("comp_counts");
+  w.BeginArray();
+  for (uint64_t c : result.stats.comp_counts) w.Uint(c);
+  w.EndArray();
+  w.Key("mat_counts");
+  w.BeginArray();
+  for (uint64_t c : result.stats.mat_counts) w.Uint(c);
+  w.EndArray();
+  w.KV("threads_used", result.threads_used);
+  w.KV("load_imbalance", result.load_imbalance);
+  w.KV("total_steals", result.total_steals);
+  w.EndObject();
+  std::FILE* f = std::fopen(args.json_path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot append to %s\n", args.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", w.str().c_str());
+  std::fclose(f);
+}
 
 /// Serial run of one engine variant.
 inline RunResult RunSerial(const BenchGraph& bg, const Pattern& pattern,
@@ -126,6 +182,11 @@ inline RunResult RunParallel(const BenchGraph& bg, const Pattern& pattern,
   result.stats = presult.stats;
   result.seconds = presult.elapsed_seconds;
   result.oot = presult.timed_out;
+  result.threads_used = presult.threads_used;
+  result.load_imbalance = presult.load_imbalance;
+  for (const obs::WorkerStats& w : presult.workers) {
+    result.total_steals += w.steals_initiated;
+  }
   return result;
 }
 

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Repo verification: the tier-1 build + test sweep, the observability
+# overhead guard, and a ThreadSanitizer pass over the concurrency-heavy
+# tests (parallel runtime, sharded obs counters).
+#
+# Usage: ci/verify.sh [--skip-tsan] [--skip-bench]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_tsan=0
+skip_bench=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) skip_tsan=1 ;;
+    --skip-bench) skip_bench=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> tier-1: build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "$skip_bench" -eq 0 ]]; then
+  echo "==> observability overhead guard (< 3% with sinks disabled)"
+  ./build/bench/bench_obs_overhead
+fi
+
+if [[ "$skip_tsan" -eq 0 ]]; then
+  echo "==> TSan: parallel + obs tests"
+  cmake -B build-tsan -S . \
+    -DLIGHT_SANITIZE=thread \
+    -DLIGHT_BUILD_BENCHMARKS=OFF \
+    -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target parallel_test obs_test
+  ./build-tsan/tests/parallel_test
+  ./build-tsan/tests/obs_test
+fi
+
+echo "==> verify OK"

@@ -6,8 +6,34 @@
 
 #include "common/check.h"
 #include "intersect/multiway.h"
+#include "obs/trace.h"
 
 namespace light {
+namespace {
+
+/// Span helper for the trace-sampled COMP/MAT ops: a plain bool gate (no
+/// atomics) so untraced roots pay one predictable branch per op.
+class ScopedOpSpan {
+ public:
+  ScopedOpSpan(bool active, const char* name, int u)
+      : active_(active), name_(name), u_(u) {
+    if (active_) start_ns_ = obs::Tracer::Global().NowNs();
+  }
+  ~ScopedOpSpan() {
+    if (active_) {
+      obs::Tracer& tracer = obs::Tracer::Global();
+      tracer.EmitSpan(name_, start_ns_, tracer.NowNs() - start_ns_, "u", u_);
+    }
+  }
+
+ private:
+  const bool active_;
+  const char* name_;
+  const int u_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace
 
 void EngineStats::Add(const EngineStats& other) {
   num_matches += other.num_matches;
@@ -71,6 +97,12 @@ Enumerator::Enumerator(const Graph& graph, const ExecutionPlan& plan,
     cand_bytes += buffer.size() * sizeof(VertexID);
   }
   stats_.candidate_memory_bytes = cand_bytes;
+
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  obs_roots_counter_ = registry.GetCounter("engine.roots_done");
+  obs_matches_counter_ = registry.GetCounter("engine.matches_found");
+  obs_root_ns_hist_ = registry.GetHistogram("engine.root_ns");
+
   ResetStats();
 }
 
@@ -90,6 +122,7 @@ uint64_t Enumerator::Count() {
   ResetStats();
   visitor_ = nullptr;
   timer_.Restart();
+  obs::TraceSpan span("enumerate");
   RunRootRange(0, graph_.NumVertices());
   stats_.elapsed_seconds = timer_.ElapsedSeconds();
   return stats_.num_matches;
@@ -99,7 +132,10 @@ uint64_t Enumerator::Enumerate(MatchVisitor* visitor) {
   ResetStats();
   visitor_ = visitor;
   timer_.Restart();
-  RunRootRange(0, graph_.NumVertices());
+  {
+    obs::TraceSpan span("enumerate");
+    RunRootRange(0, graph_.NumVertices());
+  }
   stats_.elapsed_seconds = timer_.ElapsedSeconds();
   visitor_ = nullptr;
   return stats_.num_matches;
@@ -107,9 +143,50 @@ uint64_t Enumerator::Enumerate(MatchVisitor* visitor) {
 
 void Enumerator::RunRootRange(VertexID begin, VertexID end) {
   for (VertexID v = begin; v < end && !stop_; ++v) RunRoot(v);
+  FlushObsCounters();
+}
+
+void Enumerator::FlushObsCounters() {
+  if (obs_pending_roots_ == 0 && obs_pending_matches_ == 0) return;
+  obs_roots_counter_->Inc(obs_pending_roots_);
+  obs_matches_counter_->Inc(obs_pending_matches_);
+  obs_pending_roots_ = 0;
+  obs_pending_matches_ = 0;
 }
 
 void Enumerator::RunRoot(VertexID v) {
+  const bool metrics_on = obs::MetricsEnabled();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const bool trace_on =
+      tracer.enabled() && (v & tracer.root_sample_mask()) == 0;
+  if (!metrics_on && !trace_on) {
+    RunRootImpl(v);
+    return;
+  }
+  // Sample the per-root latency histogram at the same 1/64 rate the counter
+  // batching uses, so the armed-but-idle cost stays amortized.
+  const bool timed = trace_on || (metrics_on && (v & 0x3F) == 0);
+  const uint64_t matches_before = stats_.num_matches;
+  const uint64_t start_ns = timed ? tracer.NowNs() : 0;
+  trace_root_ = trace_on;
+  RunRootImpl(v);
+  trace_root_ = false;
+  if (timed) {
+    const uint64_t dur_ns = tracer.NowNs() - start_ns;
+    if (trace_on) {
+      tracer.EmitSpan("root", start_ns, dur_ns, "v",
+                      static_cast<int64_t>(v));
+    }
+    if (metrics_on) obs_root_ns_hist_->Observe(dur_ns);
+  }
+  if (metrics_on) {
+    ++obs_pending_roots_;
+    obs_pending_matches_ += stats_.num_matches - matches_before;
+    if ((obs_pending_roots_ & 0x3F) == 0) FlushObsCounters();
+  }
+}
+
+void Enumerator::RunRootImpl(VertexID v) {
   if (stop_) return;
   const int first = plan_.FirstVertex();
   if (!LabelMatches(first, v)) return;
@@ -165,6 +242,7 @@ uint32_t Enumerator::FilterByLabel(int u, const VertexID* data,
 
 void Enumerator::RunCompute(size_t op_index) {
   const int u = plan_.sigma[op_index].vertex;
+  ScopedOpSpan span(trace_root_, "COMP", u);
   if (universal_[static_cast<size_t>(u)]) {
     if (allowed_ != nullptr) {
       // No backward neighbors, but the candidate space bounds u directly.
@@ -225,6 +303,7 @@ void Enumerator::RunCompute(size_t op_index) {
 
 void Enumerator::RunMaterialize(size_t op_index) {
   const int u = plan_.sigma[op_index].vertex;
+  ScopedOpSpan span(trace_root_, "MAT", u);
 
   // Symmetry-breaking window: v must lie in [lo, hi).
   VertexID lo = 0;

@@ -10,6 +10,7 @@
 #include "engine/visitors.h"
 #include "graph/graph.h"
 #include "intersect/set_intersection.h"
+#include "obs/metrics.h"
 #include "plan/plan.h"
 
 namespace light {
@@ -60,7 +61,11 @@ class Enumerator {
   uint64_t Enumerate(MatchVisitor* visitor);
 
   /// Processes a single root binding pi[1] -> v. Does not reset stats;
-  /// the parallel runtime drives this from its task loop.
+  /// the parallel runtime drives this from its task loop. When the global
+  /// metrics registry is armed (obs::SetMetricsEnabled), batched
+  /// "engine.roots_done"/"engine.matches_found" counters are published;
+  /// when the global tracer is armed, sampled roots get "root" spans with
+  /// nested COMP/MAT spans. Both cost two relaxed loads when disarmed.
   void RunRoot(VertexID v);
 
   /// Processes roots in [begin, end). Does not reset stats.
@@ -91,9 +96,16 @@ class Enumerator {
   EngineStats* mutable_stats() { return &stats_; }
   void ResetStats();
 
+  /// Publishes any batched observability counters to the registry. Called
+  /// automatically at the end of Count/Enumerate/RunRootRange; the parallel
+  /// runtime calls it after each drained root range so progress readers see
+  /// fresh values.
+  void FlushObsCounters();
+
   const ExecutionPlan& plan() const { return plan_; }
 
  private:
+  void RunRootImpl(VertexID v);
   void Run(size_t op_index);
   void RunCompute(size_t op_index);
   void RunMaterialize(size_t op_index);
@@ -129,6 +141,17 @@ class Enumerator {
 
   MatchVisitor* visitor_ = nullptr;
   EngineStats stats_;
+
+  // Observability (src/obs). Registry pointers are resolved once in the
+  // constructor; per-root increments accumulate locally and flush every 64
+  // roots so the armed path stays as cheap as the disarmed one.
+  obs::Counter* obs_roots_counter_ = nullptr;
+  obs::Counter* obs_matches_counter_ = nullptr;
+  obs::Histogram* obs_root_ns_hist_ = nullptr;
+  uint64_t obs_pending_roots_ = 0;
+  uint64_t obs_pending_matches_ = 0;
+  bool trace_root_ = false;  // current root is trace-sampled
+
   Timer timer_;
   double time_limit_seconds_ = std::numeric_limits<double>::infinity();
   uint32_t deadline_ticks_ = 0;

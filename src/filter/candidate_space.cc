@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace light {
 
@@ -57,6 +58,7 @@ bool PassesNlf(const Graph& graph, const std::vector<uint32_t>& labels,
 CandidateSpace BuildCandidateSpace(const Graph& graph, const Pattern& pattern,
                                    const std::vector<uint32_t>* data_labels,
                                    const CandidateSpaceOptions& options) {
+  obs::TraceSpan span("candidate_filter");
   const int n = pattern.NumVertices();
   CandidateSpace space;
   space.candidates.resize(static_cast<size_t>(n));

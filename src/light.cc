@@ -23,13 +23,30 @@ double Limit(const CountOptions& options) {
              : std::numeric_limits<double>::infinity();
 }
 
+/// Metadata + graph dimensions common to every report path.
+void FillReportContext(const Graph& graph, const ExecutionPlan& plan,
+                       const EngineStats& stats, obs::RunReport* report) {
+  *report = obs::RunReport();
+  report->tool = "light::CountSubgraphs";
+  report->algorithm = "light";
+  report->graph_vertices = graph.NumVertices();
+  report->graph_edges = graph.NumEdges();
+  obs::FillFromEngine(plan, stats, report);
+  obs::SnapshotCounters(report);
+}
+
 }  // namespace
 
 CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
                            const CountOptions& options) {
-  const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
-  const ExecutionPlan plan =
-      BuildPlan(pattern, graph, stats, MakePlanOptions(options));
+  const GraphStats stats = [&] {
+    obs::TraceSpan span("graph_stats");
+    return ComputeGraphStats(graph, /*count_triangles=*/true);
+  }();
+  const ExecutionPlan plan = [&] {
+    obs::TraceSpan span("build_plan");
+    return BuildPlan(pattern, graph, stats, MakePlanOptions(options));
+  }();
   CountResult result;
   if (options.threads == 1) {
     Enumerator enumerator(graph, plan, options.data_labels);
@@ -37,6 +54,12 @@ CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
     result.num_matches = enumerator.Count();
     result.elapsed_seconds = enumerator.stats().elapsed_seconds;
     result.timed_out = enumerator.stats().timed_out;
+    if (options.report != nullptr) {
+      FillReportContext(graph, plan, enumerator.stats(), options.report);
+      options.report->summary.threads_configured = 1;
+      options.report->summary.threads_used = 1;
+      options.report->summary.load_imbalance = 1.0;
+    }
     return result;
   }
   ParallelOptions popts;
@@ -47,6 +70,12 @@ CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
   result.num_matches = presult.num_matches;
   result.elapsed_seconds = presult.elapsed_seconds;
   result.timed_out = presult.timed_out;
+  if (options.report != nullptr) {
+    FillReportContext(graph, plan, presult.stats, options.report);
+    options.report->elapsed_seconds = presult.elapsed_seconds;
+    options.report->workers = presult.workers;
+    options.report->summary = obs::SummarizeWorkers(presult.workers);
+  }
   return result;
 }
 
@@ -54,14 +83,23 @@ CountResult EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
                                MatchVisitor* visitor,
                                const CountOptions& options) {
   const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
-  const ExecutionPlan plan =
-      BuildPlan(pattern, graph, stats, MakePlanOptions(options));
+  const ExecutionPlan plan = [&] {
+    obs::TraceSpan span("build_plan");
+    return BuildPlan(pattern, graph, stats, MakePlanOptions(options));
+  }();
   Enumerator enumerator(graph, plan, options.data_labels);
   enumerator.SetTimeLimit(Limit(options));
   CountResult result;
   result.num_matches = enumerator.Enumerate(visitor);
   result.elapsed_seconds = enumerator.stats().elapsed_seconds;
   result.timed_out = enumerator.stats().timed_out;
+  if (options.report != nullptr) {
+    FillReportContext(graph, plan, enumerator.stats(), options.report);
+    options.report->tool = "light::EnumerateSubgraphs";
+    options.report->summary.threads_configured = 1;
+    options.report->summary.threads_used = 1;
+    options.report->summary.load_imbalance = 1.0;
+  }
   return result;
 }
 

@@ -11,6 +11,9 @@
 
 #include "engine/enumerator.h"
 #include "engine/visitors.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_io.h"
@@ -37,6 +40,11 @@ struct CountOptions {
   const std::vector<uint32_t>* data_labels = nullptr;
   /// Wall-clock budget in seconds; 0 = unlimited.
   double time_limit_seconds = 0;
+  /// Optional structured-report sink. When non-null the call fills it with
+  /// the run's engine counters, plan metadata, and (parallel runs) the
+  /// per-worker stats; serialize with report->ToJson(). Attaching a sink
+  /// adds no hot-path cost beyond the counters the engine already keeps.
+  obs::RunReport* report = nullptr;
 };
 
 struct CountResult {

@@ -1,0 +1,108 @@
+#ifndef LIGHT_OBS_JSON_H_
+#define LIGHT_OBS_JSON_H_
+
+/// Minimal JSON support for the observability layer: a streaming writer
+/// (used by RunReport::ToJson and the Chrome-trace exporter) and a small
+/// recursive-descent parser (used by the round-trip tests and by tooling
+/// that consumes run reports). Deliberately tiny — no external deps.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace light::obs {
+
+/// Streaming JSON writer with automatic comma/nesting management. Values
+/// are appended in document order; Key() must precede every value inside an
+/// object. No validation beyond nesting bookkeeping — callers own schema
+/// correctness.
+class JsonWriter {
+ public:
+  JsonWriter() { stack_.push_back(State::kTop); }
+
+  void BeginObject() { Prefix(); out_ += '{'; stack_.push_back(State::kFirst); }
+  void EndObject() { stack_.pop_back(); out_ += '}'; }
+  void BeginArray() { Prefix(); out_ += '['; stack_.push_back(State::kFirst); }
+  void EndArray() { stack_.pop_back(); out_ += ']'; }
+
+  void Key(std::string_view name) {
+    Prefix();
+    AppendQuoted(name);
+    out_ += ':';
+    stack_.push_back(State::kValue);  // next Prefix() emits no comma
+  }
+
+  void String(std::string_view value) { Prefix(); AppendQuoted(value); }
+  void Int(int64_t value) { Prefix(); out_ += std::to_string(value); }
+  void Uint(uint64_t value) { Prefix(); out_ += std::to_string(value); }
+  void Double(double value);
+  void Bool(bool value) { Prefix(); out_ += value ? "true" : "false"; }
+  void Null() { Prefix(); out_ += "null"; }
+
+  // Key/value convenience for objects.
+  void KV(std::string_view k, std::string_view v) { Key(k); String(v); }
+  void KV(std::string_view k, const char* v) { Key(k); String(v); }
+  void KV(std::string_view k, int64_t v) { Key(k); Int(v); }
+  void KV(std::string_view k, uint64_t v) { Key(k); Uint(v); }
+  void KV(std::string_view k, int v) { Key(k); Int(v); }
+  void KV(std::string_view k, double v) { Key(k); Double(v); }
+  void KV(std::string_view k, bool v) { Key(k); Bool(v); }
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  enum class State { kTop, kFirst, kNext, kValue };
+
+  void Prefix();
+  void AppendQuoted(std::string_view s);
+
+  std::string out_;
+  std::vector<State> stack_;
+};
+
+/// Parsed JSON value (object keys are sorted; duplicate keys keep the last
+/// occurrence). Numbers are stored as double plus the int64 value when the
+/// token was integral — counters survive the round trip exactly.
+struct JsonValue {
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const {
+    return type == Type::kInt || type == Type::kDouble;
+  }
+  double AsDouble() const {
+    return type == Type::kInt ? static_cast<double>(int_value) : double_value;
+  }
+  uint64_t AsUint() const {
+    return type == Type::kInt ? static_cast<uint64_t>(int_value)
+                              : static_cast<uint64_t>(double_value);
+  }
+
+  /// Object member lookup; null-typed static instance when missing.
+  const JsonValue& operator[](const std::string& key) const;
+  /// Array element; null-typed static instance when out of range.
+  const JsonValue& at(size_t i) const;
+};
+
+/// Parses `text` into `out`. Returns false (and sets *error when non-null)
+/// on malformed input. Supports the full JSON grammar except \u escapes
+/// beyond Latin-1 (sufficient for machine-generated reports).
+bool ParseJson(std::string_view text, JsonValue* out,
+               std::string* error = nullptr);
+
+}  // namespace light::obs
+
+#endif  // LIGHT_OBS_JSON_H_

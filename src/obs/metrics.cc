@@ -1,0 +1,81 @@
+#include "obs/metrics.h"
+
+namespace light::obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{false};
+std::atomic<size_t> g_next_thread_ordinal{0};
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t ThisThreadOrdinal() {
+  thread_local const size_t ordinal =
+      g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& counter : counters_) {
+    if (counter->name() == name) return counter.get();
+  }
+  counters_.push_back(std::make_unique<Counter>(std::string(name)));
+  return counters_.back().get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& histogram : histograms_) {
+    if (histogram->name() == name) return histogram.get();
+  }
+  histograms_.push_back(std::make_unique<Histogram>(std::string(name)));
+  return histograms_.back().get();
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& counter : counters_) {
+    if (counter->name() == name) return counter.get();
+  }
+  return nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& histogram : histograms_) {
+    if (histogram->name() == name) return histogram.get();
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& counter : counters_) counter->Reset();
+  for (const auto& histogram : histograms_) histogram->Reset();
+}
+
+void MetricsRegistry::ForEachCounter(
+    const std::function<void(const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& counter : counters_) fn(*counter);
+}
+
+void MetricsRegistry::ForEachHistogram(
+    const std::function<void(const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& histogram : histograms_) fn(*histogram);
+}
+
+MetricsRegistry& DefaultRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace light::obs

@@ -1,0 +1,182 @@
+#ifndef LIGHT_OBS_METRICS_H_
+#define LIGHT_OBS_METRICS_H_
+
+/// Low-overhead metrics registry: named monotonic counters and log2-bucket
+/// histograms. Hot-path increments are a single relaxed fetch-add on a
+/// cache-line-private per-thread shard; readers merge the shards. The whole
+/// subsystem is gated by a process-global enabled flag so instrumentation
+/// points cost one relaxed load when nothing is listening.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace light::obs {
+
+/// Global metrics arm switch. Default off: instrumentation points guard
+/// their registry traffic behind MetricsEnabled() (one relaxed load).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// Number of per-counter shards. Threads hash onto shards by a process-wide
+/// thread ordinal; with <= kMetricShards live threads every shard has a
+/// single writer and increments never contend.
+inline constexpr size_t kMetricShards = 64;
+
+/// Process-wide dense thread ordinal (0, 1, 2, ... in first-use order),
+/// used to pick metric shards and trace-buffer lanes.
+size_t ThisThreadOrdinal();
+
+inline size_t ThisThreadShard() {
+  return ThisThreadOrdinal() & (kMetricShards - 1);
+}
+
+/// Monotonic counter with per-thread sharded slots.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t delta = 1) {
+    cells_[ThisThreadShard()].value.fetch_add(delta,
+                                              std::memory_order_relaxed);
+  }
+
+  /// Merged value across shards (racy-by-design snapshot while writers run).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+
+  std::string name_;
+  std::array<Cell, kMetricShards> cells_;
+};
+
+/// Log-scale histogram: bucket b counts observations v with
+/// floor(log2(v)) == b - 1 (bucket 0 holds v == 0). 64 buckets cover the
+/// full uint64 range; per-thread shards keep Observe contention-free.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static size_t BucketOf(uint64_t value) {
+    return value == 0 ? 0 : 64 - static_cast<size_t>(__builtin_clzll(value));
+  }
+
+  /// Lower bound of the value range bucket b counts.
+  static uint64_t BucketLow(size_t b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+
+  void Observe(uint64_t value) {
+    Shard& shard = shards_[ThisThreadShard()];
+    shard.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    double Mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+
+  Snapshot Snap() const {
+    Snapshot snap;
+    for (const Shard& shard : shards_) {
+      for (size_t b = 0; b < kBuckets; ++b) {
+        const uint64_t n = shard.buckets[b].load(std::memory_order_relaxed);
+        snap.buckets[b] += n;
+        snap.count += n;
+      }
+      snap.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    return snap;
+  }
+
+  void Reset() {
+    for (Shard& shard : shards_) {
+      for (auto& bucket : shard.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+      shard.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+  };
+
+  std::string name_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Name -> metric registry. Registration is cold (mutex-guarded); returned
+/// pointers are stable for the registry's lifetime, so instrumentation
+/// points resolve once and increment lock-free thereafter.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Counter named lookup without creation; null when absent.
+  const Counter* FindCounter(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  /// Zeroes every metric (names stay registered).
+  void ResetAll();
+
+  /// Visits metrics in registration order (stable across a run).
+  void ForEachCounter(
+      const std::function<void(const Counter&)>& fn) const;
+  void ForEachHistogram(
+      const std::function<void(const Histogram&)>& fn) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-default registry the engine/runtime instrumentation uses.
+MetricsRegistry& DefaultRegistry();
+
+}  // namespace light::obs
+
+#endif  // LIGHT_OBS_METRICS_H_

@@ -1,0 +1,251 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace light::obs {
+
+void WorkerStats::Add(const WorkerStats& other) {
+  roots_processed += other.roots_processed;
+  ranges_popped += other.ranges_popped;
+  steals_initiated += other.steals_initiated;
+  steals_received += other.steals_received;
+  idle_ns += other.idle_ns;
+  busy_ns += other.busy_ns;
+  matches += other.matches;
+}
+
+WorkerSummary SummarizeWorkers(const std::vector<WorkerStats>& workers) {
+  WorkerSummary summary;
+  summary.threads_configured = static_cast<int>(workers.size());
+  uint64_t total_roots = 0;
+  uint64_t max_roots = 0;
+  for (const WorkerStats& w : workers) {
+    if (w.roots_processed > 0) ++summary.threads_used;
+    total_roots += w.roots_processed;
+    max_roots = std::max(max_roots, w.roots_processed);
+    summary.total_steals += w.steals_initiated;
+    summary.total_idle_ns += w.idle_ns;
+  }
+  if (!workers.empty() && total_roots > 0) {
+    const double mean = static_cast<double>(total_roots) /
+                        static_cast<double>(workers.size());
+    summary.load_imbalance = static_cast<double>(max_roots) / mean;
+  }
+  return summary;
+}
+
+namespace {
+
+void WriteUintArray(JsonWriter* w, std::string_view key,
+                    const std::vector<uint64_t>& values) {
+  w->Key(key);
+  w->BeginArray();
+  for (uint64_t v : values) w->Uint(v);
+  w->EndArray();
+}
+
+std::vector<uint64_t> ReadUintArray(const JsonValue& value) {
+  std::vector<uint64_t> out;
+  out.reserve(value.array.size());
+  for (const JsonValue& v : value.array) out.push_back(v.AsUint());
+  return out;
+}
+
+}  // namespace
+
+void FillFromEngine(const ExecutionPlan& plan, const EngineStats& stats,
+                    RunReport* report) {
+  report->engine = stats;
+  report->num_matches = stats.num_matches;
+  report->elapsed_seconds = stats.elapsed_seconds;
+  report->timed_out = stats.timed_out;
+  report->kernel = KernelName(plan.options.kernel);
+
+  std::string order;
+  for (int u : plan.pi) {
+    if (!order.empty()) order += ' ';
+    order += std::to_string(u);
+  }
+  report->plan_order = std::move(order);
+
+  std::string sigma;
+  for (const Operation& op : plan.sigma) {
+    if (!sigma.empty()) sigma += ' ';
+    sigma += op.type == OpType::kCompute ? "COMP(" : "MAT(";
+    sigma += std::to_string(op.vertex);
+    sigma += ')';
+  }
+  report->plan_sigma = std::move(sigma);
+}
+
+void SnapshotCounters(RunReport* report) {
+  report->counters.clear();
+  DefaultRegistry().ForEachCounter([report](const Counter& counter) {
+    report->counters.push_back({counter.name(), counter.Value()});
+  });
+}
+
+std::string RunReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "light.run_report.v1");
+  w.KV("tool", tool);
+  w.KV("dataset", dataset);
+  w.KV("pattern", pattern);
+  w.KV("algorithm", algorithm);
+  w.KV("kernel", kernel);
+
+  w.Key("graph");
+  w.BeginObject();
+  w.KV("vertices", graph_vertices);
+  w.KV("edges", graph_edges);
+  w.EndObject();
+
+  w.Key("plan");
+  w.BeginObject();
+  w.KV("order", plan_order);
+  w.KV("sigma", plan_sigma);
+  w.EndObject();
+
+  w.KV("num_matches", num_matches);
+  w.KV("elapsed_seconds", elapsed_seconds);
+  w.KV("timed_out", timed_out);
+
+  w.Key("engine");
+  w.BeginObject();
+  w.KV("num_partial_results", engine.num_partial_results);
+  WriteUintArray(&w, "comp_counts", engine.comp_counts);
+  WriteUintArray(&w, "mat_counts", engine.mat_counts);
+  w.KV("candidate_memory_bytes",
+       static_cast<uint64_t>(engine.candidate_memory_bytes));
+  w.Key("intersections");
+  w.BeginObject();
+  w.KV("total", engine.intersections.num_intersections);
+  w.KV("galloping", engine.intersections.num_galloping);
+  w.KV("merge", engine.intersections.num_merge);
+  w.KV("galloping_fraction", engine.intersections.GallopingFraction());
+  w.EndObject();
+  w.EndObject();
+
+  w.Key("parallel");
+  w.BeginObject();
+  w.KV("threads_configured", summary.threads_configured);
+  w.KV("threads_used", summary.threads_used);
+  w.KV("load_imbalance", summary.load_imbalance);
+  w.KV("total_steals", summary.total_steals);
+  w.KV("total_idle_ns", summary.total_idle_ns);
+  w.Key("workers");
+  w.BeginArray();
+  for (const WorkerStats& worker : workers) {
+    w.BeginObject();
+    w.KV("id", worker.worker_id);
+    w.KV("roots", worker.roots_processed);
+    w.KV("ranges", worker.ranges_popped);
+    w.KV("steals_initiated", worker.steals_initiated);
+    w.KV("steals_received", worker.steals_received);
+    w.KV("idle_ns", worker.idle_ns);
+    w.KV("busy_ns", worker.busy_ns);
+    w.KV("matches", worker.matches);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const CounterSample& sample : counters) {
+    w.KV(sample.name, sample.value);
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.Take();
+}
+
+Status RunReport::FromJson(const std::string& json, RunReport* out) {
+  JsonValue root;
+  std::string error;
+  if (!ParseJson(json, &root, &error)) {
+    return Status::InvalidArgument("bad run report JSON: " + error);
+  }
+  if (!root.is_object() ||
+      root["schema"].string_value != "light.run_report.v1") {
+    return Status::InvalidArgument("not a light.run_report.v1 document");
+  }
+  *out = RunReport();
+  out->tool = root["tool"].string_value;
+  out->dataset = root["dataset"].string_value;
+  out->pattern = root["pattern"].string_value;
+  out->algorithm = root["algorithm"].string_value;
+  out->kernel = root["kernel"].string_value;
+  out->graph_vertices = root["graph"]["vertices"].AsUint();
+  out->graph_edges = root["graph"]["edges"].AsUint();
+  out->plan_order = root["plan"]["order"].string_value;
+  out->plan_sigma = root["plan"]["sigma"].string_value;
+  out->num_matches = root["num_matches"].AsUint();
+  out->elapsed_seconds = root["elapsed_seconds"].AsDouble();
+  out->timed_out = root["timed_out"].bool_value;
+
+  const JsonValue& engine = root["engine"];
+  out->engine.num_matches = out->num_matches;
+  out->engine.num_partial_results = engine["num_partial_results"].AsUint();
+  out->engine.comp_counts = ReadUintArray(engine["comp_counts"]);
+  out->engine.mat_counts = ReadUintArray(engine["mat_counts"]);
+  out->engine.candidate_memory_bytes =
+      engine["candidate_memory_bytes"].AsUint();
+  out->engine.elapsed_seconds = out->elapsed_seconds;
+  out->engine.timed_out = out->timed_out;
+  const JsonValue& intersections = engine["intersections"];
+  out->engine.intersections.num_intersections =
+      intersections["total"].AsUint();
+  out->engine.intersections.num_galloping =
+      intersections["galloping"].AsUint();
+  out->engine.intersections.num_merge = intersections["merge"].AsUint();
+
+  const JsonValue& parallel = root["parallel"];
+  out->summary.threads_configured =
+      static_cast<int>(parallel["threads_configured"].AsUint());
+  out->summary.threads_used =
+      static_cast<int>(parallel["threads_used"].AsUint());
+  out->summary.load_imbalance = parallel["load_imbalance"].AsDouble();
+  out->summary.total_steals = parallel["total_steals"].AsUint();
+  out->summary.total_idle_ns = parallel["total_idle_ns"].AsUint();
+  for (const JsonValue& w : parallel["workers"].array) {
+    WorkerStats worker;
+    worker.worker_id = static_cast<int>(w["id"].AsUint());
+    worker.roots_processed = w["roots"].AsUint();
+    worker.ranges_popped = w["ranges"].AsUint();
+    worker.steals_initiated = w["steals_initiated"].AsUint();
+    worker.steals_received = w["steals_received"].AsUint();
+    worker.idle_ns = w["idle_ns"].AsUint();
+    worker.busy_ns = w["busy_ns"].AsUint();
+    worker.matches = w["matches"].AsUint();
+    out->workers.push_back(worker);
+  }
+
+  for (const auto& [name, value] : root["counters"].object) {
+    out->counters.push_back({name, value.AsUint()});
+  }
+  return Status::OK();
+}
+
+Status RunReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open report output " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace light::obs

@@ -1,0 +1,111 @@
+#ifndef LIGHT_OBS_REPORT_H_
+#define LIGHT_OBS_REPORT_H_
+
+/// Structured run report: everything the paper's evaluation reads off a run
+/// (|Phi_u| computation counts, intersection/kernel counters, candidate
+/// memory, per-worker balance) serialized to JSON for scripts and
+/// dashboards. See README "Observability" for the schema and
+/// EXPERIMENTS.md for the figure/table each field backs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/enumerator.h"
+
+namespace light::obs {
+
+struct JsonValue;
+
+/// Per-worker counters collected by the parallel runtime (Section VII-B's
+/// donation-based balancing made visible). idle_ns is time blocked in the
+/// task-queue Pop; steals_initiated counts half-ranges this worker donated
+/// to starving peers, steals_received counts donated ranges it picked up.
+struct WorkerStats {
+  int worker_id = 0;
+  uint64_t roots_processed = 0;
+  uint64_t ranges_popped = 0;
+  uint64_t steals_initiated = 0;
+  uint64_t steals_received = 0;
+  uint64_t idle_ns = 0;
+  uint64_t busy_ns = 0;
+  uint64_t matches = 0;
+
+  void Add(const WorkerStats& other);
+};
+
+/// Summary of the worker set, Fig. 7-style: threads_used counts workers
+/// that processed at least one root; load_imbalance is max/mean roots per
+/// configured worker (1.0 = perfectly balanced).
+struct WorkerSummary {
+  int threads_configured = 0;
+  int threads_used = 0;
+  double load_imbalance = 0.0;
+  uint64_t total_steals = 0;
+  uint64_t total_idle_ns = 0;
+};
+
+WorkerSummary SummarizeWorkers(const std::vector<WorkerStats>& workers);
+
+/// A named-counter snapshot entry (from the metrics registry).
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// The structured run report. Callers fill the metadata strings (tool,
+/// dataset, ...); the engine/runtime integration fills the rest.
+struct RunReport {
+  // Run metadata.
+  std::string tool;       // e.g. "light_cli"
+  std::string dataset;    // dataset/graph identifier
+  std::string pattern;    // pattern name or edge list
+  std::string algorithm;  // light | se | lm | msc | cfl
+  std::string kernel;     // intersection kernel name (Figure 6 labels)
+
+  // Graph metadata.
+  uint64_t graph_vertices = 0;
+  uint64_t graph_edges = 0;
+
+  // Plan metadata.
+  std::string plan_order;  // enumeration order pi, space-separated
+  std::string plan_sigma;  // execution order, e.g. "MAT(0) COMP(1) MAT(1)"
+
+  // Outcome.
+  uint64_t num_matches = 0;
+  double elapsed_seconds = 0.0;
+  bool timed_out = false;
+
+  // Engine counters (per-pattern-vertex comp/mat counts, intersection and
+  // kernel-routing stats, candidate memory — Figs. 4/5, Tables III/V).
+  EngineStats engine;
+
+  // Parallel runtime (empty for serial runs).
+  WorkerSummary summary;
+  std::vector<WorkerStats> workers;
+
+  // Metrics-registry snapshot (empty unless metrics were enabled).
+  std::vector<CounterSample> counters;
+
+  /// Pretty-printed JSON document.
+  std::string ToJson() const;
+
+  /// Inverse of ToJson (round-trip support for tests and tooling).
+  static Status FromJson(const std::string& json, RunReport* out);
+
+  Status WriteFile(const std::string& path) const;
+};
+
+/// Fills the plan/engine/outcome sections from an execution plan + merged
+/// engine stats. Worker stats, metadata strings, and counter snapshots are
+/// layered on by the caller.
+void FillFromEngine(const ExecutionPlan& plan, const EngineStats& stats,
+                    RunReport* report);
+
+/// Snapshots every counter of the default metrics registry into the report.
+void SnapshotCounters(RunReport* report);
+
+}  // namespace light::obs
+
+#endif  // LIGHT_OBS_REPORT_H_

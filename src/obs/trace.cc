@@ -1,0 +1,122 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace light::obs {
+
+void TraceBuffer::Drain(std::vector<TraceEvent>* out) const {
+  const size_t n = size();
+  const size_t capacity = events_.size();
+  // Oldest retained event: head_ - n (ring position head_ % capacity when
+  // wrapped, 0 otherwise).
+  const size_t first = (head_ - n) % capacity;
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(events_[(first + i) % capacity]);
+  }
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Start(size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
+  events_per_thread_ = events_per_thread == 0 ? 1 : events_per_thread;
+  epoch_start_ = std::chrono::steady_clock::now();
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+TraceBuffer* Tracer::ThisThreadBuffer() {
+  // TLS slot caches the buffer for (this tracer, current epoch); a Start()
+  // call invalidates it so stale buffers from a previous run are never
+  // written. Worker threads die before export; their buffers stay owned by
+  // the tracer.
+  struct Slot {
+    const Tracer* owner = nullptr;
+    uint64_t epoch = 0;
+    TraceBuffer* buffer = nullptr;
+  };
+  thread_local Slot slot;
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (slot.owner != this || slot.epoch != epoch) {
+    auto buffer = std::make_unique<TraceBuffer>(
+        static_cast<uint32_t>(ThisThreadOrdinal()), events_per_thread_);
+    slot.owner = this;
+    slot.epoch = epoch;
+    slot.buffer = buffer.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.push_back(std::move(buffer));
+  }
+  return slot.buffer;
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  // Intended after Stop() + thread join; a live writer could race the scan.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : buffers_) buffer->Drain(&events);
+  return events;
+}
+
+uint64_t Tracer::DroppedEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped = 0;
+  for (const auto& buffer : buffers_) dropped += buffer->dropped();
+  return dropped;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("displayTimeUnit", "ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.KV("name", e.name != nullptr ? e.name : "?");
+    w.KV("cat", "light");
+    w.Key("ph");
+    w.String(std::string_view(&e.phase, 1));
+    w.KV("pid", 1);
+    w.KV("tid", static_cast<int64_t>(e.tid));
+    w.KV("ts", static_cast<double>(e.ts_ns) / 1e3);  // microseconds
+    if (e.phase == 'X') {
+      w.KV("dur", static_cast<double>(e.dur_ns) / 1e3);
+    } else if (e.phase == 'i') {
+      w.KV("s", "t");  // thread-scoped instant
+    }
+    if (e.arg_name != nullptr) {
+      w.Key("args");
+      w.BeginObject();
+      w.KV(e.arg_name, e.arg);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace output " + path);
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace light::obs

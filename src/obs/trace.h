@@ -1,0 +1,171 @@
+#ifndef LIGHT_OBS_TRACE_H_
+#define LIGHT_OBS_TRACE_H_
+
+/// Scoped-span tracer writing fixed-size events into per-thread ring
+/// buffers, exportable as Chrome trace-event JSON (load the file in
+/// chrome://tracing or https://ui.perfetto.dev). Disabled tracers cost one
+/// relaxed load per instrumentation point; enabled tracers cost two clock
+/// reads plus one ring-buffer store per span, with no locks on the hot
+/// path. When a buffer wraps, the oldest events are overwritten — the
+/// export keeps the most recent window per thread.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace light::obs {
+
+/// One trace event. `name` / `arg_name` must point at string literals (or
+/// other storage outliving the tracer) — events store the pointer only.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // optional numeric payload, e.g. "v"
+  uint64_t ts_ns = 0;              // relative to Tracer::Start
+  uint64_t dur_ns = 0;             // 'X' events only
+  int64_t arg = 0;
+  uint32_t tid = 0;
+  char phase = 'X';  // 'X' = complete span, 'i' = instant event
+};
+
+/// Fixed-capacity single-writer ring buffer of trace events.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(uint32_t tid, size_t capacity)
+      : tid_(tid), events_(capacity) {}
+
+  void Emit(TraceEvent event) {
+    event.tid = tid_;
+    events_[head_ % events_.size()] = event;
+    ++head_;
+  }
+
+  uint32_t tid() const { return tid_; }
+  size_t size() const { return head_ < events_.size() ? head_ : events_.size(); }
+  uint64_t dropped() const {
+    return head_ < events_.size() ? 0 : head_ - events_.size();
+  }
+
+  /// Appends the retained events in emission order.
+  void Drain(std::vector<TraceEvent>* out) const;
+
+ private:
+  const uint32_t tid_;
+  std::vector<TraceEvent> events_;
+  uint64_t head_ = 0;
+};
+
+/// The tracer. One process-global instance (Tracer::Global()) backs the
+/// TraceSpan/TraceInstant helpers; tests may construct their own.
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& Global();
+
+  /// Arms the tracer. Buffers from a previous Start are discarded.
+  void Start(size_t events_per_thread = size_t{1} << 16);
+  void Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Roots with (root & mask) == 0 get COMP/MAT/root spans; 0 traces all.
+  uint64_t root_sample_mask() const {
+    return root_sample_mask_.load(std::memory_order_relaxed);
+  }
+  void SetRootSampleMask(uint64_t mask) {
+    root_sample_mask_.store(mask, std::memory_order_relaxed);
+  }
+
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_start_)
+            .count());
+  }
+
+  /// Records a complete ('X') event covering [ts_ns, ts_ns + dur_ns).
+  void EmitSpan(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+                const char* arg_name = nullptr, int64_t arg = 0) {
+    ThisThreadBuffer()->Emit(
+        {name, arg_name, ts_ns, dur_ns, arg, 0, 'X'});
+  }
+
+  /// Records an instant ('i') event at the current time.
+  void EmitInstant(const char* name, const char* arg_name = nullptr,
+                   int64_t arg = 0) {
+    ThisThreadBuffer()->Emit({name, arg_name, NowNs(), 0, arg, 0, 'i'});
+  }
+
+  /// All retained events merged across threads, in per-thread order.
+  std::vector<TraceEvent> Collect() const;
+  uint64_t DroppedEvents() const;
+
+  /// Chrome trace-event JSON ("traceEvents" object form; timestamps in
+  /// microseconds as the format requires).
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  TraceBuffer* ThisThreadBuffer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> root_sample_mask_{63};
+  std::atomic<uint64_t> epoch_{0};  // bumped by Start; invalidates TLS slots
+  std::chrono::steady_clock::time_point epoch_start_ =
+      std::chrono::steady_clock::now();
+  size_t events_per_thread_ = size_t{1} << 16;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+/// RAII span against the global tracer. Construction when the tracer is
+/// disabled is a single relaxed load.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* arg_name = nullptr,
+                     int64_t arg = 0) {
+    Tracer& tracer = Tracer::Global();
+    if (tracer.enabled()) {
+      name_ = name;
+      arg_name_ = arg_name;
+      arg_ = arg;
+      start_ns_ = tracer.NowNs();
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::Global();
+      tracer.EmitSpan(name_, start_ns_, tracer.NowNs() - start_ns_, arg_name_,
+                      arg_);
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  int64_t arg_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+/// Instant event against the global tracer (steal/donate markers).
+inline void TraceInstant(const char* name, const char* arg_name = nullptr,
+                         int64_t arg = 0) {
+  Tracer& tracer = Tracer::Global();
+  if (tracer.enabled()) tracer.EmitInstant(name, arg_name, arg);
+}
+
+}  // namespace light::obs
+
+#endif  // LIGHT_OBS_TRACE_H_

@@ -1,27 +1,55 @@
 #include "parallel/parallel_enumerator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/task_queue.h"
 
 namespace light {
 namespace {
 
-void WorkerLoop(const Graph& graph, const ExecutionPlan& plan,
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void WorkerLoop(int worker_id, const Graph& graph, const ExecutionPlan& plan,
                 const ParallelOptions& options,
                 const std::vector<uint32_t>* data_labels, TaskQueue* queue,
-                EngineStats* out_stats, std::mutex* out_mutex) {
+                EngineStats* out_stats, obs::WorkerStats* out_worker,
+                std::mutex* out_mutex) {
+  obs::TraceSpan worker_span("worker", "id", worker_id);
   Enumerator enumerator(graph, plan, data_labels);
   enumerator.SetTimeLimit(options.time_limit_seconds);
   enumerator.RestartClock();
+  obs::WorkerStats ws;
+  ws.worker_id = worker_id;
+  const uint64_t loop_start_ns = MonotonicNs();
   RootRange range;
   uint32_t ticks = 0;
-  while (queue->Pop(&range)) {
+  while (true) {
+    // Time blocked in Pop is idle time — including the terminal Pop where a
+    // worker that ran dry waits for its peers to finish, which is exactly
+    // the tail imbalance the per-worker stats exist to expose.
+    const uint64_t pop_start_ns = MonotonicNs();
+    const bool got_work = queue->Pop(&range);
+    ws.idle_ns += MonotonicNs() - pop_start_ns;
+    if (!got_work) break;
+    ++ws.ranges_popped;
+    if (range.donated) {
+      ++ws.steals_received;
+      obs::TraceInstant("steal", "begin", range.begin);
+    }
+    obs::TraceSpan range_span("range", "begin", range.begin);
     VertexID v = range.begin;
     while (v < range.end) {
       // Sender-initiated stealing: if peers are starving and the global
@@ -30,19 +58,26 @@ void WorkerLoop(const Graph& graph, const ExecutionPlan& plan,
           (++ticks % options.donation_check_interval) == 0 &&
           queue->IdleWorkersWaiting()) {
         const VertexID mid = v + (range.end - v) / 2;
-        queue->Push({mid, range.end});
+        queue->Push({mid, range.end, /*donated=*/true});
         range.end = mid;
+        ++ws.steals_initiated;
+        obs::TraceInstant("donate", "begin", mid);
       }
       enumerator.RunRoot(v);
       ++v;
+      ++ws.roots_processed;
       if (enumerator.Stopped()) {
         queue->Abort();
         break;
       }
       if (queue->aborted()) break;
     }
+    enumerator.FlushObsCounters();
     if (enumerator.Stopped() || queue->aborted()) break;
   }
+  ws.busy_ns = MonotonicNs() - loop_start_ns - ws.idle_ns;
+  ws.matches = enumerator.stats().num_matches;
+  *out_worker = ws;
   std::lock_guard<std::mutex> lock(*out_mutex);
   out_stats->Add(enumerator.stats());
 }
@@ -73,17 +108,20 @@ ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
 
   EngineStats merged;
   std::mutex merge_mutex;
+  std::vector<obs::WorkerStats> workers(
+      static_cast<size_t>(opts.num_threads));
   if (opts.num_threads == 1) {
-    WorkerLoop(graph, plan, opts, data_labels, &queue, &merged, &merge_mutex);
+    WorkerLoop(0, graph, plan, opts, data_labels, &queue, &merged,
+               &workers[0], &merge_mutex);
   } else {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(opts.num_threads));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(opts.num_threads));
     for (int t = 0; t < opts.num_threads; ++t) {
-      workers.emplace_back(WorkerLoop, std::cref(graph), std::cref(plan),
+      threads.emplace_back(WorkerLoop, t, std::cref(graph), std::cref(plan),
                            std::cref(opts), data_labels, &queue, &merged,
-                           &merge_mutex);
+                           &workers[static_cast<size_t>(t)], &merge_mutex);
     }
-    for (std::thread& worker : workers) worker.join();
+    for (std::thread& thread : threads) thread.join();
   }
 
   ParallelResult result;
@@ -91,7 +129,11 @@ ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
   result.num_matches = result.stats.num_matches;
   result.elapsed_seconds = timer.ElapsedSeconds();
   result.timed_out = result.stats.timed_out;
-  result.threads_used = opts.num_threads;
+  result.threads_configured = opts.num_threads;
+  const obs::WorkerSummary summary = obs::SummarizeWorkers(workers);
+  result.threads_used = summary.threads_used;
+  result.load_imbalance = summary.load_imbalance;
+  result.workers = std::move(workers);
   return result;
 }
 

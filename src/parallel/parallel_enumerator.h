@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "engine/enumerator.h"
 #include "graph/graph.h"
+#include "obs/report.h"
 #include "plan/plan.h"
 
 namespace light {
@@ -31,7 +33,15 @@ struct ParallelResult {
   EngineStats stats;  // merged across workers
   double elapsed_seconds = 0.0;
   bool timed_out = false;
+  /// Workers that actually processed at least one root (<= configured; an
+  /// oversubscribed run on a tiny graph may leave workers starved).
   int threads_used = 0;
+  int threads_configured = 0;
+  /// max/mean roots per configured worker; 1.0 = perfectly balanced
+  /// (Kimmig et al.'s load-imbalance metric).
+  double load_imbalance = 0.0;
+  /// Per-worker breakdown: roots, steals initiated/received, idle time.
+  std::vector<obs::WorkerStats> workers;
 };
 
 /// Counts all matches of the plan using `options.num_threads` workers, each

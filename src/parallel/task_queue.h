@@ -15,6 +15,9 @@ namespace light {
 struct RootRange {
   VertexID begin = 0;
   VertexID end = 0;
+  /// True when this range was donated by a busy worker (as opposed to the
+  /// bootstrap chunks); lets the receiver account it as a received steal.
+  bool donated = false;
   VertexID size() const { return end - begin; }
 };
 

@@ -38,6 +38,38 @@ TEST(FacadeTest, CountMatchesEngine) {
             a.num_matches * AutomorphismCount(p2));
 }
 
+TEST(FacadeTest, ReportSinkFilledOnCount) {
+  const Graph g = TestGraph();
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+
+  obs::RunReport serial_report;
+  CountOptions serial;
+  serial.threads = 1;
+  serial.report = &serial_report;
+  const CountResult a = CountSubgraphs(g, p2, serial);
+  EXPECT_EQ(serial_report.num_matches, a.num_matches);
+  EXPECT_EQ(serial_report.graph_vertices, g.NumVertices());
+  EXPECT_EQ(serial_report.tool, "light::CountSubgraphs");
+  EXPECT_FALSE(serial_report.plan_order.empty());
+  EXPECT_FALSE(serial_report.plan_sigma.empty());
+  EXPECT_EQ(serial_report.summary.threads_used, 1);
+
+  obs::RunReport parallel_report;
+  CountOptions parallel;
+  parallel.threads = 4;
+  parallel.report = &parallel_report;
+  CountSubgraphs(g, p2, parallel);
+  EXPECT_EQ(parallel_report.num_matches, a.num_matches);
+  EXPECT_EQ(parallel_report.summary.threads_configured, 4);
+  EXPECT_EQ(parallel_report.workers.size(), 4u);
+  uint64_t roots = 0;
+  for (const obs::WorkerStats& w : parallel_report.workers) {
+    roots += w.roots_processed;
+  }
+  EXPECT_EQ(roots, g.NumVertices());
+}
+
 TEST(FacadeTest, InducedFlagTightensCounts) {
   const Graph g = TestGraph();
   Pattern square;

@@ -1,0 +1,359 @@
+// Tests for the observability layer (src/obs): sharded counter/histogram
+// merge correctness under concurrent increments, Chrome trace-event JSON
+// schema validity, and RunReport round-trip on a real engine run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/reorder.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "parallel/parallel_enumerator.h"
+#include "pattern/catalog.h"
+#include "plan/plan.h"
+
+namespace light {
+namespace {
+
+TEST(JsonTest, WriterParserRoundTrip) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "a \"quoted\"\nstring");
+  w.KV("count", uint64_t{18446744073709551615ull});
+  w.KV("ratio", 0.25);
+  w.KV("flag", true);
+  w.Key("list");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(-2);
+  w.Null();
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.KV("x", 7);
+  w.EndObject();
+  w.EndObject();
+
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(w.str(), &v, &error)) << error << "\n" << w.str();
+  EXPECT_EQ(v["name"].string_value, "a \"quoted\"\nstring");
+  EXPECT_EQ(v["count"].AsUint(), 18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(v["ratio"].AsDouble(), 0.25);
+  EXPECT_TRUE(v["flag"].bool_value);
+  ASSERT_EQ(v["list"].array.size(), 3u);
+  EXPECT_EQ(v["list"].at(1).int_value, -2);
+  EXPECT_EQ(v["list"].at(2).type, obs::JsonValue::Type::kNull);
+  EXPECT_EQ(v["nested"]["x"].AsUint(), 7u);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  obs::JsonValue v;
+  EXPECT_FALSE(obs::ParseJson("{\"a\": }", &v));
+  EXPECT_FALSE(obs::ParseJson("[1, 2", &v));
+  EXPECT_FALSE(obs::ParseJson("{\"a\": 1} trailing", &v));
+  EXPECT_FALSE(obs::ParseJson("", &v));
+}
+
+TEST(MetricsTest, CounterMergesConcurrentIncrements) {
+  obs::Counter counter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(MetricsTest, HistogramLogBucketsAndConcurrentMerge) {
+  EXPECT_EQ(obs::Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(obs::Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(obs::Histogram::BucketOf(1024), 11u);
+  EXPECT_EQ(obs::Histogram::BucketLow(11), 1024u);
+
+  obs::Histogram histogram("test.hist");
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (uint64_t v = 0; v < 1000; ++v) histogram.Observe(v);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const obs::Histogram::Snapshot snap = histogram.Snap();
+  EXPECT_EQ(snap.count, kThreads * 1000u);
+  EXPECT_EQ(snap.sum, kThreads * (999u * 1000u / 2));
+  EXPECT_EQ(snap.buckets[0], static_cast<uint64_t>(kThreads));  // v == 0
+  // Bucket 10 counts v in [512, 1024): 488 values per thread.
+  EXPECT_EQ(snap.buckets[10], kThreads * 488u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("alpha");
+  obs::Counter* b = registry.GetCounter("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(registry.GetCounter("alpha"), a);
+  a->Inc(5);
+  EXPECT_EQ(registry.FindCounter("alpha")->Value(), 5u);
+  EXPECT_EQ(registry.FindCounter("gamma"), nullptr);
+  registry.ResetAll();
+  EXPECT_EQ(a->Value(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonSchemaIsValid) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start(/*events_per_thread=*/256);
+  {
+    obs::TraceSpan outer("outer", "v", 42);
+    obs::TraceSpan inner("inner");
+    obs::TraceInstant("marker", "begin", 7);
+  }
+  std::thread other([] {
+    obs::TraceSpan span("other_thread");
+  });
+  other.join();
+  tracer.Stop();
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(tracer.ToChromeJson(), &doc, &error)) << error;
+  const obs::JsonValue& events = doc["traceEvents"];
+  ASSERT_TRUE(events.is_array());
+  ASSERT_GE(events.array.size(), 4u);
+  std::vector<std::string> names;
+  std::vector<uint64_t> tids;
+  for (const obs::JsonValue& e : events.array) {
+    // Chrome trace-event required fields.
+    EXPECT_FALSE(e["name"].string_value.empty());
+    EXPECT_TRUE(e["ph"].string_value == "X" || e["ph"].string_value == "i")
+        << e["ph"].string_value;
+    EXPECT_TRUE(e["ts"].is_number());
+    EXPECT_EQ(e["pid"].AsUint(), 1u);
+    EXPECT_TRUE(e["tid"].is_number());
+    if (e["ph"].string_value == "X") {
+      EXPECT_TRUE(e["dur"].is_number());
+    }
+    names.push_back(e["name"].string_value);
+    tids.push_back(e["tid"].AsUint());
+  }
+  for (const char* expected : {"outer", "inner", "marker", "other_thread"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  // The spawned thread must land on its own tid.
+  EXPECT_GT(std::set<uint64_t>(tids.begin(), tids.end()).size(), 1u);
+
+  // Nesting: "inner" closes before "outer" and lies within it.
+  const auto find_event = [&](const char* name) -> const obs::JsonValue& {
+    for (const obs::JsonValue& e : events.array) {
+      if (e["name"].string_value == name) return e;
+    }
+    static const obs::JsonValue kNull;
+    return kNull;
+  };
+  const obs::JsonValue& outer = find_event("outer");
+  const obs::JsonValue& inner = find_event("inner");
+  EXPECT_LE(outer["ts"].AsDouble(), inner["ts"].AsDouble());
+  EXPECT_GE(outer["ts"].AsDouble() + outer["dur"].AsDouble(),
+            inner["ts"].AsDouble() + inner["dur"].AsDouble());
+  EXPECT_EQ(outer["args"]["v"].AsUint(), 42u);
+}
+
+TEST(TraceTest, RingBufferKeepsMostRecentEvents) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Start(/*events_per_thread=*/16);
+  for (int i = 0; i < 100; ++i) {
+    tracer.EmitSpan("e", static_cast<uint64_t>(i), 1, "i", i);
+  }
+  tracer.Stop();
+  const std::vector<obs::TraceEvent> events = tracer.Collect();
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(tracer.DroppedEvents(), 84u);
+  // The retained window is the newest 16, in emission order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg, static_cast<int64_t>(84 + i));
+  }
+}
+
+TEST(EngineStatsTest, AddToleratesMismatchedVectorSizes) {
+  // Regression: merging stats from enumerators built against patterns of
+  // different sizes (or default-constructed accumulators) must not rely on
+  // callers pre-sizing comp/mat vectors.
+  EngineStats small;
+  small.comp_counts = {1, 2};
+  small.mat_counts = {3};
+  EngineStats big;
+  big.comp_counts = {10, 20, 30, 40};
+  big.mat_counts = {50, 60, 70};
+
+  EngineStats merged;  // empty vectors
+  merged.Add(small);
+  merged.Add(big);
+  ASSERT_EQ(merged.comp_counts.size(), 4u);
+  EXPECT_EQ(merged.comp_counts[0], 11u);
+  EXPECT_EQ(merged.comp_counts[1], 22u);
+  EXPECT_EQ(merged.comp_counts[3], 40u);
+  ASSERT_EQ(merged.mat_counts.size(), 3u);
+  EXPECT_EQ(merged.mat_counts[0], 53u);
+  EXPECT_EQ(merged.mat_counts[2], 70u);
+
+  // Adding a smaller vector into a larger accumulator keeps the tail.
+  big.Add(small);
+  ASSERT_EQ(big.comp_counts.size(), 4u);
+  EXPECT_EQ(big.comp_counts[0], 11u);
+  EXPECT_EQ(big.comp_counts[3], 40u);
+}
+
+TEST(RunReportTest, RoundTripOnTriangleRun) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(1500, 6, /*seed=*/7));
+  Pattern triangle;
+  ASSERT_TRUE(FindPattern("triangle", &triangle).ok());
+  const ExecutionPlan plan =
+      BuildPlan(triangle, ComputeGraphStats(g, true), PlanOptions::Light());
+
+  obs::SetMetricsEnabled(true);
+  obs::DefaultRegistry().ResetAll();
+  ParallelOptions options;
+  options.num_threads = 3;
+  const ParallelResult result = ParallelCount(g, plan, options);
+  obs::SetMetricsEnabled(false);
+  ASSERT_GT(result.num_matches, 0u);
+
+  obs::RunReport report;
+  report.tool = "obs_test";
+  report.dataset = "ba1500";
+  report.pattern = "triangle";
+  report.algorithm = "light";
+  report.graph_vertices = g.NumVertices();
+  report.graph_edges = g.NumEdges();
+  obs::FillFromEngine(plan, result.stats, &report);
+  report.workers = result.workers;
+  report.summary = obs::SummarizeWorkers(result.workers);
+  obs::SnapshotCounters(&report);
+
+  const std::string json = report.ToJson();
+  obs::RunReport parsed;
+  ASSERT_TRUE(obs::RunReport::FromJson(json, &parsed).ok()) << json;
+
+  EXPECT_EQ(parsed.tool, report.tool);
+  EXPECT_EQ(parsed.dataset, report.dataset);
+  EXPECT_EQ(parsed.pattern, report.pattern);
+  EXPECT_EQ(parsed.kernel, report.kernel);
+  EXPECT_EQ(parsed.plan_order, report.plan_order);
+  EXPECT_EQ(parsed.plan_sigma, report.plan_sigma);
+  EXPECT_EQ(parsed.num_matches, result.num_matches);
+  EXPECT_EQ(parsed.graph_vertices, g.NumVertices());
+  EXPECT_EQ(parsed.engine.comp_counts, report.engine.comp_counts);
+  EXPECT_EQ(parsed.engine.mat_counts, report.engine.mat_counts);
+  EXPECT_EQ(parsed.engine.intersections.num_intersections,
+            report.engine.intersections.num_intersections);
+  EXPECT_EQ(parsed.summary.threads_configured, 3);
+  EXPECT_EQ(parsed.summary.threads_used, report.summary.threads_used);
+  ASSERT_EQ(parsed.workers.size(), report.workers.size());
+  for (size_t i = 0; i < parsed.workers.size(); ++i) {
+    EXPECT_EQ(parsed.workers[i].roots_processed,
+              report.workers[i].roots_processed);
+    EXPECT_EQ(parsed.workers[i].steals_initiated,
+              report.workers[i].steals_initiated);
+    EXPECT_EQ(parsed.workers[i].idle_ns, report.workers[i].idle_ns);
+    EXPECT_EQ(parsed.workers[i].matches, report.workers[i].matches);
+  }
+
+  // Counter snapshot round-trips as a set (FromJson sorts by name).
+  auto sorted = [](std::vector<obs::CounterSample> samples) {
+    std::sort(samples.begin(), samples.end(),
+              [](const auto& a, const auto& b) { return a.name < b.name; });
+    return samples;
+  };
+  const auto expected = sorted(report.counters);
+  const auto actual = sorted(parsed.counters);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual[i].name, expected[i].name);
+    EXPECT_EQ(actual[i].value, expected[i].value);
+  }
+
+  // The engine's registry counters saw every root and every match.
+  const obs::Counter* roots =
+      obs::DefaultRegistry().FindCounter("engine.roots_done");
+  ASSERT_NE(roots, nullptr);
+  EXPECT_EQ(roots->Value(), g.NumVertices());
+  const obs::Counter* matches =
+      obs::DefaultRegistry().FindCounter("engine.matches_found");
+  ASSERT_NE(matches, nullptr);
+  EXPECT_EQ(matches->Value(), result.num_matches);
+}
+
+TEST(RunReportTest, EngineTraceProducesValidChromeTrace) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(800, 5, /*seed=*/11));
+  Pattern p1;
+  ASSERT_TRUE(FindPattern("P1", &p1).ok());
+  const ExecutionPlan plan =
+      BuildPlan(p1, ComputeGraphStats(g, true), PlanOptions::Light());
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.SetRootSampleMask(15);  // every 16th root
+  tracer.Start();
+  ParallelOptions options;
+  options.num_threads = 2;
+  ParallelCount(g, plan, options);
+  tracer.Stop();
+  tracer.SetRootSampleMask(63);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(tracer.ToChromeJson(), &doc, &error)) << error;
+  size_t roots = 0;
+  size_t comps = 0;
+  size_t mats = 0;
+  size_t workers = 0;
+  for (const obs::JsonValue& e : doc["traceEvents"].array) {
+    const std::string& name = e["name"].string_value;
+    roots += name == "root";
+    comps += name == "COMP";
+    mats += name == "MAT";
+    workers += name == "worker";
+  }
+  EXPECT_GT(roots, 0u);
+  EXPECT_GT(comps, 0u);
+  EXPECT_GT(mats, 0u);
+  EXPECT_EQ(workers, 2u);
+}
+
+TEST(SummarizeWorkersTest, ComputesImbalanceAndUsage) {
+  std::vector<obs::WorkerStats> workers(4);
+  workers[0].roots_processed = 100;
+  workers[1].roots_processed = 300;
+  workers[2].roots_processed = 0;
+  workers[3].roots_processed = 0;
+  workers[0].steals_initiated = 2;
+  workers[1].idle_ns = 50;
+  const obs::WorkerSummary summary = obs::SummarizeWorkers(workers);
+  EXPECT_EQ(summary.threads_configured, 4);
+  EXPECT_EQ(summary.threads_used, 2);
+  // max = 300, mean = 100 -> imbalance 3.0.
+  EXPECT_DOUBLE_EQ(summary.load_imbalance, 3.0);
+  EXPECT_EQ(summary.total_steals, 2u);
+  EXPECT_EQ(summary.total_idle_ns, 50u);
+}
+
+}  // namespace
+}  // namespace light

@@ -6,11 +6,13 @@
 //   light_cli --dataset lj_s --scale 0.5 --pattern P6 --show-plan
 //   light_cli --dataset yt_s --pattern P1 --algorithm seed|crystal|eh|cfl
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <string>
+#include <thread>
 
 #include "baselines/cfl_like.h"
 #include "baselines/eh_like.h"
@@ -21,6 +23,9 @@
 #include "graph/graph_stats.h"
 #include "graph/reorder.h"
 #include "join/bsp_engine.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "parallel/parallel_enumerator.h"
 #include "pattern/catalog.h"
 #include "pattern/parse.h"
@@ -42,12 +47,31 @@ void Usage() {
   --time-limit SEC   abort after SEC seconds
   --no-symmetry      count all matches instead of unique subgraphs
   --show-plan        print the compiled execution plan
+
+observability (README "Observability"):
+  --metrics-json PATH  write a structured JSON run report (per-vertex
+                       comp/mat counts, per-worker steal/idle stats,
+                       intersection kernel counters)
+  --trace-out PATH     write a Chrome trace-event file; open it in
+                       chrome://tracing or https://ui.perfetto.dev
+  --trace-sample N     trace every Nth root (power of two, default 64)
+  --progress           print periodic roots/matches/ETA to stderr
 )");
 }
 
+// Accepts both "--flag value" and "--flag=value". A value-taking flag with
+// no value (trailing "--flag") is a usage error, not a silent no-op.
 const char* FlagValue(int argc, char** argv, const char* name) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  const size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      if (i + 1 < argc) return argv[i + 1];
+      std::fprintf(stderr, "error: %s requires a value\n", name);
+      std::exit(1);
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
   }
   return nullptr;
 }
@@ -58,6 +82,58 @@ bool FlagSet(int argc, char** argv, const char* name) {
   }
   return false;
 }
+
+/// Periodic roots-done / matches-so-far / ETA ticker driven by the metrics
+/// registry counters the engine publishes. Costs nothing when not started.
+class ProgressMeter {
+ public:
+  void Start(uint64_t total_roots) {
+    total_roots_ = total_roots;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Stop() {
+    if (!thread_.joinable()) return;
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    std::fprintf(stderr, "\n");
+  }
+
+ private:
+  void Loop() {
+    light::obs::MetricsRegistry& registry = light::obs::DefaultRegistry();
+    const light::obs::Counter* roots = registry.GetCounter("engine.roots_done");
+    const light::obs::Counter* matches =
+        registry.GetCounter("engine.matches_found");
+    light::Timer timer;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      const uint64_t done = roots->Value();
+      const uint64_t found = matches->Value();
+      const double elapsed = timer.ElapsedSeconds();
+      std::string eta = "?";
+      if (done > 0 && done <= total_roots_) {
+        eta = light::FormatSeconds(
+            elapsed * static_cast<double>(total_roots_ - done) /
+            static_cast<double>(done));
+      }
+      std::fprintf(stderr,
+                   "\rprogress: roots %llu/%llu (%.1f%%)  matches=%llu  "
+                   "eta=%s   ",
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total_roots_),
+                   total_roots_ > 0
+                       ? 100.0 * static_cast<double>(done) /
+                             static_cast<double>(total_roots_)
+                       : 0.0,
+                   static_cast<unsigned long long>(found), eta.c_str());
+    }
+  }
+
+  uint64_t total_roots_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -127,6 +203,29 @@ int main(int argc, char** argv) {
                                 : std::numeric_limits<double>::infinity();
   const bool symmetry = !FlagSet(argc, argv, "--no-symmetry");
 
+  // Observability wiring: all of it is off (and near-free) by default.
+  const char* metrics_json = FlagValue(argc, argv, "--metrics-json");
+  const char* trace_out = FlagValue(argc, argv, "--trace-out");
+  const char* trace_sample = FlagValue(argc, argv, "--trace-sample");
+  const bool progress = FlagSet(argc, argv, "--progress");
+  if (trace_out != nullptr) {
+    if (trace_sample != nullptr) {
+      const long n = std::atol(trace_sample);
+      if (n < 1 || (n & (n - 1)) != 0) {
+        std::fprintf(stderr, "error: --trace-sample must be a power of two\n");
+        return 1;
+      }
+      obs::Tracer::Global().SetRootSampleMask(static_cast<uint64_t>(n) - 1);
+    }
+    obs::Tracer::Global().Start();
+  }
+  if (metrics_json != nullptr || progress) {
+    obs::DefaultRegistry().ResetAll();
+    obs::SetMetricsEnabled(true);
+  }
+  ProgressMeter meter;
+  if (progress) meter.Start(graph.NumVertices());
+
   IntersectKernel kernel = IntersectKernel::kHybridAvx2;
   if (!KernelAvailable(kernel)) kernel = IntersectKernel::kHybrid;
   if (kernel_name != nullptr) {
@@ -149,6 +248,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A requested sink (--metrics-json/--trace-out) that cannot be written is
+  // a failed run for the script consuming it, even when the count succeeds.
+  bool sink_error = false;
+
+  // Flushes the trace file (when requested) once the run is over.
+  auto write_trace = [&]() {
+    if (trace_out == nullptr) return;
+    obs::Tracer::Global().Stop();
+    if (Status s = obs::Tracer::Global().WriteChromeJson(trace_out); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      sink_error = true;
+    } else {
+      std::fprintf(stderr, "trace written to %s (%llu events dropped)\n",
+                   trace_out,
+                   static_cast<unsigned long long>(
+                       obs::Tracer::Global().DroppedEvents()));
+    }
+  };
+
   // Distributed-baseline simulators.
   if (algo == "seed" || algo == "crystal" || algo == "eh") {
     BspOptions options;
@@ -160,13 +278,21 @@ int main(int argc, char** argv) {
                                  : algo == "crystal"
                                        ? RunCrystalLike(graph, pattern, options)
                                        : RunEhLike(graph, pattern, options);
+    meter.Stop();
+    write_trace();
+    if (metrics_json != nullptr) {
+      std::fprintf(stderr,
+                   "warning: --metrics-json is not supported for the BSP "
+                   "baseline simulators\n");
+    }
     std::printf("%s-like: %s matches=%llu cpu=%s io=%s peak=%.1f MB\n",
                 algo.c_str(), result.Outcome().c_str(),
                 static_cast<unsigned long long>(result.num_matches),
                 FormatSeconds(result.cpu_seconds).c_str(),
                 FormatSeconds(result.simulated_io_seconds).c_str(),
                 static_cast<double>(result.peak_bytes) / (1024.0 * 1024.0));
-    return result.status.ok() ? 0 : 2;
+    if (!result.status.ok()) return 2;
+    return sink_error ? 1 : 0;
   }
 
   PlanOptions options;
@@ -188,26 +314,65 @@ int main(int argc, char** argv) {
     std::printf("%s", plan.ToString().c_str());
   }
 
+  // Shared metadata for --metrics-json.
+  obs::RunReport report;
+  report.tool = "light_cli";
+  report.dataset = dataset != nullptr ? dataset : graph_path;
+  report.pattern = pattern_name;
+  report.algorithm = algo;
+  report.graph_vertices = graph.NumVertices();
+  report.graph_edges = graph.NumEdges();
+
+  auto write_report = [&]() {
+    if (metrics_json == nullptr) return;
+    obs::SnapshotCounters(&report);
+    if (Status s = report.WriteFile(metrics_json); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      sink_error = true;
+    } else {
+      std::fprintf(stderr, "run report written to %s\n", metrics_json);
+    }
+  };
+
   const int threads = threads_str != nullptr ? std::atoi(threads_str) : 1;
   if (threads > 1) {
     ParallelOptions parallel;
     parallel.num_threads = threads;
     parallel.time_limit_seconds = time_limit;
     const ParallelResult result = ParallelCount(graph, plan, parallel);
-    std::printf("%s x%d: %s matches=%llu time=%s intersections=%llu\n",
-                algo.c_str(), result.threads_used,
-                result.timed_out ? "OOT" : "OK",
-                static_cast<unsigned long long>(result.num_matches),
-                FormatSeconds(result.elapsed_seconds).c_str(),
-                static_cast<unsigned long long>(
-                    result.stats.intersections.num_intersections));
-    return result.timed_out ? 2 : 0;
+    meter.Stop();
+    obs::FillFromEngine(plan, result.stats, &report);
+    report.elapsed_seconds = result.elapsed_seconds;
+    report.workers = result.workers;
+    report.summary = obs::SummarizeWorkers(result.workers);
+    write_report();
+    write_trace();
+    std::printf(
+        "%s x%d/%d: %s matches=%llu time=%s intersections=%llu "
+        "steals=%llu imbalance=%.2f\n",
+        algo.c_str(), result.threads_used, result.threads_configured,
+        result.timed_out ? "OOT" : "OK",
+        static_cast<unsigned long long>(result.num_matches),
+        FormatSeconds(result.elapsed_seconds).c_str(),
+        static_cast<unsigned long long>(
+            result.stats.intersections.num_intersections),
+        static_cast<unsigned long long>(report.summary.total_steals),
+        result.load_imbalance);
+    if (result.timed_out) return 2;
+    return sink_error ? 1 : 0;
   }
 
   Enumerator enumerator(graph, plan);
   enumerator.SetTimeLimit(time_limit);
   const uint64_t matches = enumerator.Count();
+  meter.Stop();
   const EngineStats& engine_stats = enumerator.stats();
+  obs::FillFromEngine(plan, engine_stats, &report);
+  report.summary.threads_configured = 1;
+  report.summary.threads_used = 1;
+  report.summary.load_imbalance = 1.0;
+  write_report();
+  write_trace();
   std::printf("%s: %s matches=%llu time=%s intersections=%llu galloping=%.1f%%\n",
               algo.c_str(), engine_stats.timed_out ? "OOT" : "OK",
               static_cast<unsigned long long>(matches),
@@ -215,5 +380,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   engine_stats.intersections.num_intersections),
               100.0 * engine_stats.intersections.GallopingFraction());
-  return engine_stats.timed_out ? 2 : 0;
+  if (engine_stats.timed_out) return 2;
+  return sink_error ? 1 : 0;
 }
