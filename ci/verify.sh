@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # Repo verification: the tier-1 build + test sweep, the observability
-# overhead guard, and a ThreadSanitizer pass over the concurrency-heavy
-# tests (parallel runtime, sharded obs counters).
+# overhead guard, a ThreadSanitizer pass over the concurrency-heavy
+# tests (parallel runtime, sharded obs counters), and a UBSan leg that
+# runs the edge-case-heavy tests plus a 60-second differential fuzz
+# smoke under -fsanitize=undefined.
 #
-# Usage: ci/verify.sh [--skip-tsan] [--skip-bench]
+# Usage: ci/verify.sh [--skip-tsan] [--skip-ubsan] [--skip-bench]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
+skip_ubsan=0
 skip_bench=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
+    --skip-ubsan) skip_ubsan=1 ;;
     --skip-bench) skip_bench=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -37,6 +41,34 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   cmake --build build-tsan -j "$(nproc)" --target parallel_test obs_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
+fi
+
+if [[ "$skip_ubsan" -eq 0 ]]; then
+  echo "==> UBSan: edge-case tests + fuzz smoke"
+  cmake -B build-ubsan -S . \
+    -DLIGHT_SANITIZE=undefined \
+    -DLIGHT_BUILD_BENCHMARKS=OFF \
+    -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-ubsan -j "$(nproc)" \
+    --target intersect_test parallel_test fuzz_test light_fuzz
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  ./build-ubsan/tests/intersect_test
+  ./build-ubsan/tests/parallel_test
+  ./build-ubsan/tests/fuzz_test
+  # Differential fuzz: LIGHT (serial + parallel) vs the baseline engines on
+  # random graphs/patterns/configs for ~60s. Divergences shrink to minimal
+  # repro artifacts; keep them for the failure report.
+  artifact_dir="build-ubsan/fuzz-artifacts"
+  mkdir -p "$artifact_dir"
+  if ! ./build-ubsan/tools/light_fuzz --smoke --artifact-dir "$artifact_dir"; then
+    echo "==> fuzz smoke FAILED; divergence artifacts:" >&2
+    for f in "$artifact_dir"/*.txt; do
+      [[ -e "$f" ]] || continue
+      echo "--- $f ---" >&2
+      cat "$f" >&2
+    done
+    exit 1
+  fi
 fi
 
 echo "==> verify OK"

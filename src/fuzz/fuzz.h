@@ -1,0 +1,142 @@
+#ifndef LIGHT_FUZZ_FUZZ_H_
+#define LIGHT_FUZZ_FUZZ_H_
+
+/// Seeded differential fuzzing of the enumeration engines (tools/light_fuzz).
+///
+/// The repo carries four independent implementations of the same counting
+/// semantics — the recursive DFS engine (serial and work-stealing parallel),
+/// the CFL-like and EH-like baselines, and the BSP join engines — which makes
+/// oracle-free differential testing possible: generate a random (graph,
+/// pattern, config) triple, run every applicable engine, and flag any
+/// disagreement in the match counts. Divergences are shrunk to a minimal
+/// edge-list + pattern + config and dumped as a self-contained artifact that
+/// `light_fuzz --replay` (or a unit test) reproduces exactly.
+///
+/// Everything is a pure function of the seed: GenerateCase(seed, i) is
+/// deterministic, so any failure reproduces from the two integers printed in
+/// the failure line.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "intersect/set_intersection.h"
+#include "parallel/parallel_enumerator.h"
+#include "pattern/pattern.h"
+
+namespace light::fuzz {
+
+/// Bounds for the random-case sampler. Defaults keep single-case runtime in
+/// the low milliseconds so a 10k-case sweep finishes in minutes.
+struct CaseLimits {
+  VertexID min_graph_vertices = 4;
+  VertexID max_graph_vertices = 48;
+  int min_pattern_vertices = 3;
+  int max_pattern_vertices = 6;
+  /// Probability that a case carries data/pattern labels. Labeled cases skip
+  /// the EH/BSP oracles (those engines are unlabeled-only).
+  double labeled_probability = 0.25;
+  /// Probability of sampling a deliberately out-of-domain ParallelOptions
+  /// field (zero donation interval, zero split size, negative chunk count):
+  /// exercises ParallelOptions::Normalized() instead of the happy path.
+  double hostile_config_probability = 0.2;
+};
+
+/// One self-contained differential test case: the exact graph (as an edge
+/// list over dense vertex IDs), the pattern (labels included), and the full
+/// engine configuration. Replaying a case requires nothing else.
+struct FuzzCase {
+  uint64_t seed = 0;  // the per-case seed GenerateCase derived everything from
+  VertexID num_vertices = 0;
+  std::vector<std::pair<VertexID, VertexID>> edges;
+  Pattern pattern;
+  std::vector<uint32_t> labels;  // per data vertex; empty = unlabeled
+  IntersectKernel kernel = IntersectKernel::kHybrid;
+  bool symmetry_breaking = true;
+  /// Sampled as-is, including out-of-domain values; every engine entry point
+  /// is expected to survive them via ParallelOptions::Normalized().
+  ParallelOptions parallel;
+
+  bool Labeled() const { return !labels.empty(); }
+  /// CSR graph over exactly num_vertices vertices (isolated tails kept).
+  Graph BuildGraph() const;
+  /// One-line summary for failure messages and progress logs.
+  std::string Describe() const;
+};
+
+/// Deterministically generates case `index` of the run seeded `run_seed`.
+FuzzCase GenerateCase(uint64_t run_seed, uint64_t index,
+                      const CaseLimits& limits = {});
+
+/// Per-engine outcome of a differential run.
+struct EngineCount {
+  std::string name;    // serial_light | serial_se | parallel | cfl | eh | ...
+  uint64_t count = 0;
+  bool skipped = false;  // engine not applicable (labeled BSP) or timed out
+  std::string note;      // reason when skipped, error text on failure
+};
+
+struct OracleOutcome {
+  std::vector<EngineCount> engines;
+  bool divergent = false;
+  /// Multi-line per-engine count table (used in artifacts and logs).
+  std::string Describe() const;
+};
+
+/// Runs every applicable engine on the case and cross-checks match counts.
+/// The serial LIGHT enumerator is the pivot; any non-skipped engine whose
+/// count differs marks the outcome divergent.
+OracleOutcome RunOracles(const FuzzCase& c);
+
+/// Shrinks `c` while `still_divergent` holds: drops edges, then vertices,
+/// then labels, then resets config fields to defaults, repeating to a fixed
+/// point. The predicate defaults to RunOracles(c).divergent; tests inject
+/// synthetic predicates to validate the shrinker itself.
+using DivergencePredicate = std::function<bool(const FuzzCase&)>;
+FuzzCase Shrink(const FuzzCase& c, const DivergencePredicate& still_divergent);
+FuzzCase Shrink(const FuzzCase& c);
+
+/// Self-contained artifact (text, "light_fuzz_artifact v1" header): the edge
+/// list, the pattern in pattern/parse.h syntax, data labels, config, and the
+/// per-engine counts observed at dump time. Parse/Format round-trip exactly.
+std::string FormatArtifact(const FuzzCase& c, const OracleOutcome& outcome);
+Status ParseArtifact(const std::string& text, FuzzCase* out);
+Status WriteArtifact(const FuzzCase& c, const OracleOutcome& outcome,
+                     const std::string& path);
+Status LoadArtifact(const std::string& path, FuzzCase* out);
+
+/// Driver configuration for RunFuzz (what tools/light_fuzz parses its flags
+/// into).
+struct FuzzOptions {
+  uint64_t seed = 1;
+  uint64_t num_cases = 1000;
+  /// Stop early after this many seconds (0 = run all num_cases). The smoke
+  /// CI leg uses this to bound the job.
+  double time_budget_seconds = 0;
+  CaseLimits limits;
+  /// Directory divergence artifacts are written into ("" = skip writing).
+  std::string artifact_dir = ".";
+  bool shrink = true;
+  /// Progress line every `progress_interval` cases to stderr (0 = silent).
+  uint64_t progress_interval = 0;
+};
+
+struct FuzzSummary {
+  uint64_t cases_run = 0;
+  uint64_t divergences = 0;
+  std::vector<std::string> artifacts;  // paths of written repro artifacts
+  double elapsed_seconds = 0;
+};
+
+/// Runs the differential sweep. Returns OK when every case agreed;
+/// Internal with a summary message when any divergence was found (the
+/// artifacts listed in `summary` hold the shrunken repros).
+Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary);
+
+}  // namespace light::fuzz
+
+#endif  // LIGHT_FUZZ_FUZZ_H_

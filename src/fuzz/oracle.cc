@@ -1,0 +1,123 @@
+#include "fuzz/fuzz.h"
+
+#include <utility>
+
+#include "baselines/cfl_like.h"
+#include "baselines/eh_like.h"
+#include "engine/enumerator.h"
+#include "graph/graph_stats.h"
+#include "join/bsp_engine.h"
+#include "plan/plan.h"
+
+namespace light::fuzz {
+namespace {
+
+// Serial reference run over an arbitrary prebuilt plan.
+EngineCount RunSerial(const std::string& name, const Graph& graph,
+                      const ExecutionPlan& plan, const FuzzCase& c) {
+  EngineCount e;
+  e.name = name;
+  Enumerator enumerator(graph, plan, c.Labeled() ? &c.labels : nullptr);
+  e.count = enumerator.Count();
+  if (enumerator.stats().timed_out) {
+    e.skipped = true;
+    e.note = "timed out";
+  }
+  return e;
+}
+
+EngineCount RunBsp(const std::string& name, const Graph& graph,
+                   const FuzzCase& c) {
+  EngineCount e;
+  e.name = name;
+  if (c.Labeled()) {
+    e.skipped = true;
+    e.note = "labeled (BSP engines are unlabeled-only)";
+    return e;
+  }
+  BspOptions options;
+  options.kernel = c.kernel;
+  options.symmetry_breaking = c.symmetry_breaking;
+  const BspResult result = name == "eh"   ? RunEhLike(graph, c.pattern, options)
+                           : name == "seed"
+                               ? RunSeedLike(graph, c.pattern, options)
+                               : RunCrystalLike(graph, c.pattern, options);
+  if (!result.status.ok()) {
+    e.skipped = true;
+    e.note = result.status.ToString();
+    return e;
+  }
+  e.count = result.num_matches;
+  return e;
+}
+
+}  // namespace
+
+std::string OracleOutcome::Describe() const {
+  std::string s;
+  for (const EngineCount& e : engines) {
+    s += "  " + e.name + ": ";
+    if (e.skipped) {
+      s += "skipped (" + e.note + ")";
+    } else {
+      s += std::to_string(e.count);
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+OracleOutcome RunOracles(const FuzzCase& c) {
+  const Graph graph = c.BuildGraph();
+  const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
+
+  PlanOptions light_options = PlanOptions::Light();
+  light_options.kernel = c.kernel;
+  light_options.symmetry_breaking = c.symmetry_breaking;
+  const ExecutionPlan light_plan =
+      BuildPlan(c.pattern, graph, stats, light_options);
+
+  OracleOutcome outcome;
+  // Pivot: the serial LIGHT engine. Every other engine must agree with it.
+  outcome.engines.push_back(RunSerial("serial_light", graph, light_plan, c));
+
+  // The SE variant exercises the eager-materialization / no-set-cover plan
+  // path with the same engine, catching planner (not engine) divergences.
+  PlanOptions se_options = PlanOptions::Se();
+  se_options.kernel = c.kernel;
+  se_options.symmetry_breaking = c.symmetry_breaking;
+  outcome.engines.push_back(RunSerial(
+      "serial_se", graph, BuildPlan(c.pattern, graph, stats, se_options), c));
+
+  {
+    EngineCount e;
+    e.name = "parallel";
+    const ParallelResult result = ParallelCount(
+        graph, light_plan, c.parallel, c.Labeled() ? &c.labels : nullptr);
+    e.count = result.num_matches;
+    if (result.timed_out) {
+      e.skipped = true;
+      e.note = "timed out";
+    }
+    outcome.engines.push_back(std::move(e));
+  }
+
+  outcome.engines.push_back(RunSerial(
+      "cfl", graph, BuildCflLikePlan(c.pattern, c.symmetry_breaking), c));
+  outcome.engines.push_back(RunBsp("eh", graph, c));
+  outcome.engines.push_back(RunBsp("seed", graph, c));
+  outcome.engines.push_back(RunBsp("crystal", graph, c));
+
+  const EngineCount& pivot = outcome.engines.front();
+  if (!pivot.skipped) {
+    for (const EngineCount& e : outcome.engines) {
+      if (!e.skipped && e.count != pivot.count) {
+        outcome.divergent = true;
+        break;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace light::fuzz

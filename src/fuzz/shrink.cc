@@ -1,0 +1,114 @@
+#include "fuzz/fuzz.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace light::fuzz {
+namespace {
+
+// Removes vertex v and renumbers every ID above it, dropping incident edges.
+FuzzCase DropVertex(const FuzzCase& c, VertexID v) {
+  FuzzCase out = c;
+  out.edges.clear();
+  for (const auto& [a, b] : c.edges) {
+    if (a == v || b == v) continue;
+    out.edges.emplace_back(a > v ? a - 1 : a, b > v ? b - 1 : b);
+  }
+  out.num_vertices = c.num_vertices - 1;
+  if (!out.labels.empty()) {
+    out.labels.erase(out.labels.begin() + v);
+  }
+  return out;
+}
+
+// One simplification sweep; returns true if `c` got smaller/simpler.
+bool ShrinkRound(FuzzCase* c, const DivergencePredicate& still_divergent) {
+  bool changed = false;
+
+  // Pass 1: drop edges one at a time (re-testing from the current state, so
+  // each accepted removal compounds).
+  for (size_t i = 0; i < c->edges.size();) {
+    FuzzCase candidate = *c;
+    candidate.edges.erase(candidate.edges.begin() + static_cast<long>(i));
+    if (still_divergent(candidate)) {
+      *c = std::move(candidate);
+      changed = true;
+    } else {
+      ++i;
+    }
+  }
+
+  // Pass 2: drop vertices (highest first so renumbering is cheap).
+  for (VertexID v = c->num_vertices; v-- > 0 && c->num_vertices > 2;) {
+    FuzzCase candidate = DropVertex(*c, v);
+    if (still_divergent(candidate)) {
+      *c = std::move(candidate);
+      changed = true;
+    }
+  }
+
+  // Pass 3: strip labels entirely if the divergence is not label-dependent.
+  if (c->Labeled()) {
+    FuzzCase candidate = *c;
+    candidate.labels.clear();
+    for (int u = 0; u < candidate.pattern.NumVertices(); ++u) {
+      candidate.pattern.SetLabel(u, 0);
+    }
+    if (still_divergent(candidate)) {
+      *c = std::move(candidate);
+      changed = true;
+    }
+  }
+
+  // Pass 4: reset config fields to defaults, one at a time, so the artifact
+  // records only the options that matter for the repro.
+  const FuzzCase defaults;
+  auto try_config = [&](auto mutate) {
+    FuzzCase candidate = *c;
+    mutate(&candidate);
+    if (still_divergent(candidate)) {
+      *c = std::move(candidate);
+      changed = true;
+    }
+  };
+  if (c->kernel != IntersectKernel::kMerge) {
+    try_config([](FuzzCase* x) { x->kernel = IntersectKernel::kMerge; });
+  }
+  if (!c->symmetry_breaking) {
+    try_config([](FuzzCase* x) { x->symmetry_breaking = true; });
+  }
+  if (c->parallel.num_threads != 1) {
+    try_config([](FuzzCase* x) { x->parallel.num_threads = 1; });
+  }
+  try_config([&](FuzzCase* x) {
+    x->parallel.min_split_size = defaults.parallel.min_split_size;
+    x->parallel.donation_check_interval =
+        defaults.parallel.donation_check_interval;
+    x->parallel.initial_chunks_per_worker =
+        defaults.parallel.initial_chunks_per_worker;
+    x->parallel.time_limit_seconds = defaults.parallel.time_limit_seconds;
+  });
+  return changed;
+}
+
+}  // namespace
+
+FuzzCase Shrink(const FuzzCase& c, const DivergencePredicate& still_divergent) {
+  FuzzCase current = c;
+  if (!still_divergent(current)) return current;  // nothing to preserve
+  // Each round strictly shrinks the case or stops; the edge/vertex counts
+  // bound the number of productive rounds, the cap bounds pathological
+  // predicates.
+  for (int round = 0; round < 64; ++round) {
+    if (!ShrinkRound(&current, still_divergent)) break;
+  }
+  return current;
+}
+
+FuzzCase Shrink(const FuzzCase& c) {
+  return Shrink(c, [](const FuzzCase& candidate) {
+    return RunOracles(candidate).divergent;
+  });
+}
+
+}  // namespace light::fuzz

@@ -17,7 +17,12 @@ size_t IntersectMultiway(std::span<const std::span<const VertexID>> sets,
   LIGHT_CHECK(k <= kMaxPatternVertices);
 
   if (k == 1) {
-    std::memcpy(out, sets[0].data(), sets[0].size() * sizeof(VertexID));
+    // memmove, not memcpy: callers may pass out == sets[0].data() (copying a
+    // set "into place"), and an empty span may carry a null data pointer —
+    // both UB with memcpy's no-overlap/non-null contract.
+    if (!sets[0].empty() && out != sets[0].data()) {
+      std::memmove(out, sets[0].data(), sets[0].size() * sizeof(VertexID));
+    }
     return sets[0].size();
   }
 

@@ -29,8 +29,6 @@ size_t MergeIntersect(const VertexID* a, size_t na, const VertexID* b,
   return n;
 }
 
-namespace {
-
 // First index in arr[start, n) whose value is >= key, found by exponential
 // probing followed by binary search. The probe makes repeated lookups with
 // ascending keys resume near the previous position (the "galloping" part).
@@ -47,8 +45,6 @@ size_t GallopLowerBound(const VertexID* arr, size_t n, size_t start,
   return static_cast<size_t>(
       std::lower_bound(arr + lo, arr + hi, key) - arr);
 }
-
-}  // namespace
 
 size_t GallopingIntersect(const VertexID* small, size_t nsmall,
                           const VertexID* large, size_t nlarge, VertexID* out) {
@@ -114,7 +110,7 @@ size_t Dispatch(const VertexID* a, size_t na, const VertexID* b, size_t nb,
       }
       return internal::GallopingIntersect(a, na, b, nb, out);
     case IntersectKernel::kBinarySearch:
-      if (stats != nullptr) ++stats->num_merge;
+      if (stats != nullptr) ++stats->num_binary_search;
       if (na > nb) {
         std::swap(a, b);
         std::swap(na, nb);

@@ -33,14 +33,16 @@ inline constexpr double kHybridSkewThreshold = 50.0;
 /// Counters behind Figure 5 (number of set intersections) and Table III
 /// (percentage of Galloping searches). Kept per worker, merged at the end.
 struct IntersectStats {
-  uint64_t num_intersections = 0;  // pairwise intersection calls
-  uint64_t num_galloping = 0;      // calls routed to Galloping
-  uint64_t num_merge = 0;          // calls routed to Merge/BinarySearch
+  uint64_t num_intersections = 0;   // pairwise intersection calls
+  uint64_t num_galloping = 0;       // calls routed to Galloping
+  uint64_t num_merge = 0;           // calls routed to Merge
+  uint64_t num_binary_search = 0;   // calls routed to BinarySearch (CFL-style)
 
   void Add(const IntersectStats& other) {
     num_intersections += other.num_intersections;
     num_galloping += other.num_galloping;
     num_merge += other.num_merge;
+    num_binary_search += other.num_binary_search;
   }
   double GallopingFraction() const {
     return num_intersections == 0
@@ -76,6 +78,11 @@ namespace internal {
 // Scalar kernels, exposed for unit testing. All require sorted inputs.
 size_t MergeIntersect(const VertexID* a, size_t na, const VertexID* b,
                       size_t nb, VertexID* out);
+// First index in arr[start, n) whose value is >= key (exponential probe +
+// binary search); the search primitive behind GallopingIntersect. start may
+// be >= n, in which case start is returned unchanged.
+size_t GallopLowerBound(const VertexID* arr, size_t n, size_t start,
+                        VertexID key);
 size_t GallopingIntersect(const VertexID* small, size_t nsmall,
                           const VertexID* large, size_t nlarge, VertexID* out);
 size_t BinarySearchIntersect(const VertexID* small, size_t nsmall,

@@ -127,6 +127,7 @@ std::string RunReport::ToJson() const {
   w.KV("total", engine.intersections.num_intersections);
   w.KV("galloping", engine.intersections.num_galloping);
   w.KV("merge", engine.intersections.num_merge);
+  w.KV("binary_search", engine.intersections.num_binary_search);
   w.KV("galloping_fraction", engine.intersections.GallopingFraction());
   w.EndObject();
   w.EndObject();
@@ -205,6 +206,8 @@ Status RunReport::FromJson(const std::string& json, RunReport* out) {
   out->engine.intersections.num_galloping =
       intersections["galloping"].AsUint();
   out->engine.intersections.num_merge = intersections["merge"].AsUint();
+  out->engine.intersections.num_binary_search =
+      intersections["binary_search"].AsUint();
 
   const JsonValue& parallel = root["parallel"];
   out->summary.threads_configured =

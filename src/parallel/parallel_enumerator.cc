@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -84,24 +85,62 @@ void WorkerLoop(int worker_id, const Graph& graph, const ExecutionPlan& plan,
 
 }  // namespace
 
+Status ParallelOptions::Validate() const {
+  if (std::isnan(time_limit_seconds) || time_limit_seconds < 0) {
+    return Status::InvalidArgument(
+        "time_limit_seconds must be a non-negative number");
+  }
+  if (donation_check_interval == 0) {
+    return Status::InvalidArgument(
+        "donation_check_interval must be at least 1 (it is a modulus)");
+  }
+  if (min_split_size == 0) {
+    return Status::InvalidArgument("min_split_size must be at least 1");
+  }
+  if (initial_chunks_per_worker <= 0) {
+    return Status::InvalidArgument(
+        "initial_chunks_per_worker must be at least 1");
+  }
+  return Status::OK();
+}
+
+ParallelOptions ParallelOptions::Normalized() const {
+  ParallelOptions opts = *this;
+  if (opts.num_threads <= 0) {
+    // hardware_concurrency() is unsigned and may exceed INT_MAX in theory;
+    // clamp through int64 instead of assigning unsigned to int directly.
+    const int64_t hw =
+        static_cast<int64_t>(std::thread::hardware_concurrency());
+    opts.num_threads = static_cast<int>(
+        std::clamp<int64_t>(hw, 1, std::numeric_limits<int>::max()));
+  }
+  if (std::isnan(opts.time_limit_seconds) || opts.time_limit_seconds <= 0) {
+    opts.time_limit_seconds = std::numeric_limits<double>::infinity();
+  }
+  opts.min_split_size = std::max<VertexID>(1, opts.min_split_size);
+  opts.donation_check_interval =
+      std::max<uint32_t>(1, opts.donation_check_interval);
+  opts.initial_chunks_per_worker =
+      std::max(1, opts.initial_chunks_per_worker);
+  return opts;
+}
+
 ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
                              const ParallelOptions& options,
                              const std::vector<uint32_t>* data_labels) {
-  ParallelOptions opts = options;
-  if (opts.num_threads <= 0) {
-    opts.num_threads =
-        std::max(1u, std::thread::hardware_concurrency());
-  }
+  const ParallelOptions opts = options.Normalized();
   Timer timer;
   TaskQueue queue(opts.num_threads);
 
-  // Bootstrap chunks; donation keeps the tail balanced afterwards.
+  // Bootstrap chunks; donation keeps the tail balanced afterwards. The
+  // chunk product stays in 64 bits: num_threads * chunks_per_worker can
+  // overflow int for adversarial configs.
   const VertexID n = graph.NumVertices();
-  const int chunks =
-      std::max(1, opts.num_threads * opts.initial_chunks_per_worker);
-  const VertexID step =
-      std::max<VertexID>(1, (n + static_cast<VertexID>(chunks) - 1) /
-                                static_cast<VertexID>(chunks));
+  const int64_t chunks =
+      std::max<int64_t>(1, static_cast<int64_t>(opts.num_threads) *
+                               opts.initial_chunks_per_worker);
+  const VertexID step = static_cast<VertexID>(
+      std::max<int64_t>(1, (static_cast<int64_t>(n) + chunks - 1) / chunks));
   for (VertexID begin = 0; begin < n; begin += step) {
     queue.Push({begin, std::min<VertexID>(n, begin + step)});
   }

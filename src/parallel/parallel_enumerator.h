@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/status.h"
 #include "engine/enumerator.h"
 #include "graph/graph.h"
 #include "obs/report.h"
@@ -26,6 +27,22 @@ struct ParallelOptions {
   /// Number of initial chunks per worker seeded into the queue before
   /// donation takes over (bootstrap only; balancing is donation-driven).
   int initial_chunks_per_worker = 4;
+
+  /// Rejects configurations outside the documented domain: NaN or negative
+  /// time limits, a zero donation interval (the donation tick is a modulus),
+  /// a zero split size, or non-positive chunk counts. Callers that surface
+  /// user input (CLI, fuzz harness, services) should Validate and report;
+  /// Normalized() silently clamps the same fields for callers that just want
+  /// a safe run.
+  Status Validate() const;
+
+  /// Returns a copy with every field forced into its valid domain:
+  /// num_threads <= 0 resolves to the hardware concurrency,
+  /// donation_check_interval == 0 and min_split_size == 0 clamp to 1,
+  /// initial_chunks_per_worker <= 0 clamps to 1, and NaN/negative time
+  /// limits become unlimited. ParallelCount applies this internally, so a
+  /// fuzz-found bad config degrades to a defined run instead of UB.
+  ParallelOptions Normalized() const;
 };
 
 struct ParallelResult {

@@ -143,6 +143,101 @@ TEST(HybridRoutingTest, ThresholdBoundary) {
   EXPECT_EQ(stats.num_galloping, 1u);
 }
 
+TEST(HybridRoutingTest, BinarySearchCountsInItsOwnCounter) {
+  // Regression: kBinarySearch used to increment num_merge, corrupting the
+  // Table III style routing breakdown for CFL-like runs.
+  IntersectStats stats;
+  const auto a = RandomSortedSet(100, 1000, 1);
+  const auto b = RandomSortedSet(100, 1000, 2);
+  std::vector<VertexID> out(100);
+  IntersectSorted(a, b, out.data(), IntersectKernel::kBinarySearch, &stats);
+  EXPECT_EQ(stats.num_binary_search, 1u);
+  EXPECT_EQ(stats.num_merge, 0u);
+  EXPECT_EQ(stats.num_galloping, 0u);
+  EXPECT_EQ(stats.num_intersections, 1u);
+
+  IntersectStats merged;
+  merged.Add(stats);
+  merged.Add(stats);
+  EXPECT_EQ(merged.num_binary_search, 2u);
+}
+
+TEST(GallopLowerBoundTest, EdgeCases) {
+  const std::vector<VertexID> arr = {2, 4, 6, 8, 10};
+  const VertexID* p = arr.data();
+  const size_t n = arr.size();
+  // start >= n returns start untouched (empty suffix), including on an
+  // empty array.
+  EXPECT_EQ(internal::GallopLowerBound(p, n, n, 5), n);
+  EXPECT_EQ(internal::GallopLowerBound(p, n, n + 3, 5), n + 3);
+  EXPECT_EQ(internal::GallopLowerBound(nullptr, 0, 0, 5), 0u);
+  // Key below the first element: no probe needed.
+  EXPECT_EQ(internal::GallopLowerBound(p, n, 0, 1), 0u);
+  // Key past the end gallops off the array and stops at n.
+  EXPECT_EQ(internal::GallopLowerBound(p, n, 0, 11), n);
+  // Exact hits at both array boundaries.
+  EXPECT_EQ(internal::GallopLowerBound(p, n, 0, 2), 0u);
+  EXPECT_EQ(internal::GallopLowerBound(p, n, 0, 10), n - 1);
+  // Between elements, resuming from a nonzero start.
+  EXPECT_EQ(internal::GallopLowerBound(p, n, 1, 7), 3u);
+  // start already past the key's position returns start (contract: resume
+  // positions only move forward).
+  EXPECT_EQ(internal::GallopLowerBound(p, n, 4, 3), 4u);
+}
+
+TEST(GallopingIntersectTest, EmptyOperands) {
+  const std::vector<VertexID> a = {1, 2, 3};
+  std::vector<VertexID> out(4, 0xDEADBEEF);
+  EXPECT_EQ(internal::GallopingIntersect(nullptr, 0, a.data(), a.size(),
+                                         out.data()),
+            0u);
+  EXPECT_EQ(internal::GallopingIntersect(a.data(), a.size(), nullptr, 0,
+                                         out.data()),
+            0u);
+  EXPECT_EQ(internal::GallopingIntersect(nullptr, 0, nullptr, 0, out.data()),
+            0u);
+}
+
+TEST(GallopingIntersectTest, BoundaryRuns) {
+  // Matches concentrated at the very start and very end of the large array,
+  // with the small array's last key past the large array's end.
+  const std::vector<VertexID> small = {0, 99, 1000};
+  std::vector<VertexID> large;
+  for (VertexID i = 0; i < 100; ++i) large.push_back(i);
+  std::vector<VertexID> out(3, 0xDEADBEEF);
+  const size_t n = internal::GallopingIntersect(
+      small.data(), small.size(), large.data(), large.size(), out.data());
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 99u);
+}
+
+TEST(MultiwayTest, SingleOperandAliasedOutput) {
+  // k == 1 copies sets[0] into out; callers may pass out == sets[0].data()
+  // ("copy into place"), which the old memcpy made UB.
+  std::vector<VertexID> a = RandomSortedSet(64, 300, 9);
+  const std::vector<VertexID> original = a;
+  std::vector<VertexID> scratch(a.size());
+  std::array<std::span<const VertexID>, 1> sets = {std::span(a)};
+  const size_t n = IntersectMultiway(sets, a.data(), scratch.data(),
+                                     IntersectKernel::kHybrid);
+  EXPECT_EQ(n, original.size());
+  EXPECT_EQ(a, original);
+}
+
+TEST(MultiwayTest, SingleEmptyOperand) {
+  // An empty span may carry a null data pointer; the k == 1 path must not
+  // hand it to memcpy.
+  std::array<std::span<const VertexID>, 1> sets = {
+      std::span<const VertexID>()};
+  std::vector<VertexID> out(4, 0xDEADBEEF);
+  std::vector<VertexID> scratch(4);
+  EXPECT_EQ(IntersectMultiway(sets, out.data(), scratch.data(),
+                              IntersectKernel::kMerge),
+            0u);
+  EXPECT_EQ(out[0], 0xDEADBEEF);  // untouched
+}
+
 TEST(StatsTest, CountsAccumulate) {
   IntersectStats stats;
   const auto a = RandomSortedSet(100, 1000, 1);

@@ -265,6 +265,8 @@ TEST(RunReportTest, RoundTripOnTriangleRun) {
   EXPECT_EQ(parsed.engine.mat_counts, report.engine.mat_counts);
   EXPECT_EQ(parsed.engine.intersections.num_intersections,
             report.engine.intersections.num_intersections);
+  EXPECT_EQ(parsed.engine.intersections.num_binary_search,
+            report.engine.intersections.num_binary_search);
   EXPECT_EQ(parsed.summary.threads_configured, 3);
   EXPECT_EQ(parsed.summary.threads_used, report.summary.threads_used);
   ASSERT_EQ(parsed.workers.size(), report.workers.size());
@@ -300,6 +302,27 @@ TEST(RunReportTest, RoundTripOnTriangleRun) {
       obs::DefaultRegistry().FindCounter("engine.matches_found");
   ASSERT_NE(matches, nullptr);
   EXPECT_EQ(matches->Value(), result.num_matches);
+}
+
+TEST(RunReportTest, BinarySearchCounterRoundTrips) {
+  obs::RunReport report;
+  report.tool = "obs_test";
+  report.engine.intersections.num_binary_search = 123;
+  report.engine.intersections.num_merge = 7;
+  obs::RunReport parsed;
+  ASSERT_TRUE(obs::RunReport::FromJson(report.ToJson(), &parsed).ok());
+  EXPECT_EQ(parsed.engine.intersections.num_binary_search, 123u);
+  EXPECT_EQ(parsed.engine.intersections.num_merge, 7u);
+
+  // Reports written before the binary_search field existed still parse,
+  // with the counter defaulting to zero.
+  const std::string old_json =
+      "{\"schema\": \"light.run_report.v1\", \"tool\": \"legacy\", "
+      "\"engine\": {\"intersections\": {\"total\": 5, \"merge\": 5}}}";
+  obs::RunReport legacy;
+  ASSERT_TRUE(obs::RunReport::FromJson(old_json, &legacy).ok());
+  EXPECT_EQ(legacy.engine.intersections.num_intersections, 5u);
+  EXPECT_EQ(legacy.engine.intersections.num_binary_search, 0u);
 }
 
 TEST(RunReportTest, EngineTraceProducesValidChromeTrace) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 
 #include "gen/generators.h"
@@ -163,6 +165,71 @@ TEST(ParallelCountTest, DefaultThreadsResolveToHardware) {
       BuildPlan(tri, ComputeGraphStats(g, true), PlanOptions::Light());
   const ParallelResult result = ParallelCount(g, plan, {});
   EXPECT_GE(result.threads_used, 1);
+}
+
+TEST(ParallelOptionsTest, ValidateFlagsEveryBadField) {
+  EXPECT_TRUE(ParallelOptions{}.Validate().ok());
+
+  ParallelOptions opts;
+  opts.donation_check_interval = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  opts = ParallelOptions{};
+  opts.min_split_size = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  opts = ParallelOptions{};
+  opts.initial_chunks_per_worker = 0;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  opts = ParallelOptions{};
+  opts.time_limit_seconds = -1.0;
+  EXPECT_FALSE(opts.Validate().ok());
+
+  opts = ParallelOptions{};
+  opts.time_limit_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(opts.Validate().ok());
+}
+
+TEST(ParallelOptionsTest, NormalizedClampsIntoValidDomain) {
+  ParallelOptions opts;
+  opts.num_threads = -4;
+  opts.donation_check_interval = 0;
+  opts.min_split_size = 0;
+  opts.initial_chunks_per_worker = -7;
+  opts.time_limit_seconds = std::numeric_limits<double>::quiet_NaN();
+  const ParallelOptions norm = opts.Normalized();
+  EXPECT_GE(norm.num_threads, 1);
+  EXPECT_EQ(norm.donation_check_interval, 1u);
+  EXPECT_EQ(norm.min_split_size, 1u);
+  EXPECT_EQ(norm.initial_chunks_per_worker, 1);
+  EXPECT_TRUE(std::isinf(norm.time_limit_seconds));
+  EXPECT_TRUE(norm.Validate().ok());
+  // An already-valid config is a fixed point.
+  const ParallelOptions valid = ParallelOptions{}.Normalized();
+  EXPECT_EQ(valid.Normalized().num_threads, valid.num_threads);
+}
+
+TEST(ParallelCountTest, ZeroDonationIntervalRegression) {
+  // donation_check_interval == 0 used to reach `++ticks % 0` in the worker
+  // loop — modulo by zero, UB (SIGFPE on x86). Normalized() now clamps it,
+  // along with the other out-of-domain fields sampled here.
+  const Graph g = RelabelByDegree(BarabasiAlbert(500, 4, /*seed=*/31));
+  Pattern tri;
+  ASSERT_TRUE(FindPattern("triangle", &tri).ok());
+  const ExecutionPlan plan =
+      BuildPlan(tri, ComputeGraphStats(g, true), PlanOptions::Light());
+  Enumerator serial(g, plan);
+  const uint64_t expected = serial.Count();
+
+  ParallelOptions options;
+  options.num_threads = 3;
+  options.donation_check_interval = 0;
+  options.min_split_size = 0;
+  options.initial_chunks_per_worker = -2;
+  const ParallelResult result = ParallelCount(g, plan, options);
+  EXPECT_EQ(result.num_matches, expected);
+  EXPECT_FALSE(result.timed_out);
 }
 
 }  // namespace
