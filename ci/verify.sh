@@ -30,6 +30,9 @@ cmake --build build -j "$(nproc)"
 if [[ "$skip_bench" -eq 0 ]]; then
   echo "==> observability overhead guard (< 3% with sinks disabled)"
   ./build/bench/bench_obs_overhead
+
+  echo "==> bitmap kernel guard (both-bitmap intersections >= 1.3x array)"
+  ./build/bench/bench_bitmap --check 1.3 --json build/bench_bitmap.jsonl
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
@@ -60,13 +63,23 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   # repro artifacts; keep them for the failure report.
   artifact_dir="build-ubsan/fuzz-artifacts"
   mkdir -p "$artifact_dir"
-  if ! ./build-ubsan/tools/light_fuzz --smoke --artifact-dir "$artifact_dir"; then
+  fuzz_log="build-ubsan/fuzz-smoke.log"
+  if ! ./build-ubsan/tools/light_fuzz --smoke --artifact-dir "$artifact_dir" \
+      | tee "$fuzz_log"; then
     echo "==> fuzz smoke FAILED; divergence artifacts:" >&2
     for f in "$artifact_dir"/*.txt; do
       [[ -e "$f" ]] || continue
       echo "--- $f ---" >&2
       cat "$f" >&2
     done
+    exit 1
+  fi
+  # The hybrid oracles must have actually routed intersections through the
+  # bitmap kernels (bitmap_cases counts cases with >= 1 bitmap-routed
+  # intersection); a zero here means the bitmap path silently went dark.
+  bitmap_cases="$(sed -n 's/.*bitmap_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
+  if [[ -z "$bitmap_cases" || "$bitmap_cases" -lt 1 ]]; then
+    echo "==> fuzz smoke exercised no bitmap-routed cases" >&2
     exit 1
   fi
 fi

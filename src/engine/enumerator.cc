@@ -141,6 +141,15 @@ uint64_t Enumerator::Enumerate(MatchVisitor* visitor) {
   return stats_.num_matches;
 }
 
+void Enumerator::SetBitmapIndex(const BitmapIndex* index) {
+  bitmap_index_ = (index != nullptr && !index->empty()) ? index : nullptr;
+  if (bitmap_index_ != nullptr) {
+    word_scratch_.assign(bitmap_index_->words(), 0);
+  } else {
+    word_scratch_.clear();
+  }
+}
+
 void Enumerator::RunRootRange(VertexID begin, VertexID end) {
   for (VertexID v = begin; v < end && !stop_; ++v) RunRoot(v);
   FlushObsCounters();
@@ -259,14 +268,21 @@ void Enumerator::RunCompute(size_t op_index) {
     return;
   }
   const Operands& ops = plan_.operands[static_cast<size_t>(u)];
-  std::array<std::span<const VertexID>, kMaxPatternVertices> sets;
+  // K1 operands are graph neighborhoods and may carry bitmap-index rows;
+  // K2 operands are earlier candidate sets and are always array-only. With
+  // no index attached every view is array-only and the multiway hybrid
+  // degenerates to the pure Algorithm 4 routing.
+  std::array<SetView, kMaxPatternVertices> sets;
   size_t k = 0;
   for (int x : ops.k1) {
-    sets[k++] = graph_.Neighbors(mapping_[static_cast<size_t>(x)]);
+    const VertexID mapped = mapping_[static_cast<size_t>(x)];
+    sets[k++] = SetView(
+        graph_.Neighbors(mapped),
+        bitmap_index_ != nullptr ? bitmap_index_->Row(mapped) : nullptr);
   }
   for (int y : ops.k2) {
-    sets[k++] = {cand_data_[static_cast<size_t>(y)],
-                 cand_size_[static_cast<size_t>(y)]};
+    sets[k++] = SetView({cand_data_[static_cast<size_t>(y)],
+                         cand_size_[static_cast<size_t>(y)]});
   }
   // NOTE: the candidate-space restriction (allowed_) is deliberately NOT an
   // intersection operand here: stored candidate sets are reused through K2
@@ -281,16 +297,17 @@ void Enumerator::RunCompute(size_t op_index) {
       data_labels_ != nullptr && plan_.pattern.Label(u) != 0;
   if (k == 1 && !filter) {
     // Single operand: alias it instead of copying (w_u = 0 intersections).
-    cand_data_[static_cast<size_t>(u)] = sets[0].data();
+    cand_data_[static_cast<size_t>(u)] = sets[0].sorted.data();
     cand_size_[static_cast<size_t>(u)] = static_cast<uint32_t>(sets[0].size());
   } else if (k == 1) {
     cand_size_[static_cast<size_t>(u)] = FilterByLabel(
-        u, sets[0].data(), static_cast<uint32_t>(sets[0].size()));
+        u, sets[0].sorted.data(), static_cast<uint32_t>(sets[0].size()));
     cand_data_[static_cast<size_t>(u)] = buffer.data();
   } else {
-    size_t size =
-        IntersectMultiway({sets.data(), k}, buffer.data(), scratch_.data(),
-                          kernel_, &stats_.intersections);
+    size_t size = IntersectMultiwayHybrid(
+        {sets.data(), k}, buffer.data(), scratch_.data(),
+        word_scratch_.empty() ? nullptr : word_scratch_.data(),
+        word_scratch_.size(), kernel_, &stats_.intersections);
     if (filter) {
       // In-place compaction over the vertex's own buffer.
       size = FilterByLabel(u, buffer.data(), static_cast<uint32_t>(size));

@@ -8,6 +8,7 @@
 #include "common/timer.h"
 #include "common/types.h"
 #include "engine/visitors.h"
+#include "graph/bitmap_index.h"
 #include "graph/graph.h"
 #include "intersect/set_intersection.h"
 #include "obs/metrics.h"
@@ -82,6 +83,14 @@ class Enumerator {
     allowed_ = allowed;
   }
 
+  /// Attaches a per-graph bitmap index (graph/bitmap_index.h): candidate
+  /// computation then routes intersections over indexed neighborhoods to the
+  /// bitmap kernels per the cost model. Null or empty detaches — the engine
+  /// falls back to the pure sorted-array path with identical results. The
+  /// index must have been built for `graph` and must outlive the enumerator;
+  /// it is read-only and safe to share across workers.
+  void SetBitmapIndex(const BitmapIndex* index);
+
   /// Wall-clock budget; when exceeded the run unwinds and stats().timed_out
   /// is set. Models the paper's OOT handling.
   void SetTimeLimit(double seconds) { time_limit_seconds_ = seconds; }
@@ -126,6 +135,8 @@ class Enumerator {
   const ExecutionPlan& plan_;
   const std::vector<uint32_t>* data_labels_;
   const std::vector<std::vector<VertexID>>* allowed_ = nullptr;
+  const BitmapIndex* bitmap_index_ = nullptr;
+  std::vector<uint64_t> word_scratch_;  // BitmapWords(|V|) when index attached
   IntersectKernel kernel_;
   size_t num_ops_ = 0;
 

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -60,6 +61,13 @@ std::string FormatArtifact(const FuzzCase& c, const OracleOutcome& outcome) {
   s << "min_split " << c.parallel.min_split_size << '\n';
   s << "donation_interval " << c.parallel.donation_check_interval << '\n';
   s << "chunks_per_worker " << c.parallel.initial_chunks_per_worker << '\n';
+  s << "bitmap_threshold ";
+  if (c.bitmap_min_degree == kBitmapDegreeNever) {
+    s << "never";
+  } else {
+    s << c.bitmap_min_degree;
+  }
+  s << '\n';
   // Observed counts are informational (ParseArtifact skips them): they record
   // what diverged at dump time without constraining the replay.
   for (const EngineCount& e : outcome.engines) {
@@ -136,6 +144,15 @@ Status ParseArtifact(const std::string& text, FuzzCase* out) {
       fields >> out->parallel.donation_check_interval;
     } else if (key == "chunks_per_worker") {
       fields >> out->parallel.initial_chunks_per_worker;
+    } else if (key == "bitmap_threshold") {
+      // Absent in pre-bitmap artifacts; the FuzzCase default ("never")
+      // replays them as pure-array runs, exactly as originally observed.
+      std::string v;
+      fields >> v;
+      out->bitmap_min_degree =
+          v == "never"
+              ? kBitmapDegreeNever
+              : static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else {
       return Status::InvalidArgument("unknown artifact key: " + key);
     }

@@ -139,6 +139,10 @@ std::string FuzzCase::Describe() const {
   s += " kernel=" + KernelName(kernel);
   s += " threads=" + std::to_string(parallel.num_threads);
   s += " sym=" + std::to_string(symmetry_breaking ? 1 : 0);
+  s += " bitmap=";
+  s += bitmap_min_degree == kBitmapDegreeNever
+           ? "never"
+           : std::to_string(bitmap_min_degree);
   s += Labeled() ? " labeled" : " unlabeled";
   return s;
 }
@@ -182,6 +186,22 @@ FuzzCase GenerateCase(uint64_t run_seed, uint64_t index,
             u, 1 + static_cast<uint32_t>(rng.NextBounded(num_labels)));
       }
     }
+  }
+
+  // Bitmap-index threshold for the hybrid oracles: ~25% always (0), ~25%
+  // never, the rest inside the sampled degree range so cases straddle the
+  // threshold — some operands bitmap-resident, some array-only. Sampled
+  // last so pre-bitmap case content is byte-identical for a given seed.
+  switch (rng.NextBounded(4)) {
+    case 0:
+      c.bitmap_min_degree = 0;
+      break;
+    case 1:
+      c.bitmap_min_degree = kBitmapDegreeNever;
+      break;
+    default:
+      c.bitmap_min_degree = 1 + static_cast<uint32_t>(rng.NextBounded(12));
+      break;
   }
   return c;
 }

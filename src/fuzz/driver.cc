@@ -17,6 +17,7 @@ Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
     const FuzzCase c = GenerateCase(options.seed, i, options.limits);
     const OracleOutcome outcome = RunOracles(c);
     ++summary->cases_run;
+    if (outcome.bitmap_routed > 0) ++summary->bitmap_routed_cases;
     if (options.progress_interval > 0 &&
         (i + 1) % options.progress_interval == 0) {
       std::fprintf(stderr, "light_fuzz: %llu/%llu cases, %llu divergences\n",

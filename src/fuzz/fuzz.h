@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "graph/bitmap_index.h"
 #include "graph/graph.h"
 #include "intersect/set_intersection.h"
 #include "parallel/parallel_enumerator.h"
@@ -60,6 +61,12 @@ struct FuzzCase {
   /// Sampled as-is, including out-of-domain values; every engine entry point
   /// is expected to survive them via ParallelOptions::Normalized().
   ParallelOptions parallel;
+  /// Bitmap-index degree threshold for the hybrid-representation oracles:
+  /// 0 = index every vertex, kBitmapDegreeNever = pure-array run (also the
+  /// default, so pre-bitmap artifacts replay unchanged). Values in between
+  /// put the threshold inside the sampled degree range, mixing bitmap rows
+  /// and array-only rows within one case.
+  uint32_t bitmap_min_degree = kBitmapDegreeNever;
 
   bool Labeled() const { return !labels.empty(); }
   /// CSR graph over exactly num_vertices vertices (isolated tails kept).
@@ -83,6 +90,10 @@ struct EngineCount {
 struct OracleOutcome {
   std::vector<EngineCount> engines;
   bool divergent = false;
+  /// Intersections the serial_bitmap engine routed to a bitmap kernel
+  /// (AND + probe); 0 when the case disabled the index or nothing was
+  /// dense enough to route.
+  uint64_t bitmap_routed = 0;
   /// Multi-line per-engine count table (used in artifacts and logs).
   std::string Describe() const;
 };
@@ -128,6 +139,9 @@ struct FuzzOptions {
 struct FuzzSummary {
   uint64_t cases_run = 0;
   uint64_t divergences = 0;
+  /// Cases where the hybrid oracle actually routed >= 1 intersection to a
+  /// bitmap kernel (CI asserts the smoke run exercises the bitmap path).
+  uint64_t bitmap_routed_cases = 0;
   std::vector<std::string> artifacts;  // paths of written repro artifacts
   double elapsed_seconds = 0;
 };

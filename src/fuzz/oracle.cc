@@ -2,11 +2,15 @@
 
 #include <utility>
 
+#include <limits>
+
 #include "baselines/cfl_like.h"
 #include "baselines/eh_like.h"
 #include "engine/enumerator.h"
+#include "graph/bitmap_index.h"
 #include "graph/graph_stats.h"
 #include "join/bsp_engine.h"
+#include "light.h"
 #include "plan/plan.h"
 
 namespace light::fuzz {
@@ -98,6 +102,81 @@ OracleOutcome RunOracles(const FuzzCase& c) {
     if (result.timed_out) {
       e.skipped = true;
       e.note = "timed out";
+    }
+    outcome.engines.push_back(std::move(e));
+  }
+
+  // Hybrid bitmap/array cross-checks: the identical plan re-run with a
+  // bitmap index attached (serial and parallel) must reproduce the
+  // pure-array pivot exactly — this is the differential coverage for the
+  // bitmap kernels and the cost-model routing.
+  const bool bitmap_enabled = c.bitmap_min_degree != kBitmapDegreeNever;
+  BitmapIndex bitmap_index;
+  if (bitmap_enabled) {
+    BitmapIndexOptions bitmap_options;
+    bitmap_options.min_degree = c.bitmap_min_degree;
+    bitmap_index = BitmapIndex::Build(graph, bitmap_options);
+  }
+  {
+    EngineCount e;
+    e.name = "serial_bitmap";
+    if (!bitmap_enabled) {
+      e.skipped = true;
+      e.note = "bitmap disabled (threshold=never)";
+    } else {
+      Enumerator enumerator(graph, light_plan,
+                            c.Labeled() ? &c.labels : nullptr);
+      enumerator.SetBitmapIndex(&bitmap_index);
+      e.count = enumerator.Count();
+      outcome.bitmap_routed =
+          enumerator.stats().intersections.num_bitmap_and +
+          enumerator.stats().intersections.num_bitmap_probe;
+      if (enumerator.stats().timed_out) {
+        e.skipped = true;
+        e.note = "timed out";
+      }
+    }
+    outcome.engines.push_back(std::move(e));
+  }
+  {
+    EngineCount e;
+    e.name = "parallel_bitmap";
+    if (!bitmap_enabled) {
+      e.skipped = true;
+      e.note = "bitmap disabled (threshold=never)";
+    } else {
+      const ParallelResult result =
+          ParallelCount(graph, light_plan, c.parallel,
+                        c.Labeled() ? &c.labels : nullptr, &bitmap_index);
+      e.count = result.num_matches;
+      if (result.timed_out) {
+        e.skipped = true;
+        e.note = "timed out";
+      }
+    }
+    outcome.engines.push_back(std::move(e));
+  }
+
+  // End-to-end facade check: light::Run with the case's config (serial, no
+  // time limit — hostile time limits are the parallel oracle's job). A
+  // validation failure on a generated config is itself a bug, surfaced as a
+  // guaranteed-divergent sentinel count.
+  {
+    EngineCount e;
+    e.name = "facade";
+    RunOptions run_options;
+    run_options.threads = 1;
+    run_options.unique_subgraphs = c.symmetry_breaking;
+    run_options.data_labels = c.Labeled() ? &c.labels : nullptr;
+    run_options.kernel = c.kernel;
+    run_options.auto_kernel = false;
+    run_options.bitmap_min_degree = c.bitmap_min_degree;
+    const RunResult result = Run(graph, c.pattern, run_options);
+    if (result.ok()) {
+      e.count = result.num_matches;
+    } else {
+      e.count = std::numeric_limits<uint64_t>::max();
+      e.note = result.error;
     }
     outcome.engines.push_back(std::move(e));
   }

@@ -80,6 +80,9 @@ bool ShrinkRound(FuzzCase* c, const DivergencePredicate& still_divergent) {
   if (c->parallel.num_threads != 1) {
     try_config([](FuzzCase* x) { x->parallel.num_threads = 1; });
   }
+  if (c->bitmap_min_degree != kBitmapDegreeNever) {
+    try_config([](FuzzCase* x) { x->bitmap_min_degree = kBitmapDegreeNever; });
+  }
   try_config([&](FuzzCase* x) {
     x->parallel.min_split_size = defaults.parallel.min_split_size;
     x->parallel.donation_check_interval =

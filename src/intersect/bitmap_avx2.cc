@@ -1,0 +1,26 @@
+// AVX2 word-AND for the bitmap kernel. Compiled with -mavx2 in its own TU;
+// callers gate on __builtin_cpu_supports("avx2") at runtime (bitmap.cc).
+
+#include <immintrin.h>
+
+#include "intersect/bitmap.h"
+
+namespace light {
+namespace internal {
+
+void AndWordsAvx2(const uint64_t* a, const uint64_t* b, size_t words,
+                  uint64_t* out) {
+  size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + w));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; w < words; ++w) out[w] = a[w] & b[w];
+}
+
+}  // namespace internal
+}  // namespace light

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "intersect/bitmap.h"
 #include "intersect/set_intersection.h"
 
 namespace light {
@@ -22,6 +23,19 @@ size_t IntersectMultiway(std::span<const std::span<const VertexID>> sets,
                          VertexID* out, VertexID* scratch,
                          IntersectKernel kernel,
                          IntersectStats* stats = nullptr);
+
+/// Hybrid-representation variant of IntersectMultiway: operands may carry
+/// bitmaps (SetView::bits) in addition to their sorted arrays, and each
+/// pairwise step routes per ChooseIntersectRoute. When every operand is
+/// bitmap-resident and the AND wins the cost model, the whole chain collapses
+/// to a single multi-row word-AND followed by one decode. `word_scratch`
+/// needs `words` = BitmapWords(|V|) words; pass nullptr/0 to degrade to the
+/// pure-array path (identical results). Same out/scratch capacity and k == 1
+/// copy semantics as IntersectMultiway.
+size_t IntersectMultiwayHybrid(std::span<const SetView> sets, VertexID* out,
+                               VertexID* scratch, uint64_t* word_scratch,
+                               size_t words, IntersectKernel kernel,
+                               IntersectStats* stats = nullptr);
 
 }  // namespace light
 

@@ -222,6 +222,16 @@ bool KernelAvailable(IntersectKernel kernel) {
   }
 }
 
+IntersectKernel BestAvailableKernel() {
+  if (KernelAvailable(IntersectKernel::kHybridAvx512)) {
+    return IntersectKernel::kHybridAvx512;
+  }
+  if (KernelAvailable(IntersectKernel::kHybridAvx2)) {
+    return IntersectKernel::kHybridAvx2;
+  }
+  return IntersectKernel::kHybrid;
+}
+
 std::string KernelName(IntersectKernel kernel) {
   switch (kernel) {
     case IntersectKernel::kMerge:

@@ -31,23 +31,34 @@ enum class IntersectKernel {
 inline constexpr double kHybridSkewThreshold = 50.0;
 
 /// Counters behind Figure 5 (number of set intersections) and Table III
-/// (percentage of Galloping searches). Kept per worker, merged at the end.
+/// (percentage of Galloping searches; extended with the bitmap routes of the
+/// hybrid representation). Kept per worker, merged at the end.
 struct IntersectStats {
   uint64_t num_intersections = 0;   // pairwise intersection calls
   uint64_t num_galloping = 0;       // calls routed to Galloping
   uint64_t num_merge = 0;           // calls routed to Merge
   uint64_t num_binary_search = 0;   // calls routed to BinarySearch (CFL-style)
+  uint64_t num_bitmap_and = 0;      // calls routed to bitmap AND + decode
+  uint64_t num_bitmap_probe = 0;    // calls routed to array-through-bitmap
 
   void Add(const IntersectStats& other) {
     num_intersections += other.num_intersections;
     num_galloping += other.num_galloping;
     num_merge += other.num_merge;
     num_binary_search += other.num_binary_search;
+    num_bitmap_and += other.num_bitmap_and;
+    num_bitmap_probe += other.num_bitmap_probe;
   }
   double GallopingFraction() const {
     return num_intersections == 0
                ? 0.0
                : static_cast<double>(num_galloping) /
+                     static_cast<double>(num_intersections);
+  }
+  double BitmapFraction() const {
+    return num_intersections == 0
+               ? 0.0
+               : static_cast<double>(num_bitmap_and + num_bitmap_probe) /
                      static_cast<double>(num_intersections);
   }
 };
@@ -68,6 +79,10 @@ size_t IntersectSortedCount(std::span<const VertexID> a,
 
 /// True if kernel needs AVX2 and this build has it (or doesn't need it).
 bool KernelAvailable(IntersectKernel kernel);
+
+/// Best hybrid kernel available in this build/CPU: HybridAVX512 >
+/// HybridAVX2 > Hybrid.
+IntersectKernel BestAvailableKernel();
 
 /// Human-readable kernel name ("Merge", "HybridAVX2", ...), matching the
 /// labels of Figure 6.

@@ -1,106 +1,227 @@
 #include "light.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace light {
 namespace {
 
-PlanOptions MakePlanOptions(const CountOptions& options) {
-  PlanOptions plan_options = PlanOptions::Light();
-  plan_options.symmetry_breaking = options.unique_subgraphs;
-  plan_options.induced = options.induced;
-  plan_options.kernel = KernelAvailable(IntersectKernel::kHybridAvx512)
-                            ? IntersectKernel::kHybridAvx512
-                        : KernelAvailable(IntersectKernel::kHybridAvx2)
-                            ? IntersectKernel::kHybridAvx2
-                            : IntersectKernel::kHybrid;
-  return plan_options;
+double Limit(double time_limit_seconds) {
+  return time_limit_seconds > 0 ? time_limit_seconds
+                                : std::numeric_limits<double>::infinity();
 }
 
-double Limit(const CountOptions& options) {
-  return options.time_limit_seconds > 0
-             ? options.time_limit_seconds
-             : std::numeric_limits<double>::infinity();
+const char* AlgorithmName(const PlanOptions& options) {
+  if (options.lazy_materialization && options.minimum_set_cover) {
+    return "light";
+  }
+  if (options.lazy_materialization) return "lm";
+  if (options.minimum_set_cover) return "msc";
+  return "se";
 }
 
 /// Metadata + graph dimensions common to every report path.
 void FillReportContext(const Graph& graph, const ExecutionPlan& plan,
-                       const EngineStats& stats, obs::RunReport* report) {
+                       const EngineStats& stats, const BitmapIndex& index,
+                       obs::RunReport* report) {
   *report = obs::RunReport();
-  report->tool = "light::CountSubgraphs";
-  report->algorithm = "light";
+  report->tool = "light::Run";
+  report->algorithm = AlgorithmName(plan.options);
+  report->kernel = KernelName(plan.options.kernel);
   report->graph_vertices = graph.NumVertices();
   report->graph_edges = graph.NumEdges();
+  report->bitmap_rows = index.num_rows();
+  report->bitmap_memory_bytes = index.empty() ? 0 : index.MemoryBytes();
   obs::FillFromEngine(plan, stats, report);
   obs::SnapshotCounters(report);
 }
 
+RunOptions ToRunOptions(const CountOptions& options) {
+  RunOptions run_options;
+  run_options.threads = options.threads;
+  run_options.unique_subgraphs = options.unique_subgraphs;
+  run_options.induced = options.induced;
+  run_options.data_labels = options.data_labels;
+  run_options.time_limit_seconds = options.time_limit_seconds;
+  run_options.report = options.report;
+  return run_options;
+}
+
+CountResult ToCountResult(const RunResult& result) {
+  CountResult out;
+  out.num_matches = result.num_matches;
+  out.elapsed_seconds = result.elapsed_seconds;
+  out.timed_out = result.timed_out;
+  out.error = result.error;
+  return out;
+}
+
 }  // namespace
 
-CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
-                           const CountOptions& options) {
-  const GraphStats stats = [&] {
-    obs::TraceSpan span("graph_stats");
-    return ComputeGraphStats(graph, /*count_triangles=*/true);
-  }();
-  const ExecutionPlan plan = [&] {
-    obs::TraceSpan span("build_plan");
-    return BuildPlan(pattern, graph, stats, MakePlanOptions(options));
-  }();
-  CountResult result;
-  if (options.threads == 1) {
-    Enumerator enumerator(graph, plan, options.data_labels);
-    enumerator.SetTimeLimit(Limit(options));
-    result.num_matches = enumerator.Count();
+Status RunOptions::Validate() const {
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0 (0 = hardware)");
+  }
+  if (std::isnan(time_limit_seconds) || time_limit_seconds < 0) {
+    return Status::InvalidArgument(
+        "time_limit_seconds must be >= 0 (0 = unlimited)");
+  }
+  if (std::isnan(bitmap_density) || bitmap_density < 0) {
+    return Status::InvalidArgument("bitmap_density must be >= 0");
+  }
+  if (!auto_kernel && !KernelAvailable(kernel)) {
+    return Status::InvalidArgument("kernel " + KernelName(kernel) +
+                                   " is not available on this build/CPU");
+  }
+  if (visitor != nullptr && threads > 1) {
+    return Status::InvalidArgument(
+        "streaming visitor requires threads <= 1: parallel enumeration "
+        "with a visitor is unsupported");
+  }
+  return Status::OK();
+}
+
+RunOptions RunOptions::Normalized() const {
+  RunOptions o = *this;
+  if (o.threads < 0) o.threads = 0;
+  // A visitor streams serially; resolve "pick for me" to the serial path.
+  // (visitor + threads > 1 is rejected by Validate, never serialized.)
+  if (o.visitor != nullptr && o.threads == 0) o.threads = 1;
+  if (std::isnan(o.time_limit_seconds) || o.time_limit_seconds < 0) {
+    o.time_limit_seconds = 0;
+  }
+  if (std::isnan(o.bitmap_density) || o.bitmap_density < 0) {
+    o.bitmap_density = kDefaultBitmapDensity;
+  }
+  if (o.auto_kernel || !KernelAvailable(o.kernel)) {
+    o.kernel = BestAvailableKernel();
+    o.auto_kernel = false;
+  }
+  return o;
+}
+
+uint32_t EffectiveBitmapThreshold(const RunOptions& options, VertexID n) {
+  if (options.bitmap_min_degree == kBitmapDegreeNever) {
+    return kBitmapDegreeNever;
+  }
+  if (options.bitmap_min_degree != kBitmapDegreeAuto) {
+    return options.bitmap_min_degree;
+  }
+  const double density =
+      std::isnan(options.bitmap_density) || options.bitmap_density < 0
+          ? kDefaultBitmapDensity
+          : options.bitmap_density;
+  const double degree = std::ceil(density * static_cast<double>(n));
+  if (degree >= static_cast<double>(kBitmapDegreeAuto)) {
+    return kBitmapDegreeNever;
+  }
+  return std::max<uint32_t>(1, static_cast<uint32_t>(degree));
+}
+
+ExecutionPlan BuildRunPlan(const Graph& graph, const GraphStats& stats,
+                           const Pattern& pattern,
+                           const RunOptions& options) {
+  const RunOptions opts = options.Normalized();
+  PlanOptions plan_options = PlanOptions::Light();
+  plan_options.lazy_materialization = opts.lazy_materialization;
+  plan_options.minimum_set_cover = opts.minimum_set_cover;
+  plan_options.symmetry_breaking = opts.unique_subgraphs;
+  plan_options.induced = opts.induced;
+  plan_options.kernel = opts.kernel;
+  return BuildPlan(pattern, graph, stats, plan_options);
+}
+
+RunResult Run(const Graph& graph, const Pattern& pattern,
+              const RunOptions& options) {
+  RunResult result;
+  if (const Status status = options.Validate(); !status.ok()) {
+    result.error = status.ToString();
+    return result;
+  }
+  const RunOptions opts = options.Normalized();
+
+  const ExecutionPlan* plan = opts.plan;
+  ExecutionPlan owned_plan;
+  if (plan == nullptr) {
+    const GraphStats stats = [&] {
+      obs::TraceSpan span("graph_stats");
+      return ComputeGraphStats(graph, /*count_triangles=*/true);
+    }();
+    owned_plan = [&] {
+      obs::TraceSpan span("build_plan");
+      return BuildRunPlan(graph, stats, pattern, opts);
+    }();
+    plan = &owned_plan;
+  }
+
+  BitmapIndex bitmap_index;
+  const uint32_t bitmap_threshold =
+      EffectiveBitmapThreshold(opts, graph.NumVertices());
+  if (bitmap_threshold != kBitmapDegreeNever) {
+    obs::TraceSpan span("bitmap_index");
+    BitmapIndexOptions bitmap_options;
+    bitmap_options.min_degree = bitmap_threshold;
+    bitmap_options.max_bytes = opts.bitmap_max_bytes;
+    bitmap_index = BitmapIndex::Build(graph, bitmap_options);
+  }
+
+  if (opts.threads == 1) {
+    Enumerator enumerator(graph, *plan, opts.data_labels);
+    enumerator.SetBitmapIndex(&bitmap_index);
+    enumerator.SetTimeLimit(Limit(opts.time_limit_seconds));
+    result.num_matches = opts.visitor != nullptr
+                             ? enumerator.Enumerate(opts.visitor)
+                             : enumerator.Count();
     result.elapsed_seconds = enumerator.stats().elapsed_seconds;
     result.timed_out = enumerator.stats().timed_out;
-    if (options.report != nullptr) {
-      FillReportContext(graph, plan, enumerator.stats(), options.report);
-      options.report->summary.threads_configured = 1;
-      options.report->summary.threads_used = 1;
-      options.report->summary.load_imbalance = 1.0;
+    if (opts.report != nullptr) {
+      FillReportContext(graph, *plan, enumerator.stats(), bitmap_index,
+                        opts.report);
+      opts.report->summary.threads_configured = 1;
+      opts.report->summary.threads_used = 1;
+      opts.report->summary.load_imbalance = 1.0;
     }
     return result;
   }
-  ParallelOptions popts;
-  popts.num_threads = options.threads;
-  popts.time_limit_seconds = Limit(options);
-  const ParallelResult presult =
-      ParallelCount(graph, plan, popts, options.data_labels);
+
+  ParallelOptions parallel_options;
+  parallel_options.num_threads = opts.threads;
+  parallel_options.time_limit_seconds = Limit(opts.time_limit_seconds);
+  const ParallelResult presult = ParallelCount(
+      graph, *plan, parallel_options, opts.data_labels, &bitmap_index);
   result.num_matches = presult.num_matches;
   result.elapsed_seconds = presult.elapsed_seconds;
   result.timed_out = presult.timed_out;
-  if (options.report != nullptr) {
-    FillReportContext(graph, plan, presult.stats, options.report);
-    options.report->elapsed_seconds = presult.elapsed_seconds;
-    options.report->workers = presult.workers;
-    options.report->summary = obs::SummarizeWorkers(presult.workers);
+  if (opts.report != nullptr) {
+    FillReportContext(graph, *plan, presult.stats, bitmap_index,
+                      opts.report);
+    opts.report->elapsed_seconds = presult.elapsed_seconds;
+    opts.report->workers = presult.workers;
+    opts.report->summary = obs::SummarizeWorkers(presult.workers);
   }
   return result;
+}
+
+CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
+                           const CountOptions& options) {
+  const RunResult result = Run(graph, pattern, ToRunOptions(options));
+  if (options.report != nullptr && result.ok()) {
+    options.report->tool = "light::CountSubgraphs";
+  }
+  return ToCountResult(result);
 }
 
 CountResult EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
                                MatchVisitor* visitor,
                                const CountOptions& options) {
-  const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
-  const ExecutionPlan plan = [&] {
-    obs::TraceSpan span("build_plan");
-    return BuildPlan(pattern, graph, stats, MakePlanOptions(options));
-  }();
-  Enumerator enumerator(graph, plan, options.data_labels);
-  enumerator.SetTimeLimit(Limit(options));
-  CountResult result;
-  result.num_matches = enumerator.Enumerate(visitor);
-  result.elapsed_seconds = enumerator.stats().elapsed_seconds;
-  result.timed_out = enumerator.stats().timed_out;
-  if (options.report != nullptr) {
-    FillReportContext(graph, plan, enumerator.stats(), options.report);
+  RunOptions run_options = ToRunOptions(options);
+  run_options.visitor = visitor;
+  const RunResult result = Run(graph, pattern, run_options);
+  if (options.report != nullptr && result.ok()) {
     options.report->tool = "light::EnumerateSubgraphs";
-    options.report->summary.threads_configured = 1;
-    options.report->summary.threads_used = 1;
-    options.report->summary.load_imbalance = 1.0;
   }
-  return result;
+  return ToCountResult(result);
 }
 
 }  // namespace light

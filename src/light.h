@@ -4,16 +4,24 @@
 /// Umbrella header and one-call facade for the LIGHT subgraph enumeration
 /// library. For fine-grained control include the module headers directly
 /// (see README "Architecture"); for the common case — "count or stream the
-/// embeddings of this pattern in this graph" — use light::CountSubgraphs /
-/// light::EnumerateSubgraphs below.
+/// embeddings of this pattern in this graph" — use light::Run below.
+///
+/// light::Run is the single entry point: one RunOptions carries every knob
+/// (threads, kernels, bitmap-index thresholds, time limit, labels, induced
+/// semantics, visitor, report sink) with Validate()/Normalized() mirroring
+/// ParallelOptions, and one RunResult carries every outcome (matches,
+/// elapsed, timed_out, error string). The older CountSubgraphs /
+/// EnumerateSubgraphs entry points remain as thin wrappers.
 
 #include <cstdint>
+#include <string>
 
 #include "engine/enumerator.h"
 #include "engine/visitors.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "graph/bitmap_index.h"
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_io.h"
@@ -27,7 +35,132 @@
 
 namespace light {
 
-/// Options of the one-call API.
+/// Default relative density threshold delta_b for the bitmap index: a vertex
+/// neighborhood gets a bitmap row when degree >= delta_b * |V|. At 64
+/// vertices per word, a 10%-dense neighborhood makes the word-AND several
+/// times cheaper than streaming both sorted arrays (see bench_bitmap).
+inline constexpr double kDefaultBitmapDensity = 0.1;
+
+/// Sentinel for RunOptions::bitmap_min_degree: derive the absolute degree
+/// threshold from bitmap_density (the delta_b * |V| rule).
+inline constexpr uint32_t kBitmapDegreeAuto = kBitmapDegreeNever - 1;
+
+/// Options of the one-call API. Field groups mirror the layer they
+/// configure: execution (threads/time limit), matching semantics, plan
+/// construction, kernel + bitmap-index thresholds, and output sinks.
+struct RunOptions {
+  // --- Execution ---
+  /// Worker threads; 0 = hardware concurrency, 1 = serial.
+  int threads = 0;
+  /// Wall-clock budget in seconds; 0 = unlimited.
+  double time_limit_seconds = 0;
+
+  // --- Matching semantics ---
+  /// Report each subgraph once (symmetry breaking). With false, all
+  /// automorphic images are counted.
+  bool unique_subgraphs = true;
+  /// Vertex-induced (motif) semantics instead of Definition II.1.
+  bool induced = false;
+  /// Optional data vertex labels (see Enumerator); must outlive the call.
+  const std::vector<uint32_t>* data_labels = nullptr;
+
+  // --- Plan construction ---
+  /// Lazy within-block materialization (Section IV). Off + msc off = the
+  /// SE baseline plan.
+  bool lazy_materialization = true;
+  /// Minimum-set-cover candidate reuse (Section V).
+  bool minimum_set_cover = true;
+  /// Precompiled plan override (e.g. from BuildRunPlan or a baseline plan
+  /// builder); must outlive the call and match `pattern`. When set, the
+  /// plan-construction fields above are ignored.
+  const ExecutionPlan* plan = nullptr;
+
+  // --- Intersection kernels ---
+  /// Pairwise sorted-array kernel (Figure 6). Ignored while auto_kernel is
+  /// true.
+  IntersectKernel kernel = IntersectKernel::kHybrid;
+  /// Pick the best kernel available on this build/CPU (HybridAVX512 >
+  /// HybridAVX2 > Hybrid). Set false to pin `kernel`.
+  bool auto_kernel = true;
+
+  // --- Bitmap index (hybrid candidate sets) ---
+  /// Absolute degree threshold for bitmap rows: vertices with degree >=
+  /// this get their neighborhoods materialized as bitmaps. 0 indexes every
+  /// vertex, kBitmapDegreeNever disables the index, kBitmapDegreeAuto
+  /// (default) derives the threshold as ceil(bitmap_density * |V|).
+  uint32_t bitmap_min_degree = kBitmapDegreeAuto;
+  /// Relative density threshold delta_b used by kBitmapDegreeAuto.
+  double bitmap_density = kDefaultBitmapDensity;
+  /// Byte budget for bitmap rows (densest kept first).
+  size_t bitmap_max_bytes = size_t{512} << 20;
+
+  // --- Output ---
+  /// Stream every match through this visitor (serial only; matches arrive
+  /// in a deterministic order). Null = count only.
+  MatchVisitor* visitor = nullptr;
+  /// Optional structured-report sink. When non-null the call fills it with
+  /// the run's engine counters, plan metadata, and (parallel runs) the
+  /// per-worker stats; serialize with report->ToJson(). Attaching a sink
+  /// adds no hot-path cost beyond the counters the engine already keeps.
+  obs::RunReport* report = nullptr;
+
+  /// Rejects configurations outside the documented domain: negative
+  /// threads, NaN or negative time limits, NaN or negative bitmap density,
+  /// a pinned kernel this build/CPU cannot run, or a visitor combined with
+  /// threads > 1 (streaming is serial; parallel enumeration with a visitor
+  /// is unsupported, not silently serialized). Callers that surface user
+  /// input (CLI, fuzz harness, services) should Validate and report;
+  /// light::Run validates internally and returns the message in
+  /// RunResult::error.
+  Status Validate() const;
+
+  /// Returns a copy with every field forced into its valid domain:
+  /// threads < 0 clamps to 0 (and, with a visitor, 0 resolves to 1),
+  /// NaN/negative time limits become unlimited, NaN/negative densities fall
+  /// back to the default, and an unavailable pinned kernel falls back to
+  /// the best available one.
+  RunOptions Normalized() const;
+};
+
+/// Outcome of the one-call API. `error` is empty on success; a failed
+/// Validate or sink error puts the message here (no exceptions).
+struct RunResult {
+  uint64_t num_matches = 0;
+  double elapsed_seconds = 0;
+  bool timed_out = false;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Counts (or, with options.visitor, streams) the embeddings of `pattern`
+/// in `graph` with the full LIGHT pipeline: degree stats, sampling order
+/// optimizer, lazy materialization, minimum set cover, best available SIMD
+/// kernel, hybrid bitmap/array candidate sets, and the work-stealing
+/// parallel DFS. The graph should be degree-relabeled (RelabelByDegree)
+/// when unique_subgraphs is on.
+RunResult Run(const Graph& graph, const Pattern& pattern,
+              const RunOptions& options = {});
+
+/// Builds the execution plan light::Run would use — for --show-plan style
+/// tooling and for reusing one plan across several Run calls via
+/// RunOptions::plan. `stats` as from ComputeGraphStats(graph, true).
+ExecutionPlan BuildRunPlan(const Graph& graph, const GraphStats& stats,
+                           const Pattern& pattern, const RunOptions& options);
+
+/// Resolves the bitmap-index degree threshold for a graph with `n`
+/// vertices: an explicit bitmap_min_degree wins; kBitmapDegreeAuto derives
+/// ceil(bitmap_density * n) (at least 1 so density 0 still excludes
+/// isolated vertices); kBitmapDegreeNever disables.
+uint32_t EffectiveBitmapThreshold(const RunOptions& options, VertexID n);
+
+// ---------------------------------------------------------------------------
+// Back-compat wrappers. DEPRECATED: use light::Run / RunOptions for new
+// code — these remain as thin adapters and receive no new knobs.
+// ---------------------------------------------------------------------------
+
+/// DEPRECATED alias-level options of the pre-Run facade; maps 1:1 onto the
+/// corresponding RunOptions fields.
 struct CountOptions {
   /// Worker threads; 0 = hardware concurrency, 1 = serial.
   int threads = 0;
@@ -40,29 +173,30 @@ struct CountOptions {
   const std::vector<uint32_t>* data_labels = nullptr;
   /// Wall-clock budget in seconds; 0 = unlimited.
   double time_limit_seconds = 0;
-  /// Optional structured-report sink. When non-null the call fills it with
-  /// the run's engine counters, plan metadata, and (parallel runs) the
-  /// per-worker stats; serialize with report->ToJson(). Attaching a sink
-  /// adds no hot-path cost beyond the counters the engine already keeps.
+  /// Optional structured-report sink (see RunOptions::report).
   obs::RunReport* report = nullptr;
 };
 
+/// DEPRECATED result of the pre-Run facade. `error` mirrors
+/// RunResult::error (empty on success) so wrapper callers see validation
+/// failures instead of silent zero counts.
 struct CountResult {
   uint64_t num_matches = 0;
   double elapsed_seconds = 0;
   bool timed_out = false;
+  std::string error;
 };
 
-/// Counts the embeddings of `pattern` in `graph` with the full LIGHT
-/// pipeline (degree stats, sampling order optimizer, lazy materialization,
-/// minimum set cover, best available SIMD kernel, work-stealing parallel
-/// DFS). The graph should be degree-relabeled (RelabelByDegree) when
-/// unique_subgraphs is on.
+/// DEPRECATED: thin wrapper over light::Run. Counts the embeddings of
+/// `pattern` in `graph` with the default pipeline.
 CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
                            const CountOptions& options = {});
 
-/// Streams every match through `visitor` (serial; visitors see matches in a
-/// deterministic order). Returns the match count.
+/// DEPRECATED: thin wrapper over light::Run with a visitor. Streams every
+/// match through `visitor` (serial; matches arrive in a deterministic
+/// order) honoring the report sink and time limit. options.threads > 1 is
+/// unsupported with a visitor and returns a CountResult with `error` set
+/// (threads 0 and 1 both run serially, as before).
 CountResult EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
                                MatchVisitor* visitor,
                                const CountOptions& options = {});

@@ -105,6 +105,12 @@ std::string RunReport::ToJson() const {
   w.KV("edges", graph_edges);
   w.EndObject();
 
+  w.Key("bitmap_index");
+  w.BeginObject();
+  w.KV("rows", bitmap_rows);
+  w.KV("memory_bytes", bitmap_memory_bytes);
+  w.EndObject();
+
   w.Key("plan");
   w.BeginObject();
   w.KV("order", plan_order);
@@ -128,7 +134,10 @@ std::string RunReport::ToJson() const {
   w.KV("galloping", engine.intersections.num_galloping);
   w.KV("merge", engine.intersections.num_merge);
   w.KV("binary_search", engine.intersections.num_binary_search);
+  w.KV("bitmap_and", engine.intersections.num_bitmap_and);
+  w.KV("bitmap_probe", engine.intersections.num_bitmap_probe);
   w.KV("galloping_fraction", engine.intersections.GallopingFraction());
+  w.KV("bitmap_fraction", engine.intersections.BitmapFraction());
   w.EndObject();
   w.EndObject();
 
@@ -185,6 +194,8 @@ Status RunReport::FromJson(const std::string& json, RunReport* out) {
   out->kernel = root["kernel"].string_value;
   out->graph_vertices = root["graph"]["vertices"].AsUint();
   out->graph_edges = root["graph"]["edges"].AsUint();
+  out->bitmap_rows = root["bitmap_index"]["rows"].AsUint();
+  out->bitmap_memory_bytes = root["bitmap_index"]["memory_bytes"].AsUint();
   out->plan_order = root["plan"]["order"].string_value;
   out->plan_sigma = root["plan"]["sigma"].string_value;
   out->num_matches = root["num_matches"].AsUint();
@@ -208,6 +219,11 @@ Status RunReport::FromJson(const std::string& json, RunReport* out) {
   out->engine.intersections.num_merge = intersections["merge"].AsUint();
   out->engine.intersections.num_binary_search =
       intersections["binary_search"].AsUint();
+  // Bitmap routes (absent in pre-bitmap reports; missing keys parse as 0).
+  out->engine.intersections.num_bitmap_and =
+      intersections["bitmap_and"].AsUint();
+  out->engine.intersections.num_bitmap_probe =
+      intersections["bitmap_probe"].AsUint();
 
   const JsonValue& parallel = root["parallel"];
   out->summary.threads_configured =

@@ -68,6 +68,11 @@ struct RunReport {
   uint64_t graph_vertices = 0;
   uint64_t graph_edges = 0;
 
+  // Bitmap index (hybrid candidate sets): rows materialized and their
+  // memory; 0/0 when the index is disabled or empty.
+  uint64_t bitmap_rows = 0;
+  uint64_t bitmap_memory_bytes = 0;
+
   // Plan metadata.
   std::string plan_order;  // enumeration order pi, space-separated
   std::string plan_sigma;  // execution order, e.g. "MAT(0) COMP(1) MAT(1)"

@@ -25,11 +25,13 @@ uint64_t MonotonicNs() {
 
 void WorkerLoop(int worker_id, const Graph& graph, const ExecutionPlan& plan,
                 const ParallelOptions& options,
-                const std::vector<uint32_t>* data_labels, TaskQueue* queue,
+                const std::vector<uint32_t>* data_labels,
+                const BitmapIndex* bitmap_index, TaskQueue* queue,
                 EngineStats* out_stats, obs::WorkerStats* out_worker,
                 std::mutex* out_mutex) {
   obs::TraceSpan worker_span("worker", "id", worker_id);
   Enumerator enumerator(graph, plan, data_labels);
+  enumerator.SetBitmapIndex(bitmap_index);
   enumerator.SetTimeLimit(options.time_limit_seconds);
   enumerator.RestartClock();
   obs::WorkerStats ws;
@@ -127,7 +129,8 @@ ParallelOptions ParallelOptions::Normalized() const {
 
 ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
                              const ParallelOptions& options,
-                             const std::vector<uint32_t>* data_labels) {
+                             const std::vector<uint32_t>* data_labels,
+                             const BitmapIndex* bitmap_index) {
   const ParallelOptions opts = options.Normalized();
   Timer timer;
   TaskQueue queue(opts.num_threads);
@@ -150,15 +153,16 @@ ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
   std::vector<obs::WorkerStats> workers(
       static_cast<size_t>(opts.num_threads));
   if (opts.num_threads == 1) {
-    WorkerLoop(0, graph, plan, opts, data_labels, &queue, &merged,
-               &workers[0], &merge_mutex);
+    WorkerLoop(0, graph, plan, opts, data_labels, bitmap_index, &queue,
+               &merged, &workers[0], &merge_mutex);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(opts.num_threads));
     for (int t = 0; t < opts.num_threads; ++t) {
       threads.emplace_back(WorkerLoop, t, std::cref(graph), std::cref(plan),
-                           std::cref(opts), data_labels, &queue, &merged,
-                           &workers[static_cast<size_t>(t)], &merge_mutex);
+                           std::cref(opts), data_labels, bitmap_index, &queue,
+                           &merged, &workers[static_cast<size_t>(t)],
+                           &merge_mutex);
     }
     for (std::thread& thread : threads) thread.join();
   }

@@ -67,11 +67,14 @@ struct ParallelResult {
 /// result and one candidate buffer per pattern vertex, so the total
 /// footprint is O(k * n * d_max) as stated in Section VII-B.
 /// `data_labels` enables labeled matching exactly as in Enumerator's
-/// constructor (optional; must outlive the call).
+/// constructor (optional; must outlive the call). `bitmap_index` (optional;
+/// must outlive the call) is shared read-only across workers, each of which
+/// attaches it with its own word scratch (Enumerator::SetBitmapIndex).
 ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
                              const ParallelOptions& options = {},
                              const std::vector<uint32_t>* data_labels =
-                                 nullptr);
+                                 nullptr,
+                             const BitmapIndex* bitmap_index = nullptr);
 
 }  // namespace light
 

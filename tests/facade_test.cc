@@ -103,6 +103,58 @@ TEST(FacadeTest, EnumerateStreamsToVisitor) {
   EXPECT_EQ(r.num_matches, visitor.matches().size());
 }
 
+TEST(FacadeTest, EnumerateRejectsParallelVisitor) {
+  // Parity contract: a streaming visitor with threads > 1 is an explicit
+  // error, not a silent serial fallback.
+  const Graph g = TestGraph();
+  Pattern triangle;
+  ASSERT_TRUE(FindPattern("triangle", &triangle).ok());
+  CollectingVisitor visitor;
+  CountOptions options;
+  options.threads = 4;
+  const CountResult r = EnumerateSubgraphs(g, triangle, &visitor, options);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_NE(r.error.find("unsupported"), std::string::npos);
+  EXPECT_EQ(r.num_matches, 0u);
+  EXPECT_TRUE(visitor.matches().empty());
+}
+
+TEST(FacadeTest, EnumerateHonorsTimeLimitAndReport) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/5));
+  Pattern p5;
+  ASSERT_TRUE(FindPattern("P5", &p5).ok());
+  CollectingVisitor visitor;
+  obs::RunReport report;
+  CountOptions options;
+  options.threads = 1;
+  options.time_limit_seconds = 1e-3;
+  options.report = &report;
+  const CountResult r = EnumerateSubgraphs(g, p5, &visitor, options);
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_EQ(report.tool, "light::EnumerateSubgraphs");
+}
+
+TEST(FacadeTest, RunMatchesDeprecatedWrappers) {
+  const Graph g = TestGraph();
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+
+  CountOptions count_options;
+  count_options.threads = 1;
+  const CountResult old_api = CountSubgraphs(g, p2, count_options);
+
+  RunOptions run_options;
+  run_options.threads = 1;
+  const RunResult new_api = light::Run(g, p2, run_options);
+  ASSERT_TRUE(new_api.ok());
+  EXPECT_EQ(new_api.num_matches, old_api.num_matches);
+
+  // Default-constructed options on both APIs agree too.
+  EXPECT_EQ(light::Run(g, p2).num_matches, CountSubgraphs(g, p2, {}).num_matches);
+}
+
 TEST(MatchWriterTest, WritesMatchesToFile) {
   const Graph g = TestGraph();
   Pattern triangle;

@@ -17,19 +17,9 @@
 #include "baselines/cfl_like.h"
 #include "baselines/eh_like.h"
 #include "common/timer.h"
-#include "engine/enumerator.h"
 #include "gen/catalog.h"
-#include "graph/graph_io.h"
-#include "graph/graph_stats.h"
-#include "graph/reorder.h"
 #include "join/bsp_engine.h"
-#include "obs/metrics.h"
-#include "obs/report.h"
-#include "obs/trace.h"
-#include "parallel/parallel_enumerator.h"
-#include "pattern/catalog.h"
-#include "pattern/parse.h"
-#include "plan/plan.h"
+#include "light.h"
 
 namespace {
 
@@ -44,8 +34,16 @@ void Usage() {
   --algorithm A      light (default) | se | lm | msc | cfl | eh | seed | crystal
   --threads K        worker threads (default 1; light/se/lm/msc only)
   --kernel NAME      merge | merge_avx2 | galloping | hybrid | hybrid_avx2 | merge_avx512 | hybrid_avx512
+                     (default: best available; pinning an unavailable one errors)
   --time-limit SEC   abort after SEC seconds
   --no-symmetry      count all matches instead of unique subgraphs
+  --induced          vertex-induced (motif) semantics
+  --bitmap-threshold N|never
+                     bitmap-index degree threshold: vertices with degree >= N
+                     get bitmap neighborhoods (0 = every vertex, never =
+                     disable; default: derive from --bitmap-density)
+  --bitmap-density D relative threshold delta_b: index degree >= D*|V|
+                     (default 0.1)
   --show-plan        print the compiled execution plan
 
 observability (README "Observability"):
@@ -226,9 +224,11 @@ int main(int argc, char** argv) {
   ProgressMeter meter;
   if (progress) meter.Start(graph.NumVertices());
 
-  IntersectKernel kernel = IntersectKernel::kHybridAvx2;
-  if (!KernelAvailable(kernel)) kernel = IntersectKernel::kHybrid;
-  if (kernel_name != nullptr) {
+  // Default kernel comes from the facade (single source of truth); a pinned
+  // --kernel must actually run on this build/CPU.
+  IntersectKernel kernel = BestAvailableKernel();
+  const bool kernel_pinned = kernel_name != nullptr;
+  if (kernel_pinned) {
     const std::string k = kernel_name;
     if (k == "merge") kernel = IntersectKernel::kMerge;
     else if (k == "merge_avx2") kernel = IntersectKernel::kMergeAvx2;
@@ -295,91 +295,109 @@ int main(int argc, char** argv) {
     return sink_error ? 1 : 0;
   }
 
-  PlanOptions options;
-  if (algo == "se") options = PlanOptions::Se();
-  else if (algo == "lm") options = PlanOptions::Lm();
-  else if (algo == "msc") options = PlanOptions::Msc();
-  else if (algo == "light") options = PlanOptions::Light();
-  else if (algo != "cfl") {
+  // The LIGHT family runs through the facade: every remaining flag maps 1:1
+  // onto a RunOptions field, so the facade owns defaults and validation.
+  RunOptions run_options;
+  run_options.threads = threads_str != nullptr ? std::atoi(threads_str) : 1;
+  run_options.time_limit_seconds =
+      limit_str != nullptr ? std::atof(limit_str) : 0;
+  run_options.unique_subgraphs = symmetry;
+  run_options.induced = FlagSet(argc, argv, "--induced");
+  run_options.kernel = kernel;
+  run_options.auto_kernel = !kernel_pinned;
+  if (algo == "se") {
+    run_options.lazy_materialization = false;
+    run_options.minimum_set_cover = false;
+  } else if (algo == "lm") {
+    run_options.lazy_materialization = true;
+    run_options.minimum_set_cover = false;
+  } else if (algo == "msc") {
+    run_options.lazy_materialization = false;
+    run_options.minimum_set_cover = true;
+  } else if (algo != "light" && algo != "cfl") {
     std::fprintf(stderr, "error: unknown algorithm %s\n", algo.c_str());
     return 1;
   }
-  options.kernel = kernel;
-  options.symmetry_breaking = symmetry;
 
-  const ExecutionPlan plan = algo == "cfl"
-                                 ? BuildCflLikePlan(pattern, symmetry)
-                                 : BuildPlan(pattern, graph, stats, options);
+  const char* bitmap_threshold_str =
+      FlagValue(argc, argv, "--bitmap-threshold");
+  const char* bitmap_density_str = FlagValue(argc, argv, "--bitmap-density");
+  if (bitmap_threshold_str != nullptr) {
+    if (std::strcmp(bitmap_threshold_str, "never") == 0) {
+      run_options.bitmap_min_degree = kBitmapDegreeNever;
+    } else {
+      run_options.bitmap_min_degree =
+          static_cast<uint32_t>(std::strtoul(bitmap_threshold_str, nullptr, 10));
+    }
+  }
+  if (bitmap_density_str != nullptr) {
+    run_options.bitmap_density = std::atof(bitmap_density_str);
+  }
+
+  // Build the plan once (reusing the stats computed above) and hand it to
+  // Run as an override; cfl uses its own plan builder.
+  const ExecutionPlan plan =
+      algo == "cfl" ? BuildCflLikePlan(pattern, symmetry)
+                    : BuildRunPlan(graph, stats, pattern, run_options);
+  run_options.plan = &plan;
   if (FlagSet(argc, argv, "--show-plan")) {
     std::printf("%s", plan.ToString().c_str());
   }
 
-  // Shared metadata for --metrics-json.
+  // Report sink: always attached so the result line can print the routing
+  // counters; flushed to --metrics-json when requested. Run() resets the
+  // sink, so the CLI metadata is layered on after the call.
   obs::RunReport report;
+  run_options.report = &report;
+
+  if (Status s = run_options.Validate(); !s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const RunResult result = Run(graph, pattern, run_options);
+  meter.Stop();
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.error.c_str());
+    return 1;
+  }
   report.tool = "light_cli";
   report.dataset = dataset != nullptr ? dataset : graph_path;
   report.pattern = pattern_name;
   report.algorithm = algo;
-  report.graph_vertices = graph.NumVertices();
-  report.graph_edges = graph.NumEdges();
-
-  auto write_report = [&]() {
-    if (metrics_json == nullptr) return;
-    obs::SnapshotCounters(&report);
+  if (metrics_json != nullptr) {
     if (Status s = report.WriteFile(metrics_json); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       sink_error = true;
     } else {
       std::fprintf(stderr, "run report written to %s\n", metrics_json);
     }
-  };
+  }
+  write_trace();
 
-  const int threads = threads_str != nullptr ? std::atoi(threads_str) : 1;
-  if (threads > 1) {
-    ParallelOptions parallel;
-    parallel.num_threads = threads;
-    parallel.time_limit_seconds = time_limit;
-    const ParallelResult result = ParallelCount(graph, plan, parallel);
-    meter.Stop();
-    obs::FillFromEngine(plan, result.stats, &report);
-    report.elapsed_seconds = result.elapsed_seconds;
-    report.workers = result.workers;
-    report.summary = obs::SummarizeWorkers(result.workers);
-    write_report();
-    write_trace();
+  const IntersectStats& isx = report.engine.intersections;
+  if (report.summary.threads_configured > 1) {
     std::printf(
         "%s x%d/%d: %s matches=%llu time=%s intersections=%llu "
-        "steals=%llu imbalance=%.2f\n",
-        algo.c_str(), result.threads_used, result.threads_configured,
-        result.timed_out ? "OOT" : "OK",
+        "bitmap=%.1f%% steals=%llu imbalance=%.2f\n",
+        algo.c_str(), report.summary.threads_used,
+        report.summary.threads_configured, result.timed_out ? "OOT" : "OK",
         static_cast<unsigned long long>(result.num_matches),
         FormatSeconds(result.elapsed_seconds).c_str(),
-        static_cast<unsigned long long>(
-            result.stats.intersections.num_intersections),
+        static_cast<unsigned long long>(isx.num_intersections),
+        100.0 * isx.BitmapFraction(),
         static_cast<unsigned long long>(report.summary.total_steals),
-        result.load_imbalance);
-    if (result.timed_out) return 2;
-    return sink_error ? 1 : 0;
+        report.summary.load_imbalance);
+  } else {
+    std::printf(
+        "%s: %s matches=%llu time=%s intersections=%llu galloping=%.1f%% "
+        "bitmap=%.1f%%\n",
+        algo.c_str(), result.timed_out ? "OOT" : "OK",
+        static_cast<unsigned long long>(result.num_matches),
+        FormatSeconds(result.elapsed_seconds).c_str(),
+        static_cast<unsigned long long>(isx.num_intersections),
+        100.0 * isx.GallopingFraction(), 100.0 * isx.BitmapFraction());
   }
-
-  Enumerator enumerator(graph, plan);
-  enumerator.SetTimeLimit(time_limit);
-  const uint64_t matches = enumerator.Count();
-  meter.Stop();
-  const EngineStats& engine_stats = enumerator.stats();
-  obs::FillFromEngine(plan, engine_stats, &report);
-  report.summary.threads_configured = 1;
-  report.summary.threads_used = 1;
-  report.summary.load_imbalance = 1.0;
-  write_report();
-  write_trace();
-  std::printf("%s: %s matches=%llu time=%s intersections=%llu galloping=%.1f%%\n",
-              algo.c_str(), engine_stats.timed_out ? "OOT" : "OK",
-              static_cast<unsigned long long>(matches),
-              FormatSeconds(engine_stats.elapsed_seconds).c_str(),
-              static_cast<unsigned long long>(
-                  engine_stats.intersections.num_intersections),
-              100.0 * engine_stats.intersections.GallopingFraction());
-  if (engine_stats.timed_out) return 2;
+  if (result.timed_out) return 2;
   return sink_error ? 1 : 0;
 }

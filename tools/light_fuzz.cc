@@ -2,9 +2,11 @@
 //
 // Generates seeded random (data graph, pattern, config) cases and
 // cross-checks the serial DFS engine, the work-stealing parallel runtime,
-// the CFL-/EH-like baselines, and the BSP join engines for identical match
-// counts. Divergences are shrunk to a minimal repro and written as
-// self-contained artifacts.
+// the hybrid bitmap/array variants (randomized bitmap-index threshold:
+// always / never / mid-degree), the light::Run facade, the CFL-/EH-like
+// baselines, and the BSP join engines for identical match counts.
+// Divergences are shrunk to a minimal repro and written as self-contained
+// artifacts.
 //
 // Examples:
 //   light_fuzz --seed 7 --cases 10000
@@ -115,11 +117,14 @@ int main(int argc, char** argv) {
 
   fuzz::FuzzSummary summary;
   const Status status = fuzz::RunFuzz(options, &summary);
-  std::printf("light_fuzz: seed=%llu cases=%llu divergences=%llu time=%.1fs\n",
-              static_cast<unsigned long long>(options.seed),
-              static_cast<unsigned long long>(summary.cases_run),
-              static_cast<unsigned long long>(summary.divergences),
-              summary.elapsed_seconds);
+  std::printf(
+      "light_fuzz: seed=%llu cases=%llu divergences=%llu bitmap_cases=%llu "
+      "time=%.1fs\n",
+      static_cast<unsigned long long>(options.seed),
+      static_cast<unsigned long long>(summary.cases_run),
+      static_cast<unsigned long long>(summary.divergences),
+      static_cast<unsigned long long>(summary.bitmap_routed_cases),
+      summary.elapsed_seconds);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     for (const std::string& path : summary.artifacts) {
