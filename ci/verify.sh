@@ -1,31 +1,57 @@
 #!/usr/bin/env bash
-# Repo verification: the tier-1 build + test sweep, the observability
-# overhead guard, a ThreadSanitizer pass over the concurrency-heavy
-# tests (parallel runtime, sharded obs counters), and a UBSan leg that
-# runs the edge-case-heavy tests plus a 60-second differential fuzz
-# smoke under -fsanitize=undefined.
+# Repo verification: the tier-1 build + test sweep (with -Werror and the
+# plan linter's catalog gate), a clang-tidy static-analysis pass over the
+# compile-commands database, the observability overhead guard, a
+# ThreadSanitizer pass over the concurrency-heavy tests (parallel runtime,
+# sharded obs counters), an AddressSanitizer pass over the allocation-heavy
+# tests, and a UBSan leg that runs the edge-case-heavy tests plus a
+# 60-second differential fuzz smoke (which also soaks the plan linter on
+# every generated plan) under -fsanitize=undefined.
 #
-# Usage: ci/verify.sh [--skip-tsan] [--skip-ubsan] [--skip-bench]
+# Usage: ci/verify.sh [--skip-tsan] [--skip-ubsan] [--skip-asan]
+#                     [--skip-tidy] [--skip-bench]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 skip_tsan=0
 skip_ubsan=0
+skip_asan=0
+skip_tidy=0
 skip_bench=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
     --skip-ubsan) skip_ubsan=1 ;;
+    --skip-asan) skip_asan=1 ;;
+    --skip-tidy) skip_tidy=1 ;;
     --skip-bench) skip_bench=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
-echo "==> tier-1: build + ctest"
-cmake -B build -S . >/dev/null
+echo "==> tier-1: build (-Werror) + ctest"
+cmake -B build -S . -DLIGHT_WERROR=ON >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "==> plan linter: catalog sweep (strict)"
+./build/tools/plan_lint --all --strict
+./build/tools/plan_lint --all --strict --algo se
+
+if [[ "$skip_tidy" -eq 0 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy over src/ tools/ bench/ (compile-commands database)"
+    # The tier-1 configure above exported build/compile_commands.json
+    # (CMAKE_EXPORT_COMPILE_COMMANDS is on unconditionally). Tests are
+    # excluded: gtest macros expand to code tidy dislikes.
+    mapfile -t tidy_sources < <(ls src/*/*.cc src/*.cc tools/*.cc bench/*.cc \
+                                  2>/dev/null)
+    clang-tidy -p build --quiet "${tidy_sources[@]}"
+  else
+    echo "==> clang-tidy not installed; skipping tidy leg" >&2
+  fi
+fi
 
 if [[ "$skip_bench" -eq 0 ]]; then
   echo "==> observability overhead guard (< 3% with sinks disabled)"
@@ -44,6 +70,21 @@ if [[ "$skip_tsan" -eq 0 ]]; then
   cmake --build build-tsan -j "$(nproc)" --target parallel_test obs_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
+fi
+
+if [[ "$skip_asan" -eq 0 ]]; then
+  echo "==> ASan: allocation-heavy tests (engine, planner, analysis, facade)"
+  cmake -B build-asan -S . \
+    -DLIGHT_SANITIZE=address \
+    -DLIGHT_BUILD_BENCHMARKS=OFF \
+    -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan -j "$(nproc)" \
+    --target engine_test plan_test analysis_test facade_test
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+  ./build-asan/tests/engine_test
+  ./build-asan/tests/plan_test
+  ./build-asan/tests/analysis_test
+  ./build-asan/tests/facade_test
 fi
 
 if [[ "$skip_ubsan" -eq 0 ]]; then
@@ -80,6 +121,13 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   bitmap_cases="$(sed -n 's/.*bitmap_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
   if [[ -z "$bitmap_cases" || "$bitmap_cases" -lt 1 ]]; then
     echo "==> fuzz smoke exercised no bitmap-routed cases" >&2
+    exit 1
+  fi
+  # Every plan the oracles executed was also run through the static plan
+  # linter; any violation is a planner bug or a linter false positive.
+  lint_violations="$(sed -n 's/.*lint_violations=\([0-9]*\).*/\1/p' "$fuzz_log")"
+  if [[ -z "$lint_violations" || "$lint_violations" -ne 0 ]]; then
+    echo "==> fuzz smoke reported plan-lint violations" >&2
     exit 1
   fi
 fi

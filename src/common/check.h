@@ -24,8 +24,13 @@ namespace light::internal {
   } while (0)
 
 #ifdef NDEBUG
-#define LIGHT_DCHECK(expr) \
-  do {                     \
+// The expression stays inside an unevaluated sizeof so release builds keep
+// type-checking it (no bit-rot behind NDEBUG) and its operands still count
+// as used (no unused-variable/-parameter warnings under -Werror), while
+// generating no code and never evaluating side effects.
+#define LIGHT_DCHECK(expr)        \
+  do {                            \
+    (void)sizeof(bool{!(expr)});  \
   } while (0)
 #else
 #define LIGHT_DCHECK(expr) LIGHT_CHECK(expr)

@@ -18,6 +18,12 @@ Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
     const OracleOutcome outcome = RunOracles(c);
     ++summary->cases_run;
     if (outcome.bitmap_routed > 0) ++summary->bitmap_routed_cases;
+    if (outcome.lint_violations > 0) {
+      summary->lint_violations += outcome.lint_violations;
+      std::fprintf(stderr, "light_fuzz: LINT VIOLATION at case %llu (%s)\n%s",
+                   static_cast<unsigned long long>(i), c.Describe().c_str(),
+                   outcome.lint_text.c_str());
+    }
     if (options.progress_interval > 0 &&
         (i + 1) % options.progress_interval == 0) {
       std::fprintf(stderr, "light_fuzz: %llu/%llu cases, %llu divergences\n",
@@ -53,11 +59,12 @@ Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
     }
   }
   summary->elapsed_seconds = timer.ElapsedSeconds();
-  if (summary->divergences > 0) {
+  if (summary->divergences > 0 || summary->lint_violations > 0) {
     return Status::Internal(
-        std::to_string(summary->divergences) + " divergence(s) in " +
-        std::to_string(summary->cases_run) + " cases (seed " +
-        std::to_string(options.seed) + ")");
+        std::to_string(summary->divergences) + " divergence(s) and " +
+        std::to_string(summary->lint_violations) +
+        " plan-lint violation(s) in " + std::to_string(summary->cases_run) +
+        " cases (seed " + std::to_string(options.seed) + ")");
   }
   return Status::OK();
 }

@@ -94,6 +94,13 @@ struct OracleOutcome {
   /// (AND + probe); 0 when the case disabled the index or nothing was
   /// dense enough to route.
   uint64_t bitmap_routed = 0;
+  /// Static plan-lint findings (errors + warnings) over the plans the
+  /// oracles executed (LIGHT and SE; analysis/plan_linter.h). Every sweep
+  /// doubles as a linter soak test: a violation on a generated plan is
+  /// either a planner bug or a lint false positive, and both fail the run.
+  uint64_t lint_violations = 0;
+  /// Per-plan diagnostics when lint_violations > 0.
+  std::string lint_text;
   /// Multi-line per-engine count table (used in artifacts and logs).
   std::string Describe() const;
 };
@@ -142,13 +149,16 @@ struct FuzzSummary {
   /// Cases where the hybrid oracle actually routed >= 1 intersection to a
   /// bitmap kernel (CI asserts the smoke run exercises the bitmap path).
   uint64_t bitmap_routed_cases = 0;
+  /// Total plan-lint findings across all cases (CI asserts this stays 0).
+  uint64_t lint_violations = 0;
   std::vector<std::string> artifacts;  // paths of written repro artifacts
   double elapsed_seconds = 0;
 };
 
-/// Runs the differential sweep. Returns OK when every case agreed;
-/// Internal with a summary message when any divergence was found (the
-/// artifacts listed in `summary` hold the shrunken repros).
+/// Runs the differential sweep. Returns OK when every case agreed and
+/// every plan linted clean; Internal with a summary message when any
+/// divergence or lint violation was found (the artifacts listed in
+/// `summary` hold the shrunken repros).
 Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary);
 
 }  // namespace light::fuzz

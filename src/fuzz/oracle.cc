@@ -4,6 +4,7 @@
 
 #include <limits>
 
+#include "analysis/plan_linter.h"
 #include "baselines/cfl_like.h"
 #include "baselines/eh_like.h"
 #include "engine/enumerator.h"
@@ -81,17 +82,37 @@ OracleOutcome RunOracles(const FuzzCase& c) {
   const ExecutionPlan light_plan =
       BuildPlan(c.pattern, graph, stats, light_options);
 
-  OracleOutcome outcome;
-  // Pivot: the serial LIGHT engine. Every other engine must agree with it.
-  outcome.engines.push_back(RunSerial("serial_light", graph, light_plan, c));
-
   // The SE variant exercises the eager-materialization / no-set-cover plan
   // path with the same engine, catching planner (not engine) divergences.
   PlanOptions se_options = PlanOptions::Se();
   se_options.kernel = c.kernel;
   se_options.symmetry_breaking = c.symmetry_breaking;
-  outcome.engines.push_back(RunSerial(
-      "serial_se", graph, BuildPlan(c.pattern, graph, stats, se_options), c));
+  const ExecutionPlan se_plan = BuildPlan(c.pattern, graph, stats, se_options);
+
+  OracleOutcome outcome;
+
+  // Static lint soak: every plan the oracles execute must verify clean
+  // (analysis/plan_linter.h). A finding here is a planner bug or a linter
+  // false positive — either way the sweep must fail loudly.
+  {
+    analysis::LintOptions lint_options;
+    lint_options.cardinality = analysis::AnalyticCardinalityFn(stats);
+    const auto lint_one = [&](const char* which, const ExecutionPlan& plan) {
+      const analysis::LintReport report =
+          analysis::LintPlan(c.pattern, plan, lint_options);
+      const uint64_t violations = report.errors() + report.warnings();
+      if (violations > 0) {
+        outcome.lint_violations += violations;
+        outcome.lint_text += std::string(which) + ":\n" + report.ToString();
+      }
+    };
+    lint_one("light_plan", light_plan);
+    lint_one("se_plan", se_plan);
+  }
+
+  // Pivot: the serial LIGHT engine. Every other engine must agree with it.
+  outcome.engines.push_back(RunSerial("serial_light", graph, light_plan, c));
+  outcome.engines.push_back(RunSerial("serial_se", graph, se_plan, c));
 
   {
     EngineCount e;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "analysis/plan_linter.h"
+
 namespace light {
 namespace {
 
@@ -143,6 +145,7 @@ RunResult Run(const Graph& graph, const Pattern& pattern,
 
   const ExecutionPlan* plan = opts.plan;
   ExecutionPlan owned_plan;
+  analysis::LintOptions lint_options;
   if (plan == nullptr) {
     const GraphStats stats = [&] {
       obs::TraceSpan span("graph_stats");
@@ -153,6 +156,23 @@ RunResult Run(const Graph& graph, const Pattern& pattern,
       return BuildRunPlan(graph, stats, pattern, opts);
     }();
     plan = &owned_plan;
+    if (opts.lint_plan) {
+      // Cardinality sanity needs an estimator; only the self-built path has
+      // stats at hand (a caller-supplied plan is linted structurally).
+      lint_options.cardinality = analysis::AnalyticCardinalityFn(stats);
+    }
+  }
+
+  if (opts.lint_plan) {
+    obs::TraceSpan span("plan_lint");
+    analysis::LintReport lint =
+        analysis::LintPlan(pattern, *plan, lint_options);
+    analysis::LintBitmapConfig(opts.bitmap_min_degree, opts.bitmap_density,
+                               opts.bitmap_max_bytes, &lint);
+    if (!lint.ok()) {
+      result.error = "plan lint failed:\n" + lint.ToString();
+      return result;
+    }
   }
 
   BitmapIndex bitmap_index;

@@ -94,6 +94,20 @@ struct RunOptions {
   /// Byte budget for bitmap rows (densest kept first).
   size_t bitmap_max_bytes = size_t{512} << 20;
 
+  // --- Static plan verification ---
+  /// Lint the execution plan before running it (analysis/plan_linter.h):
+  /// order connectivity, symmetry-breaking consistency with the
+  /// automorphism group, set-cover completeness, constraint wiring, and the
+  /// bitmap-config value ranges. Any error-severity finding fails the run
+  /// with the diagnostics in RunResult::error instead of executing a plan
+  /// that would miscount. Defaults on in debug builds; off in release (the
+  /// automorphism rule costs up to n! * |Aut| per run).
+#ifdef NDEBUG
+  bool lint_plan = false;
+#else
+  bool lint_plan = true;
+#endif
+
   // --- Output ---
   /// Stream every match through this visitor (serial only; matches arrive
   /// in a deterministic order). Null = count only.

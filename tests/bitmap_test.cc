@@ -298,7 +298,9 @@ TEST(MultiwayHybridTest, MatchesArrayMultiway) {
                                          word_scratch.data(), words,
                                          IntersectKernel::kHybrid, &stats));
       EXPECT_EQ(out, expect) << "k=" << k;
-      if (k > 1) EXPECT_EQ(stats.num_intersections, k - 1);
+      if (k > 1) {
+        EXPECT_EQ(stats.num_intersections, k - 1);
+      }
     }
   }
 }

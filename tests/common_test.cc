@@ -74,7 +74,7 @@ TEST(RngTest, DoubleInUnitInterval) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GT(t.ElapsedSeconds(), 0.0);
   EXPECT_GE(t.ElapsedMillis(), t.ElapsedSeconds() * 1e3);  // monotone clock
   const double before = t.ElapsedSeconds();

@@ -179,7 +179,9 @@ TEST(DecomposeTest, CoreCrystalProperties) {
     // Buds pairwise non-adjacent, anchors = full neighborhoods in core.
     for (const auto& c1 : d.crystals) {
       for (const auto& c2 : d.crystals) {
-        if (c1.bud != c2.bud) EXPECT_FALSE(p.HasEdge(c1.bud, c2.bud)) << name;
+        if (c1.bud != c2.bud) {
+          EXPECT_FALSE(p.HasEdge(c1.bud, c2.bud)) << name;
+        }
       }
       for (int a : c1.anchors) {
         EXPECT_TRUE((core_mask >> a) & 1u) << name;
