@@ -59,17 +59,22 @@ if [[ "$skip_bench" -eq 0 ]]; then
 
   echo "==> bitmap kernel guard (both-bitmap intersections >= 1.3x array)"
   ./build/bench/bench_bitmap --check 1.3 --json build/bench_bitmap.jsonl
+
+  echo "==> session guard (batch amortization >= 1.15x, single-query parity)"
+  ./build/bench/bench_session --check --json build/bench_session.jsonl
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "==> TSan: parallel + obs tests"
+  echo "==> TSan: parallel + obs + session tests"
   cmake -B build-tsan -S . \
     -DLIGHT_SANITIZE=thread \
     -DLIGHT_BUILD_BENCHMARKS=OFF \
     -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan -j "$(nproc)" --target parallel_test obs_test
+  cmake --build build-tsan -j "$(nproc)" \
+    --target parallel_test obs_test session_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
+  ./build-tsan/tests/session_test
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then
@@ -128,6 +133,13 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   lint_violations="$(sed -n 's/.*lint_violations=\([0-9]*\).*/\1/p' "$fuzz_log")"
   if [[ -z "$lint_violations" || "$lint_violations" -ne 0 ]]; then
     echo "==> fuzz smoke reported plan-lint violations" >&2
+    exit 1
+  fi
+  # The session oracle (shared Session, interleaved queries, plan-cache
+  # reuse) must have run; zero means the multi-query path went untested.
+  session_cases="$(sed -n 's/.*session_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
+  if [[ -z "$session_cases" || "$session_cases" -lt 1 ]]; then
+    echo "==> fuzz smoke exercised no session-oracle cases" >&2
     exit 1
   fi
 fi

@@ -57,10 +57,12 @@ void EngineStats::Add(const EngineStats& other) {
 }
 
 Enumerator::Enumerator(const Graph& graph, const ExecutionPlan& plan,
-                       const std::vector<uint32_t>* data_labels)
+                       const std::vector<uint32_t>* data_labels,
+                       ScratchArena* arena)
     : graph_(graph),
       plan_(plan),
       data_labels_(data_labels),
+      arena_(arena),
       kernel_(plan.options.kernel) {
   const int n = plan_.pattern.NumVertices();
   if (data_labels_ != nullptr) {
@@ -78,7 +80,11 @@ Enumerator::Enumerator(const Graph& graph, const ExecutionPlan& plan,
   cand_size_.assign(static_cast<size_t>(n), 0);
   universal_.assign(static_cast<size_t>(n), false);
   bound_values_.reserve(static_cast<size_t>(n));
-  scratch_.resize(graph_.MaxDegree());
+  if (arena_ != nullptr) {
+    scratch_ = arena_->AcquireVertexBuffer(graph_.MaxDegree());
+  } else {
+    scratch_.resize(graph_.MaxDegree());
+  }
 
   size_t cand_bytes = 0;
   for (const Operation& op : plan_.sigma) {
@@ -93,7 +99,11 @@ Enumerator::Enumerator(const Graph& graph, const ExecutionPlan& plan,
     // Any intersection result is bounded by its smallest operand; operands
     // are neighbor lists or earlier candidate sets, both at most d_max.
     auto& buffer = cand_buffer_[static_cast<size_t>(op.vertex)];
-    buffer.resize(graph_.MaxDegree());
+    if (arena_ != nullptr) {
+      buffer = arena_->AcquireVertexBuffer(graph_.MaxDegree());
+    } else {
+      buffer.resize(graph_.MaxDegree());
+    }
     cand_bytes += buffer.size() * sizeof(VertexID);
   }
   stats_.candidate_memory_bytes = cand_bytes;
@@ -104,6 +114,18 @@ Enumerator::Enumerator(const Graph& graph, const ExecutionPlan& plan,
   obs_root_ns_hist_ = registry.GetHistogram("engine.root_ns");
 
   ResetStats();
+}
+
+Enumerator::~Enumerator() {
+  if (arena_ == nullptr) return;
+  // Return every borrowed buffer so the arena's next enumerator (the next
+  // query on this worker thread) reuses the allocations. Must run on the
+  // arena's owning thread (see the constructor contract).
+  arena_->ReleaseVertexBuffer(std::move(scratch_));
+  for (auto& buffer : cand_buffer_) {
+    arena_->ReleaseVertexBuffer(std::move(buffer));
+  }
+  arena_->ReleaseWordBuffer(std::move(word_scratch_));
 }
 
 void Enumerator::ResetStats() {
@@ -144,7 +166,11 @@ uint64_t Enumerator::Enumerate(MatchVisitor* visitor) {
 void Enumerator::SetBitmapIndex(const BitmapIndex* index) {
   bitmap_index_ = (index != nullptr && !index->empty()) ? index : nullptr;
   if (bitmap_index_ != nullptr) {
-    word_scratch_.assign(bitmap_index_->words(), 0);
+    if (arena_ != nullptr && word_scratch_.capacity() == 0) {
+      word_scratch_ = arena_->AcquireWordBuffer(bitmap_index_->words());
+    } else {
+      word_scratch_.assign(bitmap_index_->words(), 0);
+    }
   } else {
     word_scratch_.clear();
   }

@@ -7,6 +7,7 @@
 
 #include "common/timer.h"
 #include "common/types.h"
+#include "engine/scratch_arena.h"
 #include "engine/visitors.h"
 #include "graph/bitmap_index.h"
 #include "graph/graph.h"
@@ -49,8 +50,17 @@ class Enumerator {
   /// binds to data vertices carrying the same label (label 0 on a pattern
   /// vertex is the wildcard). Without labels the engine is the paper's
   /// unlabeled enumerator.
+  ///
+  /// `arena` (optional, must outlive the enumerator) recycles candidate and
+  /// scratch buffers across enumerator lifetimes: the constructor borrows
+  /// its heap buffers from the arena and the destructor returns them. Used
+  /// by the persistent worker pool so back-to-back queries reuse the same
+  /// backing memory. The arena is single-threaded: construct and destroy
+  /// the enumerator on the arena's owning thread.
   Enumerator(const Graph& graph, const ExecutionPlan& plan,
-             const std::vector<uint32_t>* data_labels = nullptr);
+             const std::vector<uint32_t>* data_labels = nullptr,
+             ScratchArena* arena = nullptr);
+  ~Enumerator();
 
   Enumerator(const Enumerator&) = delete;
   Enumerator& operator=(const Enumerator&) = delete;
@@ -134,6 +144,7 @@ class Enumerator {
   const Graph& graph_;
   const ExecutionPlan& plan_;
   const std::vector<uint32_t>* data_labels_;
+  ScratchArena* arena_ = nullptr;
   const std::vector<std::vector<VertexID>>* allowed_ = nullptr;
   const BitmapIndex* bitmap_index_ = nullptr;
   std::vector<uint64_t> word_scratch_;  // BitmapWords(|V|) when index attached

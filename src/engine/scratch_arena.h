@@ -1,0 +1,77 @@
+#ifndef LIGHT_ENGINE_SCRATCH_ARENA_H_
+#define LIGHT_ENGINE_SCRATCH_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace light {
+
+/// Recycles the engine's per-worker heap buffers (candidate buffers,
+/// merge scratch, bitmap word scratch) across queries. A persistent worker
+/// thread owns one arena for its lifetime; each Enumerator it builds borrows
+/// buffers from the arena and returns them on destruction, so a stream of
+/// queries on the same data graph stops paying the O(k * d_max) allocation
+/// of Section VII-B per query and instead reuses the same backing memory.
+///
+/// Single-threaded by design: an arena must only be used from the thread
+/// that owns it (acquire and release on the same thread). Enumerators built
+/// on one arena must therefore be destroyed on the thread that built them.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Returns a buffer resized to `size` (contents unspecified), reusing the
+  /// largest pooled allocation when one exists.
+  std::vector<VertexID> AcquireVertexBuffer(size_t size) {
+    std::vector<VertexID> buf = TakeFrom(&vertex_pool_);
+    buf.resize(size);
+    return buf;
+  }
+
+  void ReleaseVertexBuffer(std::vector<VertexID>&& buf) {
+    if (buf.capacity() > 0) vertex_pool_.push_back(std::move(buf));
+  }
+
+  /// Returns a zero-filled word buffer of `size` (the bitmap kernels
+  /// require their scratch cleared between uses).
+  std::vector<uint64_t> AcquireWordBuffer(size_t size) {
+    std::vector<uint64_t> buf = TakeFrom(&word_pool_);
+    buf.assign(size, 0);
+    return buf;
+  }
+
+  void ReleaseWordBuffer(std::vector<uint64_t>&& buf) {
+    if (buf.capacity() > 0) word_pool_.push_back(std::move(buf));
+  }
+
+  /// Number of acquires served from the pool (vs. fresh allocations);
+  /// lets tests assert that cross-query reuse actually happens.
+  uint64_t reuse_hits() const { return reuse_hits_; }
+  size_t pooled_buffers() const {
+    return vertex_pool_.size() + word_pool_.size();
+  }
+
+ private:
+  template <typename T>
+  std::vector<T> TakeFrom(std::vector<std::vector<T>>* pool) {
+    if (pool->empty()) return {};
+    std::vector<T> buf = std::move(pool->back());
+    pool->pop_back();
+    ++reuse_hits_;
+    return buf;
+  }
+
+  std::vector<std::vector<VertexID>> vertex_pool_;
+  std::vector<std::vector<uint64_t>> word_pool_;
+  uint64_t reuse_hits_ = 0;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_ENGINE_SCRATCH_ARENA_H_

@@ -18,6 +18,7 @@ Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
     const OracleOutcome outcome = RunOracles(c);
     ++summary->cases_run;
     if (outcome.bitmap_routed > 0) ++summary->bitmap_routed_cases;
+    if (outcome.session_checked) ++summary->session_cases;
     if (outcome.lint_violations > 0) {
       summary->lint_violations += outcome.lint_violations;
       std::fprintf(stderr, "light_fuzz: LINT VIOLATION at case %llu (%s)\n%s",

@@ -101,6 +101,10 @@ struct OracleOutcome {
   uint64_t lint_violations = 0;
   /// Per-plan diagnostics when lint_violations > 0.
   std::string lint_text;
+  /// True when the session oracle ran: the case was re-submitted through a
+  /// shared light::Session (interleaved with a second pattern) and its
+  /// counts cross-checked against the serial pivot and a direct Run.
+  bool session_checked = false;
   /// Multi-line per-engine count table (used in artifacts and logs).
   std::string Describe() const;
 };
@@ -151,6 +155,9 @@ struct FuzzSummary {
   uint64_t bitmap_routed_cases = 0;
   /// Total plan-lint findings across all cases (CI asserts this stays 0).
   uint64_t lint_violations = 0;
+  /// Cases the session oracle ran on (CI asserts the smoke run covers the
+  /// multi-query service path).
+  uint64_t session_cases = 0;
   std::vector<std::string> artifacts;  // paths of written repro artifacts
   double elapsed_seconds = 0;
 };

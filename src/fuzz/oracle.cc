@@ -202,6 +202,74 @@ OracleOutcome RunOracles(const FuzzCase& c) {
     outcome.engines.push_back(std::move(e));
   }
 
+  // Session oracle: the same case submitted through a shared multi-query
+  // light::Session, interleaved with a second pattern so concurrent queries
+  // actually share the pool and the plan cache. The case pattern runs twice
+  // (the repeat exercises the cache-hit path); the interleaved triangle is
+  // checked against a direct one-shot Run since it is a different pattern
+  // and not comparable to the pivot.
+  {
+    SessionOptions session_options;
+    session_options.threads = 2;
+    session_options.bitmap_min_degree = c.bitmap_min_degree;
+    Session session(graph, session_options);
+
+    RunOptions query;
+    query.unique_subgraphs = c.symmetry_breaking;
+    query.data_labels = c.Labeled() ? &c.labels : nullptr;
+    query.kernel = c.kernel;
+    query.auto_kernel = false;
+
+    Pattern triangle;
+    static_cast<void>(FindPattern("triangle", &triangle));
+    RunOptions tri_query;
+    tri_query.kernel = c.kernel;
+    tri_query.auto_kernel = false;
+
+    Session::Ticket t1 = session.Submit(c.pattern, query);
+    Session::Ticket t2 = session.Submit(triangle, tri_query);
+    Session::Ticket t3 = session.Submit(c.pattern, query);
+    const RunResult r1 = t1.Wait();
+    const RunResult r2 = t2.Wait();
+    const RunResult r3 = t3.Wait();
+
+    const auto to_engine = [](const char* name, const RunResult& r) {
+      EngineCount e;
+      e.name = name;
+      if (r.ok()) {
+        e.count = r.num_matches;
+      } else {
+        e.count = std::numeric_limits<uint64_t>::max();
+        e.note = r.error;
+      }
+      return e;
+    };
+    outcome.engines.push_back(to_engine("session", r1));
+    outcome.engines.push_back(to_engine("session_repeat", r3));
+
+    RunOptions tri_direct = tri_query;
+    tri_direct.threads = 1;
+    tri_direct.bitmap_min_degree = c.bitmap_min_degree;
+    const RunResult tri_expected = Run(graph, triangle, tri_direct);
+    EngineCount interleaved;
+    interleaved.name = "session_interleaved";
+    interleaved.skipped = true;  // different pattern: not pivot-comparable
+    if (!r2.ok() || !tri_expected.ok() ||
+        r2.num_matches != tri_expected.num_matches) {
+      outcome.divergent = true;
+      interleaved.note =
+          "triangle via session = " + std::to_string(r2.num_matches) +
+          " vs direct Run = " + std::to_string(tri_expected.num_matches) +
+          (r2.ok() ? "" : " (" + r2.error + ")") +
+          (tri_expected.ok() ? "" : " (" + tri_expected.error + ")");
+    } else {
+      interleaved.note =
+          "triangle agrees (" + std::to_string(r2.num_matches) + ")";
+    }
+    outcome.engines.push_back(std::move(interleaved));
+    outcome.session_checked = true;
+  }
+
   outcome.engines.push_back(RunSerial(
       "cfl", graph, BuildCflLikePlan(c.pattern, c.symmetry_breaking), c));
   outcome.engines.push_back(RunBsp("eh", graph, c));

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "analysis/plan_linter.h"
+#include "pattern/canonical.h"
 
 namespace light {
 namespace {
@@ -57,6 +59,18 @@ CountResult ToCountResult(const RunResult& result) {
   out.timed_out = result.timed_out;
   out.error = result.error;
   return out;
+}
+
+/// Appends the plan-shaping option fields to a canonical-pattern key: two
+/// patterns share a cached plan only when shape AND plan options agree.
+void AppendPlanOptionBits(const RunOptions& opts, std::string* key) {
+  char bits = 0;
+  if (opts.lazy_materialization) bits |= 1;
+  if (opts.minimum_set_cover) bits |= 2;
+  if (opts.unique_subgraphs) bits |= 4;
+  if (opts.induced) bits |= 8;
+  key->push_back(bits);
+  key->push_back(static_cast<char>(opts.kernel));
 }
 
 }  // namespace
@@ -134,94 +148,449 @@ ExecutionPlan BuildRunPlan(const Graph& graph, const GraphStats& stats,
   return BuildPlan(pattern, graph, stats, plan_options);
 }
 
-RunResult Run(const Graph& graph, const Pattern& pattern,
-              const RunOptions& options) {
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Shared state behind one Ticket: either an immediate (pre-execution)
+/// error, or a pool handle plus everything needed to assemble the
+/// RunResult and fill the report sink at Wait time.
+struct SessionQueryState {
+  Session* session = nullptr;
+  const char* tool = "light::Session";
+  obs::RunReport* report = nullptr;
+  const ExecutionPlan* plan = nullptr;
+  std::shared_ptr<const ExecutionPlan> plan_holder;
+  const BitmapIndex* bitmap_index = nullptr;
+  WorkerPool::QueryHandle handle;
+  bool has_handle = false;
+
+  std::mutex mutex;
+  bool finalized = false;
   RunResult result;
-  if (const Status status = options.Validate(); !status.ok()) {
-    result.error = status.ToString();
+
+  RunResult Wait() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (finalized) return result;
+    if (has_handle) {
+      const ParallelResult presult = handle.Wait();
+      result.num_matches = presult.num_matches;
+      result.elapsed_seconds = presult.elapsed_seconds;
+      result.timed_out = presult.timed_out;
+      if (report != nullptr) {
+        FillReportContext(session->graph(), *plan, presult.stats,
+                          *bitmap_index, report);
+        report->tool = tool;
+        report->elapsed_seconds = presult.elapsed_seconds;
+        report->workers = presult.workers;
+        report->summary = obs::SummarizeWorkers(presult.workers);
+      }
+    }
+    finalized = true;
+    session->OnResultDelivered();
     return result;
+  }
+};
+
+}  // namespace detail
+
+Session::Ticket::Ticket() = default;
+Session::Ticket::Ticket(Ticket&&) noexcept = default;
+Session::Ticket& Session::Ticket::operator=(Ticket&&) noexcept = default;
+Session::Ticket::~Ticket() = default;
+Session::Ticket::Ticket(std::shared_ptr<detail::SessionQueryState> state)
+    : state_(std::move(state)) {}
+
+RunResult Session::Ticket::Wait() { return state_->Wait(); }
+
+Session::Session(const Graph& graph, const SessionOptions& options)
+    : graph_(graph), options_(options) {
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  obs_queries_started_ = registry.GetCounter("session.queries_started");
+  obs_queries_completed_ = registry.GetCounter("session.queries_completed");
+  obs_cache_hits_ = registry.GetCounter("session.plan_cache_hit");
+  obs_cache_misses_ = registry.GetCounter("session.plan_cache_miss");
+}
+
+Session::~Session() = default;
+
+const GraphStats& Session::EnsureStats() {
+  std::lock_guard<std::mutex> lock(init_mutex_);
+  if (graph_stats_ == nullptr) {
+    obs::TraceSpan span("graph_stats");
+    graph_stats_ = std::make_unique<GraphStats>(
+        ComputeGraphStats(graph_, /*count_triangles=*/true));
+  }
+  return *graph_stats_;
+}
+
+const BitmapIndex& Session::EnsureBitmap() {
+  std::lock_guard<std::mutex> lock(init_mutex_);
+  if (bitmap_index_ == nullptr) {
+    auto index = std::make_unique<BitmapIndex>();
+    RunOptions bitmap_opts;
+    bitmap_opts.bitmap_min_degree = options_.bitmap_min_degree;
+    bitmap_opts.bitmap_density = options_.bitmap_density;
+    bitmap_opts.bitmap_max_bytes = options_.bitmap_max_bytes;
+    const uint32_t threshold =
+        EffectiveBitmapThreshold(bitmap_opts, graph_.NumVertices());
+    if (threshold != kBitmapDegreeNever) {
+      obs::TraceSpan span("bitmap_index");
+      BitmapIndexOptions build_options;
+      build_options.min_degree = threshold;
+      build_options.max_bytes = options_.bitmap_max_bytes;
+      *index = BitmapIndex::Build(graph_, build_options);
+    }
+    bitmap_index_ = std::move(index);
+  }
+  return *bitmap_index_;
+}
+
+WorkerPool& Session::EnsurePool() {
+  std::lock_guard<std::mutex> lock(init_mutex_);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(options_.threads);
+  }
+  return *pool_;
+}
+
+void Session::OnResultDelivered() {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++session_stats_.queries_completed;
+  }
+  if (obs::MetricsEnabled()) obs_queries_completed_->Inc();
+}
+
+std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
+    const Pattern& pattern, const RunOptions& opts, std::string* error) {
+  // Lint against the pattern the plan was built for: the linter checks the
+  // plan's wiring vertex-by-vertex, so a cached plan is checked against the
+  // numbering it was built for (the first submitter's), not this query's.
+  const auto lint = [&](const Pattern& plan_pattern, const ExecutionPlan& plan,
+                        const GraphStats* stats) -> bool {
+    obs::TraceSpan span("plan_lint");
+    analysis::LintOptions lint_options;
+    if (stats != nullptr) {
+      lint_options.cardinality = analysis::AnalyticCardinalityFn(*stats);
+    }
+    analysis::LintReport report =
+        analysis::LintPlan(plan_pattern, plan, lint_options);
+    analysis::LintBitmapConfig(options_.bitmap_min_degree,
+                               options_.bitmap_density,
+                               options_.bitmap_max_bytes, &report);
+    if (!report.ok()) {
+      *error = "plan lint failed:\n" + report.ToString();
+      return false;
+    }
+    return true;
+  };
+
+  const bool cache_enabled =
+      options_.plan_cache_capacity > 0 && opts.visitor == nullptr;
+  if (!cache_enabled) {
+    // One-shot regime (what light::Run uses, and every visitor query):
+    // build a plan for the submitted numbering, no canonicalization.
+    const GraphStats& stats = EnsureStats();
+    auto plan = std::make_shared<ExecutionPlan>([&] {
+      obs::TraceSpan span("build_plan");
+      return BuildRunPlan(graph_, stats, pattern, opts);
+    }());
+    if (opts.lint_plan && !lint(pattern, *plan, &stats)) return nullptr;
+    return plan;
+  }
+
+  const CanonicalForm form = Canonicalize(pattern);
+  std::string key = form.Key();
+  AppendPlanOptionBits(opts, &key);
+
+  bool hit = false;
+  bool linted = false;
+  std::shared_ptr<const ExecutionPlan> plan;
+  Pattern plan_pattern;  // the numbering the cached plan was built for
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      it->second.last_used = ++cache_tick_;
+      hit = true;
+      linted = it->second.linted;
+      plan = it->second.plan;
+      plan_pattern = it->second.pattern;
+    }
+  }
+
+  if (hit) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++session_stats_.plan_cache_hits;
+    }
+    if (obs::MetricsEnabled()) obs_cache_hits_->Inc();
+    if (opts.lint_plan && !linted) {
+      // Inserted by a lint-off query; this query wants the gate. Lint now
+      // and remember so the check runs at most once per entry.
+      const GraphStats& stats = EnsureStats();
+      if (!lint(plan_pattern, *plan, &stats)) return nullptr;
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = plan_cache_.find(key);
+      if (it != plan_cache_.end()) it->second.linted = true;
+    }
+    return plan;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++session_stats_.plan_cache_misses;
+  }
+  if (obs::MetricsEnabled()) obs_cache_misses_->Inc();
+
+  // Build + lint outside the cache lock (both are the expensive part, and
+  // concurrent misses of the same key must not serialize on it). The plan
+  // is built for the SUBMITTED numbering — exactly the plan one-shot Run
+  // would produce — not the canonical form: plan quality is numbering-
+  // sensitive (symmetry-breaking constraint placement), while the count is
+  // isomorphism-invariant, so the first submitter's plan safely serves
+  // every later renumbering that hits this key.
+  const GraphStats& stats = EnsureStats();
+  auto built = std::make_shared<ExecutionPlan>([&] {
+    obs::TraceSpan span("build_plan");
+    return BuildRunPlan(graph_, stats, pattern, opts);
+  }());
+  if (opts.lint_plan && !lint(pattern, *built, &stats)) return nullptr;
+
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      // Lost an insert race: exactly one entry per key — keep the winner's
+      // plan (this query still runs its own identical build).
+      it->second.last_used = ++cache_tick_;
+    } else {
+      PlanEntry entry;
+      entry.plan = built;
+      entry.pattern = pattern;
+      entry.linted = opts.lint_plan;
+      entry.last_used = ++cache_tick_;
+      plan_cache_.emplace(std::move(key), std::move(entry));
+      while (plan_cache_.size() > options_.plan_cache_capacity) {
+        auto victim = plan_cache_.begin();
+        for (auto walk = plan_cache_.begin(); walk != plan_cache_.end();
+             ++walk) {
+          if (walk->second.last_used < victim->second.last_used) {
+            victim = walk;
+          }
+        }
+        plan_cache_.erase(victim);  // in-flight queries hold shared_ptrs
+      }
+    }
+  }
+  return built;
+}
+
+Session::Ticket Session::SubmitInternal(const Pattern& pattern,
+                                        const RunOptions& options,
+                                        const char* tool) {
+  auto state = std::make_shared<detail::SessionQueryState>();
+  state->session = this;
+  state->tool = tool;
+  state->report = options.report;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++session_stats_.queries_submitted;
+  }
+  if (obs::MetricsEnabled()) obs_queries_started_->Inc();
+
+  if (const Status status = options.Validate(); !status.ok()) {
+    state->result.error = status.ToString();
+    return Ticket(std::move(state));
+  }
+  if (options.visitor != nullptr) {
+    state->result.error =
+        "Session::Submit does not support visitors (streaming is serial "
+        "and vertex-numbering-sensitive); use Session::RunSync";
+    return Ticket(std::move(state));
   }
   const RunOptions opts = options.Normalized();
 
   const ExecutionPlan* plan = opts.plan;
-  ExecutionPlan owned_plan;
-  analysis::LintOptions lint_options;
-  if (plan == nullptr) {
-    const GraphStats stats = [&] {
-      obs::TraceSpan span("graph_stats");
-      return ComputeGraphStats(graph, /*count_triangles=*/true);
-    }();
-    owned_plan = [&] {
-      obs::TraceSpan span("build_plan");
-      return BuildRunPlan(graph, stats, pattern, opts);
-    }();
-    plan = &owned_plan;
+  if (plan != nullptr) {
+    // Caller-supplied plan: no caching; structural lint only (no stats).
     if (opts.lint_plan) {
-      // Cardinality sanity needs an estimator; only the self-built path has
-      // stats at hand (a caller-supplied plan is linted structurally).
-      lint_options.cardinality = analysis::AnalyticCardinalityFn(stats);
+      obs::TraceSpan span("plan_lint");
+      analysis::LintReport lint =
+          analysis::LintPlan(pattern, *plan, analysis::LintOptions{});
+      analysis::LintBitmapConfig(options_.bitmap_min_degree,
+                                 options_.bitmap_density,
+                                 options_.bitmap_max_bytes, &lint);
+      if (!lint.ok()) {
+        state->result.error = "plan lint failed:\n" + lint.ToString();
+        return Ticket(std::move(state));
+      }
     }
+  } else {
+    std::string error;
+    state->plan_holder = ResolvePlan(pattern, opts, &error);
+    if (state->plan_holder == nullptr) {
+      state->result.error = std::move(error);
+      return Ticket(std::move(state));
+    }
+    plan = state->plan_holder.get();
   }
+  state->plan = plan;
 
-  if (opts.lint_plan) {
+  const BitmapIndex& bitmap = EnsureBitmap();
+  state->bitmap_index = &bitmap;
+
+  WorkerPool::QuerySpec spec;
+  spec.graph = &graph_;
+  spec.plan = plan;
+  spec.data_labels = opts.data_labels;
+  spec.bitmap_index = &bitmap;
+  spec.plan_holder = state->plan_holder;
+  spec.options.num_threads = opts.threads;  // 0 = the whole pool
+  spec.options.time_limit_seconds = Limit(opts.time_limit_seconds);
+  state->handle = EnsurePool().Submit(spec);
+  state->has_handle = true;
+  return Ticket(std::move(state));
+}
+
+Session::Ticket Session::Submit(const Pattern& pattern,
+                                const RunOptions& options) {
+  return SubmitInternal(pattern, options, "light::Session");
+}
+
+RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
+                             const char* tool) {
+  RunResult result;
+  const ExecutionPlan* plan = opts.plan;
+  std::shared_ptr<const ExecutionPlan> holder;
+  if (plan == nullptr) {
+    std::string error;
+    holder = ResolvePlan(pattern, opts, &error);
+    if (holder == nullptr) {
+      result.error = std::move(error);
+      return result;
+    }
+    plan = holder.get();
+  } else if (opts.lint_plan) {
     obs::TraceSpan span("plan_lint");
     analysis::LintReport lint =
-        analysis::LintPlan(pattern, *plan, lint_options);
-    analysis::LintBitmapConfig(opts.bitmap_min_degree, opts.bitmap_density,
-                               opts.bitmap_max_bytes, &lint);
+        analysis::LintPlan(pattern, *plan, analysis::LintOptions{});
+    analysis::LintBitmapConfig(options_.bitmap_min_degree,
+                               options_.bitmap_density,
+                               options_.bitmap_max_bytes, &lint);
     if (!lint.ok()) {
       result.error = "plan lint failed:\n" + lint.ToString();
       return result;
     }
   }
 
-  BitmapIndex bitmap_index;
-  const uint32_t bitmap_threshold =
-      EffectiveBitmapThreshold(opts, graph.NumVertices());
-  if (bitmap_threshold != kBitmapDegreeNever) {
-    obs::TraceSpan span("bitmap_index");
-    BitmapIndexOptions bitmap_options;
-    bitmap_options.min_degree = bitmap_threshold;
-    bitmap_options.max_bytes = opts.bitmap_max_bytes;
-    bitmap_index = BitmapIndex::Build(graph, bitmap_options);
-  }
-
-  if (opts.threads == 1) {
-    Enumerator enumerator(graph, *plan, opts.data_labels);
-    enumerator.SetBitmapIndex(&bitmap_index);
-    enumerator.SetTimeLimit(Limit(opts.time_limit_seconds));
-    result.num_matches = opts.visitor != nullptr
-                             ? enumerator.Enumerate(opts.visitor)
-                             : enumerator.Count();
-    result.elapsed_seconds = enumerator.stats().elapsed_seconds;
-    result.timed_out = enumerator.stats().timed_out;
-    if (opts.report != nullptr) {
-      FillReportContext(graph, *plan, enumerator.stats(), bitmap_index,
-                        opts.report);
-      opts.report->summary.threads_configured = 1;
-      opts.report->summary.threads_used = 1;
-      opts.report->summary.load_imbalance = 1.0;
-    }
-    return result;
-  }
-
-  ParallelOptions parallel_options;
-  parallel_options.num_threads = opts.threads;
-  parallel_options.time_limit_seconds = Limit(opts.time_limit_seconds);
-  const ParallelResult presult = ParallelCount(
-      graph, *plan, parallel_options, opts.data_labels, &bitmap_index);
-  result.num_matches = presult.num_matches;
-  result.elapsed_seconds = presult.elapsed_seconds;
-  result.timed_out = presult.timed_out;
+  const BitmapIndex& bitmap = EnsureBitmap();
+  Enumerator enumerator(graph_, *plan, opts.data_labels);
+  enumerator.SetBitmapIndex(&bitmap);
+  enumerator.SetTimeLimit(Limit(opts.time_limit_seconds));
+  result.num_matches = opts.visitor != nullptr
+                           ? enumerator.Enumerate(opts.visitor)
+                           : enumerator.Count();
+  result.elapsed_seconds = enumerator.stats().elapsed_seconds;
+  result.timed_out = enumerator.stats().timed_out;
   if (opts.report != nullptr) {
-    FillReportContext(graph, *plan, presult.stats, bitmap_index,
-                      opts.report);
-    opts.report->elapsed_seconds = presult.elapsed_seconds;
-    opts.report->workers = presult.workers;
-    opts.report->summary = obs::SummarizeWorkers(presult.workers);
+    FillReportContext(graph_, *plan, enumerator.stats(), bitmap, opts.report);
+    opts.report->tool = tool;
+    opts.report->summary.threads_configured = 1;
+    opts.report->summary.threads_used = 1;
+    opts.report->summary.load_imbalance = 1.0;
   }
   return result;
 }
+
+RunResult Session::RunSyncWithTool(const Pattern& pattern,
+                                   const RunOptions& options,
+                                   const char* tool) {
+  if (const Status status = options.Validate(); !status.ok()) {
+    RunResult result;
+    result.error = status.ToString();
+    return result;
+  }
+  const RunOptions opts = options.Normalized();
+  if (opts.threads == 1) {
+    // Serial queries run inline on the caller thread — the one-shot Run
+    // code path, with no pool involvement (and exact visitor semantics).
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++session_stats_.queries_submitted;
+    }
+    if (obs::MetricsEnabled()) obs_queries_started_->Inc();
+    RunResult result = RunSerial(pattern, opts, tool);
+    OnResultDelivered();
+    return result;
+  }
+  return SubmitInternal(pattern, opts, tool).Wait();
+}
+
+RunResult Session::RunSync(const Pattern& pattern, const RunOptions& options) {
+  return RunSyncWithTool(pattern, options, "light::Session");
+}
+
+std::vector<RunResult> Session::RunBatch(const std::vector<Pattern>& patterns,
+                                         const RunOptions& options) {
+  RunOptions opts = options;
+  opts.report = nullptr;  // one sink cannot hold N reports
+  std::vector<Ticket> tickets;
+  tickets.reserve(patterns.size());
+  for (const Pattern& pattern : patterns) {
+    tickets.push_back(SubmitInternal(pattern, opts, "light::Session"));
+  }
+  std::vector<RunResult> results;
+  results.reserve(tickets.size());
+  for (Ticket& ticket : tickets) results.push_back(ticket.Wait());
+  return results;
+}
+
+SessionStats Session::stats() const {
+  SessionStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = session_stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    out.plan_cache_size = plan_cache_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(init_mutex_);
+    out.pool_threads = pool_ == nullptr ? 0 : pool_->num_threads();
+  }
+  return out;
+}
+
+RunResult Run(const Graph& graph, const Pattern& pattern,
+              const RunOptions& options) {
+  if (const Status status = options.Validate(); !status.ok()) {
+    RunResult result;
+    result.error = status.ToString();
+    return result;
+  }
+  // One-query session: the bitmap fields map onto the session, the plan
+  // cache is disabled (nothing to amortize across a single call), and the
+  // pool — for parallel requests — is sized to the request. Serial requests
+  // run inline and never start a pool, so one-shot latency is unchanged.
+  SessionOptions session_options;
+  session_options.threads = options.threads;
+  session_options.bitmap_min_degree = options.bitmap_min_degree;
+  session_options.bitmap_density = options.bitmap_density;
+  session_options.bitmap_max_bytes = options.bitmap_max_bytes;
+  session_options.plan_cache_capacity = 0;
+  Session session(graph, session_options);
+  return session.RunSyncWithTool(pattern, options, "light::Run");
+}
+
+// Back-compat adapters over the deprecated entry points; silence the
+// self-referential warnings their definitions would otherwise emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
                            const CountOptions& options) {
@@ -243,5 +612,7 @@ CountResult EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
   }
   return ToCountResult(result);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace light

@@ -6,15 +6,22 @@
 /// (see README "Architecture"); for the common case — "count or stream the
 /// embeddings of this pattern in this graph" — use light::Run below.
 ///
-/// light::Run is the single entry point: one RunOptions carries every knob
-/// (threads, kernels, bitmap-index thresholds, time limit, labels, induced
-/// semantics, visitor, report sink) with Validate()/Normalized() mirroring
-/// ParallelOptions, and one RunResult carries every outcome (matches,
-/// elapsed, timed_out, error string). The older CountSubgraphs /
-/// EnumerateSubgraphs entry points remain as thin wrappers.
+/// light::Run is the single entry point for one-shot queries: one
+/// RunOptions carries every knob (threads, kernels, bitmap-index
+/// thresholds, time limit, labels, induced semantics, visitor, report sink)
+/// with Validate()/Normalized() mirroring ParallelOptions, and one
+/// RunResult carries every outcome (matches, elapsed, timed_out, error
+/// string). For a stream of queries against one data graph, light::Session
+/// below amortizes what Run rebuilds per call (worker threads, plans,
+/// bitmap index, per-worker scratch). The older CountSubgraphs /
+/// EnumerateSubgraphs entry points remain as deprecated thin wrappers.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "engine/enumerator.h"
 #include "engine/visitors.h"
@@ -28,6 +35,7 @@
 #include "graph/graph_stats.h"
 #include "graph/reorder.h"
 #include "parallel/parallel_enumerator.h"
+#include "parallel/worker_pool.h"
 #include "pattern/catalog.h"
 #include "pattern/parse.h"
 #include "pattern/pattern.h"
@@ -169,6 +177,181 @@ ExecutionPlan BuildRunPlan(const Graph& graph, const GraphStats& stats,
 uint32_t EffectiveBitmapThreshold(const RunOptions& options, VertexID n);
 
 // ---------------------------------------------------------------------------
+// Sessions: the persistent multi-query service layer.
+// ---------------------------------------------------------------------------
+
+/// Configuration of a Session. The bitmap fields are session-level: the
+/// index is built once per session and shared read-only by every query, so
+/// the per-query RunOptions bitmap fields are ignored for session queries.
+struct SessionOptions {
+  /// Persistent pool workers; 0 = hardware concurrency.
+  int threads = 0;
+
+  /// Bitmap-index thresholds, as in RunOptions (applied once at index
+  /// build).
+  uint32_t bitmap_min_degree = kBitmapDegreeAuto;
+  double bitmap_density = kDefaultBitmapDensity;
+  size_t bitmap_max_bytes = size_t{512} << 20;
+
+  /// Plan-cache entries kept (LRU evicted beyond this); 0 disables caching
+  /// (every query builds its own plan, as one-shot Run does).
+  size_t plan_cache_capacity = 64;
+};
+
+/// Point-in-time session counters (see Session::stats()).
+struct SessionStats {
+  uint64_t queries_submitted = 0;
+  /// Results delivered through Wait/RunSync/RunBatch (a submitted query
+  /// whose ticket was never waited on is not counted here).
+  uint64_t queries_completed = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+  size_t plan_cache_size = 0;
+  int pool_threads = 0;
+};
+
+namespace detail {
+struct SessionQueryState;
+}  // namespace detail
+
+/// A reusable multi-query execution context for one data graph.
+///
+/// Constructed once per graph, a Session owns everything light::Run
+/// rebuilds per call: the persistent WorkerPool (threads parked between
+/// queries), the shared read-only BitmapIndex, the graph stats the planner
+/// samples, per-worker scratch arenas, and a plan cache keyed by canonical
+/// pattern form (isomorphic patterns share one linted plan — counting is
+/// invariant under vertex renumbering). Heavy shared state is built lazily:
+/// a session that only ever runs serial queries never starts the pool.
+///
+/// Thread safety: Submit/RunSync/RunBatch/stats may be called concurrently
+/// from any number of caller threads. The graph (and any data_labels /
+/// plan override passed per query) must outlive the session; tickets must
+/// be waited on before the session is destroyed.
+///
+/// Per-query RunOptions semantics under a session: `threads` caps how many
+/// pool workers execute that query concurrently (0 = whole pool; 1 via
+/// RunSync runs inline on the caller thread); the bitmap fields are
+/// ignored in favor of the session's (see SessionOptions); everything else
+/// (time limit, labels, semantics, plan override, lint, report sink) is
+/// per query, and the per-query RunReport is filled exactly as by Run.
+class Session {
+ public:
+  /// Blocking future for one submitted query. Move-only; Wait is
+  /// idempotent (every call returns the same RunResult).
+  class Ticket {
+   public:
+    Ticket();
+    Ticket(Ticket&&) noexcept;
+    Ticket& operator=(Ticket&&) noexcept;
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket();
+
+    /// Blocks until the query completes and returns its result (filling
+    /// the query's report sink, if any, on first call). Must be called
+    /// before the session is destroyed.
+    RunResult Wait();
+
+    /// False for a default-constructed (or moved-from) ticket.
+    bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class Session;
+    explicit Ticket(std::shared_ptr<detail::SessionQueryState> state);
+    std::shared_ptr<detail::SessionQueryState> state_;
+  };
+
+  explicit Session(const Graph& graph, const SessionOptions& options = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Enqueues one counting query on the pool and returns immediately.
+  /// Visitors are unsupported here (streaming is serial and
+  /// numbering-sensitive); use RunSync. Errors (validation, plan lint)
+  /// surface through Ticket::Wait, never exceptions.
+  Ticket Submit(const Pattern& pattern, const RunOptions& options = {});
+
+  /// Convenience: Submit + Wait, except that serial requests
+  /// (options.threads == 1 or a visitor) run inline on the calling thread
+  /// — the exact one-shot Run code path, so single-query latency matches
+  /// Run and visitors see the submitted pattern's own vertex numbering.
+  RunResult RunSync(const Pattern& pattern, const RunOptions& options = {});
+
+  /// Submits every pattern (so they run concurrently on the pool) and
+  /// waits for all, returning results in input order. The per-query report
+  /// sink is ignored for batches (one sink cannot hold N reports).
+  std::vector<RunResult> RunBatch(const std::vector<Pattern>& patterns,
+                                  const RunOptions& options = {});
+
+  SessionStats stats() const;
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  friend struct detail::SessionQueryState;
+  // light::Run runs as a one-query session but reports tool "light::Run".
+  friend RunResult Run(const Graph& graph, const Pattern& pattern,
+                       const RunOptions& options);
+
+  struct PlanEntry {
+    std::shared_ptr<const ExecutionPlan> plan;
+    /// The numbering the plan was built for (the first submitter's). Plan
+    /// QUALITY is numbering-sensitive — the optimizer places symmetry-
+    /// breaking constraints relative to the given numbering — so the cache
+    /// keeps the plan Run would have built, not one for the canonical
+    /// form; counting is isomorphism-invariant, so it serves every
+    /// renumbering of the shape. Lint checks run against this pattern.
+    Pattern pattern;
+    bool linted = false;
+    uint64_t last_used = 0;
+  };
+
+  /// Resolves the execution plan for a query: cache lookup by canonical
+  /// key, build + lint-at-insert on miss, LRU eviction. On lint failure
+  /// returns null with `error` set. With caching disabled (capacity 0)
+  /// builds a fresh plan for `pattern` itself, bypassing canonicalization.
+  std::shared_ptr<const ExecutionPlan> ResolvePlan(const Pattern& pattern,
+                                                   const RunOptions& opts,
+                                                   std::string* error);
+
+  Ticket SubmitInternal(const Pattern& pattern, const RunOptions& options,
+                        const char* tool);
+  RunResult RunSyncWithTool(const Pattern& pattern, const RunOptions& options,
+                            const char* tool);
+  RunResult RunSerial(const Pattern& pattern, const RunOptions& opts,
+                      const char* tool);
+  const GraphStats& EnsureStats();
+  const BitmapIndex& EnsureBitmap();
+  WorkerPool& EnsurePool();
+  void OnResultDelivered();
+
+  const Graph& graph_;
+  const SessionOptions options_;
+
+  // Lazily built shared state (each guarded by init_mutex_, built once).
+  mutable std::mutex init_mutex_;
+  std::unique_ptr<GraphStats> graph_stats_;
+  std::unique_ptr<BitmapIndex> bitmap_index_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  mutable std::mutex cache_mutex_;
+  std::unordered_map<std::string, PlanEntry> plan_cache_;
+  uint64_t cache_tick_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  SessionStats session_stats_;
+
+  // Session-level attribution (src/obs); incremented only while armed.
+  obs::Counter* obs_queries_started_ = nullptr;
+  obs::Counter* obs_queries_completed_ = nullptr;
+  obs::Counter* obs_cache_hits_ = nullptr;
+  obs::Counter* obs_cache_misses_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
 // Back-compat wrappers. DEPRECATED: use light::Run / RunOptions for new
 // code — these remain as thin adapters and receive no new knobs.
 // ---------------------------------------------------------------------------
@@ -203,17 +386,18 @@ struct CountResult {
 
 /// DEPRECATED: thin wrapper over light::Run. Counts the embeddings of
 /// `pattern` in `graph` with the default pipeline.
-CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
-                           const CountOptions& options = {});
+[[deprecated("use light::Run")]] CountResult CountSubgraphs(
+    const Graph& graph, const Pattern& pattern,
+    const CountOptions& options = {});
 
 /// DEPRECATED: thin wrapper over light::Run with a visitor. Streams every
 /// match through `visitor` (serial; matches arrive in a deterministic
 /// order) honoring the report sink and time limit. options.threads > 1 is
 /// unsupported with a visitor and returns a CountResult with `error` set
 /// (threads 0 and 1 both run serially, as before).
-CountResult EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
-                               MatchVisitor* visitor,
-                               const CountOptions& options = {});
+[[deprecated("use light::Run with RunOptions::visitor")]] CountResult
+EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
+                   MatchVisitor* visitor, const CountOptions& options = {});
 
 }  // namespace light
 

@@ -1,91 +1,12 @@
 #include "parallel/parallel_enumerator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <mutex>
 #include <thread>
-#include <vector>
 
-#include "common/check.h"
-#include "common/timer.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "parallel/task_queue.h"
+#include "parallel/worker_pool.h"
 
 namespace light {
-namespace {
-
-uint64_t MonotonicNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-void WorkerLoop(int worker_id, const Graph& graph, const ExecutionPlan& plan,
-                const ParallelOptions& options,
-                const std::vector<uint32_t>* data_labels,
-                const BitmapIndex* bitmap_index, TaskQueue* queue,
-                EngineStats* out_stats, obs::WorkerStats* out_worker,
-                std::mutex* out_mutex) {
-  obs::TraceSpan worker_span("worker", "id", worker_id);
-  Enumerator enumerator(graph, plan, data_labels);
-  enumerator.SetBitmapIndex(bitmap_index);
-  enumerator.SetTimeLimit(options.time_limit_seconds);
-  enumerator.RestartClock();
-  obs::WorkerStats ws;
-  ws.worker_id = worker_id;
-  const uint64_t loop_start_ns = MonotonicNs();
-  RootRange range;
-  uint32_t ticks = 0;
-  while (true) {
-    // Time blocked in Pop is idle time — including the terminal Pop where a
-    // worker that ran dry waits for its peers to finish, which is exactly
-    // the tail imbalance the per-worker stats exist to expose.
-    const uint64_t pop_start_ns = MonotonicNs();
-    const bool got_work = queue->Pop(&range);
-    ws.idle_ns += MonotonicNs() - pop_start_ns;
-    if (!got_work) break;
-    ++ws.ranges_popped;
-    if (range.donated) {
-      ++ws.steals_received;
-      obs::TraceInstant("steal", "begin", range.begin);
-    }
-    obs::TraceSpan range_span("range", "begin", range.begin);
-    VertexID v = range.begin;
-    while (v < range.end) {
-      // Sender-initiated stealing: if peers are starving and the global
-      // queue is dry, donate the second half of the remaining range.
-      if (range.end - v > options.min_split_size &&
-          (++ticks % options.donation_check_interval) == 0 &&
-          queue->IdleWorkersWaiting()) {
-        const VertexID mid = v + (range.end - v) / 2;
-        queue->Push({mid, range.end, /*donated=*/true});
-        range.end = mid;
-        ++ws.steals_initiated;
-        obs::TraceInstant("donate", "begin", mid);
-      }
-      enumerator.RunRoot(v);
-      ++v;
-      ++ws.roots_processed;
-      if (enumerator.Stopped()) {
-        queue->Abort();
-        break;
-      }
-      if (queue->aborted()) break;
-    }
-    enumerator.FlushObsCounters();
-    if (enumerator.Stopped() || queue->aborted()) break;
-  }
-  ws.busy_ns = MonotonicNs() - loop_start_ns - ws.idle_ns;
-  ws.matches = enumerator.stats().num_matches;
-  *out_worker = ws;
-  std::lock_guard<std::mutex> lock(*out_mutex);
-  out_stats->Add(enumerator.stats());
-}
-
-}  // namespace
 
 Status ParallelOptions::Validate() const {
   if (std::isnan(time_limit_seconds) || time_limit_seconds < 0) {
@@ -109,10 +30,12 @@ Status ParallelOptions::Validate() const {
 ParallelOptions ParallelOptions::Normalized() const {
   ParallelOptions opts = *this;
   if (opts.num_threads <= 0) {
-    // hardware_concurrency() is unsigned and may exceed INT_MAX in theory;
-    // clamp through int64 instead of assigning unsigned to int directly.
-    const int64_t hw =
-        static_cast<int64_t>(std::thread::hardware_concurrency());
+    // hardware_concurrency() may legally return 0 ("not computable" per
+    // [thread.thread.static]); fall back to one worker rather than a
+    // zero-thread pool. It is also unsigned and may exceed INT_MAX in
+    // theory, so clamp through int64 instead of assigning unsigned to int.
+    const unsigned hw_raw = std::thread::hardware_concurrency();
+    const int64_t hw = hw_raw == 0 ? 1 : static_cast<int64_t>(hw_raw);
     opts.num_threads = static_cast<int>(
         std::clamp<int64_t>(hw, 1, std::numeric_limits<int>::max()));
   }
@@ -131,53 +54,19 @@ ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
                              const ParallelOptions& options,
                              const std::vector<uint32_t>* data_labels,
                              const BitmapIndex* bitmap_index) {
+  // One-shot convenience over the persistent executor: a throwaway pool
+  // sized to the request, one query, blocking wait. Callers with a query
+  // stream should hold a WorkerPool (or a light::Session) instead and
+  // amortize the thread spawn this still pays per call.
   const ParallelOptions opts = options.Normalized();
-  Timer timer;
-  TaskQueue queue(opts.num_threads);
-
-  // Bootstrap chunks; donation keeps the tail balanced afterwards. The
-  // chunk product stays in 64 bits: num_threads * chunks_per_worker can
-  // overflow int for adversarial configs.
-  const VertexID n = graph.NumVertices();
-  const int64_t chunks =
-      std::max<int64_t>(1, static_cast<int64_t>(opts.num_threads) *
-                               opts.initial_chunks_per_worker);
-  const VertexID step = static_cast<VertexID>(
-      std::max<int64_t>(1, (static_cast<int64_t>(n) + chunks - 1) / chunks));
-  for (VertexID begin = 0; begin < n; begin += step) {
-    queue.Push({begin, std::min<VertexID>(n, begin + step)});
-  }
-
-  EngineStats merged;
-  std::mutex merge_mutex;
-  std::vector<obs::WorkerStats> workers(
-      static_cast<size_t>(opts.num_threads));
-  if (opts.num_threads == 1) {
-    WorkerLoop(0, graph, plan, opts, data_labels, bitmap_index, &queue,
-               &merged, &workers[0], &merge_mutex);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(opts.num_threads));
-    for (int t = 0; t < opts.num_threads; ++t) {
-      threads.emplace_back(WorkerLoop, t, std::cref(graph), std::cref(plan),
-                           std::cref(opts), data_labels, bitmap_index, &queue,
-                           &merged, &workers[static_cast<size_t>(t)],
-                           &merge_mutex);
-    }
-    for (std::thread& thread : threads) thread.join();
-  }
-
-  ParallelResult result;
-  result.stats = std::move(merged);
-  result.num_matches = result.stats.num_matches;
-  result.elapsed_seconds = timer.ElapsedSeconds();
-  result.timed_out = result.stats.timed_out;
-  result.threads_configured = opts.num_threads;
-  const obs::WorkerSummary summary = obs::SummarizeWorkers(workers);
-  result.threads_used = summary.threads_used;
-  result.load_imbalance = summary.load_imbalance;
-  result.workers = std::move(workers);
-  return result;
+  WorkerPool pool(opts.num_threads);
+  WorkerPool::QuerySpec spec;
+  spec.graph = &graph;
+  spec.plan = &plan;
+  spec.data_labels = data_labels;
+  spec.bitmap_index = bitmap_index;
+  spec.options = opts;
+  return pool.Submit(spec).Wait();
 }
 
 }  // namespace light

@@ -1,54 +1,172 @@
 #include "parallel/task_queue.h"
 
-#include "common/check.h"
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <vector>
 
 namespace light {
 
-TaskQueue::TaskQueue(int num_workers) : num_workers_(num_workers) {
-  LIGHT_CHECK(num_workers >= 1);
+/// All mutable fields are guarded by MultiQueryQueue::mutex_ except
+/// `aborted`, which lease holders poll without the lock.
+struct MultiQueryQueue::Query {
+  void* context = nullptr;
+  int max_leases = 0;  // <= 0: uncapped
+  bool active = false;
+  bool completed = false;
+  int leases = 0;
+  std::deque<RootRange> pending;
+  std::atomic<bool> aborted{false};
+};
+
+MultiQueryQueue::~MultiQueryQueue() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Completed queries are freed by Release; anything still listed here was
+  // abandoned by the caller (pool torn down mid-query). Free it defensively.
+  for (Query* q : queries_) delete q;
 }
 
-void TaskQueue::Push(RootRange range) {
-  if (range.size() == 0) return;
+MultiQueryQueue::Query* MultiQueryQueue::Open(void* context, int max_leases) {
+  auto* q = new Query();
+  q->context = context;
+  q->max_leases = max_leases;
+  std::lock_guard<std::mutex> lock(mutex_);
+  assert(!shutdown_ && "Open after Shutdown");
+  queries_.push_back(q);
+  return q;
+}
+
+void MultiQueryQueue::Push(Query* q, RootRange range) {
+  if (range.size() <= 0) return;
+  bool notify;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(range);
-    approx_empty_.store(false, std::memory_order_relaxed);
+    assert(!q->completed && "Push on completed query");
+    q->pending.push_back(range);
+    // Before Activate nobody can pop this query, so waking a worker would
+    // be a spurious wakeup; Activate notifies instead.
+    notify = q->active;
   }
-  cv_.notify_one();
+  if (notify) cv_.notify_one();
 }
 
-bool TaskQueue::Pop(RootRange* out) {
+bool MultiQueryQueue::Activate(Query* q) {
+  bool completed_immediately;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(!q->active && "double Activate");
+    q->active = true;
+    // Nothing was ever pushed (e.g. zero root candidates): no Pop/Done
+    // cycle will run, so the query is already done. Mark it so Release's
+    // precondition holds and workers skip it.
+    completed_immediately = q->pending.empty();
+    if (completed_immediately) q->completed = true;
+    generation_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!completed_immediately) cv_.notify_all();
+  return completed_immediately;
+}
+
+MultiQueryQueue::Query* MultiQueryQueue::PickLocked() {
+  // Round-robin over open queries starting at cursor_, so concurrent
+  // queries share the pool instead of the earliest-opened one starving the
+  // rest. A query is poppable when active, has pending work, and has a free
+  // lease slot.
+  const size_t n = queries_.size();
+  for (size_t i = 0; i < n; ++i) {
+    Query* q = queries_[(cursor_ + i) % n];
+    if (!q->active || q->completed || q->pending.empty()) continue;
+    if (q->max_leases > 0 && q->leases >= q->max_leases) continue;
+    cursor_ = (cursor_ + i + 1) % n;
+    return q;
+  }
+  return nullptr;
+}
+
+bool MultiQueryQueue::Pop(Lease* out) {
   std::unique_lock<std::mutex> lock(mutex_);
-  num_waiting_.fetch_add(1, std::memory_order_relaxed);
-  // If every worker is now waiting and no work remains, the run is over.
-  if (queue_.empty() &&
-      num_waiting_.load(std::memory_order_relaxed) == num_workers_) {
-    finished_ = true;
-    cv_.notify_all();
+  for (;;) {
+    Query* q = PickLocked();
+    if (q != nullptr) {
+      out->query = q;
+      out->context = q->context;
+      out->range = q->pending.front();
+      q->pending.pop_front();
+      ++q->leases;
+      return true;
+    }
+    if (shutdown_) return false;
+    num_waiting_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait(lock);
+    num_waiting_.fetch_sub(1, std::memory_order_relaxed);
   }
-  cv_.wait(lock, [&] {
-    return !queue_.empty() || finished_ ||
-           aborted_.load(std::memory_order_relaxed);
-  });
-  if (queue_.empty()) {
-    // finished_ or aborted_: leave num_waiting_ elevated so the
-    // all-idle invariant keeps holding for the remaining workers.
-    return false;
-  }
-  *out = queue_.front();
-  queue_.pop_front();
-  approx_empty_.store(queue_.empty(), std::memory_order_relaxed);
-  num_waiting_.fetch_sub(1, std::memory_order_relaxed);
-  return true;
 }
 
-void TaskQueue::Abort() {
+bool MultiQueryQueue::Done(const Lease& lease) {
+  Query* q = lease.query;
+  bool notify;
+  bool last;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    aborted_.store(true, std::memory_order_relaxed);
+    assert(q->leases > 0 && "Done without a lease");
+    --q->leases;
+    last = q->active && !q->completed && q->pending.empty() && q->leases == 0;
+    if (last) q->completed = true;
+    // A donation by this worker may still be sitting in pending with every
+    // other worker parked; make sure somebody picks it up.
+    notify = !last && !q->pending.empty();
+  }
+  if (notify) cv_.notify_one();
+  return last;
+}
+
+bool MultiQueryQueue::Abort(Query* q) {
+  bool last;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    q->aborted.store(true, std::memory_order_relaxed);
+    q->pending.clear();
+    last = q->active && !q->completed && q->leases == 0;
+    if (last) q->completed = true;
+  }
+  return last;
+}
+
+bool MultiQueryQueue::aborted(const Query* q) const {
+  return q->aborted.load(std::memory_order_relaxed);
+}
+
+void MultiQueryQueue::Release(Query* q) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(q->completed && "Release of uncompleted query");
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      if (queries_[i] == q) {
+        queries_.erase(queries_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    if (cursor_ >= queries_.size()) cursor_ = 0;
+  }
+  delete q;
+}
+
+void MultiQueryQueue::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    generation_.fetch_add(1, std::memory_order_relaxed);
   }
   cv_.notify_all();
+}
+
+int MultiQueryQueue::num_open_queries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (const Query* q : queries_) {
+    if (!q->completed) ++n;
+  }
+  return n;
 }
 
 }  // namespace light

@@ -3,8 +3,9 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <mutex>
+#include <vector>
 
 #include "common/types.h"
 
@@ -21,48 +22,117 @@ struct RootRange {
   VertexID size() const { return end - begin; }
 };
 
-/// The global concurrent queue of Section VII-B with sender-initiated work
-/// stealing: idle workers block in Pop; busy workers poll
-/// IdleWorkersWaiting() and donate half of their remaining range when
-/// somebody is starving and the queue is empty, waking the idle worker
-/// almost immediately [2].
+/// The global concurrent queue of Section VII-B, generalized from one run to
+/// many: a single queue instance schedules root ranges for any number of
+/// concurrent queries, which is what lets one persistent WorkerPool serve a
+/// stream of enumerations instead of spawning threads per call.
 ///
-/// Termination: when every worker is blocked in Pop and the queue is empty,
-/// the computation is complete and all Pops return false.
-class TaskQueue {
+/// Lifecycle of a query:
+///   Query* q = queue.Open(ctx);     // invisible to workers
+///   queue.Push(q, range); ...       // bootstrap chunks
+///   queue.Activate(q);              // published; workers may Pop its ranges
+///   ... workers: Pop -> process -> Done, donating halves via Push ...
+///   queue.Release(q);               // after completion, by the finalizer
+///
+/// Termination is exact per query: a query completes when it is active, has
+/// no pending ranges, and no outstanding leases (ranges popped but not yet
+/// Done). The two-phase Open/Activate split exists so a half-bootstrapped
+/// query (submitter still pushing chunks) can never be mistaken for a
+/// drained one. After Activate, only lease holders push (donation), so the
+/// pending+leases accounting can hit zero exactly once.
+///
+/// Sender-initiated stealing carries over unchanged: parked workers block in
+/// Pop; busy workers poll IdleWorkersWaiting() and donate half of their
+/// remaining range when somebody is starving, waking the idle worker almost
+/// immediately [2].
+class MultiQueryQueue {
  public:
-  explicit TaskQueue(int num_workers);
+  /// Per-query scheduling state; opaque to callers.
+  struct Query;
 
-  TaskQueue(const TaskQueue&) = delete;
-  TaskQueue& operator=(const TaskQueue&) = delete;
+  /// A popped range plus the query it belongs to. `context` is the pointer
+  /// the query was opened with (the pool's per-query execution state).
+  struct Lease {
+    Query* query = nullptr;
+    void* context = nullptr;
+    RootRange range;
+  };
 
-  /// Adds a task and wakes an idle worker.
-  void Push(RootRange range);
+  MultiQueryQueue() = default;
+  ~MultiQueryQueue();
 
-  /// Blocks until a task is available, all workers are idle (returns false),
-  /// or Abort() was called (returns false).
-  bool Pop(RootRange* out);
+  MultiQueryQueue(const MultiQueryQueue&) = delete;
+  MultiQueryQueue& operator=(const MultiQueryQueue&) = delete;
 
-  /// Approximate signal for donation decisions; cheap (two atomics).
+  /// Opens an inactive query. `max_leases` caps how many workers may hold
+  /// one of its ranges concurrently (<= 0: uncapped) — how a query asking
+  /// for fewer threads than the pool has shares the pool.
+  Query* Open(void* context, int max_leases = 0);
+
+  /// Adds a range (empty ranges are ignored). Legal before Activate
+  /// (bootstrap) and from a lease holder afterwards (donation).
+  void Push(Query* q, RootRange range);
+
+  /// Publishes q to the workers and stamps a new task epoch. Returns true
+  /// when the query completed immediately (nothing was pushed — e.g. an
+  /// empty graph); the caller must then finalize and Release it, since no
+  /// worker will ever see it.
+  bool Activate(Query* q);
+
+  /// Blocks until a range from some active query is available (honoring
+  /// per-query lease caps, round-robin across queries) or Shutdown was
+  /// called and every pending range has been handed out (returns false).
+  bool Pop(Lease* out);
+
+  /// Returns a lease. True when this was the query's last outstanding work —
+  /// the caller must finalize the query (exactly one Done per query returns
+  /// true) and eventually Release it.
+  bool Done(const Lease& lease);
+
+  /// Drops q's pending ranges and marks it aborted (visible to lease
+  /// holders via aborted(), the cooperative cancellation signal on
+  /// time-out). Outstanding leases still finish through Done. Returns true
+  /// when this call itself completed the query (no leases were out); the
+  /// caller must then finalize and Release, exactly as for Done.
+  bool Abort(Query* q);
+
+  bool aborted(const Query* q) const;
+
+  /// Approximate donation signal: true when some worker is parked in Pop.
+  /// One relaxed load; workers only park when nothing is poppable anywhere,
+  /// so a parked worker means a donated range would be picked up at once.
   bool IdleWorkersWaiting() const {
-    return num_waiting_.load(std::memory_order_relaxed) > 0 &&
-           approx_empty_.load(std::memory_order_relaxed);
+    return num_waiting_.load(std::memory_order_relaxed) > 0;
   }
 
-  /// Wakes everyone and makes all Pops fail; used on time-out.
-  void Abort();
+  /// Frees a completed query's state. Must only be called after Done/Abort
+  /// returned true for it (or Activate returned true).
+  void Release(Query* q);
 
-  bool aborted() const { return aborted_.load(std::memory_order_relaxed); }
+  /// Wakes everyone; Pop keeps draining already-pushed ranges, then returns
+  /// false. New Opens are not accepted afterwards.
+  void Shutdown();
+
+  /// Task-epoch stamp: bumped on every Activate and on Shutdown. Lets
+  /// observers (tests, obs counters) tell scheduling rounds apart without
+  /// taking the queue lock.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of open (activated or not, uncompleted) queries; test hook.
+  int num_open_queries() const;
 
  private:
-  const int num_workers_;
-  std::mutex mutex_;
+  Query* PickLocked();
+
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<RootRange> queue_;
+  std::vector<Query*> queries_;  // open, not yet completed
+  size_t cursor_ = 0;            // round-robin position into queries_
+  bool shutdown_ = false;
   std::atomic<int> num_waiting_{0};
-  std::atomic<bool> approx_empty_{true};
-  std::atomic<bool> aborted_{false};
-  bool finished_ = false;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace light

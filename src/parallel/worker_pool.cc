@@ -1,0 +1,296 @@
+#include "parallel/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <utility>
+
+#include "common/timer.h"
+#include "engine/enumerator.h"
+#include "engine/scratch_arena.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace light {
+namespace {
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The per-worker candidate-buffer footprint the Enumerator constructor
+/// will report for this (graph, plan) pair — computed analytically so the
+/// merged candidate_memory_bytes stays exactly `threads_configured x
+/// serial` (Table V's metric) even though pool workers build enumerators
+/// lazily (a worker that never touches a query allocates nothing).
+size_t PerWorkerCandidateBytes(const Graph& graph, const ExecutionPlan& plan) {
+  size_t bytes = 0;
+  for (const Operation& op : plan.sigma) {
+    if (op.type != OpType::kCompute) continue;
+    const Operands& ops = plan.operands[static_cast<size_t>(op.vertex)];
+    if (ops.k1.empty() && ops.k2.empty()) continue;
+    bytes += static_cast<size_t>(graph.MaxDegree()) * sizeof(VertexID);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+namespace internal {
+
+/// Shared state of one submitted query. Owned jointly by the caller's
+/// QueryHandle, the workers currently caching it, and a self-keepalive that
+/// the finalizer drops — so a caller may discard its handle without waiting
+/// and the state still lives until the query finishes.
+struct PoolQueryState : std::enable_shared_from_this<PoolQueryState> {
+  WorkerPool::QuerySpec spec;
+  ParallelOptions opts;  // normalized
+  Timer timer;           // wall clock since Submit
+
+  MultiQueryQueue::Query* q = nullptr;
+
+  // Per-pool-slot attribution; slot s is only written by worker s.
+  std::vector<obs::WorkerStats> slots;
+
+  std::mutex merge_mutex;
+  EngineStats merged;  // guarded by merge_mutex until finalize
+  size_t per_worker_cand_bytes = 0;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  ParallelResult result;
+
+  std::shared_ptr<PoolQueryState> keepalive;
+};
+
+}  // namespace internal
+
+using internal::PoolQueryState;
+
+ParallelResult WorkerPool::QueryHandle::Wait() {
+  std::unique_lock<std::mutex> lock(state_->done_mutex);
+  state_->done_cv.wait(lock, [&] { return state_->done; });
+  return state_->result;
+}
+
+bool WorkerPool::QueryHandle::done() const {
+  std::lock_guard<std::mutex> lock(state_->done_mutex);
+  return state_->done;
+}
+
+WorkerPool::WorkerPool(int num_threads) {
+  obs::MetricsRegistry& registry = obs::DefaultRegistry();
+  obs_queries_submitted_ = registry.GetCounter("pool.queries_submitted");
+  obs_queries_completed_ = registry.GetCounter("pool.queries_completed");
+  obs_ranges_executed_ = registry.GetCounter("pool.ranges_executed");
+
+  ParallelOptions opts;
+  opts.num_threads = num_threads;
+  const int n = opts.Normalized().num_threads;
+  threads_.reserve(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    threads_.emplace_back([this, t] { WorkerMain(t); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  queue_.Shutdown();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+WorkerPool::QueryHandle WorkerPool::Submit(const QuerySpec& spec) {
+  auto qs = std::make_shared<PoolQueryState>();
+  qs->spec = spec;
+  qs->opts = spec.options.Normalized();
+  qs->per_worker_cand_bytes = PerWorkerCandidateBytes(*spec.graph, *spec.plan);
+  qs->slots.resize(threads_.size());
+  for (size_t s = 0; s < qs->slots.size(); ++s) {
+    qs->slots[s].worker_id = static_cast<int>(s);
+  }
+  qs->keepalive = qs;
+
+  // A query asking for fewer threads than the pool has gets a lease cap so
+  // at most that many workers execute it concurrently.
+  const int effective_threads = std::min(
+      static_cast<int>(threads_.size()),
+      spec.options.num_threads > 0 ? spec.options.num_threads
+                                   : static_cast<int>(threads_.size()));
+  qs->q = queue_.Open(qs.get(), effective_threads);
+
+  // Bootstrap chunks; donation keeps the tail balanced afterwards. The
+  // chunk product stays in 64 bits: num_threads * chunks_per_worker can
+  // overflow int for adversarial configs.
+  const VertexID n = spec.graph->NumVertices();
+  const int64_t chunks =
+      std::max<int64_t>(1, static_cast<int64_t>(effective_threads) *
+                               qs->opts.initial_chunks_per_worker);
+  const VertexID step = static_cast<VertexID>(
+      std::max<int64_t>(1, (static_cast<int64_t>(n) + chunks - 1) / chunks));
+  for (VertexID begin = 0; begin < n; begin += step) {
+    queue_.Push(qs->q, {begin, std::min<VertexID>(n, begin + step)});
+  }
+
+  if (obs::MetricsEnabled()) obs_queries_submitted_->Inc();
+  qs->timer.Restart();
+  if (queue_.Activate(qs->q)) {
+    // Zero root candidates: no worker will ever see this query.
+    FinalizeQuery(qs.get());
+  }
+  return QueryHandle(std::move(qs));
+}
+
+void WorkerPool::WorkerMain(int slot) {
+  obs::TraceSpan worker_span("worker", "id", slot);
+  // Arena + cached enumerator live for the thread's lifetime: buffers
+  // released by one query's enumerator are reacquired by the next, and a
+  // worker draining several ranges of the same query keeps one enumerator.
+  ScratchArena arena;
+  std::shared_ptr<PoolQueryState> cached_state;
+  std::unique_ptr<Enumerator> cached_enum;
+  uint32_t donation_ticks = 0;
+
+  MultiQueryQueue::Lease lease;
+  while (true) {
+    const uint64_t pop_start_ns = MonotonicNs();
+    const bool got_work = queue_.Pop(&lease);
+    const uint64_t pop_ns = MonotonicNs() - pop_start_ns;
+    if (!got_work) break;
+
+    auto* qs = static_cast<PoolQueryState*>(lease.context);
+    if (cached_state.get() != qs) {
+      // Query switch: destroy the old enumerator on this thread (its
+      // buffers return to the arena) and build one for the new query. The
+      // cached state's shared_ptr keeps a completed query's memory — not
+      // its caller-owned graph/plan, which we never touch again — alive
+      // until the switch.
+      cached_enum.reset();
+      cached_state = qs->shared_from_this();
+      cached_enum = std::make_unique<Enumerator>(
+          *qs->spec.graph, *qs->spec.plan, qs->spec.data_labels, &arena);
+      cached_enum->SetBitmapIndex(qs->spec.bitmap_index);
+    }
+    // Time blocked in Pop while this query was live is its idle time (the
+    // tail-imbalance signal the per-worker stats exist to expose).
+    qs->slots[static_cast<size_t>(slot)].idle_ns += pop_ns;
+
+    ProcessLease(qs, cached_enum.get(), slot, &lease, &donation_ticks);
+
+    if (queue_.Done(lease)) FinalizeQuery(qs);
+  }
+  // Thread exit: release the last enumerator's buffers on this thread.
+  cached_enum.reset();
+}
+
+void WorkerPool::ProcessLease(PoolQueryState* qs, Enumerator* enumerator,
+                              int slot, MultiQueryQueue::Lease* lease,
+                              uint32_t* donation_ticks) {
+  obs::WorkerStats& ws = qs->slots[static_cast<size_t>(slot)];
+  const uint64_t busy_start_ns = MonotonicNs();
+  ++ws.ranges_popped;
+  RootRange& range = lease->range;
+  if (range.donated) {
+    ++ws.steals_received;
+    obs::TraceInstant("steal", "begin", range.begin);
+  }
+
+  // The query's wall-clock budget, re-anchored per range: the enumerator's
+  // own clock restarts here, so hand it whatever budget remains since
+  // Submit (<= 0 trips the deadline on the first check, unwinding as OOT).
+  const double limit = qs->opts.time_limit_seconds;
+  if (std::isfinite(limit)) {
+    enumerator->SetTimeLimit(limit - qs->timer.ElapsedSeconds());
+  } else {
+    enumerator->SetTimeLimit(std::numeric_limits<double>::infinity());
+  }
+  enumerator->RestartClock();
+
+  obs::TraceSpan range_span("range", "begin", range.begin);
+  VertexID v = range.begin;
+  while (v < range.end) {
+    // Sender-initiated stealing: if peers are starving, donate the second
+    // half of the remaining range.
+    if (range.end - v > qs->opts.min_split_size &&
+        (++*donation_ticks % qs->opts.donation_check_interval) == 0 &&
+        queue_.IdleWorkersWaiting()) {
+      const VertexID mid = v + (range.end - v) / 2;
+      queue_.Push(lease->query, {mid, range.end, /*donated=*/true});
+      range.end = mid;
+      ++ws.steals_initiated;
+      obs::TraceInstant("donate", "begin", mid);
+    }
+    enumerator->RunRoot(v);
+    ++v;
+    ++ws.roots_processed;
+    if (enumerator->Stopped()) {
+      // Deadline exceeded: cancel the query's remaining work. We hold a
+      // lease, so Abort can never be the completing call here.
+      queue_.Abort(lease->query);
+      break;
+    }
+    if (queue_.aborted(lease->query)) break;
+  }
+  enumerator->FlushObsCounters();
+
+  // Merge this range's stats into the query and re-zero the enumerator, so
+  // the same enumerator can carry its next range (possibly of a different
+  // query after a switch) without double counting. Footprint and wall time
+  // are whole-query quantities, not per-range ones: candidate bytes are
+  // reconstructed analytically at finalize and elapsed is the Submit->done
+  // wall clock.
+  EngineStats delta = enumerator->stats();
+  delta.candidate_memory_bytes = 0;
+  delta.elapsed_seconds = 0.0;
+  ws.matches += delta.num_matches;
+  {
+    std::lock_guard<std::mutex> lock(qs->merge_mutex);
+    qs->merged.Add(delta);
+  }
+  enumerator->ResetStats();
+  ws.busy_ns += MonotonicNs() - busy_start_ns;
+  if (obs::MetricsEnabled()) obs_ranges_executed_->Inc();
+}
+
+void WorkerPool::FinalizeQuery(PoolQueryState* qs) {
+  ParallelResult result;
+  {
+    // The queue's Done/Abort handoff sequences all merges before this
+    // point; the lock is for TSan-visible clarity, not contention.
+    std::lock_guard<std::mutex> lock(qs->merge_mutex);
+    result.stats = std::move(qs->merged);
+  }
+  const int threads_configured = static_cast<int>(qs->slots.size());
+  result.stats.candidate_memory_bytes =
+      qs->per_worker_cand_bytes * static_cast<size_t>(threads_configured);
+  result.num_matches = result.stats.num_matches;
+  result.elapsed_seconds = qs->timer.ElapsedSeconds();
+  result.timed_out = result.stats.timed_out;
+  result.threads_configured = threads_configured;
+  const obs::WorkerSummary summary = obs::SummarizeWorkers(qs->slots);
+  result.threads_used = summary.threads_used;
+  result.load_imbalance = summary.load_imbalance;
+  result.workers = std::move(qs->slots);
+
+  queue_.Release(qs->q);
+  qs->q = nullptr;
+  if (obs::MetricsEnabled()) obs_queries_completed_->Inc();
+
+  {
+    std::lock_guard<std::mutex> lock(qs->done_mutex);
+    qs->result = std::move(result);
+    qs->done = true;
+  }
+  qs->done_cv.notify_all();
+  // Drop the self-reference last: if the caller already discarded its
+  // handle, this line destroys qs.
+  std::shared_ptr<PoolQueryState> self = std::move(qs->keepalive);
+}
+
+}  // namespace light

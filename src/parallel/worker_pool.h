@@ -1,0 +1,118 @@
+#ifndef LIGHT_PARALLEL_WORKER_POOL_H_
+#define LIGHT_PARALLEL_WORKER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/bitmap_index.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "parallel/parallel_enumerator.h"
+#include "parallel/task_queue.h"
+#include "plan/plan.h"
+
+namespace light {
+
+namespace internal {
+struct PoolQueryState;
+}  // namespace internal
+
+/// Persistent executor for the parallel enumeration of Section VII-B.
+///
+/// Where ParallelCount used to spawn and join fresh std::threads per call,
+/// a WorkerPool starts its workers once and keeps them parked on a shared
+/// MultiQueryQueue; each Submit opens a query on the queue (bootstrap root
+/// chunks, generation-stamped activation) and returns a handle the caller
+/// Waits on. Multiple queries — from multiple caller threads — run
+/// concurrently on the same workers, interleaved range-by-range with
+/// round-robin fairness and the paper's sender-initiated donation balancing
+/// within each query.
+///
+/// Per-worker state that the one-shot runtime rebuilt per call is now
+/// reused across queries: each worker owns a ScratchArena for candidate and
+/// bitmap-scratch buffers, and keeps its Enumerator alive between ranges of
+/// the same query (rebuilding only when it switches query).
+///
+/// Thread safety: Submit may be called from any number of threads. The
+/// graph/plan/labels/bitmap pointers in a QuerySpec must stay valid until
+/// that query's Wait returns.
+class WorkerPool {
+ public:
+  /// One enumeration request. Mirrors ParallelCount's signature; `options`
+  /// carries the per-query time limit and donation tuning. A positive
+  /// options.num_threads caps how many pool workers may execute this query
+  /// concurrently (<= 0: the whole pool). `plan_holder`, when set, keeps a
+  /// shared plan (e.g. a session's cached plan) alive for the query's
+  /// lifetime; `plan` may point into it.
+  struct QuerySpec {
+    const Graph* graph = nullptr;
+    const ExecutionPlan* plan = nullptr;
+    const std::vector<uint32_t>* data_labels = nullptr;
+    const BitmapIndex* bitmap_index = nullptr;
+    ParallelOptions options;
+    std::shared_ptr<const ExecutionPlan> plan_holder;
+  };
+
+  /// Blocking future for one submitted query.
+  class QueryHandle {
+   public:
+    QueryHandle() = default;
+
+    /// Blocks until the query completes; idempotent (returns the same
+    /// result every call). Valid on a default-constructed handle only
+    /// after assignment from Submit.
+    ParallelResult Wait();
+
+    /// True once the result is available (Wait would not block).
+    bool done() const;
+
+   private:
+    friend class WorkerPool;
+    explicit QueryHandle(std::shared_ptr<internal::PoolQueryState> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<internal::PoolQueryState> state_;
+  };
+
+  /// Starts `num_threads` persistent workers (<= 0: hardware concurrency,
+  /// with the unspecified-zero fallback of ParallelOptions::Normalized()).
+  explicit WorkerPool(int num_threads = 0);
+
+  /// Drains in-flight queries (already-submitted work completes), then
+  /// shuts the queue down and joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Submits one query; returns immediately. The result (counts, merged
+  /// engine stats, per-worker breakdown — same contract as ParallelCount)
+  /// is delivered through the handle.
+  QueryHandle Submit(const QuerySpec& spec);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Task-epoch stamp of the underlying queue (bumped per Activate).
+  uint64_t generation() const { return queue_.generation(); }
+
+ private:
+  void WorkerMain(int slot);
+  void ProcessLease(internal::PoolQueryState* qs, Enumerator* enumerator,
+                    int slot, MultiQueryQueue::Lease* lease,
+                    uint32_t* donation_ticks);
+  void FinalizeQuery(internal::PoolQueryState* qs);
+
+  MultiQueryQueue queue_;
+  std::vector<std::thread> threads_;
+
+  // Pool-level attribution (src/obs): resolved once, incremented only while
+  // the registry is armed.
+  obs::Counter* obs_queries_submitted_ = nullptr;
+  obs::Counter* obs_queries_completed_ = nullptr;
+  obs::Counter* obs_ranges_executed_ = nullptr;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_PARALLEL_WORKER_POOL_H_

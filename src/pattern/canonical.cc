@@ -1,0 +1,116 @@
+#include "pattern/canonical.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace light {
+namespace {
+
+/// Encoding compared across permutations: per-vertex adjacency masks
+/// followed by per-vertex labels (labels only when the pattern is labeled,
+/// so unlabeled patterns compare on pure structure).
+struct Encoding {
+  std::vector<uint32_t> adj;
+  std::vector<uint32_t> labels;
+
+  bool operator<(const Encoding& other) const {
+    if (adj != other.adj) return adj < other.adj;
+    return labels < other.labels;
+  }
+};
+
+Encoding Encode(const Pattern& p, const std::vector<int>& perm) {
+  // perm[new_id] = old_id: vertex perm[i] of the input becomes vertex i.
+  const int n = p.NumVertices();
+  std::vector<int> inverse(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) inverse[static_cast<size_t>(perm[i])] = i;
+
+  Encoding enc;
+  enc.adj.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    uint32_t mask = p.NeighborMask(perm[static_cast<size_t>(i)]);
+    uint32_t remapped = 0;
+    while (mask != 0) {
+      const int old_v = __builtin_ctz(mask);
+      mask &= mask - 1;
+      remapped |= 1u << inverse[static_cast<size_t>(old_v)];
+    }
+    enc.adj[static_cast<size_t>(i)] = remapped;
+  }
+  if (p.HasLabels()) {
+    enc.labels.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      enc.labels[static_cast<size_t>(i)] =
+          p.Label(perm[static_cast<size_t>(i)]);
+    }
+  }
+  return enc;
+}
+
+Pattern FromEncoding(int n, const Encoding& enc) {
+  Pattern out(n);
+  for (int u = 0; u < n; ++u) {
+    uint32_t mask = enc.adj[static_cast<size_t>(u)];
+    // Add each edge once (v > u).
+    mask &= ~((1u << (u + 1)) - 1u);
+    while (mask != 0) {
+      const int v = __builtin_ctz(mask);
+      mask &= mask - 1;
+      out.AddEdge(u, v);
+    }
+  }
+  for (size_t u = 0; u < enc.labels.size(); ++u) {
+    out.SetLabel(static_cast<int>(u), enc.labels[u]);
+  }
+  return out;
+}
+
+void AppendU32(uint32_t v, std::string* out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+std::string KeyOf(const Pattern& p, bool exact) {
+  std::string key;
+  key.reserve(2 + static_cast<size_t>(p.NumVertices()) * 8);
+  key.push_back(exact ? 'C' : 'I');  // regimes must never collide
+  key.push_back(static_cast<char>(p.NumVertices()));
+  for (int u = 0; u < p.NumVertices(); ++u) AppendU32(p.NeighborMask(u), &key);
+  if (p.HasLabels()) {
+    for (int u = 0; u < p.NumVertices(); ++u) AppendU32(p.Label(u), &key);
+  }
+  return key;
+}
+
+}  // namespace
+
+CanonicalForm Canonicalize(const Pattern& pattern) {
+  CanonicalForm form;
+  const int n = pattern.NumVertices();
+  if (n > kCanonicalMaxVertices) {
+    form.pattern = pattern;
+    form.exact = false;
+    return form;
+  }
+  std::vector<int> perm(static_cast<size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Encoding best = Encode(pattern, perm);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    Encoding candidate = Encode(pattern, perm);
+    if (candidate < best) best = std::move(candidate);
+  }
+  form.pattern = FromEncoding(n, best);
+  form.exact = true;
+  return form;
+}
+
+std::string CanonicalForm::Key() const { return KeyOf(pattern, exact); }
+
+std::string CanonicalPatternKey(const Pattern& pattern) {
+  return Canonicalize(pattern).Key();
+}
+
+}  // namespace light

@@ -1,0 +1,43 @@
+#ifndef LIGHT_PATTERN_CANONICAL_H_
+#define LIGHT_PATTERN_CANONICAL_H_
+
+#include <string>
+
+#include "pattern/pattern.h"
+
+namespace light {
+
+/// Isomorphic patterns up to this many vertices map to the same canonical
+/// key (exhaustive n! minimization — instant for the paper's 4-6-vertex
+/// patterns, still < 41k permutations at 8). Larger patterns fall back to
+/// an identity encoding: correct (equal patterns share a key) but not
+/// canonical (isomorphic-but-differently-numbered patterns get distinct
+/// keys), which only costs cache hits, never correctness.
+inline constexpr int kCanonicalMaxVertices = 8;
+
+/// A pattern's canonical form under vertex renumbering.
+struct CanonicalForm {
+  /// The relabeled pattern (lexicographically minimal (adjacency, labels)
+  /// encoding over all permutations when exact, the input itself when not).
+  Pattern pattern;
+  /// False for the identity fallback beyond kCanonicalMaxVertices.
+  bool exact = false;
+
+  /// Byte-string encoding of this form (the exact and fallback regimes
+  /// never collide). CanonicalPatternKey(p) == Canonicalize(p).Key().
+  std::string Key() const;
+};
+
+CanonicalForm Canonicalize(const Pattern& pattern);
+
+/// Byte-string cache key of Canonicalize(pattern): two patterns get the
+/// same key iff they are isomorphic (exact regime) or structurally equal
+/// vertex-for-vertex (fallback regime). This is what the session's plan
+/// cache indexes by — a plan built for one numbering of a pattern counts
+/// matches of every isomorphic renumbering identically, so keying by
+/// canonical form turns "same shape, different numbering" into cache hits.
+std::string CanonicalPatternKey(const Pattern& pattern);
+
+}  // namespace light
+
+#endif  // LIGHT_PATTERN_CANONICAL_H_

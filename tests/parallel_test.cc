@@ -7,57 +7,247 @@
 #include <thread>
 
 #include "gen/generators.h"
+#include "graph/graph_builder.h"
 #include "graph/graph_stats.h"
 #include "graph/reorder.h"
 #include "parallel/task_queue.h"
+#include "parallel/worker_pool.h"
 #include "pattern/catalog.h"
 
 namespace light {
 namespace {
 
-TEST(TaskQueueTest, SingleWorkerDrainsAndFinishes) {
-  TaskQueue queue(1);
-  queue.Push({0, 10});
-  queue.Push({10, 20});
-  RootRange range;
-  ASSERT_TRUE(queue.Pop(&range));
-  EXPECT_EQ(range.begin, 0u);
-  ASSERT_TRUE(queue.Pop(&range));
-  EXPECT_EQ(range.begin, 10u);
-  EXPECT_FALSE(queue.Pop(&range));  // all workers idle + empty => finished
+TEST(MultiQueryQueueTest, DrainsOneQueryAndCompletesOnLastDone) {
+  MultiQueryQueue queue;
+  int context = 0;
+  MultiQueryQueue::Query* q = queue.Open(&context);
+  queue.Push(q, {0, 10});
+  queue.Push(q, {10, 20});
+  EXPECT_FALSE(queue.Activate(q));
+
+  MultiQueryQueue::Lease a;
+  MultiQueryQueue::Lease b;
+  ASSERT_TRUE(queue.Pop(&a));
+  EXPECT_EQ(a.context, &context);
+  EXPECT_EQ(a.range.begin, 0u);
+  ASSERT_TRUE(queue.Pop(&b));
+  EXPECT_EQ(b.range.begin, 10u);
+  // Two leases out: returning the first is not completion.
+  EXPECT_FALSE(queue.Done(a));
+  // Returning the last one is, exactly once.
+  EXPECT_TRUE(queue.Done(b));
+  queue.Release(q);
+  EXPECT_EQ(queue.num_open_queries(), 0);
 }
 
-TEST(TaskQueueTest, EmptyRangesIgnored) {
-  TaskQueue queue(1);
-  queue.Push({5, 5});
-  RootRange range;
-  EXPECT_FALSE(queue.Pop(&range));
+TEST(MultiQueryQueueTest, EmptyRangesIgnoredAndEmptyQueryCompletesAtActivate) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr);
+  queue.Push(q, {5, 5});
+  // Nothing pushed => the query completes immediately at Activate and the
+  // caller must finalize it (no worker will ever pop it).
+  EXPECT_TRUE(queue.Activate(q));
+  queue.Release(q);
 }
 
-TEST(TaskQueueTest, AbortWakesWaiters) {
-  TaskQueue queue(2);
-  std::thread waiter([&] {
-    RootRange range;
-    EXPECT_FALSE(queue.Pop(&range));
-  });
-  // Give the waiter time to block, then abort.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  queue.Abort();
-  waiter.join();
-  EXPECT_TRUE(queue.aborted());
+TEST(MultiQueryQueueTest, InactiveQueryInvisibleToPop) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* hidden = queue.Open(nullptr);
+  queue.Push(hidden, {0, 100});  // bootstrap, not yet activated
+  MultiQueryQueue::Query* live = queue.Open(nullptr);
+  queue.Push(live, {7, 8});
+  EXPECT_FALSE(queue.Activate(live));
+  MultiQueryQueue::Lease lease;
+  ASSERT_TRUE(queue.Pop(&lease));
+  // Only the activated query's range is poppable.
+  EXPECT_EQ(lease.query, live);
+  EXPECT_EQ(lease.range.begin, 7u);
+  EXPECT_TRUE(queue.Done(lease));
+  queue.Release(live);
+  EXPECT_FALSE(queue.Activate(hidden));
+  ASSERT_TRUE(queue.Pop(&lease));
+  EXPECT_EQ(lease.query, hidden);
+  EXPECT_TRUE(queue.Done(lease));
+  queue.Release(hidden);
 }
 
-TEST(TaskQueueTest, IdleSignalReflectsWaiters) {
-  TaskQueue queue(2);
-  EXPECT_FALSE(queue.IdleWorkersWaiting());
-  std::thread waiter([&] {
-    RootRange range;
-    queue.Pop(&range);  // blocks until we push
+TEST(MultiQueryQueueTest, RoundRobinInterleavesQueries) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q1 = queue.Open(nullptr);
+  MultiQueryQueue::Query* q2 = queue.Open(nullptr);
+  for (VertexID i = 0; i < 4; ++i) {
+    queue.Push(q1, {i, i + 1});
+    queue.Push(q2, {i, i + 1});
+  }
+  EXPECT_FALSE(queue.Activate(q1));
+  EXPECT_FALSE(queue.Activate(q2));
+  // Pop with immediate Done: consecutive pops must alternate queries.
+  MultiQueryQueue::Lease lease;
+  std::vector<MultiQueryQueue::Query*> order;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.Pop(&lease));
+    order.push_back(lease.query);
+    const bool last = queue.Done(lease);
+    if (last) queue.Release(lease.query);
+  }
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_NE(order[i], order[i - 1]) << "pop " << i << " did not alternate";
+  }
+}
+
+TEST(MultiQueryQueueTest, LeaseCapLimitsConcurrentHolders) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr, /*max_leases=*/1);
+  queue.Push(q, {0, 1});
+  queue.Push(q, {1, 2});
+  EXPECT_FALSE(queue.Activate(q));
+  MultiQueryQueue::Lease first;
+  ASSERT_TRUE(queue.Pop(&first));
+  // Second range exists, but the cap (1) blocks a second lease; a blocked
+  // Pop must wake and get it once the first lease is returned.
+  std::thread second_popper([&] {
+    MultiQueryQueue::Lease second;
+    ASSERT_TRUE(queue.Pop(&second));
+    EXPECT_EQ(second.range.begin, 1u);
+    if (queue.Done(second)) queue.Release(q);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_TRUE(queue.IdleWorkersWaiting());
-  queue.Push({0, 4});
+  EXPECT_FALSE(queue.Done(first));
+  second_popper.join();
+}
+
+TEST(MultiQueryQueueTest, AbortDropsPendingAndFlagsLeaseHolders) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr);
+  queue.Push(q, {0, 10});
+  queue.Push(q, {10, 20});
+  EXPECT_FALSE(queue.Activate(q));
+  MultiQueryQueue::Lease lease;
+  ASSERT_TRUE(queue.Pop(&lease));
+  EXPECT_FALSE(queue.aborted(q));
+  // A lease is out, so Abort cannot be the completing call.
+  EXPECT_FALSE(queue.Abort(q));
+  EXPECT_TRUE(queue.aborted(q));
+  // Pending range was dropped; returning the lease completes the query.
+  EXPECT_TRUE(queue.Done(lease));
+  queue.Release(q);
+}
+
+TEST(MultiQueryQueueTest, ShutdownWakesWaitersAfterDrain) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr);
+  queue.Push(q, {0, 1});
+  EXPECT_FALSE(queue.Activate(q));
+  const uint64_t gen_before = queue.generation();
+  std::thread waiter([&] {
+    MultiQueryQueue::Lease lease;
+    // Drains the one pending range...
+    ASSERT_TRUE(queue.Pop(&lease));
+    if (queue.Done(lease)) queue.Release(lease.query);
+    // ...then blocks until Shutdown returns false.
+    MultiQueryQueue::Lease none;
+    EXPECT_FALSE(queue.Pop(&none));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Shutdown();
   waiter.join();
+  // Activate and Shutdown each stamp a new task epoch.
+  EXPECT_GE(queue.generation(), gen_before + 1);
+}
+
+TEST(WorkerPoolTest, ServesQueriesAcrossSubmitsAndMatchesSerial) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(1500, 5, /*seed=*/41));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+  const ExecutionPlan plan = BuildPlan(p2, stats, PlanOptions::Light());
+  Enumerator serial(g, plan);
+  const uint64_t expected = serial.Count();
+
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  WorkerPool::QuerySpec spec;
+  spec.graph = &g;
+  spec.plan = &plan;
+  // Same pool, back-to-back queries: worker enumerators/arenas are reused.
+  const uint64_t gen_before = pool.generation();
+  for (int i = 0; i < 3; ++i) {
+    WorkerPool::QueryHandle handle = pool.Submit(spec);
+    const ParallelResult result = handle.Wait();
+    EXPECT_EQ(result.num_matches, expected) << "submit " << i;
+    EXPECT_EQ(result.threads_configured, 4);
+    EXPECT_EQ(result.workers.size(), 4u);
+  }
+  EXPECT_GE(pool.generation(), gen_before + 3);
+}
+
+TEST(WorkerPoolTest, ConcurrentQueriesShareThePool) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(1200, 5, /*seed=*/43));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  Pattern p1;
+  Pattern p2;
+  ASSERT_TRUE(FindPattern("P1", &p1).ok());
+  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+  const ExecutionPlan plan1 = BuildPlan(p1, stats, PlanOptions::Light());
+  const ExecutionPlan plan2 = BuildPlan(p2, stats, PlanOptions::Light());
+  Enumerator serial1(g, plan1);
+  Enumerator serial2(g, plan2);
+  const uint64_t expected1 = serial1.Count();
+  const uint64_t expected2 = serial2.Count();
+
+  WorkerPool pool(4);
+  WorkerPool::QuerySpec spec1;
+  spec1.graph = &g;
+  spec1.plan = &plan1;
+  WorkerPool::QuerySpec spec2;
+  spec2.graph = &g;
+  spec2.plan = &plan2;
+  // Interleaved in-flight queries on one pool; counts stay exact.
+  std::vector<WorkerPool::QueryHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(pool.Submit(i % 2 == 0 ? spec1 : spec2));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(handles[static_cast<size_t>(i)].Wait().num_matches,
+              i % 2 == 0 ? expected1 : expected2)
+        << "query " << i;
+  }
+}
+
+TEST(WorkerPoolTest, HandleOutlivesWaitAndIsIdempotent) {
+  const Graph g = RelabelByDegree(ErdosRenyi(300, 900, /*seed=*/7));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  Pattern tri;
+  ASSERT_TRUE(FindPattern("triangle", &tri).ok());
+  const ExecutionPlan plan = BuildPlan(tri, stats, PlanOptions::Light());
+  WorkerPool pool(2);
+  WorkerPool::QuerySpec spec;
+  spec.graph = &g;
+  spec.plan = &plan;
+  WorkerPool::QueryHandle handle = pool.Submit(spec);
+  const ParallelResult first = handle.Wait();
+  const ParallelResult second = handle.Wait();
+  EXPECT_TRUE(handle.done());
+  EXPECT_EQ(first.num_matches, second.num_matches);
+  EXPECT_EQ(first.threads_configured, second.threads_configured);
+}
+
+TEST(WorkerPoolTest, EmptyGraphCompletesImmediately) {
+  GraphBuilder builder(0);
+  const Graph g = builder.Build();
+  const GraphStats stats = ComputeGraphStats(g, true);
+  Pattern tri;
+  ASSERT_TRUE(FindPattern("triangle", &tri).ok());
+  const ExecutionPlan plan = BuildPlan(tri, stats, PlanOptions::Light());
+  WorkerPool pool(2);
+  WorkerPool::QuerySpec spec;
+  spec.graph = &g;
+  spec.plan = &plan;
+  WorkerPool::QueryHandle handle = pool.Submit(spec);
+  const ParallelResult result = handle.Wait();
+  EXPECT_EQ(result.num_matches, 0u);
+  EXPECT_FALSE(result.timed_out);
 }
 
 class ParallelCountTest : public ::testing::TestWithParam<int> {};

@@ -1,0 +1,262 @@
+#include "light.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "engine/scratch_arena.h"
+#include "gen/generators.h"
+
+namespace light {
+namespace {
+
+Graph TestGraph() {
+  return RelabelByDegree(BarabasiAlbertClustered(800, 4, 0.4, /*seed=*/77));
+}
+
+Pattern Named(const char* name) {
+  Pattern p;
+  EXPECT_TRUE(FindPattern(name, &p).ok());
+  return p;
+}
+
+TEST(SessionTest, SingleQueryParityWithRun) {
+  const Graph g = TestGraph();
+  const Pattern triangle = Named("triangle");
+  const Pattern square = Named("square");
+
+  RunOptions serial;
+  serial.threads = 1;
+  const uint64_t tri_expected = light::Run(g, triangle, serial).num_matches;
+  const uint64_t sq_expected = light::Run(g, square, serial).num_matches;
+
+  Session session(g, {});
+  EXPECT_EQ(session.Submit(triangle).Wait().num_matches, tri_expected);
+  EXPECT_EQ(session.Submit(square).Wait().num_matches, sq_expected);
+  // Inline serial path agrees too.
+  EXPECT_EQ(session.RunSync(triangle, serial).num_matches, tri_expected);
+}
+
+TEST(SessionTest, RunBatchPreservesInputOrder) {
+  const Graph g = TestGraph();
+  const std::vector<Pattern> patterns = {Named("triangle"), Named("square"),
+                                         Named("P3"), Named("triangle")};
+  RunOptions serial;
+  serial.threads = 1;
+  std::vector<uint64_t> expected;
+  for (const Pattern& p : patterns) {
+    expected.push_back(light::Run(g, p, serial).num_matches);
+  }
+
+  Session session(g, {});
+  const std::vector<RunResult> results = session.RunBatch(patterns);
+  ASSERT_EQ(results.size(), patterns.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].error;
+    EXPECT_EQ(results[i].num_matches, expected[i]) << "pattern " << i;
+  }
+
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.queries_submitted, patterns.size());
+  EXPECT_EQ(stats.queries_completed, patterns.size());
+  // Pattern 3 repeats pattern 0, so at least one cache hit.
+  EXPECT_GE(stats.plan_cache_hits, 1u);
+}
+
+TEST(SessionTest, IsomorphicPatternsShareOnePlan) {
+  const Graph g = TestGraph();
+  // Two numberings of P3 (a path on three vertices): center 1 vs center 2.
+  Pattern path_a(3);
+  path_a.AddEdge(0, 1);
+  path_a.AddEdge(1, 2);
+  Pattern path_b(3);
+  path_b.AddEdge(0, 2);
+  path_b.AddEdge(2, 1);
+
+  Session session(g, {});
+  const RunResult a = session.Submit(path_a).Wait();
+  const RunResult b = session.Submit(path_b).Wait();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Counting is isomorphism-invariant, so one canonical plan serves both.
+  EXPECT_EQ(a.num_matches, b.num_matches);
+
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.plan_cache_size, 1u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+}
+
+TEST(SessionTest, ConcurrentSubmitFromManyCallerThreads) {
+  const Graph g = TestGraph();
+  const Pattern triangle = Named("triangle");
+  RunOptions serial;
+  serial.threads = 1;
+  const uint64_t expected = light::Run(g, triangle, serial).num_matches;
+
+  SessionOptions options;
+  options.threads = 4;
+  Session session(g, options);
+
+  constexpr int kCallers = 8;
+  constexpr int kPerCaller = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      for (int i = 0; i < kPerCaller; ++i) {
+        Session::Ticket ticket = session.Submit(triangle);
+        const RunResult r = ticket.Wait();
+        if (!r.ok() || r.num_matches != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.queries_submitted,
+            static_cast<uint64_t>(kCallers * kPerCaller));
+  EXPECT_EQ(stats.queries_completed,
+            static_cast<uint64_t>(kCallers * kPerCaller));
+  // The insert race resolves to exactly one cached plan.
+  EXPECT_EQ(stats.plan_cache_size, 1u);
+  EXPECT_EQ(stats.plan_cache_misses + stats.plan_cache_hits,
+            static_cast<uint64_t>(kCallers * kPerCaller));
+}
+
+TEST(SessionTest, TicketWaitIsIdempotent) {
+  const Graph g = TestGraph();
+  Session session(g, {});
+  Session::Ticket ticket = session.Submit(Named("triangle"));
+  ASSERT_TRUE(ticket.valid());
+  const RunResult first = ticket.Wait();
+  const RunResult second = ticket.Wait();
+  EXPECT_EQ(first.num_matches, second.num_matches);
+  EXPECT_EQ(first.error, second.error);
+  // Repeated waits do not double-count deliveries.
+  EXPECT_EQ(session.stats().queries_completed, 1u);
+
+  Session::Ticket defaulted;
+  EXPECT_FALSE(defaulted.valid());
+}
+
+TEST(SessionTest, SubmitRejectsVisitorButRunSyncStreams) {
+  const Graph g = TestGraph();
+  const Pattern triangle = Named("triangle");
+  Session session(g, {});
+
+  CollectingVisitor rejected;
+  RunOptions with_visitor;
+  with_visitor.visitor = &rejected;
+  const RunResult r = session.Submit(triangle, with_visitor).Wait();
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("visitor"), std::string::npos);
+  EXPECT_TRUE(rejected.matches().empty());
+
+  CollectingVisitor streamed;
+  RunOptions sync_options;
+  sync_options.visitor = &streamed;
+  const RunResult s = session.RunSync(triangle, sync_options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.num_matches, streamed.matches().size());
+  EXPECT_GT(s.num_matches, 0u);
+}
+
+TEST(SessionTest, TimeLimitAbortsSessionQuery) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/5));
+  Session session(g, {});
+  RunOptions options;
+  options.time_limit_seconds = 1e-3;
+  const RunResult r = session.Submit(Named("P5"), options).Wait();
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_TRUE(r.timed_out);
+}
+
+TEST(SessionTest, ReportStampsSessionTool) {
+  const Graph g = TestGraph();
+  Session session(g, {});
+
+  obs::RunReport report;
+  RunOptions options;
+  options.report = &report;
+  const RunResult r = session.Submit(Named("triangle"), options).Wait();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(report.tool, "light::Session");
+  EXPECT_EQ(report.num_matches, r.num_matches);
+  EXPECT_FALSE(report.plan_order.empty());
+
+  obs::RunReport serial_report;
+  RunOptions serial;
+  serial.threads = 1;
+  serial.report = &serial_report;
+  session.RunSync(Named("triangle"), serial);
+  EXPECT_EQ(serial_report.tool, "light::Session");
+  EXPECT_EQ(serial_report.summary.threads_used, 1);
+}
+
+TEST(SessionTest, DisabledPlanCacheStillCorrect) {
+  const Graph g = TestGraph();
+  const Pattern triangle = Named("triangle");
+  RunOptions serial;
+  serial.threads = 1;
+  const uint64_t expected = light::Run(g, triangle, serial).num_matches;
+
+  SessionOptions options;
+  options.plan_cache_capacity = 0;
+  Session session(g, options);
+  EXPECT_EQ(session.Submit(triangle).Wait().num_matches, expected);
+  EXPECT_EQ(session.Submit(triangle).Wait().num_matches, expected);
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.plan_cache_size, 0u);
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+}
+
+TEST(SessionTest, PlanCacheEvictsLeastRecentlyUsed) {
+  const Graph g = TestGraph();
+  SessionOptions options;
+  options.plan_cache_capacity = 1;
+  Session session(g, options);
+  ASSERT_TRUE(session.Submit(Named("triangle")).Wait().ok());
+  ASSERT_TRUE(session.Submit(Named("square")).Wait().ok());
+  EXPECT_EQ(session.stats().plan_cache_size, 1u);
+  // Triangle was evicted: resubmitting misses again but stays correct.
+  ASSERT_TRUE(session.Submit(Named("triangle")).Wait().ok());
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.plan_cache_size, 1u);
+  EXPECT_EQ(stats.plan_cache_misses, 3u);
+}
+
+TEST(ScratchArenaTest, ReusesReleasedBuffers) {
+  ScratchArena arena;
+  std::vector<VertexID> buf = arena.AcquireVertexBuffer(128);
+  EXPECT_EQ(buf.size(), 128u);
+  EXPECT_EQ(arena.reuse_hits(), 0u);
+  arena.ReleaseVertexBuffer(std::move(buf));
+  EXPECT_EQ(arena.pooled_buffers(), 1u);
+
+  std::vector<VertexID> again = arena.AcquireVertexBuffer(64);
+  EXPECT_EQ(again.size(), 64u);
+  EXPECT_GE(again.capacity(), 128u);  // pooled storage came back
+  EXPECT_EQ(arena.reuse_hits(), 1u);
+  EXPECT_EQ(arena.pooled_buffers(), 0u);
+}
+
+TEST(ScratchArenaTest, WordBuffersComeBackZeroed) {
+  ScratchArena arena;
+  std::vector<uint64_t> words = arena.AcquireWordBuffer(16);
+  for (uint64_t& w : words) w = ~uint64_t{0};
+  arena.ReleaseWordBuffer(std::move(words));
+  std::vector<uint64_t> again = arena.AcquireWordBuffer(16);
+  ASSERT_EQ(again.size(), 16u);
+  for (const uint64_t w : again) EXPECT_EQ(w, 0u);
+  EXPECT_EQ(arena.reuse_hits(), 1u);
+}
+
+}  // namespace
+}  // namespace light

@@ -13,6 +13,7 @@
 #include <limits>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "baselines/cfl_like.h"
 #include "baselines/eh_like.h"
@@ -45,6 +46,11 @@ void Usage() {
   --bitmap-density D relative threshold delta_b: index degree >= D*|V|
                      (default 0.1)
   --show-plan        print the compiled execution plan
+  --batch PATH       run every pattern listed in PATH (one per line: a
+                     catalog name or pattern-edges syntax; '#' comments)
+                     through one shared light::Session — plans are cached
+                     and the worker pool persists across queries. --threads
+                     defaults to all cores here; light/se/lm/msc only.
 
 observability (README "Observability"):
   --metrics-json PATH  write a structured JSON run report (per-vertex
@@ -152,14 +158,18 @@ int main(int argc, char** argv) {
   const char* scale_str = FlagValue(argc, argv, "--scale");
   const char* limit_str = FlagValue(argc, argv, "--time-limit");
 
-  if ((pattern_name == nullptr && pattern_edges == nullptr) ||
+  const char* batch_path = FlagValue(argc, argv, "--batch");
+  if ((pattern_name == nullptr && pattern_edges == nullptr &&
+       batch_path == nullptr) ||
       (dataset == nullptr && graph_path == nullptr)) {
     Usage();
     return 1;
   }
 
   Pattern pattern;
-  if (pattern_edges != nullptr) {
+  if (batch_path != nullptr) {
+    // Patterns come from the batch file; the single-pattern flags are unused.
+  } else if (pattern_edges != nullptr) {
     if (Status s = ParsePattern(pattern_edges, &pattern); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
@@ -193,7 +203,9 @@ int main(int argc, char** argv) {
   const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
   std::printf("graph: %s (loaded in %s)\n", stats.ToString().c_str(),
               FormatSeconds(load_timer.ElapsedSeconds()).c_str());
-  std::printf("pattern %s: %s\n", pattern_name, pattern.ToString().c_str());
+  if (batch_path == nullptr) {
+    std::printf("pattern %s: %s\n", pattern_name, pattern.ToString().c_str());
+  }
 
   const std::string algo = algorithm != nullptr ? algorithm : "light";
   const double time_limit = limit_str != nullptr
@@ -266,6 +278,124 @@ int main(int argc, char** argv) {
                        obs::Tracer::Global().DroppedEvents()));
     }
   };
+
+  // Batch mode: every listed pattern runs through one shared Session, so
+  // the worker pool, bitmap index, and plan cache persist across queries.
+  if (batch_path != nullptr) {
+    if (algo != "light" && algo != "se" && algo != "lm" && algo != "msc") {
+      std::fprintf(stderr,
+                   "error: --batch supports light/se/lm/msc only (got %s)\n",
+                   algo.c_str());
+      return 1;
+    }
+    std::vector<Pattern> patterns;
+    std::vector<std::string> names;
+    {
+      FILE* f = std::fopen(batch_path, "r");
+      if (f == nullptr) {
+        std::fprintf(stderr, "error: cannot open %s\n", batch_path);
+        return 1;
+      }
+      char line[1024];
+      size_t line_no = 0;
+      while (std::fgets(line, sizeof line, f) != nullptr) {
+        ++line_no;
+        std::string s(line);
+        while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                              s.back() == ' ' || s.back() == '\t')) {
+          s.pop_back();
+        }
+        size_t start = s.find_first_not_of(" \t");
+        if (start == std::string::npos || s[start] == '#') continue;
+        s = s.substr(start);
+        Pattern p;
+        if (!FindPattern(s.c_str(), &p).ok()) {
+          if (Status st = ParsePattern(s, &p); !st.ok()) {
+            std::fprintf(stderr, "error: %s line %zu: %s\n", batch_path,
+                         line_no, st.ToString().c_str());
+            std::fclose(f);
+            return 1;
+          }
+          if (!p.IsConnected()) {
+            std::fprintf(stderr, "error: %s line %zu: pattern must be "
+                         "connected\n", batch_path, line_no);
+            std::fclose(f);
+            return 1;
+          }
+        }
+        patterns.push_back(std::move(p));
+        names.push_back(std::move(s));
+      }
+      std::fclose(f);
+    }
+    if (patterns.empty()) {
+      std::fprintf(stderr, "error: %s lists no patterns\n", batch_path);
+      return 1;
+    }
+
+    SessionOptions session_options;
+    session_options.threads = threads_str != nullptr ? std::atoi(threads_str)
+                                                     : 0;  // all cores
+    if (const char* v = FlagValue(argc, argv, "--bitmap-threshold")) {
+      session_options.bitmap_min_degree =
+          std::strcmp(v, "never") == 0
+              ? kBitmapDegreeNever
+              : static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    }
+    if (const char* v = FlagValue(argc, argv, "--bitmap-density")) {
+      session_options.bitmap_density = std::atof(v);
+    }
+
+    RunOptions query;
+    query.time_limit_seconds = limit_str != nullptr ? std::atof(limit_str) : 0;
+    query.unique_subgraphs = symmetry;
+    query.induced = FlagSet(argc, argv, "--induced");
+    query.kernel = kernel;
+    query.auto_kernel = !kernel_pinned;
+    query.lazy_materialization = algo == "light" || algo == "lm";
+    query.minimum_set_cover = algo == "light" || algo == "msc";
+
+    Timer batch_timer;
+    Session session(graph, session_options);
+    const std::vector<RunResult> results = session.RunBatch(patterns, query);
+    const double batch_seconds = batch_timer.ElapsedSeconds();
+    meter.Stop();
+    write_trace();
+    if (metrics_json != nullptr) {
+      std::fprintf(stderr,
+                   "warning: --metrics-json is not supported with --batch\n");
+    }
+
+    bool any_error = false;
+    bool any_timeout = false;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      if (!r.ok()) {
+        any_error = true;
+        std::printf("[%zu] %s: error: %s\n", i, names[i].c_str(),
+                    r.error.c_str());
+        continue;
+      }
+      any_timeout = any_timeout || r.timed_out;
+      std::printf("[%zu] %s: %s matches=%llu time=%s\n", i, names[i].c_str(),
+                  r.timed_out ? "OOT" : "OK",
+                  static_cast<unsigned long long>(r.num_matches),
+                  FormatSeconds(r.elapsed_seconds).c_str());
+    }
+    const SessionStats session_stats = session.stats();
+    std::printf(
+        "batch: %zu queries in %s (%.1f queries/s) threads=%d "
+        "plan_cache hits=%llu misses=%llu\n",
+        results.size(), FormatSeconds(batch_seconds).c_str(),
+        batch_seconds > 0 ? static_cast<double>(results.size()) / batch_seconds
+                          : 0.0,
+        session_stats.pool_threads,
+        static_cast<unsigned long long>(session_stats.plan_cache_hits),
+        static_cast<unsigned long long>(session_stats.plan_cache_misses));
+    if (any_error) return 1;
+    if (any_timeout) return 2;
+    return sink_error ? 1 : 0;
+  }
 
   // Distributed-baseline simulators.
   if (algo == "seed" || algo == "crystal" || algo == "eh") {
