@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# Perf-snapshot harness: runs the CI-gated benches (bench_obs_overhead,
+# bench_bitmap, bench_session) with --json, consolidates their records into
+# one light.bench_snapshot.v1 document, and — in comparison mode — fails
+# when a dimensionless metric regressed more than the tolerance against a
+# committed baseline (BENCH_PR6.json).
+#
+# Only RATIOS and SPEEDUPS are compared, never absolute seconds: snapshots
+# are taken on different machines, and wall-clock times do not transfer.
+# See EXPERIMENTS.md "Perf snapshots" for the methodology.
+#
+# Usage: ci/snapshot.sh [--out PATH]            # default build/bench_snapshot.json
+#                       [--compare BASELINE]    # fail on >tolerance regressions
+#                       [--tolerance PCT]       # default 10 (percent)
+#                       [--build-dir DIR]       # default build
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="build/bench_snapshot.json"
+baseline=""
+tolerance=10
+build_dir="build"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out) out="$2"; shift 2 ;;
+    --compare) baseline="$2"; shift 2 ;;
+    --tolerance) tolerance="$2"; shift 2 ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "$build_dir/bench/bench_obs_overhead" ]]; then
+  echo "==> benches missing; building $build_dir"
+  cmake -B "$build_dir" -S . >/dev/null
+  cmake --build "$build_dir" -j "$(nproc)" \
+    --target bench_obs_overhead bench_bitmap bench_session
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Each bench enforces its own acceptance gate (non-zero exit on failure),
+# so the snapshot run doubles as the CI bench leg.
+echo "==> bench_obs_overhead (armed overhead < 3%, incl. session lifecycle)"
+"$build_dir/bench/bench_obs_overhead" --check --json "$tmp/obs.jsonl"
+
+echo "==> bench_bitmap (both-bitmap intersections >= 1.3x array)"
+"$build_dir/bench/bench_bitmap" --check 1.3 --json "$tmp/bitmap.jsonl"
+
+echo "==> bench_session (batch amortization >= 1.15x, single-query parity)"
+"$build_dir/bench/bench_session" --check --json "$tmp/session.jsonl"
+
+echo "==> consolidating -> $out"
+python3 - "$tmp" "$out" <<'EOF'
+import json, sys
+
+tmp, out = sys.argv[1], sys.argv[2]
+
+def jsonl(path):
+    with open(path) as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+# bench_obs_overhead: one record with the measured ratios (lower = better).
+obs = jsonl(f"{tmp}/obs.jsonl")[-1]
+
+# bench_bitmap: per-family micro_array/micro_bitmap rows; speedup is
+# array/bitmap per family (higher = better).
+micro = {}
+for row in jsonl(f"{tmp}/bitmap.jsonl"):
+    if row["variant"] in ("micro_array", "micro_bitmap"):
+        micro.setdefault(row["dataset"], {})[row["variant"]] = row["seconds"]
+speedups = [v["micro_array"] / v["micro_bitmap"]
+            for v in micro.values()
+            if v.get("micro_bitmap") and v.get("micro_array")]
+
+# bench_session: one record with batch_speedup (higher = better) and
+# single_ratio (lower = better).
+session = jsonl(f"{tmp}/session.jsonl")[-1]
+
+metrics = {
+    "obs.metrics_ratio": {"value": obs["metrics_ratio"], "better": "lower"},
+    "obs.session_ratio": {"value": obs["session_ratio"], "better": "lower"},
+    "obs.tracing_ratio": {"value": obs["tracing_ratio"], "better": "lower"},
+    "bitmap.best_speedup": {"value": max(speedups), "better": "higher"},
+    "session.batch_speedup": {"value": session["batch_speedup"],
+                              "better": "higher"},
+    "session.single_ratio": {"value": session["single_ratio"],
+                             "better": "lower"},
+}
+snapshot = {
+    "schema": "light.bench_snapshot.v1",
+    "metrics": metrics,
+    "benches": {
+        "bench_obs_overhead": obs,
+        "bench_bitmap": {"family_speedups": {k: v["micro_array"] / v["micro_bitmap"]
+                                             for k, v in micro.items()},
+                         "best_speedup": max(speedups)},
+        "bench_session": session,
+    },
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}")
+EOF
+
+if [[ -n "$baseline" ]]; then
+  echo "==> comparing against $baseline (tolerance ${tolerance}%)"
+  python3 - "$out" "$baseline" "$tolerance" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    current = json.load(f)
+with open(sys.argv[2]) as f:
+    base = json.load(f)
+tol = float(sys.argv[3]) / 100.0
+
+failed = []
+for name, entry in sorted(base.get("metrics", {}).items()):
+    cur = current.get("metrics", {}).get(name)
+    if cur is None:
+        failed.append(f"{name}: missing from current snapshot")
+        continue
+    b, c = entry["value"], cur["value"]
+    if entry["better"] == "lower":
+        # A ratio creeping UP is the regression.
+        regressed = c > b * (1.0 + tol)
+    else:
+        regressed = c < b * (1.0 - tol)
+    marker = "REGRESSED" if regressed else "ok"
+    print(f"  {name:26s} baseline={b:8.3f} current={c:8.3f}  {marker}")
+    if regressed:
+        failed.append(f"{name}: {b:.3f} -> {c:.3f} ({entry['better']} is better)")
+if failed:
+    print("\nFAIL: regressions beyond tolerance:")
+    for f_ in failed:
+        print(f"  {f_}")
+    sys.exit(1)
+print("\nOK: no metric regressed beyond tolerance")
+EOF
+fi

@@ -54,14 +54,39 @@ if [[ "$skip_tidy" -eq 0 ]]; then
 fi
 
 if [[ "$skip_bench" -eq 0 ]]; then
-  echo "==> observability overhead guard (< 3% with sinks disabled)"
-  ./build/bench/bench_obs_overhead
+  # ci/snapshot.sh runs the three CI-gated benches (each enforcing its own
+  # acceptance gate: obs overhead < 3% with lifecycle armed, bitmap >= 1.3x,
+  # session batch >= 1.15x), consolidates their JSON into one snapshot, and
+  # fails on >10% regression of any dimensionless metric vs the committed
+  # baseline. Regenerate the baseline with: ci/snapshot.sh --out BENCH_PR6.json
+  echo "==> perf snapshot: CI-gated benches vs committed baseline"
+  ci/snapshot.sh --out build/bench_snapshot.json --compare BENCH_PR6.json
 
-  echo "==> bitmap kernel guard (both-bitmap intersections >= 1.3x array)"
-  ./build/bench/bench_bitmap --check 1.3 --json build/bench_bitmap.jsonl
+  echo "==> session report: --batch emits a parseable light.session_report.v1"
+  printf 'triangle\nP1\nP2\ntriangle\nP1\n' > build/verify_batch.txt
+  ./build/tools/light_cli --dataset yt_s --scale 0.1 \
+    --batch build/verify_batch.txt \
+    --session-report build/verify_session_report.json
+  python3 - build/verify_session_report.json <<'EOF'
+import json, sys
 
-  echo "==> session guard (batch amortization >= 1.15x, single-query parity)"
-  ./build/bench/bench_session --check --json build/bench_session.jsonl
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema"] == "light.session_report.v1", report.get("schema")
+queries = report["queries"]
+assert len(queries) == 5, f"expected 5 query records, got {len(queries)}"
+for q in queries:
+    assert q["total_ns"] > 0, q
+    assert q["execute_ns"] > 0, q
+# Pool-level breakdown: every completed query contributed one sample to the
+# queue-wait and execute histograms.
+for key in ("latency_ns", "queue_wait_ns", "execute_ns", "plan_ns"):
+    assert report[key]["count"] == 5, (key, report[key])
+assert report["latency_ns"]["p99"] >= report["latency_ns"]["p50"] > 0
+assert report["pool"]["plan_cache_hits"] >= 2  # triangle + P1 resubmitted
+print("session report OK: 5 lifecycle records, nonzero queue-wait/execute "
+      "histograms, plan-cache hits visible")
+EOF
 fi
 
 if [[ "$skip_tsan" -eq 0 ]]; then
@@ -140,6 +165,12 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   session_cases="$(sed -n 's/.*session_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
   if [[ -z "$session_cases" || "$session_cases" -lt 1 ]]; then
     echo "==> fuzz smoke exercised no session-oracle cases" >&2
+    exit 1
+  fi
+  # The session oracle also records per-case query latency; the quantile
+  # summary line going missing means the lifecycle plumbing went dark.
+  if ! grep -q "session_latency p50=" "$fuzz_log"; then
+    echo "==> fuzz smoke printed no session-latency quantiles" >&2
     exit 1
   fi
 fi

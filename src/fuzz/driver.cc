@@ -3,12 +3,16 @@
 #include <cstdio>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace light::fuzz {
 
 Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
   *summary = FuzzSummary();
   Timer timer;
+  // Per-case session-oracle latency: the sweep doubles as a serving-latency
+  // soak, summarized as quantiles in the run's summary line.
+  obs::Histogram session_latency("fuzz.session_query_ns");
   for (uint64_t i = 0; i < options.num_cases; ++i) {
     if (options.time_budget_seconds > 0 &&
         timer.ElapsedSeconds() >= options.time_budget_seconds) {
@@ -18,7 +22,10 @@ Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
     const OracleOutcome outcome = RunOracles(c);
     ++summary->cases_run;
     if (outcome.bitmap_routed > 0) ++summary->bitmap_routed_cases;
-    if (outcome.session_checked) ++summary->session_cases;
+    if (outcome.session_checked) {
+      ++summary->session_cases;
+      session_latency.Observe(outcome.session_latency_ns);
+    }
     if (outcome.lint_violations > 0) {
       summary->lint_violations += outcome.lint_violations;
       std::fprintf(stderr, "light_fuzz: LINT VIOLATION at case %llu (%s)\n%s",
@@ -60,6 +67,11 @@ Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
     }
   }
   summary->elapsed_seconds = timer.ElapsedSeconds();
+  const obs::Histogram::Snapshot latencies = session_latency.Snap();
+  summary->session_latency_p50_ns = latencies.P50();
+  summary->session_latency_p90_ns = latencies.P90();
+  summary->session_latency_p99_ns = latencies.P99();
+  summary->session_latency_max_ns = latencies.Max();
   if (summary->divergences > 0 || summary->lint_violations > 0) {
     return Status::Internal(
         std::to_string(summary->divergences) + " divergence(s) and " +

@@ -105,6 +105,11 @@ struct OracleOutcome {
   /// shared light::Session (interleaved with a second pattern) and its
   /// counts cross-checked against the serial pivot and a direct Run.
   bool session_checked = false;
+  /// End-to-end latency (admit -> done, from RunResult::query_stats) of the
+  /// case pattern's first session submission; 0 when the oracle was
+  /// skipped. The driver aggregates these into a latency histogram so every
+  /// fuzz sweep doubles as a serving-latency soak.
+  uint64_t session_latency_ns = 0;
   /// Multi-line per-engine count table (used in artifacts and logs).
   std::string Describe() const;
 };
@@ -158,6 +163,12 @@ struct FuzzSummary {
   /// Cases the session oracle ran on (CI asserts the smoke run covers the
   /// multi-query service path).
   uint64_t session_cases = 0;
+  /// Per-case session-query latency quantiles (nanoseconds), read off the
+  /// histogram the driver fills from OracleOutcome::session_latency_ns.
+  uint64_t session_latency_p50_ns = 0;
+  uint64_t session_latency_p90_ns = 0;
+  uint64_t session_latency_p99_ns = 0;
+  uint64_t session_latency_max_ns = 0;
   std::vector<std::string> artifacts;  // paths of written repro artifacts
   double elapsed_seconds = 0;
 };

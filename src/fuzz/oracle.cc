@@ -246,6 +246,7 @@ OracleOutcome RunOracles(const FuzzCase& c) {
     };
     outcome.engines.push_back(to_engine("session", r1));
     outcome.engines.push_back(to_engine("session_repeat", r3));
+    outcome.session_latency_ns = r1.query_stats.total_ns;
 
     RunOptions tri_direct = tri_query;
     tri_direct.threads = 1;

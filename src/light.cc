@@ -1,6 +1,7 @@
 #include "light.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -14,6 +15,13 @@ namespace {
 double Limit(double time_limit_seconds) {
   return time_limit_seconds > 0 ? time_limit_seconds
                                 : std::numeric_limits<double>::infinity();
+}
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 const char* AlgorithmName(const PlanOptions& options) {
@@ -167,6 +175,14 @@ struct SessionQueryState {
   WorkerPool::QueryHandle handle;
   bool has_handle = false;
 
+  // Lifecycle context stamped at submit time (the pool fills the rest of
+  // QueryStats; the session layers plan attribution on at Wait).
+  Pattern pattern;
+  uint64_t query_id = 0;
+  uint64_t admit_ns = 0;
+  uint64_t plan_ns = 0;
+  bool plan_cache_hit = false;
+
   std::mutex mutex;
   bool finalized = false;
   RunResult result;
@@ -179,6 +195,9 @@ struct SessionQueryState {
       result.num_matches = presult.num_matches;
       result.elapsed_seconds = presult.elapsed_seconds;
       result.timed_out = presult.timed_out;
+      result.query_stats = presult.lifecycle;
+      result.query_stats.plan_ns = plan_ns;
+      result.query_stats.plan_cache_hit = plan_cache_hit;
       if (report != nullptr) {
         FillReportContext(session->graph(), *plan, presult.stats,
                           *bitmap_index, report);
@@ -189,6 +208,7 @@ struct SessionQueryState {
       }
     }
     finalized = true;
+    if (has_handle) session->RecordQueryDone(result, pattern, plan);
     session->OnResultDelivered();
     return result;
   }
@@ -212,9 +232,23 @@ Session::Session(const Graph& graph, const SessionOptions& options)
   obs_queries_completed_ = registry.GetCounter("session.queries_completed");
   obs_cache_hits_ = registry.GetCounter("session.plan_cache_hit");
   obs_cache_misses_ = registry.GetCounter("session.plan_cache_miss");
+  obs_latency_hist_ = registry.GetHistogram("session.query_ns");
+  obs_plan_hist_ = registry.GetHistogram("session.plan_ns");
+  if (options_.stuck_query_window_seconds > 0) {
+    watchdog_ = std::thread(&Session::WatchdogMain, this);
+  }
 }
 
-Session::~Session() = default;
+Session::~Session() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_all();
+    watchdog_.join();
+  }
+}
 
 const GraphStats& Session::EnsureStats() {
   std::lock_guard<std::mutex> lock(init_mutex_);
@@ -265,7 +299,9 @@ void Session::OnResultDelivered() {
 }
 
 std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
-    const Pattern& pattern, const RunOptions& opts, std::string* error) {
+    const Pattern& pattern, const RunOptions& opts, std::string* error,
+    bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
   // Lint against the pattern the plan was built for: the linter checks the
   // plan's wiring vertex-by-vertex, so a cached plan is checked against the
   // numbering it was built for (the first submitter's), not this query's.
@@ -323,6 +359,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
   }
 
   if (hit) {
+    if (cache_hit != nullptr) *cache_hit = true;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++session_stats_.plan_cache_hits;
@@ -396,6 +433,9 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
   state->session = this;
   state->tool = tool;
   state->report = options.report;
+  state->pattern = pattern;
+  state->query_id = obs::NextQueryId();
+  state->admit_ns = MonotonicNs();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++session_stats_.queries_submitted;
@@ -414,6 +454,7 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
   }
   const RunOptions opts = options.Normalized();
 
+  const uint64_t plan_start_ns = MonotonicNs();
   const ExecutionPlan* plan = opts.plan;
   if (plan != nullptr) {
     // Caller-supplied plan: no caching; structural lint only (no stats).
@@ -431,7 +472,8 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
     }
   } else {
     std::string error;
-    state->plan_holder = ResolvePlan(pattern, opts, &error);
+    state->plan_holder =
+        ResolvePlan(pattern, opts, &error, &state->plan_cache_hit);
     if (state->plan_holder == nullptr) {
       state->result.error = std::move(error);
       return Ticket(std::move(state));
@@ -439,6 +481,7 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
     plan = state->plan_holder.get();
   }
   state->plan = plan;
+  state->plan_ns = MonotonicNs() - plan_start_ns;
 
   const BitmapIndex& bitmap = EnsureBitmap();
   state->bitmap_index = &bitmap;
@@ -451,6 +494,18 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
   spec.plan_holder = state->plan_holder;
   spec.options.num_threads = opts.threads;  // 0 = the whole pool
   spec.options.time_limit_seconds = Limit(opts.time_limit_seconds);
+  spec.query_id = state->query_id;
+  spec.admit_ns = state->admit_ns;
+  if (options_.stuck_query_window_seconds > 0) {
+    // Register with the watchdog before the pool can start (so a query
+    // stuck from its very first range still has context on record).
+    InflightQuery info;
+    info.pattern = pattern;
+    info.plan_sigma = obs::PlanSigmaString(*plan);
+    info.admit_ns = state->admit_ns;
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.emplace(state->query_id, std::move(info));
+  }
   state->handle = EnsurePool().Submit(spec);
   state->has_handle = true;
   return Ticket(std::move(state));
@@ -464,11 +519,15 @@ Session::Ticket Session::Submit(const Pattern& pattern,
 RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
                              const char* tool) {
   RunResult result;
+  obs::QueryStats& qstats = result.query_stats;
+  qstats.query_id = obs::NextQueryId();
+  const uint64_t admit_ns = MonotonicNs();
+
   const ExecutionPlan* plan = opts.plan;
   std::shared_ptr<const ExecutionPlan> holder;
   if (plan == nullptr) {
     std::string error;
-    holder = ResolvePlan(pattern, opts, &error);
+    holder = ResolvePlan(pattern, opts, &error, &qstats.plan_cache_hit);
     if (holder == nullptr) {
       result.error = std::move(error);
       return result;
@@ -486,16 +545,24 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
       return result;
     }
   }
+  qstats.plan_ns = MonotonicNs() - admit_ns;
 
   const BitmapIndex& bitmap = EnsureBitmap();
   Enumerator enumerator(graph_, *plan, opts.data_labels);
   enumerator.SetBitmapIndex(&bitmap);
   enumerator.SetTimeLimit(Limit(opts.time_limit_seconds));
+  const uint64_t exec_start_ns = MonotonicNs();
   result.num_matches = opts.visitor != nullptr
                            ? enumerator.Enumerate(opts.visitor)
                            : enumerator.Count();
   result.elapsed_seconds = enumerator.stats().elapsed_seconds;
   result.timed_out = enumerator.stats().timed_out;
+  const uint64_t done_ns = MonotonicNs();
+  // Inline execution: no scheduling wait, the caller thread is the worker.
+  qstats.execute_ns = done_ns - exec_start_ns;
+  qstats.busy_ns = qstats.execute_ns;
+  qstats.total_ns = done_ns - admit_ns;
+  qstats.ranges_executed = 1;
   if (opts.report != nullptr) {
     FillReportContext(graph_, *plan, enumerator.stats(), bitmap, opts.report);
     opts.report->tool = tool;
@@ -503,6 +570,7 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
     opts.report->summary.threads_used = 1;
     opts.report->summary.load_imbalance = 1.0;
   }
+  RecordQueryDone(result, pattern, plan);
   return result;
 }
 
@@ -563,7 +631,167 @@ SessionStats Session::stats() const {
     std::lock_guard<std::mutex> lock(init_mutex_);
     out.pool_threads = pool_ == nullptr ? 0 : pool_->num_threads();
   }
+  out.latency = obs::HistogramSummary::FromSnapshot(hist_latency_.Snap());
+  out.queue_wait = obs::HistogramSummary::FromSnapshot(hist_queue_wait_.Snap());
+  out.execute = obs::HistogramSummary::FromSnapshot(hist_execute_.Snap());
+  out.plan_resolve = obs::HistogramSummary::FromSnapshot(hist_plan_.Snap());
   return out;
+}
+
+void Session::RecordQueryDone(const RunResult& result, const Pattern& pattern,
+                              const ExecutionPlan* plan) {
+  const obs::QueryStats& qstats = result.query_stats;
+  if (options_.stuck_query_window_seconds > 0) {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(qstats.query_id);
+  }
+  hist_latency_.Observe(qstats.total_ns);
+  hist_queue_wait_.Observe(qstats.queue_wait_ns);
+  hist_execute_.Observe(qstats.execute_ns);
+  hist_plan_.Observe(qstats.plan_ns);
+  if (obs::MetricsEnabled()) {
+    obs_latency_hist_->Observe(qstats.total_ns);
+    obs_plan_hist_->Observe(qstats.plan_ns);
+  }
+
+  obs::SessionQueryRecord record;
+  record.stats = qstats;
+  record.pattern = FormatPattern(pattern);
+  record.num_matches = result.num_matches;
+  record.ok = result.ok();
+  record.timed_out = result.timed_out;
+
+  const double latency_seconds = static_cast<double>(qstats.total_ns) / 1e9;
+  const bool slow = options_.slow_query_threshold_seconds > 0 &&
+                    latency_seconds >= options_.slow_query_threshold_seconds;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    query_log_.push_back(std::move(record));
+    while (query_log_.size() > options_.query_log_capacity) {
+      query_log_.pop_front();
+    }
+    if (slow) {
+      obs::SlowQueryRecord entry;
+      entry.kind = "slow";
+      entry.query_id = qstats.query_id;
+      entry.pattern = FormatPattern(Canonicalize(pattern).pattern);
+      if (plan != nullptr) entry.plan_sigma = obs::PlanSigmaString(*plan);
+      entry.latency_seconds = latency_seconds;
+      entry.ranges_executed = qstats.ranges_executed;
+      slow_log_.push_back(std::move(entry));
+      while (slow_log_.size() > options_.slow_query_log_capacity) {
+        slow_log_.pop_front();
+      }
+    }
+  }
+  if (slow) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++session_stats_.slow_queries;
+  }
+}
+
+void Session::WatchdogMain() {
+  const auto window =
+      std::chrono::duration<double>(options_.stuck_query_window_seconds);
+  std::vector<MultiQueryQueue::QueryProgress> prev;
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    if (watchdog_cv_.wait_for(lock, window,
+                              [this] { return watchdog_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    WorkerPool* pool = nullptr;
+    {
+      std::lock_guard<std::mutex> init_lock(init_mutex_);
+      pool = pool_.get();
+    }
+    if (pool != nullptr) {
+      std::vector<MultiQueryQueue::QueryProgress> curr =
+          pool->SnapshotQueryProgress();
+      const std::vector<uint64_t> stuck_ids = FindStuckQueries(prev, curr);
+      if (!stuck_ids.empty()) {
+        std::vector<MultiQueryQueue::QueryProgress> stuck;
+        for (const MultiQueryQueue::QueryProgress& p : curr) {
+          if (std::find(stuck_ids.begin(), stuck_ids.end(), p.query_id) !=
+              stuck_ids.end()) {
+            stuck.push_back(p);
+          }
+        }
+        RecordStuckQueries(stuck);
+      }
+      prev = std::move(curr);
+    }
+    lock.lock();
+  }
+}
+
+void Session::RecordStuckQueries(
+    const std::vector<MultiQueryQueue::QueryProgress>& stuck) {
+  const uint64_t now_ns = MonotonicNs();
+  uint64_t newly_stuck = 0;
+  for (const MultiQueryQueue::QueryProgress& progress : stuck) {
+    obs::SlowQueryRecord entry;
+    entry.kind = "stuck";
+    entry.query_id = progress.query_id;
+    entry.pending_ranges = progress.pending_ranges;
+    entry.leases = progress.leases;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      auto it = inflight_.find(progress.query_id);
+      if (it != inflight_.end()) {
+        entry.pattern = FormatPattern(Canonicalize(it->second.pattern).pattern);
+        entry.plan_sigma = it->second.plan_sigma;
+        entry.latency_seconds =
+            static_cast<double>(now_ns - it->second.admit_ns) / 1e9;
+      }
+    }
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    // Each query is reported stuck at most once per session (it stays in
+    // the progress snapshot every window until it completes or aborts).
+    if (!stuck_reported_.insert(progress.query_id).second) continue;
+    slow_log_.push_back(std::move(entry));
+    while (slow_log_.size() > options_.slow_query_log_capacity) {
+      slow_log_.pop_front();
+    }
+    ++newly_stuck;
+  }
+  if (newly_stuck > 0) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    session_stats_.stuck_queries += newly_stuck;
+  }
+}
+
+void Session::FillSessionReport(obs::SessionReport* out) const {
+  *out = obs::SessionReport();
+  out->tool = "light::Session";
+  out->graph_vertices = graph_.NumVertices();
+  out->graph_edges = graph_.NumEdges();
+  const SessionStats s = stats();
+  out->pool_threads = s.pool_threads;
+  out->queries_submitted = s.queries_submitted;
+  out->queries_completed = s.queries_completed;
+  out->plan_cache_hits = s.plan_cache_hits;
+  out->plan_cache_misses = s.plan_cache_misses;
+  out->latency = s.latency;
+  out->queue_wait = s.queue_wait;
+  out->execute = s.execute;
+  out->plan_resolve = s.plan_resolve;
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    out->queries.assign(query_log_.begin(), query_log_.end());
+    out->slow_queries.assign(slow_log_.begin(), slow_log_.end());
+  }
+  if (obs::MetricsEnabled()) {
+    obs::DefaultRegistry().ForEachCounter([&](const obs::Counter& counter) {
+      out->counters.push_back({counter.name(), counter.Value()});
+    });
+  }
+}
+
+std::vector<obs::SlowQueryRecord> Session::slow_queries() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return {slow_log_.begin(), slow_log_.end()};
 }
 
 RunResult Run(const Graph& graph, const Pattern& pattern,

@@ -16,16 +16,21 @@
 /// bitmap index, per-worker scratch). The older CountSubgraphs /
 /// EnumerateSubgraphs entry points remain as deprecated thin wrappers.
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "engine/enumerator.h"
 #include "engine/visitors.h"
 #include "obs/metrics.h"
+#include "obs/query_stats.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "graph/bitmap_index.h"
@@ -152,6 +157,11 @@ struct RunResult {
   bool timed_out = false;
   std::string error;
 
+  /// Lifecycle breakdown of the query (plan resolution, queue wait,
+  /// execution, worker attribution). Filled by session/pool execution;
+  /// zeroed on pre-execution errors.
+  obs::QueryStats query_stats;
+
   bool ok() const { return error.empty(); }
 };
 
@@ -196,6 +206,21 @@ struct SessionOptions {
   /// Plan-cache entries kept (LRU evicted beyond this); 0 disables caching
   /// (every query builds its own plan, as one-shot Run does).
   size_t plan_cache_capacity = 64;
+
+  // --- Serving observability ---
+  /// Queries completing slower than this land in the slow-query log with
+  /// their canonical pattern, plan summary, and progress snapshot. 0 (the
+  /// default) disables the log.
+  double slow_query_threshold_seconds = 0;
+  /// Watchdog window: a background thread snapshots queue progress every
+  /// window and records queries whose lease count did not advance across a
+  /// full window as "stuck". 0 (the default) disables the watchdog.
+  double stuck_query_window_seconds = 0;
+  /// Per-query lifecycle records retained for session reports (oldest
+  /// evicted beyond this).
+  size_t query_log_capacity = 1024;
+  /// Slow/stuck entries retained (oldest evicted beyond this).
+  size_t slow_query_log_capacity = 64;
 };
 
 /// Point-in-time session counters (see Session::stats()).
@@ -208,6 +233,18 @@ struct SessionStats {
   uint64_t plan_cache_misses = 0;
   size_t plan_cache_size = 0;
   int pool_threads = 0;
+
+  /// Latency breakdown over completed queries (nanosecond quantiles from
+  /// the session's always-on histograms): end-to-end, scheduling wait,
+  /// execution, and plan resolution.
+  obs::HistogramSummary latency;
+  obs::HistogramSummary queue_wait;
+  obs::HistogramSummary execute;
+  obs::HistogramSummary plan_resolve;
+
+  /// Slow-query log totals (recorded entries, including evicted ones).
+  uint64_t slow_queries = 0;
+  uint64_t stuck_queries = 0;
 };
 
 namespace detail {
@@ -288,6 +325,19 @@ class Session {
 
   SessionStats stats() const;
 
+  /// Fills a light.session_report.v1 document: session/pool aggregates, the
+  /// latency breakdown histograms, the retained per-query lifecycle
+  /// records, the slow/stuck-query log, and (when the metrics registry is
+  /// armed) a counter snapshot. Callable at any point in the session's
+  /// life; reflects queries completed so far.
+  void FillSessionReport(obs::SessionReport* out) const;
+
+  /// Copy of the slow/stuck-query log (newest last). Entries are recorded
+  /// when a query completes above slow_query_threshold_seconds ("slow") or
+  /// when the watchdog sees its lease count static across a window
+  /// ("stuck").
+  std::vector<obs::SlowQueryRecord> slow_queries() const;
+
   const Graph& graph() const { return graph_; }
 
  private:
@@ -315,7 +365,8 @@ class Session {
   /// builds a fresh plan for `pattern` itself, bypassing canonicalization.
   std::shared_ptr<const ExecutionPlan> ResolvePlan(const Pattern& pattern,
                                                    const RunOptions& opts,
-                                                   std::string* error);
+                                                   std::string* error,
+                                                   bool* cache_hit);
 
   Ticket SubmitInternal(const Pattern& pattern, const RunOptions& options,
                         const char* tool);
@@ -327,6 +378,15 @@ class Session {
   const BitmapIndex& EnsureBitmap();
   WorkerPool& EnsurePool();
   void OnResultDelivered();
+
+  /// Completion hook: observes the lifecycle histograms, appends the query
+  /// log record, applies the slow-query threshold, and retires the
+  /// query's watchdog registration. `plan` may be null (error results).
+  void RecordQueryDone(const RunResult& result, const Pattern& pattern,
+                       const ExecutionPlan* plan);
+  void WatchdogMain();
+  void RecordStuckQueries(
+      const std::vector<MultiQueryQueue::QueryProgress>& stuck);
 
   const Graph& graph_;
   const SessionOptions options_;
@@ -349,6 +409,38 @@ class Session {
   obs::Counter* obs_queries_completed_ = nullptr;
   obs::Counter* obs_cache_hits_ = nullptr;
   obs::Counter* obs_cache_misses_ = nullptr;
+
+  // Always-on lifecycle histograms (lazy per-thread shards keep an idle
+  // histogram at a few pointers). Values in nanoseconds. The registry
+  // mirrors below are additionally observed while the registry is armed so
+  // cross-session dashboards see them.
+  obs::Histogram hist_latency_{"session.query_ns"};
+  obs::Histogram hist_queue_wait_{"session.queue_wait_ns"};
+  obs::Histogram hist_execute_{"session.execute_ns"};
+  obs::Histogram hist_plan_{"session.plan_ns"};
+  obs::Histogram* obs_latency_hist_ = nullptr;
+  obs::Histogram* obs_plan_hist_ = nullptr;
+
+  // Query log + slow/stuck log (capped deques, newest last).
+  mutable std::mutex log_mutex_;
+  std::deque<obs::SessionQueryRecord> query_log_;
+  std::deque<obs::SlowQueryRecord> slow_log_;
+  std::unordered_set<uint64_t> stuck_reported_;
+
+  // Watchdog bookkeeping: context for in-flight pool queries (only
+  // maintained while the watchdog is on), keyed by query id.
+  struct InflightQuery {
+    Pattern pattern;
+    std::string plan_sigma;
+    uint64_t admit_ns = 0;
+  };
+  mutable std::mutex inflight_mutex_;
+  std::unordered_map<uint64_t, InflightQuery> inflight_;
+
+  std::thread watchdog_;
+  mutable std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 };
 
 // ---------------------------------------------------------------------------

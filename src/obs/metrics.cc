@@ -1,5 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace light::obs {
 
 namespace {
@@ -19,6 +22,142 @@ size_t ThisThreadOrdinal() {
   thread_local const size_t ordinal =
       g_next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
   return ordinal;
+}
+
+Histogram::~Histogram() {
+  for (std::atomic<Shard*>& slot : shards_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+Histogram::Shard* Histogram::AllocateShard(std::atomic<Shard*>& slot) {
+  Shard* fresh = new Shard();
+  Shard* expected = nullptr;
+  // Another thread mapped to the same shard slot may install first; the
+  // loser frees its copy and both use the winner.
+  if (!slot.compare_exchange_strong(expected, fresh,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+    delete fresh;
+    return expected;
+  }
+  return fresh;
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample that answers the quantile (1-based, ceil so that
+  // Quantile(0.5) of two samples picks the first).
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= target) {
+      const uint64_t low = BucketLow(b);
+      if (b + 1 >= kBuckets) return low;
+      // Midpoint representative: exact for the linear sub-kSubBuckets
+      // range (width 1), mid-bucket otherwise.
+      const uint64_t width = BucketLow(b + 1) - low;
+      return low + (width - 1) / 2;
+    }
+  }
+  return BucketLow(kBuckets - 1);
+}
+
+uint64_t Histogram::Snapshot::Max() const {
+  for (size_t b = kBuckets; b-- > 0;) {
+    if (buckets[b] != 0) {
+      const uint64_t low = BucketLow(b);
+      if (b + 1 >= kBuckets) return low;
+      const uint64_t width = BucketLow(b + 1) - low;
+      return low + (width - 1) / 2;
+    }
+  }
+  return 0;
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  for (size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+}
+
+Histogram::Snapshot Histogram::Snapshot::DeltaSince(
+    const Snapshot& baseline) const {
+  Snapshot delta;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    delta.buckets[b] =
+        buckets[b] >= baseline.buckets[b] ? buckets[b] - baseline.buckets[b]
+                                          : 0;
+    delta.count += delta.buckets[b];
+  }
+  delta.sum = sum >= baseline.sum ? sum - baseline.sum : 0;
+  return delta;
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  for (const std::atomic<Shard*>& slot : shards_) {
+    const Shard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      const uint64_t n = shard->buckets[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += n;
+      snap.count += n;
+    }
+    snap.sum += shard->sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (std::atomic<Shard*>& slot : shards_) {
+    Shard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) continue;
+    for (auto& bucket : shard->buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard->sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterSample& sample : counters) {
+    if (sample.name == name) return sample.value;
+  }
+  return 0;
+}
+
+const Histogram::Snapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSample& sample : histograms) {
+    if (sample.name == name) return &sample.snapshot;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& baseline) const {
+  MetricsSnapshot delta;
+  delta.counters.reserve(counters.size());
+  for (const CounterSample& sample : counters) {
+    const uint64_t base = baseline.CounterValue(sample.name);
+    delta.counters.push_back(
+        {sample.name, sample.value >= base ? sample.value - base : 0});
+  }
+  delta.histograms.reserve(histograms.size());
+  for (const HistogramSample& sample : histograms) {
+    const Histogram::Snapshot* base =
+        baseline.FindHistogram(sample.name);
+    delta.histograms.push_back(
+        {sample.name,
+         base == nullptr ? sample.snapshot
+                         : sample.snapshot.DeltaSince(*base)});
+  }
+  return delta;
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
@@ -59,6 +198,20 @@ void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& counter : counters_) counter->Reset();
   for (const auto& histogram : histograms_) histogram->Reset();
+}
+
+MetricsSnapshot MetricsRegistry::Snap() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& counter : counters_) {
+    snap.counters.push_back({counter->name(), counter->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& histogram : histograms_) {
+    snap.histograms.push_back({histogram->name(), histogram->Snap()});
+  }
+  return snap;
 }
 
 void MetricsRegistry::ForEachCounter(

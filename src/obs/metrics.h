@@ -1,9 +1,9 @@
 #ifndef LIGHT_OBS_METRICS_H_
 #define LIGHT_OBS_METRICS_H_
 
-/// Low-overhead metrics registry: named monotonic counters and log2-bucket
-/// histograms. Hot-path increments are a single relaxed fetch-add on a
-/// cache-line-private per-thread shard; readers merge the shards. The whole
+/// Low-overhead metrics registry: named monotonic counters and log2-linear
+/// latency histograms. Hot-path increments are a single relaxed fetch-add on
+/// a cache-line-private per-thread shard; readers merge the shards. The whole
 /// subsystem is gated by a process-global enabled flag so instrumentation
 /// points cost one relaxed load when nothing is listening.
 
@@ -73,74 +73,142 @@ class Counter {
   std::array<Cell, kMetricShards> cells_;
 };
 
-/// Log-scale histogram: bucket b counts observations v with
-/// floor(log2(v)) == b - 1 (bucket 0 holds v == 0). 64 buckets cover the
-/// full uint64 range; per-thread shards keep Observe contention-free.
+/// HdrHistogram-style log2-linear histogram: each power-of-two range is cut
+/// into kSubBuckets linear sub-buckets, so the relative bucket width is at
+/// most 1/kSubBuckets (~3.1%) and a quantile read off a bucket midpoint is
+/// within ~1.6% of the true sample. Values below kSubBuckets are exact.
+/// 1920 buckets cover the full uint64 range.
+///
+/// Observe is lock-free: a relaxed fetch-add on a per-thread shard, with
+/// shards allocated lazily on each thread's first observation so idle
+/// histograms cost two pointers-worth of memory per shard slot.
 class Histogram {
  public:
-  static constexpr size_t kBuckets = 65;
+  static constexpr size_t kSubBucketBits = 5;
+  static constexpr uint64_t kSubBuckets = uint64_t{1} << kSubBucketBits;
+  /// Sub-bucket groups: values < kSubBuckets occupy the first group
+  /// (exact), then one group of kSubBuckets buckets per leading-bit
+  /// position kSubBucketBits..63.
+  static constexpr size_t kBuckets =
+      static_cast<size_t>(kSubBuckets) * (64 - kSubBucketBits + 1);
 
   explicit Histogram(std::string name) : name_(std::move(name)) {}
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
+  ~Histogram();
 
   static size_t BucketOf(uint64_t value) {
-    return value == 0 ? 0 : 64 - static_cast<size_t>(__builtin_clzll(value));
+    if (value < kSubBuckets) return static_cast<size_t>(value);
+    const size_t msb =
+        63 - static_cast<size_t>(__builtin_clzll(value));
+    const size_t group = msb - kSubBucketBits;
+    return ((group + 1) << kSubBucketBits) +
+           static_cast<size_t>((value >> group) - kSubBuckets);
   }
 
-  /// Lower bound of the value range bucket b counts.
+  /// Lower bound (inclusive) of the value range bucket b counts.
   static uint64_t BucketLow(size_t b) {
-    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+    if (b < kSubBuckets) return b;
+    const size_t group = (b >> kSubBucketBits) - 1;
+    return (kSubBuckets + (b & (kSubBuckets - 1))) << group;
+  }
+
+  /// Upper bound (exclusive) of bucket b; saturates for the last bucket.
+  static uint64_t BucketHigh(size_t b) {
+    return b + 1 >= kBuckets ? ~uint64_t{0} : BucketLow(b + 1);
   }
 
   void Observe(uint64_t value) {
-    Shard& shard = shards_[ThisThreadShard()];
+    Shard& shard = ShardForThisThread();
     shard.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
     shard.sum.fetch_add(value, std::memory_order_relaxed);
   }
 
+  /// Mergeable point-in-time view. Also the unit of the epoch/delta API:
+  /// subtract an earlier snapshot to attribute samples to a window.
   struct Snapshot {
     std::array<uint64_t, kBuckets> buckets{};
     uint64_t count = 0;
     uint64_t sum = 0;
+
     double Mean() const {
       return count == 0 ? 0.0
                         : static_cast<double>(sum) / static_cast<double>(count);
     }
+
+    /// Smallest bucket-representative value v such that at least
+    /// ceil(q * count) samples are <= v. Returns 0 on an empty snapshot.
+    /// Exact for values < kSubBuckets, within ~1.6% otherwise.
+    uint64_t Quantile(double q) const;
+    uint64_t P50() const { return Quantile(0.50); }
+    uint64_t P90() const { return Quantile(0.90); }
+    uint64_t P99() const { return Quantile(0.99); }
+    uint64_t P999() const { return Quantile(0.999); }
+    uint64_t Max() const;
+
+    /// Element-wise accumulation (merge across shards/threads/sessions).
+    void Merge(const Snapshot& other);
+
+    /// Samples recorded since `baseline` was taken (per-bucket saturating
+    /// subtraction; exact when `baseline` precedes this snapshot).
+    Snapshot DeltaSince(const Snapshot& baseline) const;
   };
 
-  Snapshot Snap() const {
-    Snapshot snap;
-    for (const Shard& shard : shards_) {
-      for (size_t b = 0; b < kBuckets; ++b) {
-        const uint64_t n = shard.buckets[b].load(std::memory_order_relaxed);
-        snap.buckets[b] += n;
-        snap.count += n;
-      }
-      snap.sum += shard.sum.load(std::memory_order_relaxed);
-    }
-    return snap;
-  }
-
-  void Reset() {
-    for (Shard& shard : shards_) {
-      for (auto& bucket : shard.buckets) {
-        bucket.store(0, std::memory_order_relaxed);
-      }
-      shard.sum.store(0, std::memory_order_relaxed);
-    }
-  }
+  Snapshot Snap() const;
+  void Reset();
 
   const std::string& name() const { return name_; }
 
  private:
-  struct alignas(64) Shard {
+  struct Shard {
     std::array<std::atomic<uint64_t>, kBuckets> buckets{};
     std::atomic<uint64_t> sum{0};
   };
 
+  Shard& ShardForThisThread() {
+    std::atomic<Shard*>& slot = shards_[ThisThreadShard()];
+    Shard* shard = slot.load(std::memory_order_acquire);
+    if (shard == nullptr) shard = AllocateShard(slot);
+    return *shard;
+  }
+
+  static Shard* AllocateShard(std::atomic<Shard*>& slot);
+
   std::string name_;
-  std::array<Shard, kMetricShards> shards_;
+  /// Lazily-populated per-thread shards: a histogram only pays the ~15 KiB
+  /// bucket array for shards whose thread actually observed a sample, which
+  /// keeps short-lived Sessions (four private histograms each) cheap.
+  std::array<std::atomic<Shard*>, kMetricShards> shards_{};
+};
+
+/// A named-counter snapshot entry (from the metrics registry).
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// A named-histogram snapshot entry (from the metrics registry).
+struct HistogramSample {
+  std::string name;
+  Histogram::Snapshot snapshot;
+};
+
+/// Epoch snapshot of a whole registry: every counter and histogram at one
+/// point in time. DeltaSince gives per-window attribution for long-lived
+/// sessions without hand-subtracting globals.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+
+  /// Value of a counter by name; 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+  /// Histogram snapshot by name; null when absent.
+  const Histogram::Snapshot* FindHistogram(std::string_view name) const;
+
+  /// Metrics recorded since `baseline`: counters subtract saturating,
+  /// histograms delta bucket-wise. Names absent from the baseline (metrics
+  /// registered after it was taken) keep their full value.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& baseline) const;
 };
 
 /// Name -> metric registry. Registration is cold (mutex-guarded); returned
@@ -161,6 +229,10 @@ class MetricsRegistry {
 
   /// Zeroes every metric (names stay registered).
   void ResetAll();
+
+  /// Epoch snapshot of every registered metric, in registration order.
+  /// Pair with MetricsSnapshot::DeltaSince for per-query/batch attribution.
+  MetricsSnapshot Snap() const;
 
   /// Visits metrics in registration order (stable across a run).
   void ForEachCounter(

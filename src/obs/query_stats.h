@@ -1,0 +1,51 @@
+#ifndef LIGHT_OBS_QUERY_STATS_H_
+#define LIGHT_OBS_QUERY_STATS_H_
+
+/// Per-query lifecycle record for the serving path: one POD that follows a
+/// query from Session::Submit through the MultiQueryQueue and WorkerPool to
+/// completion. The pool fills the scheduling/execution fields at finalize;
+/// the session layers plan-resolution on top and surfaces the whole record
+/// on RunResult (Ticket::Wait) and in light.session_report.v1.
+
+#include <atomic>
+#include <cstdint>
+
+namespace light::obs {
+
+/// All durations in nanoseconds of the process steady clock.
+struct QueryStats {
+  /// Process-unique id (NextQueryId), also the Chrome-trace lane key.
+  uint64_t query_id = 0;
+
+  // Plan resolution (session): time spent in plan-cache lookup + build.
+  bool plan_cache_hit = false;
+  uint64_t plan_ns = 0;
+
+  // Scheduling (pool): activation -> first range start. 0 when the query
+  // never reached a worker (empty graph, immediate completion).
+  uint64_t queue_wait_ns = 0;
+
+  // Execution (pool): first range start -> completion.
+  uint64_t execute_ns = 0;
+
+  // End to end: session admit -> completion (>= plan + queue_wait +
+  // execute; the slack is handoff overhead).
+  uint64_t total_ns = 0;
+
+  // Worker attribution, summed across the workers that touched the query.
+  uint64_t ranges_executed = 0;
+  uint64_t steals = 0;    // donated ranges picked up (received steals)
+  uint64_t busy_ns = 0;   // in-range enumeration time
+  uint64_t park_ns = 0;   // workers' pop-block time charged to this query
+};
+
+/// Process-wide query-id source (1, 2, ...). Ids are never reused, so every
+/// query gets a distinct trace lane and watchdog identity.
+inline uint64_t NextQueryId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace light::obs
+
+#endif  // LIGHT_OBS_QUERY_STATS_H_

@@ -57,21 +57,16 @@ std::vector<uint64_t> ReadUintArray(const JsonValue& value) {
 
 }  // namespace
 
-void FillFromEngine(const ExecutionPlan& plan, const EngineStats& stats,
-                    RunReport* report) {
-  report->engine = stats;
-  report->num_matches = stats.num_matches;
-  report->elapsed_seconds = stats.elapsed_seconds;
-  report->timed_out = stats.timed_out;
-  report->kernel = KernelName(plan.options.kernel);
-
+std::string PlanOrderString(const ExecutionPlan& plan) {
   std::string order;
   for (int u : plan.pi) {
     if (!order.empty()) order += ' ';
     order += std::to_string(u);
   }
-  report->plan_order = std::move(order);
+  return order;
+}
 
+std::string PlanSigmaString(const ExecutionPlan& plan) {
   std::string sigma;
   for (const Operation& op : plan.sigma) {
     if (!sigma.empty()) sigma += ' ';
@@ -79,7 +74,18 @@ void FillFromEngine(const ExecutionPlan& plan, const EngineStats& stats,
     sigma += std::to_string(op.vertex);
     sigma += ')';
   }
-  report->plan_sigma = std::move(sigma);
+  return sigma;
+}
+
+void FillFromEngine(const ExecutionPlan& plan, const EngineStats& stats,
+                    RunReport* report) {
+  report->engine = stats;
+  report->num_matches = stats.num_matches;
+  report->elapsed_seconds = stats.elapsed_seconds;
+  report->timed_out = stats.timed_out;
+  report->kernel = KernelName(plan.options.kernel);
+  report->plan_order = PlanOrderString(plan);
+  report->plan_sigma = PlanSigmaString(plan);
 }
 
 void SnapshotCounters(RunReport* report) {
@@ -253,6 +259,210 @@ Status RunReport::FromJson(const std::string& json, RunReport* out) {
 }
 
 Status RunReport::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open report output " + path);
+  }
+  const std::string json = ToJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Session reports
+// ---------------------------------------------------------------------------
+
+HistogramSummary HistogramSummary::FromSnapshot(
+    const Histogram::Snapshot& snapshot) {
+  HistogramSummary s;
+  s.count = snapshot.count;
+  s.sum = snapshot.sum;
+  s.p50 = snapshot.P50();
+  s.p90 = snapshot.P90();
+  s.p99 = snapshot.P99();
+  s.p999 = snapshot.P999();
+  s.max = snapshot.Max();
+  return s;
+}
+
+namespace {
+
+void WriteHistogramSummary(JsonWriter* w, std::string_view key,
+                           const HistogramSummary& s) {
+  w->Key(key);
+  w->BeginObject();
+  w->KV("count", s.count);
+  w->KV("sum", s.sum);
+  w->KV("p50", s.p50);
+  w->KV("p90", s.p90);
+  w->KV("p99", s.p99);
+  w->KV("p999", s.p999);
+  w->KV("max", s.max);
+  w->EndObject();
+}
+
+HistogramSummary ReadHistogramSummary(const JsonValue& v) {
+  HistogramSummary s;
+  s.count = v["count"].AsUint();
+  s.sum = v["sum"].AsUint();
+  s.p50 = v["p50"].AsUint();
+  s.p90 = v["p90"].AsUint();
+  s.p99 = v["p99"].AsUint();
+  s.p999 = v["p999"].AsUint();
+  s.max = v["max"].AsUint();
+  return s;
+}
+
+}  // namespace
+
+std::string SessionReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("schema", "light.session_report.v1");
+  w.KV("tool", tool);
+  w.KV("dataset", dataset);
+
+  w.Key("graph");
+  w.BeginObject();
+  w.KV("vertices", graph_vertices);
+  w.KV("edges", graph_edges);
+  w.EndObject();
+
+  w.Key("pool");
+  w.BeginObject();
+  w.KV("threads", pool_threads);
+  w.KV("queries_submitted", queries_submitted);
+  w.KV("queries_completed", queries_completed);
+  w.KV("plan_cache_hits", plan_cache_hits);
+  w.KV("plan_cache_misses", plan_cache_misses);
+  w.EndObject();
+
+  WriteHistogramSummary(&w, "latency_ns", latency);
+  WriteHistogramSummary(&w, "queue_wait_ns", queue_wait);
+  WriteHistogramSummary(&w, "execute_ns", execute);
+  WriteHistogramSummary(&w, "plan_ns", plan_resolve);
+
+  w.Key("queries");
+  w.BeginArray();
+  for (const SessionQueryRecord& q : queries) {
+    w.BeginObject();
+    w.KV("query_id", q.stats.query_id);
+    w.KV("pattern", q.pattern);
+    w.KV("ok", q.ok);
+    w.KV("timed_out", q.timed_out);
+    w.KV("num_matches", q.num_matches);
+    w.KV("plan_cache_hit", q.stats.plan_cache_hit);
+    w.KV("plan_ns", q.stats.plan_ns);
+    w.KV("queue_wait_ns", q.stats.queue_wait_ns);
+    w.KV("execute_ns", q.stats.execute_ns);
+    w.KV("total_ns", q.stats.total_ns);
+    w.KV("ranges_executed", q.stats.ranges_executed);
+    w.KV("steals", q.stats.steals);
+    w.KV("busy_ns", q.stats.busy_ns);
+    w.KV("park_ns", q.stats.park_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("slow_queries");
+  w.BeginArray();
+  for (const SlowQueryRecord& s : slow_queries) {
+    w.BeginObject();
+    w.KV("kind", s.kind);
+    w.KV("query_id", s.query_id);
+    w.KV("pattern", s.pattern);
+    w.KV("plan_sigma", s.plan_sigma);
+    w.KV("latency_seconds", s.latency_seconds);
+    w.KV("ranges_executed", s.ranges_executed);
+    w.KV("pending_ranges", s.pending_ranges);
+    w.KV("leases", s.leases);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const CounterSample& sample : counters) {
+    w.KV(sample.name, sample.value);
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.Take();
+}
+
+Status SessionReport::FromJson(const std::string& json, SessionReport* out) {
+  JsonValue root;
+  std::string error;
+  if (!ParseJson(json, &root, &error)) {
+    return Status::InvalidArgument("bad session report JSON: " + error);
+  }
+  if (!root.is_object() ||
+      root["schema"].string_value != "light.session_report.v1") {
+    return Status::InvalidArgument("not a light.session_report.v1 document");
+  }
+  *out = SessionReport();
+  out->tool = root["tool"].string_value;
+  out->dataset = root["dataset"].string_value;
+  out->graph_vertices = root["graph"]["vertices"].AsUint();
+  out->graph_edges = root["graph"]["edges"].AsUint();
+
+  const JsonValue& pool = root["pool"];
+  out->pool_threads = static_cast<int>(pool["threads"].AsUint());
+  out->queries_submitted = pool["queries_submitted"].AsUint();
+  out->queries_completed = pool["queries_completed"].AsUint();
+  out->plan_cache_hits = pool["plan_cache_hits"].AsUint();
+  out->plan_cache_misses = pool["plan_cache_misses"].AsUint();
+
+  out->latency = ReadHistogramSummary(root["latency_ns"]);
+  out->queue_wait = ReadHistogramSummary(root["queue_wait_ns"]);
+  out->execute = ReadHistogramSummary(root["execute_ns"]);
+  out->plan_resolve = ReadHistogramSummary(root["plan_ns"]);
+
+  for (const JsonValue& q : root["queries"].array) {
+    SessionQueryRecord record;
+    record.stats.query_id = q["query_id"].AsUint();
+    record.pattern = q["pattern"].string_value;
+    record.ok = q["ok"].bool_value;
+    record.timed_out = q["timed_out"].bool_value;
+    record.num_matches = q["num_matches"].AsUint();
+    record.stats.plan_cache_hit = q["plan_cache_hit"].bool_value;
+    record.stats.plan_ns = q["plan_ns"].AsUint();
+    record.stats.queue_wait_ns = q["queue_wait_ns"].AsUint();
+    record.stats.execute_ns = q["execute_ns"].AsUint();
+    record.stats.total_ns = q["total_ns"].AsUint();
+    record.stats.ranges_executed = q["ranges_executed"].AsUint();
+    record.stats.steals = q["steals"].AsUint();
+    record.stats.busy_ns = q["busy_ns"].AsUint();
+    record.stats.park_ns = q["park_ns"].AsUint();
+    out->queries.push_back(std::move(record));
+  }
+
+  for (const JsonValue& s : root["slow_queries"].array) {
+    SlowQueryRecord record;
+    record.kind = s["kind"].string_value;
+    record.query_id = s["query_id"].AsUint();
+    record.pattern = s["pattern"].string_value;
+    record.plan_sigma = s["plan_sigma"].string_value;
+    record.latency_seconds = s["latency_seconds"].AsDouble();
+    record.ranges_executed = s["ranges_executed"].AsUint();
+    record.pending_ranges = s["pending_ranges"].AsUint();
+    record.leases = static_cast<int>(s["leases"].AsUint());
+    out->slow_queries.push_back(std::move(record));
+  }
+
+  for (const auto& [name, value] : root["counters"].object) {
+    out->counters.push_back({name, value.AsUint()});
+  }
+  return Status::OK();
+}
+
+Status SessionReport::WriteFile(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return Status::IOError("cannot open report output " + path);

@@ -13,6 +13,8 @@
 
 #include "common/status.h"
 #include "engine/enumerator.h"
+#include "obs/metrics.h"
+#include "obs/query_stats.h"
 
 namespace light::obs {
 
@@ -48,11 +50,8 @@ struct WorkerSummary {
 
 WorkerSummary SummarizeWorkers(const std::vector<WorkerStats>& workers);
 
-/// A named-counter snapshot entry (from the metrics registry).
-struct CounterSample {
-  std::string name;
-  uint64_t value = 0;
-};
+// CounterSample (a named-counter snapshot entry) lives in obs/metrics.h
+// alongside the epoch-snapshot API; re-exported here for report users.
 
 /// The structured run report. Callers fill the metadata strings (tool,
 /// dataset, ...); the engine/runtime integration fills the rest.
@@ -110,6 +109,99 @@ void FillFromEngine(const ExecutionPlan& plan, const EngineStats& stats,
 
 /// Snapshots every counter of the default metrics registry into the report.
 void SnapshotCounters(RunReport* report);
+
+/// Human-readable plan projections ("0 1 2" / "MAT(0) COMP(1)"), shared by
+/// run reports and the slow-query log.
+std::string PlanOrderString(const ExecutionPlan& plan);
+std::string PlanSigmaString(const ExecutionPlan& plan);
+
+// ---------------------------------------------------------------------------
+// Session reports (light.session_report.v1): the serving-layer counterpart
+// of RunReport — per-query lifecycle records plus pool-level latency
+// quantiles, emitted by Session::FillSessionReport.
+// ---------------------------------------------------------------------------
+
+/// Quantile summary of one latency histogram (values in nanoseconds).
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t p999 = 0;
+  uint64_t max = 0;
+
+  static HistogramSummary FromSnapshot(const Histogram::Snapshot& snapshot);
+  double MeanSeconds() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) /
+                            (1e9 * static_cast<double>(count));
+  }
+};
+
+/// One query's lifecycle in a session report.
+struct SessionQueryRecord {
+  QueryStats stats;
+  std::string pattern;  // readable edge list (FormatPattern)
+  uint64_t num_matches = 0;
+  bool ok = true;
+  bool timed_out = false;
+};
+
+/// Slow-query log entry. kind "slow": completed above the session's latency
+/// threshold; kind "stuck": the watchdog saw its lease count static across
+/// a full window.
+struct SlowQueryRecord {
+  std::string kind;  // "slow" | "stuck"
+  uint64_t query_id = 0;
+  std::string pattern;    // canonical-form edge list
+  std::string plan_sigma;  // plan summary (empty for stuck pool queries)
+  double latency_seconds = 0;
+  // Range-progress snapshot at record time: completed work for slow
+  // queries, live queue state for stuck ones.
+  uint64_t ranges_executed = 0;
+  uint64_t pending_ranges = 0;
+  int leases = 0;
+};
+
+/// The serving-layer report: session/pool aggregates, latency breakdown,
+/// per-query records, and the slow-query log.
+struct SessionReport {
+  std::string tool;  // e.g. "light::Session"
+  std::string dataset;
+
+  uint64_t graph_vertices = 0;
+  uint64_t graph_edges = 0;
+
+  int pool_threads = 0;
+  uint64_t queries_submitted = 0;
+  uint64_t queries_completed = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+
+  // Pool-level latency breakdown, nanoseconds (end-to-end, scheduling
+  // wait, execution, plan resolution).
+  HistogramSummary latency;
+  HistogramSummary queue_wait;
+  HistogramSummary execute;
+  HistogramSummary plan_resolve;
+
+  std::vector<SessionQueryRecord> queries;
+  std::vector<SlowQueryRecord> slow_queries;
+
+  // Metrics-registry snapshot (empty unless metrics were enabled).
+  std::vector<CounterSample> counters;
+
+  /// Pretty-printed JSON document, schema "light.session_report.v1".
+  std::string ToJson() const;
+
+  /// Inverse of ToJson. Rejects documents with a different schema string
+  /// (light.run_report.v1 documents parse with RunReport::FromJson, which
+  /// remains unchanged — the two schemas coexist).
+  static Status FromJson(const std::string& json, SessionReport* out);
+
+  Status WriteFile(const std::string& path) const;
+};
 
 }  // namespace light::obs
 

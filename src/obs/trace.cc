@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "obs/json.h"
@@ -78,13 +79,47 @@ std::string Tracer::ToChromeJson() const {
   w.KV("displayTimeUnit", "ms");
   w.Key("traceEvents");
   w.BeginArray();
+  // Query-scoped events (qid != 0) get their own Chrome "process" lane so
+  // concurrent queries on a shared pool render as separate tracks; lane
+  // pid = qid + 1 keeps pid 1 for process-wide events. One process_name
+  // metadata event names each lane.
+  std::vector<uint64_t> qids;
+  for (const TraceEvent& e : events) {
+    if (e.qid == 0) continue;
+    if (std::find(qids.begin(), qids.end(), e.qid) == qids.end()) {
+      qids.push_back(e.qid);
+    }
+  }
+  std::sort(qids.begin(), qids.end());
+  {
+    w.BeginObject();
+    w.KV("name", "process_name");
+    w.KV("ph", "M");
+    w.KV("pid", 1);
+    w.Key("args");
+    w.BeginObject();
+    w.KV("name", "light");
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const uint64_t qid : qids) {
+    w.BeginObject();
+    w.KV("name", "process_name");
+    w.KV("ph", "M");
+    w.KV("pid", static_cast<int64_t>(qid + 1));
+    w.Key("args");
+    w.BeginObject();
+    w.KV("name", "query " + std::to_string(qid));
+    w.EndObject();
+    w.EndObject();
+  }
   for (const TraceEvent& e : events) {
     w.BeginObject();
     w.KV("name", e.name != nullptr ? e.name : "?");
     w.KV("cat", "light");
     w.Key("ph");
     w.String(std::string_view(&e.phase, 1));
-    w.KV("pid", 1);
+    w.KV("pid", e.qid == 0 ? int64_t{1} : static_cast<int64_t>(e.qid + 1));
     w.KV("tid", static_cast<int64_t>(e.tid));
     w.KV("ts", static_cast<double>(e.ts_ns) / 1e3);  // microseconds
     if (e.phase == 'X') {

@@ -29,6 +29,7 @@ struct TraceEvent {
   uint64_t ts_ns = 0;              // relative to Tracer::Start
   uint64_t dur_ns = 0;             // 'X' events only
   int64_t arg = 0;
+  uint64_t qid = 0;  // query id; 0 = process-wide (no query lane)
   uint32_t tid = 0;
   char phase = 'X';  // 'X' = complete span, 'i' = instant event
 };
@@ -92,16 +93,20 @@ class Tracer {
   }
 
   /// Records a complete ('X') event covering [ts_ns, ts_ns + dur_ns).
+  /// `qid` != 0 scopes the event to that query's trace lane, so concurrent
+  /// queries on a shared pool render as separate tracks.
   void EmitSpan(const char* name, uint64_t ts_ns, uint64_t dur_ns,
-                const char* arg_name = nullptr, int64_t arg = 0) {
+                const char* arg_name = nullptr, int64_t arg = 0,
+                uint64_t qid = 0) {
     ThisThreadBuffer()->Emit(
-        {name, arg_name, ts_ns, dur_ns, arg, 0, 'X'});
+        {name, arg_name, ts_ns, dur_ns, arg, qid, 0, 'X'});
   }
 
   /// Records an instant ('i') event at the current time.
   void EmitInstant(const char* name, const char* arg_name = nullptr,
-                   int64_t arg = 0) {
-    ThisThreadBuffer()->Emit({name, arg_name, NowNs(), 0, arg, 0, 'i'});
+                   int64_t arg = 0, uint64_t qid = 0) {
+    ThisThreadBuffer()->Emit(
+        {name, arg_name, NowNs(), 0, arg, qid, 0, 'i'});
   }
 
   /// All retained events merged across threads, in per-thread order.
@@ -132,12 +137,13 @@ class Tracer {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* arg_name = nullptr,
-                     int64_t arg = 0) {
+                     int64_t arg = 0, uint64_t qid = 0) {
     Tracer& tracer = Tracer::Global();
     if (tracer.enabled()) {
       name_ = name;
       arg_name_ = arg_name;
       arg_ = arg;
+      qid_ = qid;
       start_ns_ = tracer.NowNs();
     }
   }
@@ -148,7 +154,7 @@ class TraceSpan {
     if (name_ != nullptr) {
       Tracer& tracer = Tracer::Global();
       tracer.EmitSpan(name_, start_ns_, tracer.NowNs() - start_ns_, arg_name_,
-                      arg_);
+                      arg_, qid_);
     }
   }
 
@@ -156,14 +162,15 @@ class TraceSpan {
   const char* name_ = nullptr;
   const char* arg_name_ = nullptr;
   int64_t arg_ = 0;
+  uint64_t qid_ = 0;
   uint64_t start_ns_ = 0;
 };
 
 /// Instant event against the global tracer (steal/donate markers).
 inline void TraceInstant(const char* name, const char* arg_name = nullptr,
-                         int64_t arg = 0) {
+                         int64_t arg = 0, uint64_t qid = 0) {
   Tracer& tracer = Tracer::Global();
-  if (tracer.enabled()) tracer.EmitInstant(name, arg_name, arg);
+  if (tracer.enabled()) tracer.EmitInstant(name, arg_name, arg, qid);
 }
 
 }  // namespace light::obs

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "engine/enumerator.h"
 #include "graph/graph.h"
+#include "obs/query_stats.h"
 #include "obs/report.h"
 #include "plan/plan.h"
 
@@ -59,6 +60,10 @@ struct ParallelResult {
   double load_imbalance = 0.0;
   /// Per-worker breakdown: roots, steals initiated/received, idle time.
   std::vector<obs::WorkerStats> workers;
+  /// Lifecycle timings filled by the pool at finalize (queue wait, execute,
+  /// worker attribution). plan_ns/plan_cache_hit stay zero here; the
+  /// session layers them on before surfacing the record on its tickets.
+  obs::QueryStats lifecycle;
 };
 
 /// Counts all matches of the plan using `options.num_threads` workers, each

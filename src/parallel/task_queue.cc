@@ -11,10 +11,15 @@ namespace light {
 /// `aborted`, which lease holders poll without the lock.
 struct MultiQueryQueue::Query {
   void* context = nullptr;
+  uint64_t query_id = 0;
   int max_leases = 0;  // <= 0: uncapped
   bool active = false;
   bool completed = false;
   int leases = 0;
+  /// Lease-movement counter: bumped whenever a range is handed out (Pop)
+  /// or returned (Done), and on Abort. The watchdog compares snapshots of
+  /// this to find queries whose leases stopped advancing.
+  uint64_t progress = 0;
   std::deque<RootRange> pending;
   std::atomic<bool> aborted{false};
 };
@@ -26,9 +31,11 @@ MultiQueryQueue::~MultiQueryQueue() {
   for (Query* q : queries_) delete q;
 }
 
-MultiQueryQueue::Query* MultiQueryQueue::Open(void* context, int max_leases) {
+MultiQueryQueue::Query* MultiQueryQueue::Open(void* context, int max_leases,
+                                              uint64_t query_id) {
   auto* q = new Query();
   q->context = context;
+  q->query_id = query_id;
   q->max_leases = max_leases;
   std::lock_guard<std::mutex> lock(mutex_);
   assert(!shutdown_ && "Open after Shutdown");
@@ -93,6 +100,7 @@ bool MultiQueryQueue::Pop(Lease* out) {
       out->range = q->pending.front();
       q->pending.pop_front();
       ++q->leases;
+      ++q->progress;
       return true;
     }
     if (shutdown_) return false;
@@ -110,6 +118,7 @@ bool MultiQueryQueue::Done(const Lease& lease) {
     std::lock_guard<std::mutex> lock(mutex_);
     assert(q->leases > 0 && "Done without a lease");
     --q->leases;
+    ++q->progress;
     last = q->active && !q->completed && q->pending.empty() && q->leases == 0;
     if (last) q->completed = true;
     // A donation by this worker may still be sitting in pending with every
@@ -126,6 +135,7 @@ bool MultiQueryQueue::Abort(Query* q) {
     std::lock_guard<std::mutex> lock(mutex_);
     q->aborted.store(true, std::memory_order_relaxed);
     q->pending.clear();
+    ++q->progress;
     last = q->active && !q->completed && q->leases == 0;
     if (last) q->completed = true;
   }
@@ -167,6 +177,40 @@ int MultiQueryQueue::num_open_queries() const {
     if (!q->completed) ++n;
   }
   return n;
+}
+
+std::vector<MultiQueryQueue::QueryProgress>
+MultiQueryQueue::SnapshotProgress() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<QueryProgress> snapshot;
+  snapshot.reserve(queries_.size());
+  for (const Query* q : queries_) {
+    if (q->completed) continue;
+    QueryProgress p;
+    p.query_id = q->query_id;
+    p.progress = q->progress;
+    p.pending_ranges = q->pending.size();
+    p.leases = q->leases;
+    p.active = q->active;
+    p.aborted = q->aborted.load(std::memory_order_relaxed);
+    snapshot.push_back(p);
+  }
+  return snapshot;
+}
+
+std::vector<uint64_t> FindStuckQueries(
+    const std::vector<MultiQueryQueue::QueryProgress>& prev,
+    const std::vector<MultiQueryQueue::QueryProgress>& curr) {
+  std::vector<uint64_t> stuck;
+  for (const MultiQueryQueue::QueryProgress& now : curr) {
+    if (!now.active || now.aborted) continue;
+    for (const MultiQueryQueue::QueryProgress& then : prev) {
+      if (then.query_id != now.query_id) continue;
+      if (then.progress == now.progress) stuck.push_back(now.query_id);
+      break;
+    }
+  }
+  return stuck;
 }
 
 }  // namespace light

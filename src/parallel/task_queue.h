@@ -66,8 +66,9 @@ class MultiQueryQueue {
 
   /// Opens an inactive query. `max_leases` caps how many workers may hold
   /// one of its ranges concurrently (<= 0: uncapped) — how a query asking
-  /// for fewer threads than the pool has shares the pool.
-  Query* Open(void* context, int max_leases = 0);
+  /// for fewer threads than the pool has shares the pool. `query_id` tags
+  /// the query in progress snapshots (the watchdog's identity key).
+  Query* Open(void* context, int max_leases = 0, uint64_t query_id = 0);
 
   /// Adds a range (empty ranges are ignored). Legal before Activate
   /// (bootstrap) and from a lease holder afterwards (donation).
@@ -123,6 +124,23 @@ class MultiQueryQueue {
   /// Number of open (activated or not, uncompleted) queries; test hook.
   int num_open_queries() const;
 
+  /// Point-in-time scheduling state of one open query, for the stuck-query
+  /// watchdog and slow-query log. `progress` counts lease grants and
+  /// returns (Pop/Done/Abort transitions): a live query's progress advances
+  /// whenever the queue hands out or takes back work, so two snapshots with
+  /// equal progress mean no range changed hands in between.
+  struct QueryProgress {
+    uint64_t query_id = 0;
+    uint64_t progress = 0;
+    uint64_t pending_ranges = 0;
+    int leases = 0;
+    bool active = false;
+    bool aborted = false;
+  };
+
+  /// Snapshots every open, uncompleted query (one lock acquisition).
+  std::vector<QueryProgress> SnapshotProgress() const;
+
  private:
   Query* PickLocked();
 
@@ -134,6 +152,17 @@ class MultiQueryQueue {
   std::atomic<int> num_waiting_{0};
   std::atomic<uint64_t> generation_{0};
 };
+
+/// Stuck-query detection (pure; the watchdog's core): ids of queries that
+/// appear in both snapshots, are still active and unaborted, and whose
+/// progress counter has not advanced between them. A long window between
+/// snapshots makes this a "no lease movement within the window" signal —
+/// groundwork for deadline enforcement. Note a single enormous root range
+/// keeps one lease legitimately for its whole duration; pick windows above
+/// the expected per-range time.
+std::vector<uint64_t> FindStuckQueries(
+    const std::vector<MultiQueryQueue::QueryProgress>& prev,
+    const std::vector<MultiQueryQueue::QueryProgress>& curr);
 
 }  // namespace light
 

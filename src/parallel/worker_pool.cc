@@ -12,6 +12,7 @@
 #include "engine/enumerator.h"
 #include "engine/scratch_arena.h"
 #include "obs/metrics.h"
+#include "obs/query_stats.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -54,6 +55,15 @@ struct PoolQueryState : std::enable_shared_from_this<PoolQueryState> {
   ParallelOptions opts;  // normalized
   Timer timer;           // wall clock since Submit
 
+  // Lifecycle timestamps (MonotonicNs clock). admit_ns is when the caller
+  // entered the serving layer, activate_ns when the queue published the
+  // query; first_range_ns is CAS-stamped once by whichever worker starts
+  // the first range (0 = never reached a worker).
+  uint64_t query_id = 0;
+  uint64_t admit_ns = 0;
+  uint64_t activate_ns = 0;
+  std::atomic<uint64_t> first_range_ns{0};
+
   MultiQueryQueue::Query* q = nullptr;
 
   // Per-pool-slot attribution; slot s is only written by worker s.
@@ -91,6 +101,8 @@ WorkerPool::WorkerPool(int num_threads) {
   obs_queries_submitted_ = registry.GetCounter("pool.queries_submitted");
   obs_queries_completed_ = registry.GetCounter("pool.queries_completed");
   obs_ranges_executed_ = registry.GetCounter("pool.ranges_executed");
+  obs_queue_wait_hist_ = registry.GetHistogram("pool.queue_wait_ns");
+  obs_execute_hist_ = registry.GetHistogram("pool.execute_ns");
 
   ParallelOptions opts;
   opts.num_threads = num_threads;
@@ -110,6 +122,8 @@ WorkerPool::QueryHandle WorkerPool::Submit(const QuerySpec& spec) {
   auto qs = std::make_shared<PoolQueryState>();
   qs->spec = spec;
   qs->opts = spec.options.Normalized();
+  qs->query_id = spec.query_id != 0 ? spec.query_id : obs::NextQueryId();
+  qs->admit_ns = spec.admit_ns != 0 ? spec.admit_ns : MonotonicNs();
   qs->per_worker_cand_bytes = PerWorkerCandidateBytes(*spec.graph, *spec.plan);
   qs->slots.resize(threads_.size());
   for (size_t s = 0; s < qs->slots.size(); ++s) {
@@ -123,7 +137,7 @@ WorkerPool::QueryHandle WorkerPool::Submit(const QuerySpec& spec) {
       static_cast<int>(threads_.size()),
       spec.options.num_threads > 0 ? spec.options.num_threads
                                    : static_cast<int>(threads_.size()));
-  qs->q = queue_.Open(qs.get(), effective_threads);
+  qs->q = queue_.Open(qs.get(), effective_threads, qs->query_id);
 
   // Bootstrap chunks; donation keeps the tail balanced afterwards. The
   // chunk product stays in 64 bits: num_threads * chunks_per_worker can
@@ -140,6 +154,7 @@ WorkerPool::QueryHandle WorkerPool::Submit(const QuerySpec& spec) {
 
   if (obs::MetricsEnabled()) obs_queries_submitted_->Inc();
   qs->timer.Restart();
+  qs->activate_ns = MonotonicNs();
   if (queue_.Activate(qs->q)) {
     // Zero root candidates: no worker will ever see this query.
     FinalizeQuery(qs.get());
@@ -194,11 +209,15 @@ void WorkerPool::ProcessLease(PoolQueryState* qs, Enumerator* enumerator,
                               uint32_t* donation_ticks) {
   obs::WorkerStats& ws = qs->slots[static_cast<size_t>(slot)];
   const uint64_t busy_start_ns = MonotonicNs();
+  // First range of the query: the queue-wait window ends here.
+  uint64_t expected_first = 0;
+  qs->first_range_ns.compare_exchange_strong(expected_first, busy_start_ns,
+                                             std::memory_order_relaxed);
   ++ws.ranges_popped;
   RootRange& range = lease->range;
   if (range.donated) {
     ++ws.steals_received;
-    obs::TraceInstant("steal", "begin", range.begin);
+    obs::TraceInstant("steal", "begin", range.begin, qs->query_id);
   }
 
   // The query's wall-clock budget, re-anchored per range: the enumerator's
@@ -212,7 +231,7 @@ void WorkerPool::ProcessLease(PoolQueryState* qs, Enumerator* enumerator,
   }
   enumerator->RestartClock();
 
-  obs::TraceSpan range_span("range", "begin", range.begin);
+  obs::TraceSpan range_span("range", "begin", range.begin, qs->query_id);
   VertexID v = range.begin;
   while (v < range.end) {
     // Sender-initiated stealing: if peers are starving, donate the second
@@ -224,7 +243,7 @@ void WorkerPool::ProcessLease(PoolQueryState* qs, Enumerator* enumerator,
       queue_.Push(lease->query, {mid, range.end, /*donated=*/true});
       range.end = mid;
       ++ws.steals_initiated;
-      obs::TraceInstant("donate", "begin", mid);
+      obs::TraceInstant("donate", "begin", mid, qs->query_id);
     }
     enumerator->RunRoot(v);
     ++v;
@@ -276,11 +295,35 @@ void WorkerPool::FinalizeQuery(PoolQueryState* qs) {
   const obs::WorkerSummary summary = obs::SummarizeWorkers(qs->slots);
   result.threads_used = summary.threads_used;
   result.load_imbalance = summary.load_imbalance;
+
+  // Lifecycle record: scheduling timestamps plus worker attribution summed
+  // over the slots (before they move into the result).
+  obs::QueryStats& lc = result.lifecycle;
+  lc.query_id = qs->query_id;
+  const uint64_t done_ns = MonotonicNs();
+  const uint64_t first_ns =
+      qs->first_range_ns.load(std::memory_order_relaxed);
+  if (first_ns != 0) {
+    lc.queue_wait_ns =
+        first_ns > qs->activate_ns ? first_ns - qs->activate_ns : 0;
+    lc.execute_ns = done_ns > first_ns ? done_ns - first_ns : 0;
+  }
+  lc.total_ns = done_ns > qs->admit_ns ? done_ns - qs->admit_ns : 0;
+  for (const obs::WorkerStats& ws : qs->slots) {
+    lc.ranges_executed += ws.ranges_popped;
+    lc.steals += ws.steals_received;
+    lc.busy_ns += ws.busy_ns;
+    lc.park_ns += ws.idle_ns;
+  }
   result.workers = std::move(qs->slots);
 
   queue_.Release(qs->q);
   qs->q = nullptr;
-  if (obs::MetricsEnabled()) obs_queries_completed_->Inc();
+  if (obs::MetricsEnabled()) {
+    obs_queries_completed_->Inc();
+    obs_queue_wait_hist_->Observe(lc.queue_wait_ns);
+    obs_execute_hist_->Observe(lc.execute_ns);
+  }
 
   {
     std::lock_guard<std::mutex> lock(qs->done_mutex);

@@ -53,6 +53,14 @@ class WorkerPool {
     const BitmapIndex* bitmap_index = nullptr;
     ParallelOptions options;
     std::shared_ptr<const ExecutionPlan> plan_holder;
+    /// Lifecycle identity: 0 lets Submit assign a fresh obs::NextQueryId().
+    /// A session that already stamped the query passes its id through so
+    /// trace lanes, watchdog snapshots, and reports agree.
+    uint64_t query_id = 0;
+    /// Steady-clock admit timestamp for end-to-end latency (0: Submit
+    /// stamps its own entry time). Sessions stamp this before plan
+    /// resolution so total_ns covers plan build too.
+    uint64_t admit_ns = 0;
   };
 
   /// Blocking future for one submitted query.
@@ -96,6 +104,12 @@ class WorkerPool {
   /// Task-epoch stamp of the underlying queue (bumped per Activate).
   uint64_t generation() const { return queue_.generation(); }
 
+  /// Scheduling-progress snapshot of every in-flight query (the watchdog's
+  /// input; see MultiQueryQueue::SnapshotProgress / FindStuckQueries).
+  std::vector<MultiQueryQueue::QueryProgress> SnapshotQueryProgress() const {
+    return queue_.SnapshotProgress();
+  }
+
  private:
   void WorkerMain(int slot);
   void ProcessLease(internal::PoolQueryState* qs, Enumerator* enumerator,
@@ -111,6 +125,8 @@ class WorkerPool {
   obs::Counter* obs_queries_submitted_ = nullptr;
   obs::Counter* obs_queries_completed_ = nullptr;
   obs::Counter* obs_ranges_executed_ = nullptr;
+  obs::Histogram* obs_queue_wait_hist_ = nullptr;
+  obs::Histogram* obs_execute_hist_ = nullptr;
 };
 
 }  // namespace light

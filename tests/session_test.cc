@@ -8,6 +8,8 @@
 
 #include "engine/scratch_arena.h"
 #include "gen/generators.h"
+#include "obs/report.h"
+#include "parallel/task_queue.h"
 
 namespace light {
 namespace {
@@ -230,6 +232,150 @@ TEST(SessionTest, PlanCacheEvictsLeastRecentlyUsed) {
   const SessionStats stats = session.stats();
   EXPECT_EQ(stats.plan_cache_size, 1u);
   EXPECT_EQ(stats.plan_cache_misses, 3u);
+}
+
+TEST(SessionObsTest, TicketCarriesQueryLifecycleStats) {
+  const Graph g = TestGraph();
+  const Pattern triangle = Named("triangle");
+  Session session(g, {});
+
+  const RunResult first = session.Submit(triangle).Wait();
+  ASSERT_TRUE(first.ok());
+  const obs::QueryStats& s1 = first.query_stats;
+  EXPECT_GT(s1.query_id, 0u);
+  EXPECT_FALSE(s1.plan_cache_hit);  // first submission builds the plan
+  EXPECT_GT(s1.plan_ns, 0u);
+  EXPECT_GT(s1.execute_ns, 0u);
+  EXPECT_GT(s1.ranges_executed, 0u);
+  // End-to-end covers the component phases (slack is handoff overhead).
+  EXPECT_GE(s1.total_ns, s1.plan_ns + s1.queue_wait_ns + s1.execute_ns);
+
+  const RunResult second = session.Submit(triangle).Wait();
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.query_stats.plan_cache_hit);
+  EXPECT_GT(second.query_stats.query_id, s1.query_id);
+
+  // The serial inline path synthesizes the same record.
+  RunOptions serial;
+  serial.threads = 1;
+  const RunResult sync = session.RunSync(triangle, serial);
+  ASSERT_TRUE(sync.ok());
+  EXPECT_GT(sync.query_stats.query_id, 0u);
+  EXPECT_EQ(sync.query_stats.queue_wait_ns, 0u);  // never queued
+  EXPECT_GT(sync.query_stats.execute_ns, 0u);
+  EXPECT_EQ(sync.query_stats.ranges_executed, 1u);
+
+  // Session aggregates: one histogram sample per completed query.
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.latency.count, 3u);
+  EXPECT_EQ(stats.queue_wait.count, 3u);
+  EXPECT_EQ(stats.execute.count, 3u);
+  EXPECT_EQ(stats.plan_resolve.count, 3u);
+  EXPECT_GT(stats.latency.p50, 0u);
+  EXPECT_GE(stats.latency.max, stats.latency.p50);
+}
+
+TEST(SessionObsTest, SlowQueryLogRecordsOverThresholdQueries) {
+  const Graph g = TestGraph();
+  SessionOptions options;
+  options.slow_query_threshold_seconds = 1e-9;  // everything is "slow"
+  Session session(g, options);
+
+  ASSERT_TRUE(session.Submit(Named("triangle")).Wait().ok());
+  ASSERT_TRUE(session.Submit(Named("square")).Wait().ok());
+
+  const std::vector<obs::SlowQueryRecord> slow = session.slow_queries();
+  ASSERT_EQ(slow.size(), 2u);
+  for (const obs::SlowQueryRecord& r : slow) {
+    EXPECT_EQ(r.kind, "slow");
+    EXPECT_GT(r.query_id, 0u);
+    EXPECT_FALSE(r.pattern.empty());
+    EXPECT_FALSE(r.plan_sigma.empty());
+    EXPECT_GT(r.latency_seconds, 0.0);
+  }
+  EXPECT_EQ(session.stats().slow_queries, 2u);
+
+  // Threshold disabled (the default): nothing is logged.
+  Session quiet(g, {});
+  ASSERT_TRUE(quiet.Submit(Named("triangle")).Wait().ok());
+  EXPECT_TRUE(quiet.slow_queries().empty());
+  EXPECT_EQ(quiet.stats().slow_queries, 0u);
+}
+
+TEST(SessionObsTest, FindStuckQueriesComparesProgressSnapshots) {
+  using Progress = MultiQueryQueue::QueryProgress;
+  const auto entry = [](uint64_t id, uint64_t progress, bool active,
+                        bool aborted) {
+    Progress p;
+    p.query_id = id;
+    p.progress = progress;
+    p.active = active;
+    p.aborted = aborted;
+    return p;
+  };
+
+  const std::vector<Progress> prev = {
+      entry(1, 10, true, false),   // advances -> not stuck
+      entry(2, 20, true, false),   // static -> stuck
+      entry(3, 30, true, false),   // completes (absent later) -> not stuck
+      entry(4, 40, true, true),    // aborted -> ignored
+      entry(5, 50, false, false),  // never activated -> ignored
+  };
+  const std::vector<Progress> curr = {
+      entry(1, 11, true, false), entry(2, 20, true, false),
+      entry(4, 40, true, true),  entry(5, 50, false, false),
+      entry(6, 60, true, false),  // new since prev -> no baseline yet
+  };
+
+  const std::vector<uint64_t> stuck = FindStuckQueries(prev, curr);
+  ASSERT_EQ(stuck.size(), 1u);
+  EXPECT_EQ(stuck[0], 2u);
+
+  EXPECT_TRUE(FindStuckQueries({}, curr).empty());
+  EXPECT_TRUE(FindStuckQueries(prev, {}).empty());
+}
+
+TEST(SessionObsTest, FillSessionReportMirrorsSessionState) {
+  const Graph g = TestGraph();
+  SessionOptions options;
+  options.threads = 2;
+  Session session(g, options);
+  ASSERT_TRUE(session.Submit(Named("triangle")).Wait().ok());
+  ASSERT_TRUE(session.Submit(Named("triangle")).Wait().ok());
+  ASSERT_TRUE(session.Submit(Named("square")).Wait().ok());
+
+  obs::SessionReport report;
+  session.FillSessionReport(&report);
+  EXPECT_EQ(report.tool, "light::Session");
+  EXPECT_EQ(report.graph_vertices, g.NumVertices());
+  EXPECT_EQ(report.graph_edges, g.NumEdges());
+  EXPECT_EQ(report.queries_submitted, 3u);
+  EXPECT_EQ(report.queries_completed, 3u);
+  EXPECT_EQ(report.plan_cache_hits, 1u);
+  EXPECT_EQ(report.plan_cache_misses, 2u);
+  EXPECT_EQ(report.latency.count, 3u);
+  EXPECT_EQ(report.queue_wait.count, 3u);
+  EXPECT_EQ(report.execute.count, 3u);
+  EXPECT_GT(report.latency.p50, 0u);
+
+  ASSERT_EQ(report.queries.size(), 3u);
+  uint64_t cache_hits_seen = 0;
+  for (const obs::SessionQueryRecord& q : report.queries) {
+    EXPECT_TRUE(q.ok);
+    EXPECT_GT(q.num_matches, 0u);
+    EXPECT_GT(q.stats.total_ns, 0u);
+    EXPECT_GT(q.stats.execute_ns, 0u);
+    EXPECT_FALSE(q.pattern.empty());
+    cache_hits_seen += q.stats.plan_cache_hit ? 1 : 0;
+  }
+  EXPECT_EQ(cache_hits_seen, 1u);  // the repeated triangle
+
+  // The report round-trips through its JSON form.
+  obs::SessionReport parsed;
+  ASSERT_TRUE(obs::SessionReport::FromJson(report.ToJson(), &parsed).ok());
+  EXPECT_EQ(parsed.queries.size(), 3u);
+  EXPECT_EQ(parsed.latency.count, 3u);
+  EXPECT_EQ(parsed.plan_cache_hits, 1u);
 }
 
 TEST(ScratchArenaTest, ReusesReleasedBuffers) {

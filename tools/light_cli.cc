@@ -56,8 +56,16 @@ observability (README "Observability"):
   --metrics-json PATH  write a structured JSON run report (per-vertex
                        comp/mat counts, per-worker steal/idle stats,
                        intersection kernel counters)
+  --session-report PATH
+                       with --batch: write a light.session_report.v1 JSON
+                       (per-query lifecycle timings, pool-level latency
+                       quantiles, slow-query log)
+  --slow-query-threshold SEC
+                       with --batch: queries slower than SEC land in the
+                       session report's slow-query log
   --trace-out PATH     write a Chrome trace-event file; open it in
                        chrome://tracing or https://ui.perfetto.dev
+                       (concurrent --batch queries render as per-query lanes)
   --trace-sample N     trace every Nth root (power of two, default 64)
   --progress           print periodic roots/matches/ETA to stderr
 )");
@@ -345,6 +353,10 @@ int main(int argc, char** argv) {
     if (const char* v = FlagValue(argc, argv, "--bitmap-density")) {
       session_options.bitmap_density = std::atof(v);
     }
+    const char* session_report_path = FlagValue(argc, argv, "--session-report");
+    if (const char* v = FlagValue(argc, argv, "--slow-query-threshold")) {
+      session_options.slow_query_threshold_seconds = std::atof(v);
+    }
 
     RunOptions query;
     query.time_limit_seconds = limit_str != nullptr ? std::atof(limit_str) : 0;
@@ -377,10 +389,16 @@ int main(int argc, char** argv) {
         continue;
       }
       any_timeout = any_timeout || r.timed_out;
-      std::printf("[%zu] %s: %s matches=%llu time=%s\n", i, names[i].c_str(),
-                  r.timed_out ? "OOT" : "OK",
-                  static_cast<unsigned long long>(r.num_matches),
-                  FormatSeconds(r.elapsed_seconds).c_str());
+      const obs::QueryStats& qs = r.query_stats;
+      std::printf(
+          "[%zu] %s: %s matches=%llu time=%s queue=%s plan=%s%s exec=%s\n", i,
+          names[i].c_str(), r.timed_out ? "OOT" : "OK",
+          static_cast<unsigned long long>(r.num_matches),
+          FormatSeconds(r.elapsed_seconds).c_str(),
+          FormatSeconds(static_cast<double>(qs.queue_wait_ns) / 1e9).c_str(),
+          FormatSeconds(static_cast<double>(qs.plan_ns) / 1e9).c_str(),
+          qs.plan_cache_hit ? "(cached)" : "",
+          FormatSeconds(static_cast<double>(qs.execute_ns) / 1e9).c_str());
     }
     const SessionStats session_stats = session.stats();
     std::printf(
@@ -392,6 +410,38 @@ int main(int argc, char** argv) {
         session_stats.pool_threads,
         static_cast<unsigned long long>(session_stats.plan_cache_hits),
         static_cast<unsigned long long>(session_stats.plan_cache_misses));
+    // Pool-level latency breakdown (queue wait vs execute is the serving
+    // question: is slowness scheduling or work?).
+    const auto quantile_line = [](const char* label,
+                                  const obs::HistogramSummary& h) {
+      std::printf("%-11s p50=%s p99=%s p99.9=%s max=%s\n", label,
+                  FormatSeconds(static_cast<double>(h.p50) / 1e9).c_str(),
+                  FormatSeconds(static_cast<double>(h.p99) / 1e9).c_str(),
+                  FormatSeconds(static_cast<double>(h.p999) / 1e9).c_str(),
+                  FormatSeconds(static_cast<double>(h.max) / 1e9).c_str());
+    };
+    quantile_line("latency", session_stats.latency);
+    quantile_line("queue_wait", session_stats.queue_wait);
+    quantile_line("execute", session_stats.execute);
+    for (const obs::SlowQueryRecord& sq : session.slow_queries()) {
+      std::printf("%s query id=%llu latency=%s pattern=[%s] plan=[%s]\n",
+                  sq.kind.c_str(),
+                  static_cast<unsigned long long>(sq.query_id),
+                  FormatSeconds(sq.latency_seconds).c_str(),
+                  sq.pattern.c_str(), sq.plan_sigma.c_str());
+    }
+    if (session_report_path != nullptr) {
+      obs::SessionReport session_report;
+      session.FillSessionReport(&session_report);
+      session_report.dataset = dataset != nullptr ? dataset : graph_path;
+      if (Status s = session_report.WriteFile(session_report_path); !s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        sink_error = true;
+      } else {
+        std::fprintf(stderr, "session report written to %s\n",
+                     session_report_path);
+      }
+    }
     if (any_error) return 1;
     if (any_timeout) return 2;
     return sink_error ? 1 : 0;

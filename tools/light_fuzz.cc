@@ -127,6 +127,16 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(summary.lint_violations),
       static_cast<unsigned long long>(summary.session_cases),
       summary.elapsed_seconds);
+  if (summary.session_cases > 0) {
+    std::printf(
+        "light_fuzz: session_latency p50=%.3fms p90=%.3fms p99=%.3fms "
+        "max=%.3fms (n=%llu)\n",
+        static_cast<double>(summary.session_latency_p50_ns) / 1e6,
+        static_cast<double>(summary.session_latency_p90_ns) / 1e6,
+        static_cast<double>(summary.session_latency_p99_ns) / 1e6,
+        static_cast<double>(summary.session_latency_max_ns) / 1e6,
+        static_cast<unsigned long long>(summary.session_cases));
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     for (const std::string& path : summary.artifacts) {
