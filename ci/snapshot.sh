@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Perf-snapshot harness: runs the CI-gated benches (bench_obs_overhead,
-# bench_bitmap, bench_session) with --json, consolidates their records into
-# one light.bench_snapshot.v1 document, and — in comparison mode — fails
-# when a dimensionless metric regressed more than the tolerance against a
-# committed baseline (BENCH_PR6.json).
+# bench_bitmap, bench_session) and the light_server/light_client load-gen
+# leg with --json, consolidates their records into one
+# light.bench_snapshot.v1 document, and — in comparison mode — fails when a
+# dimensionless metric regressed more than the tolerance against a
+# committed baseline (BENCH_PR7.json).
 #
 # Only RATIOS and SPEEDUPS are compared, never absolute seconds: snapshots
 # are taken on different machines, and wall-clock times do not transfer.
@@ -31,11 +32,13 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-if [[ ! -x "$build_dir/bench/bench_obs_overhead" ]]; then
+if [[ ! -x "$build_dir/bench/bench_obs_overhead" || \
+      ! -x "$build_dir/tools/light_server" ]]; then
   echo "==> benches missing; building $build_dir"
   cmake -B "$build_dir" -S . >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target bench_obs_overhead bench_bitmap bench_session
+    --target bench_obs_overhead bench_bitmap bench_session \
+             light_server light_client
 fi
 
 tmp="$(mktemp -d)"
@@ -51,6 +54,49 @@ echo "==> bench_bitmap (both-bitmap intersections >= 1.3x array)"
 
 echo "==> bench_session (batch amortization >= 1.15x, single-query parity)"
 "$build_dir/bench/bench_session" --check --json "$tmp/session.jsonl"
+
+# Serving load-gen: light_client against a live light_server, once closed
+# loop (one request outstanding) and once saturating with a deep window.
+# The snapshot metric is the dimensionless ratio of the two throughputs —
+# how much concurrency the serving stack actually extracts — so it
+# transfers across machines like the other ratios.
+echo "==> light_client load-gen (closed-loop vs saturation throughput)"
+"$build_dir/tools/light_server" --dataset yt_s --scale 0.02 --threads 4 \
+  --port 0 >"$tmp/server.log" 2>"$tmp/server.err" &
+server_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on \([0-9]*\)$/\1/p' "$tmp/server.log")"
+  [[ -n "$port" ]] && break
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "light_server did not start:" >&2
+  cat "$tmp/server.err" >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+# threads=1 pins each query to one worker so the closed-loop leg cannot
+# hide queueing by fanning one query across the pool. Each mode runs twice
+# and the consolidation keeps the best throughput per mode (the repo's
+# min-of-reps idiom) — single qps samples are too noisy to gate on.
+printf 'triangle threads=1\nsquare threads=1\nP3 threads=1\n' \
+  > "$tmp/serve_trace.txt"
+for _ in 1 2; do
+  "$build_dir/tools/light_client" --port "$port" \
+    --trace "$tmp/serve_trace.txt" \
+    --repeat 100 --quiet --json "$tmp/client.jsonl"
+  "$build_dir/tools/light_client" --port "$port" \
+    --trace "$tmp/serve_trace.txt" \
+    --mode saturate --window 16 --duration 3 --quiet \
+    --json "$tmp/client.jsonl"
+done
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "light_server exited nonzero after load-gen:" >&2
+  cat "$tmp/server.log" "$tmp/server.err" >&2
+  exit 1
+fi
 
 echo "==> consolidating -> $out"
 python3 - "$tmp" "$out" <<'EOF'
@@ -79,6 +125,22 @@ speedups = [v["micro_array"] / v["micro_bitmap"]
 # single_ratio (lower = better).
 session = jsonl(f"{tmp}/session.jsonl")[-1]
 
+# light_client: two fixed (closed-loop) and two saturate records; the
+# dimensionless saturation speedup is the ratio of the best throughput per
+# mode. It measures how much the serving stack gains from pipelining +
+# cross-query concurrency; on a single-core machine that is bounded by the
+# round-trip overhead the closed loop pays per query (~1.0-1.1x), on a
+# multicore machine it grows with the pool. Throughput samples are noisy,
+# so the committed baseline carries a widened per-metric tolerance.
+client = jsonl(f"{tmp}/client.jsonl")
+for r in client:
+    assert r["errors"] == 0, r
+fixed_runs = [r for r in client if r["mode"] == "fixed"]
+saturate_runs = [r for r in client if r["mode"] == "saturate"]
+fixed = max(fixed_runs, key=lambda r: r["throughput_qps"])
+saturate = max(saturate_runs, key=lambda r: r["throughput_qps"])
+saturation_speedup = saturate["throughput_qps"] / fixed["throughput_qps"]
+
 metrics = {
     "obs.metrics_ratio": {"value": obs["metrics_ratio"], "better": "lower"},
     "obs.session_ratio": {"value": obs["session_ratio"], "better": "lower"},
@@ -88,6 +150,10 @@ metrics = {
                               "better": "higher"},
     "session.single_ratio": {"value": session["single_ratio"],
                              "better": "lower"},
+    # qps ratios wobble more than the pure compute ratios; the baseline
+    # entry's own tolerance (read by the compare pass) absorbs that.
+    "server.saturation_speedup": {"value": saturation_speedup,
+                                  "better": "higher", "tolerance": 20},
 }
 snapshot = {
     "schema": "light.bench_snapshot.v1",
@@ -98,6 +164,8 @@ snapshot = {
                                              for k, v in micro.items()},
                          "best_speedup": max(speedups)},
         "bench_session": session,
+        "light_client": {"fixed": fixed, "saturate": saturate,
+                         "saturation_speedup": saturation_speedup},
     },
 }
 with open(out, "w") as f:
@@ -124,11 +192,14 @@ for name, entry in sorted(base.get("metrics", {}).items()):
         failed.append(f"{name}: missing from current snapshot")
         continue
     b, c = entry["value"], cur["value"]
+    # A baseline entry may widen its own band (noisier metrics, e.g. the
+    # qps-derived server ratio); otherwise the global tolerance applies.
+    mtol = float(entry.get("tolerance", tol * 100.0)) / 100.0
     if entry["better"] == "lower":
         # A ratio creeping UP is the regression.
-        regressed = c > b * (1.0 + tol)
+        regressed = c > b * (1.0 + mtol)
     else:
-        regressed = c < b * (1.0 - tol)
+        regressed = c < b * (1.0 - mtol)
     marker = "REGRESSED" if regressed else "ok"
     print(f"  {name:26s} baseline={b:8.3f} current={c:8.3f}  {marker}")
     if regressed:

@@ -4,9 +4,11 @@
 # compile-commands database, the observability overhead guard, a
 # ThreadSanitizer pass over the concurrency-heavy tests (parallel runtime,
 # sharded obs counters), an AddressSanitizer pass over the allocation-heavy
-# tests, and a UBSan leg that runs the edge-case-heavy tests plus a
-# 60-second differential fuzz smoke (which also soaks the plan linter on
-# every generated plan) under -fsanitize=undefined.
+# tests, a light_server/light_client smoke (deadline kill, overload
+# rejection, clean drain on SIGTERM), and a UBSan leg that runs the
+# edge-case-heavy tests plus a 60-second differential fuzz smoke (which
+# also soaks the plan linter on every generated plan) under
+# -fsanitize=undefined.
 #
 # Usage: ci/verify.sh [--skip-tsan] [--skip-ubsan] [--skip-asan]
 #                     [--skip-tidy] [--skip-bench]
@@ -56,11 +58,12 @@ fi
 if [[ "$skip_bench" -eq 0 ]]; then
   # ci/snapshot.sh runs the three CI-gated benches (each enforcing its own
   # acceptance gate: obs overhead < 3% with lifecycle armed, bitmap >= 1.3x,
-  # session batch >= 1.15x), consolidates their JSON into one snapshot, and
-  # fails on >10% regression of any dimensionless metric vs the committed
-  # baseline. Regenerate the baseline with: ci/snapshot.sh --out BENCH_PR6.json
+  # session batch >= 1.15x) plus the light_server/light_client load-gen leg,
+  # consolidates their JSON into one snapshot, and fails on >10% regression
+  # of any dimensionless metric vs the committed baseline. Regenerate the
+  # baseline with: ci/snapshot.sh --out BENCH_PR7.json
   echo "==> perf snapshot: CI-gated benches vs committed baseline"
-  ci/snapshot.sh --out build/bench_snapshot.json --compare BENCH_PR6.json
+  ci/snapshot.sh --out build/bench_snapshot.json --compare BENCH_PR7.json
 
   echo "==> session report: --batch emits a parseable light.session_report.v1"
   printf 'triangle\nP1\nP2\ntriangle\nP1\n' > build/verify_batch.txt
@@ -89,17 +92,76 @@ print("session report OK: 5 lifecycle records, nonzero queue-wait/execute "
 EOF
 fi
 
+echo "==> server smoke: deadline + overload + clean shutdown over loopback"
+server_log="build/verify_server.log"
+./build/tools/light_server --dataset yt_s --scale 0.02 --threads 4 \
+  --max-pending 1 --port 0 >"$server_log" 2>build/verify_server.err &
+server_pid=$!
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on \([0-9]*\)$/\1/p' "$server_log")"
+  [[ -n "$port" ]] && break
+  sleep 0.1
+done
+if [[ -z "$port" ]]; then
+  echo "==> light_server did not start:" >&2
+  cat build/verify_server.err >&2
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+# 50 queries closed-loop, one with a microsecond deadline it cannot make.
+{
+  for _ in $(seq 1 16); do printf 'triangle\nsquare\nP3\n'; done
+  printf 'P3 deadline=0.000001\n'
+  printf 'triangle\n'
+} > build/verify_trace.txt
+rm -f build/verify_client.jsonl
+./build/tools/light_client --port "$port" --trace build/verify_trace.txt \
+  --quiet --json build/verify_client.jsonl
+# Saturate the 1-deep admission queue: rejections must come back as
+# structured overload_rejected responses, not connection errors.
+printf 'triangle\nsquare\nP3\n' > build/verify_sat_trace.txt
+./build/tools/light_client --port "$port" --trace build/verify_sat_trace.txt \
+  --mode saturate --window 8 --duration 1 --quiet \
+  --json build/verify_client.jsonl
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "==> light_server exited nonzero (leaked queries?):" >&2
+  cat "$server_log" build/verify_server.err >&2
+  exit 1
+fi
+python3 - build/verify_client.jsonl "$server_log" <<'EOF'
+import json, sys
+
+records = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+fixed = [r for r in records if r["mode"] == "fixed"][-1]
+sat = [r for r in records if r["mode"] == "saturate"][-1]
+assert fixed["queries"] == 50, fixed
+assert fixed["deadline_exceeded"] >= 1, fixed
+assert fixed["errors"] == 0 and fixed["cancelled"] == 0, fixed
+assert fixed["ok"] + fixed["deadline_exceeded"] == fixed["queries"], fixed
+assert sat["overload_rejected"] >= 1, sat
+assert sat["errors"] == 0, sat
+log = open(sys.argv[2]).read()
+assert "open_queries=0" in log, log
+print(f"server smoke OK: {fixed['queries']} fixed queries "
+      f"({fixed['deadline_exceeded']} deadline-killed), "
+      f"{sat['overload_rejected']} overload-rejected under saturation, "
+      f"clean shutdown with zero leaked queries")
+EOF
+
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "==> TSan: parallel + obs + session tests"
+  echo "==> TSan: parallel + obs + session + net tests"
   cmake -B build-tsan -S . \
     -DLIGHT_SANITIZE=thread \
     -DLIGHT_BUILD_BENCHMARKS=OFF \
     -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target parallel_test obs_test session_test
+    --target parallel_test obs_test session_test net_test
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/session_test
+  ./build-tsan/tests/net_test
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then

@@ -25,6 +25,7 @@ Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
     if (outcome.session_checked) {
       ++summary->session_cases;
       session_latency.Observe(outcome.session_latency_ns);
+      if (outcome.deadline_fired) ++summary->deadline_cases;
     }
     if (outcome.lint_violations > 0) {
       summary->lint_violations += outcome.lint_violations;

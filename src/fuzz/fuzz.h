@@ -110,6 +110,13 @@ struct OracleOutcome {
   /// skipped. The driver aggregates these into a latency histogram so every
   /// fuzz sweep doubles as a serving-latency soak.
   uint64_t session_latency_ns = 0;
+  /// True when the session oracle's random tiny-deadline submission was
+  /// actually killed by its deadline (structured deadline_exceeded error).
+  /// The driver counts these so a sweep provably exercises the deadline
+  /// path; the alternative legal outcome is a full count identical to the
+  /// pivot — anything else (partial count reported ok, unstructured error)
+  /// marks the case divergent.
+  bool deadline_fired = false;
   /// Multi-line per-engine count table (used in artifacts and logs).
   std::string Describe() const;
 };
@@ -163,6 +170,10 @@ struct FuzzSummary {
   /// Cases the session oracle ran on (CI asserts the smoke run covers the
   /// multi-query service path).
   uint64_t session_cases = 0;
+  /// Cases whose random tiny-deadline session submission was killed by the
+  /// deadline (OracleOutcome::deadline_fired); the rest beat the deadline
+  /// and had to reproduce the pivot count exactly.
+  uint64_t deadline_cases = 0;
   /// Per-case session-query latency quantiles (nanoseconds), read off the
   /// histogram the driver fills from OracleOutcome::session_latency_ns.
   uint64_t session_latency_p50_ns = 0;

@@ -219,12 +219,17 @@ OracleOutcome RunOracles(const FuzzCase& c) {
     query.data_labels = c.Labeled() ? &c.labels : nullptr;
     query.kernel = c.kernel;
     query.auto_kernel = false;
+    // Seed-derived priority classes: results must be identical no matter
+    // which admission order the scheduler picks, so priorities only change
+    // interleaving, never counts.
+    query.priority = static_cast<int>((c.seed >> 11) % 7) - 3;
 
     Pattern triangle;
     static_cast<void>(FindPattern("triangle", &triangle));
     RunOptions tri_query;
     tri_query.kernel = c.kernel;
     tri_query.auto_kernel = false;
+    tri_query.priority = static_cast<int>((c.seed >> 23) % 7) - 3;
 
     Session::Ticket t1 = session.Submit(c.pattern, query);
     Session::Ticket t2 = session.Submit(triangle, tri_query);
@@ -268,6 +273,46 @@ OracleOutcome RunOracles(const FuzzCase& c) {
           "triangle agrees (" + std::to_string(r2.num_matches) + ")";
     }
     outcome.engines.push_back(std::move(interleaved));
+
+    // Random tiny-deadline submission (1us..1ms drawn from the seed): the
+    // only legal outcomes are a structured deadline_exceeded error or the
+    // query beating the deadline with a count identical to the first
+    // session run. A partial count reported as ok, or a deadline kill
+    // without the stable error prefix, is a serving-layer bug.
+    RunOptions deadline_query = query;
+    deadline_query.time_limit_seconds =
+        1e-6 * static_cast<double>(1 + (c.seed >> 17) % 1000);
+    deadline_query.priority = static_cast<int>((c.seed >> 31) % 7) - 3;
+    const RunResult r4 = session.Submit(c.pattern, deadline_query).Wait();
+    EngineCount dl;
+    dl.name = "session_deadline";
+    dl.skipped = true;  // not pivot-comparable when the deadline fires
+    if (r4.outcome == QueryOutcome::kDeadlineExceeded) {
+      outcome.deadline_fired = true;
+      if (r4.error.rfind(kDeadlineExceededPrefix, 0) != 0 || !r4.timed_out) {
+        outcome.divergent = true;
+        dl.note = "deadline kill without structured error: \"" + r4.error +
+                  "\" timed_out=" + (r4.timed_out ? "1" : "0");
+      } else {
+        dl.note = "deadline fired (partial count " +
+                  std::to_string(r4.num_matches) + ")";
+      }
+    } else if (r4.ok() && !r4.timed_out) {
+      if (r1.ok() && r4.num_matches != r1.num_matches) {
+        outcome.divergent = true;
+        dl.note = "beat the deadline but count " +
+                  std::to_string(r4.num_matches) + " != session count " +
+                  std::to_string(r1.num_matches);
+      } else {
+        dl.note = "beat the deadline (count " +
+                  std::to_string(r4.num_matches) + ")";
+      }
+    } else {
+      outcome.divergent = true;
+      dl.note = "unexpected outcome " +
+                std::to_string(static_cast<int>(r4.outcome)) + ": " + r4.error;
+    }
+    outcome.engines.push_back(std::move(dl));
     outcome.session_checked = true;
   }
 

@@ -162,9 +162,15 @@ ExecutionPlan BuildRunPlan(const Graph& graph, const GraphStats& stats,
 
 namespace detail {
 
+/// Kill reasons racing CAS-style into SessionQueryState::kill_reason: the
+/// first writer decides how an aborted result is classified.
+constexpr int kKillNone = 0;
+constexpr int kKillDeadline = 1;
+constexpr int kKillCancelled = 2;
+
 /// Shared state behind one Ticket: either an immediate (pre-execution)
 /// error, or a pool handle plus everything needed to assemble the
-/// RunResult and fill the report sink at Wait time.
+/// RunResult and fill the report sink when the pool result lands.
 struct SessionQueryState {
   Session* session = nullptr;
   const char* tool = "light::Session";
@@ -176,41 +182,97 @@ struct SessionQueryState {
   bool has_handle = false;
 
   // Lifecycle context stamped at submit time (the pool fills the rest of
-  // QueryStats; the session layers plan attribution on at Wait).
+  // QueryStats; the session layers plan attribution on at finalize).
   Pattern pattern;
   uint64_t query_id = 0;
   uint64_t admit_ns = 0;
   uint64_t plan_ns = 0;
+  double time_limit_seconds = 0;  // 0 = unlimited
   bool plan_cache_hit = false;
+
+  /// Why the query was aborted, when it was (deadline timer vs Cancel);
+  /// written lock-free by the killer threads before they deliver the
+  /// abort, read at finalize to classify the outcome.
+  std::atomic<int> kill_reason{kKillNone};
+
+  /// Async completion sink (SubmitAsync); fires exactly once, inside
+  /// FinalizeFromPool.
+  std::function<void(const RunResult&)> callback;
 
   std::mutex mutex;
   bool finalized = false;
   RunResult result;
 
-  RunResult Wait() {
-    std::lock_guard<std::mutex> lock(mutex);
+  /// Maps the pool result into the final RunResult exactly once —
+  /// callable from Ticket::Wait (caller thread) and from the pool's
+  /// on_done (worker thread); whichever arrives second returns the cached
+  /// result. Also fires the async callback and the session bookkeeping on
+  /// the winning call.
+  RunResult FinalizeFromPool(const ParallelResult& presult) {
+    std::unique_lock<std::mutex> lock(mutex);
     if (finalized) return result;
-    if (has_handle) {
-      const ParallelResult presult = handle.Wait();
-      result.num_matches = presult.num_matches;
-      result.elapsed_seconds = presult.elapsed_seconds;
-      result.timed_out = presult.timed_out;
-      result.query_stats = presult.lifecycle;
-      result.query_stats.plan_ns = plan_ns;
-      result.query_stats.plan_cache_hit = plan_cache_hit;
-      if (report != nullptr) {
-        FillReportContext(session->graph(), *plan, presult.stats,
-                          *bitmap_index, report);
-        report->tool = tool;
-        report->elapsed_seconds = presult.elapsed_seconds;
-        report->workers = presult.workers;
-        report->summary = obs::SummarizeWorkers(presult.workers);
+    result.num_matches = presult.num_matches;
+    result.elapsed_seconds = presult.elapsed_seconds;
+    result.timed_out = presult.timed_out;
+    result.query_stats = presult.lifecycle;
+    result.query_stats.plan_ns = plan_ns;
+    result.query_stats.plan_cache_hit = plan_cache_hit;
+    if (presult.rejected) {
+      result.outcome = QueryOutcome::kOverloadRejected;
+      result.error = std::string(kOverloadRejectedPrefix) +
+                     " session admission limit reached";
+    } else if (presult.aborted || presult.timed_out) {
+      // An abort with no recorded reason is the enumerator tripping the
+      // wall-clock budget itself — the same deadline, enforced from
+      // inside a range instead of by the timer thread.
+      if (kill_reason.load(std::memory_order_acquire) == kKillCancelled) {
+        result.outcome = QueryOutcome::kCancelled;
+        result.error =
+            std::string(kCancelledPrefix) + " query aborted before completion";
+      } else {
+        result.outcome = QueryOutcome::kDeadlineExceeded;
+        result.timed_out = true;
+        result.error = std::string(kDeadlineExceededPrefix) +
+                       " wall-clock budget of " +
+                       std::to_string(time_limit_seconds) +
+                       "s elapsed before completion (partial count retained)";
       }
     }
+    if (report != nullptr && plan != nullptr) {
+      FillReportContext(session->graph(), *plan, presult.stats,
+                        *bitmap_index, report);
+      report->tool = tool;
+      report->elapsed_seconds = presult.elapsed_seconds;
+      report->workers = presult.workers;
+      report->summary = obs::SummarizeWorkers(presult.workers);
+    }
     finalized = true;
-    if (has_handle) session->RecordQueryDone(result, pattern, plan);
+    session->RecordQueryDone(result, pattern, plan);
     session->OnResultDelivered();
+    if (callback) {
+      // Fire under the state lock: the callback sees the final result and
+      // a second finalize attempt can never overtake it.
+      callback(result);
+      callback = nullptr;
+    }
     return result;
+  }
+
+  RunResult Wait() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (finalized) return result;
+      if (!has_handle) {
+        // Immediate pre-execution error: nothing ran, deliver as-is.
+        finalized = true;
+        session->OnResultDelivered();
+        return result;
+      }
+    }
+    // Block outside the state lock — the pool's on_done path (async
+    // submits) takes it to finalize and must not deadlock against us.
+    const ParallelResult presult = handle.Wait();
+    return FinalizeFromPool(presult);
   }
 };
 
@@ -225,6 +287,10 @@ Session::Ticket::Ticket(std::shared_ptr<detail::SessionQueryState> state)
 
 RunResult Session::Ticket::Wait() { return state_->Wait(); }
 
+uint64_t Session::Ticket::query_id() const {
+  return state_ != nullptr ? state_->query_id : 0;
+}
+
 Session::Session(const Graph& graph, const SessionOptions& options)
     : graph_(graph), options_(options) {
   obs::MetricsRegistry& registry = obs::DefaultRegistry();
@@ -232,6 +298,9 @@ Session::Session(const Graph& graph, const SessionOptions& options)
   obs_queries_completed_ = registry.GetCounter("session.queries_completed");
   obs_cache_hits_ = registry.GetCounter("session.plan_cache_hit");
   obs_cache_misses_ = registry.GetCounter("session.plan_cache_miss");
+  obs_deadline_exceeded_ = registry.GetCounter("session.deadline_exceeded");
+  obs_overload_rejected_ = registry.GetCounter("session.overload_rejected");
+  obs_cancelled_ = registry.GetCounter("session.cancelled");
   obs_latency_hist_ = registry.GetHistogram("session.query_ns");
   obs_plan_hist_ = registry.GetHistogram("session.plan_ns");
   if (options_.stuck_query_window_seconds > 0) {
@@ -248,6 +317,23 @@ Session::~Session() {
     watchdog_cv_.notify_all();
     watchdog_.join();
   }
+  if (deadline_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(deadline_mutex_);
+      deadline_stop_ = true;
+    }
+    deadline_cv_.notify_all();
+    deadline_thread_.join();
+  }
+  // Drain the pool while the session's logs/histograms are still alive:
+  // async submissions finalize from worker threads during this teardown
+  // and touch session members that would otherwise already be destroyed.
+  std::unique_ptr<WorkerPool> pool;
+  {
+    std::lock_guard<std::mutex> lock(init_mutex_);
+    pool = std::move(pool_);
+  }
+  pool.reset();
 }
 
 const GraphStats& Session::EnsureStats() {
@@ -286,6 +372,9 @@ WorkerPool& Session::EnsurePool() {
   std::lock_guard<std::mutex> lock(init_mutex_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<WorkerPool>(options_.threads);
+    if (options_.max_pending_queries > 0) {
+      pool_->SetMaxOpenQueries(options_.max_pending_queries);
+    }
   }
   return *pool_;
 }
@@ -426,9 +515,9 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
   return built;
 }
 
-Session::Ticket Session::SubmitInternal(const Pattern& pattern,
-                                        const RunOptions& options,
-                                        const char* tool) {
+Session::Ticket Session::SubmitInternal(
+    const Pattern& pattern, const RunOptions& options, const char* tool,
+    std::function<void(const RunResult&)> callback) {
   auto state = std::make_shared<detail::SessionQueryState>();
   state->session = this;
   state->tool = tool;
@@ -442,17 +531,30 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
   }
   if (obs::MetricsEnabled()) obs_queries_started_->Inc();
 
-  if (const Status status = options.Validate(); !status.ok()) {
-    state->result.error = status.ToString();
+  // Pre-execution failures resolve inline: the ticket is born finalized
+  // enough for Wait, and an async callback fires before returning.
+  const auto immediate_error = [&](std::string error) {
+    state->result.error = std::move(error);
+    state->result.outcome = QueryOutcome::kError;
+    if (callback) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->finalized = true;
+      OnResultDelivered();
+      callback(state->result);
+    }
     return Ticket(std::move(state));
+  };
+
+  if (const Status status = options.Validate(); !status.ok()) {
+    return immediate_error(status.ToString());
   }
   if (options.visitor != nullptr) {
-    state->result.error =
+    return immediate_error(
         "Session::Submit does not support visitors (streaming is serial "
-        "and vertex-numbering-sensitive); use Session::RunSync";
-    return Ticket(std::move(state));
+        "and vertex-numbering-sensitive); use Session::RunSync");
   }
   const RunOptions opts = options.Normalized();
+  state->time_limit_seconds = opts.time_limit_seconds;
 
   const uint64_t plan_start_ns = MonotonicNs();
   const ExecutionPlan* plan = opts.plan;
@@ -466,8 +568,7 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
                                  options_.bitmap_density,
                                  options_.bitmap_max_bytes, &lint);
       if (!lint.ok()) {
-        state->result.error = "plan lint failed:\n" + lint.ToString();
-        return Ticket(std::move(state));
+        return immediate_error("plan lint failed:\n" + lint.ToString());
       }
     }
   } else {
@@ -475,8 +576,7 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
     state->plan_holder =
         ResolvePlan(pattern, opts, &error, &state->plan_cache_hit);
     if (state->plan_holder == nullptr) {
-      state->result.error = std::move(error);
-      return Ticket(std::move(state));
+      return immediate_error(std::move(error));
     }
     plan = state->plan_holder.get();
   }
@@ -494,8 +594,19 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
   spec.plan_holder = state->plan_holder;
   spec.options.num_threads = opts.threads;  // 0 = the whole pool
   spec.options.time_limit_seconds = Limit(opts.time_limit_seconds);
+  spec.priority = opts.priority;
   spec.query_id = state->query_id;
   spec.admit_ns = state->admit_ns;
+  if (callback) {
+    state->callback = std::move(callback);
+    // Push-style completion: the pool's finalizer (worker thread, or
+    // Submit itself for immediate completions) drives FinalizeFromPool.
+    // The captured shared_ptr keeps the state alive until then.
+    std::shared_ptr<detail::SessionQueryState> self = state;
+    spec.on_done = [self](const ParallelResult& presult) {
+      self->FinalizeFromPool(presult);
+    };
+  }
   if (options_.stuck_query_window_seconds > 0) {
     // Register with the watchdog before the pool can start (so a query
     // stuck from its very first range still has context on record).
@@ -508,12 +619,57 @@ Session::Ticket Session::SubmitInternal(const Pattern& pattern,
   }
   state->handle = EnsurePool().Submit(spec);
   state->has_handle = true;
+  {
+    // Cancel index entry after the handle exists (Cancel dereferences it;
+    // cancel_mutex_ publishes the write). Callers can only know this id
+    // once SubmitInternal returned, so nothing is missed. Retired by
+    // RecordQueryDone.
+    std::lock_guard<std::mutex> lock(cancel_mutex_);
+    cancelable_.emplace(state->query_id, state);
+  }
+  // Wall-clock deadline, anchored at admit: plan build above already
+  // consumed budget. Registration after Submit keeps the timer from
+  // firing on a handle that does not exist yet; an already-expired
+  // deadline fires on the timer's next pass.
+  if (opts.time_limit_seconds > 0) {
+    const uint64_t budget_ns =
+        static_cast<uint64_t>(opts.time_limit_seconds * 1e9);
+    RegisterDeadline(state->admit_ns + budget_ns, state);
+  }
   return Ticket(std::move(state));
 }
 
 Session::Ticket Session::Submit(const Pattern& pattern,
                                 const RunOptions& options) {
-  return SubmitInternal(pattern, options, "light::Session");
+  return SubmitInternal(pattern, options, "light::Session", nullptr);
+}
+
+uint64_t Session::SubmitAsync(const Pattern& pattern,
+                              const RunOptions& options,
+                              std::function<void(const RunResult&)> callback) {
+  Ticket ticket =
+      SubmitInternal(pattern, options, "light::Session", std::move(callback));
+  // The callback owns delivery; the ticket is only a vehicle for the id.
+  return ticket.state_->query_id;
+}
+
+bool Session::Cancel(uint64_t query_id) {
+  std::shared_ptr<detail::SessionQueryState> state;
+  {
+    std::lock_guard<std::mutex> lock(cancel_mutex_);
+    auto it = cancelable_.find(query_id);
+    if (it != cancelable_.end()) state = it->second.lock();
+  }
+  if (state == nullptr) return false;
+  int expected = detail::kKillNone;
+  state->kill_reason.compare_exchange_strong(expected, detail::kKillCancelled,
+                                             std::memory_order_acq_rel);
+  WorkerPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(init_mutex_);
+    pool = pool_.get();
+  }
+  return pool != nullptr && state->has_handle && pool->Cancel(state->handle);
 }
 
 RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
@@ -530,6 +686,7 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
     holder = ResolvePlan(pattern, opts, &error, &qstats.plan_cache_hit);
     if (holder == nullptr) {
       result.error = std::move(error);
+      result.outcome = QueryOutcome::kError;
       return result;
     }
     plan = holder.get();
@@ -542,6 +699,7 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
                                options_.bitmap_max_bytes, &lint);
     if (!lint.ok()) {
       result.error = "plan lint failed:\n" + lint.ToString();
+      result.outcome = QueryOutcome::kError;
       return result;
     }
   }
@@ -550,7 +708,15 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
   const BitmapIndex& bitmap = EnsureBitmap();
   Enumerator enumerator(graph_, *plan, opts.data_labels);
   enumerator.SetBitmapIndex(&bitmap);
-  enumerator.SetTimeLimit(Limit(opts.time_limit_seconds));
+  // The budget is anchored at admit: plan resolution above already
+  // consumed part of it, so the limit a query observes is true wall clock
+  // from entry, matching the pool path. (Serial OOT keeps the classic
+  // timed_out-no-error contract; see RunOptions::time_limit_seconds.)
+  double limit = Limit(opts.time_limit_seconds);
+  if (std::isfinite(limit)) {
+    limit -= static_cast<double>(MonotonicNs() - admit_ns) * 1e-9;
+  }
+  enumerator.SetTimeLimit(limit);
   const uint64_t exec_start_ns = MonotonicNs();
   result.num_matches = opts.visitor != nullptr
                            ? enumerator.Enumerate(opts.visitor)
@@ -580,6 +746,7 @@ RunResult Session::RunSyncWithTool(const Pattern& pattern,
   if (const Status status = options.Validate(); !status.ok()) {
     RunResult result;
     result.error = status.ToString();
+    result.outcome = QueryOutcome::kError;
     return result;
   }
   const RunOptions opts = options.Normalized();
@@ -595,7 +762,7 @@ RunResult Session::RunSyncWithTool(const Pattern& pattern,
     OnResultDelivered();
     return result;
   }
-  return SubmitInternal(pattern, opts, tool).Wait();
+  return SubmitInternal(pattern, opts, tool, nullptr).Wait();
 }
 
 RunResult Session::RunSync(const Pattern& pattern, const RunOptions& options) {
@@ -609,7 +776,8 @@ std::vector<RunResult> Session::RunBatch(const std::vector<Pattern>& patterns,
   std::vector<Ticket> tickets;
   tickets.reserve(patterns.size());
   for (const Pattern& pattern : patterns) {
-    tickets.push_back(SubmitInternal(pattern, opts, "light::Session"));
+    tickets.push_back(
+        SubmitInternal(pattern, opts, "light::Session", nullptr));
   }
   std::vector<RunResult> results;
   results.reserve(tickets.size());
@@ -641,9 +809,33 @@ SessionStats Session::stats() const {
 void Session::RecordQueryDone(const RunResult& result, const Pattern& pattern,
                               const ExecutionPlan* plan) {
   const obs::QueryStats& qstats = result.query_stats;
+  UnregisterQuery(qstats.query_id);
   if (options_.stuck_query_window_seconds > 0) {
     std::lock_guard<std::mutex> lock(inflight_mutex_);
     inflight_.erase(qstats.query_id);
+  }
+  switch (result.outcome) {
+    case QueryOutcome::kDeadlineExceeded: {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++session_stats_.deadline_exceeded;
+    }
+      if (obs::MetricsEnabled()) obs_deadline_exceeded_->Inc();
+      break;
+    case QueryOutcome::kOverloadRejected: {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++session_stats_.overload_rejected;
+    }
+      if (obs::MetricsEnabled()) obs_overload_rejected_->Inc();
+      break;
+    case QueryOutcome::kCancelled: {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++session_stats_.cancelled;
+    }
+      if (obs::MetricsEnabled()) obs_cancelled_->Inc();
+      break;
+    case QueryOutcome::kOk:
+    case QueryOutcome::kError:
+      break;
   }
   hist_latency_.Observe(qstats.total_ns);
   hist_queue_wait_.Observe(qstats.queue_wait_ns);
@@ -762,6 +954,66 @@ void Session::RecordStuckQueries(
   }
 }
 
+void Session::RegisterDeadline(
+    uint64_t fire_ns, const std::shared_ptr<detail::SessionQueryState>& s) {
+  {
+    std::lock_guard<std::mutex> lock(deadline_mutex_);
+    deadline_heap_.push(DeadlineEntry{fire_ns, s});
+    if (!deadline_thread_.joinable()) {
+      // Lazy start, like the pool: sessions that never set a deadline
+      // never pay for the thread.
+      deadline_thread_ = std::thread(&Session::DeadlineTimerMain, this);
+    }
+  }
+  deadline_cv_.notify_all();
+}
+
+void Session::DeadlineTimerMain() {
+  // The watchdog's cv-timed loop shape, driven by the heap's earliest fire
+  // time instead of a fixed window. Spurious wakeups and new earlier
+  // registrations both just re-derive the wait.
+  std::unique_lock<std::mutex> lock(deadline_mutex_);
+  while (!deadline_stop_) {
+    if (deadline_heap_.empty()) {
+      deadline_cv_.wait(lock);
+      continue;
+    }
+    const uint64_t fire_ns = deadline_heap_.top().fire_ns;
+    const uint64_t now_ns = MonotonicNs();
+    if (now_ns < fire_ns) {
+      deadline_cv_.wait_for(lock, std::chrono::nanoseconds(fire_ns - now_ns));
+      continue;
+    }
+    std::shared_ptr<detail::SessionQueryState> state =
+        deadline_heap_.top().state.lock();
+    deadline_heap_.pop();
+    if (state == nullptr) continue;  // query long gone
+    lock.unlock();
+    FireDeadline(state);
+    lock.lock();
+  }
+}
+
+void Session::FireDeadline(
+    const std::shared_ptr<detail::SessionQueryState>& s) {
+  // First killer wins the classification; an expired deadline on an
+  // already-cancelled (or finished) query is a no-op in the pool.
+  int expected = detail::kKillNone;
+  s->kill_reason.compare_exchange_strong(expected, detail::kKillDeadline,
+                                         std::memory_order_acq_rel);
+  WorkerPool* pool = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(init_mutex_);
+    pool = pool_.get();
+  }
+  if (pool != nullptr && s->has_handle) pool->Cancel(s->handle);
+}
+
+void Session::UnregisterQuery(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(cancel_mutex_);
+  cancelable_.erase(query_id);
+}
+
 void Session::FillSessionReport(obs::SessionReport* out) const {
   *out = obs::SessionReport();
   out->tool = "light::Session";
@@ -773,6 +1025,9 @@ void Session::FillSessionReport(obs::SessionReport* out) const {
   out->queries_completed = s.queries_completed;
   out->plan_cache_hits = s.plan_cache_hits;
   out->plan_cache_misses = s.plan_cache_misses;
+  out->deadline_exceeded = s.deadline_exceeded;
+  out->overload_rejected = s.overload_rejected;
+  out->cancelled = s.cancelled;
   out->latency = s.latency;
   out->queue_wait = s.queue_wait;
   out->execute = s.execute;
@@ -799,6 +1054,7 @@ RunResult Run(const Graph& graph, const Pattern& pattern,
   if (const Status status = options.Validate(); !status.ok()) {
     RunResult result;
     result.error = status.ToString();
+    result.outcome = QueryOutcome::kError;
     return result;
   }
   // One-query session: the bitmap fields map onto the session, the plan

@@ -16,11 +16,14 @@
 /// bitmap index, per-worker scratch). The older CountSubgraphs /
 /// EnumerateSubgraphs entry points remain as deprecated thin wrappers.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -65,8 +68,17 @@ struct RunOptions {
   // --- Execution ---
   /// Worker threads; 0 = hardware concurrency, 1 = serial.
   int threads = 0;
-  /// Wall-clock budget in seconds; 0 = unlimited.
+  /// Wall-clock budget in seconds; 0 = unlimited. Under a Session the
+  /// budget is a true deadline anchored at Submit (admit time): plan
+  /// resolution and queue wait consume it, and exceeding it aborts the
+  /// query with a structured `deadline_exceeded:` error (partial counts
+  /// retained, timed_out set). Serial inline runs (threads == 1 /
+  /// one-shot Run) keep the classic OOT contract — timed_out set, no
+  /// error — but the budget likewise starts at admit.
   double time_limit_seconds = 0;
+  /// Scheduling priority under a Session (higher classes drain first on
+  /// the shared pool; non-preemptive). Ignored by one-shot serial runs.
+  int priority = 0;
 
   // --- Matching semantics ---
   /// Report each subgraph once (symmetry breaking). With false, all
@@ -149,6 +161,29 @@ struct RunOptions {
   RunOptions Normalized() const;
 };
 
+/// Structured classification of how a query ended. kOk covers clean
+/// completion AND the serial-path classic OOT (timed_out with full error
+/// compatibility); the serving outcomes carry a stable machine-parseable
+/// error prefix (the k*Prefix constants below) so wire clients and scripts
+/// can dispatch without string heuristics.
+enum class QueryOutcome {
+  kOk = 0,
+  /// Pre-execution failure: validation, plan lint, sink errors.
+  kError,
+  /// The wall-clock deadline (time_limit_seconds from admit) elapsed and
+  /// the query was aborted; num_matches is a partial count.
+  kDeadlineExceeded,
+  /// Admission control rejected the query at Submit; nothing ran.
+  kOverloadRejected,
+  /// Session::Cancel (e.g. client disconnect) aborted the query.
+  kCancelled,
+};
+
+/// Stable error-string prefixes for the serving outcomes.
+inline constexpr char kDeadlineExceededPrefix[] = "deadline_exceeded:";
+inline constexpr char kOverloadRejectedPrefix[] = "overload_rejected:";
+inline constexpr char kCancelledPrefix[] = "cancelled:";
+
 /// Outcome of the one-call API. `error` is empty on success; a failed
 /// Validate or sink error puts the message here (no exceptions).
 struct RunResult {
@@ -156,6 +191,9 @@ struct RunResult {
   double elapsed_seconds = 0;
   bool timed_out = false;
   std::string error;
+  /// Structured outcome matching `error` (kOk iff error is empty, except
+  /// that serial-path OOT stays kOk + timed_out for back compatibility).
+  QueryOutcome outcome = QueryOutcome::kOk;
 
   /// Lifecycle breakdown of the query (plan resolution, queue wait,
   /// execution, worker attribution). Filled by session/pool execution;
@@ -207,6 +245,12 @@ struct SessionOptions {
   /// (every query builds its own plan, as one-shot Run does).
   size_t plan_cache_capacity = 64;
 
+  /// Admission control: maximum concurrently open (submitted, not yet
+  /// finished) pool queries. A Submit past the limit is rejected
+  /// immediately with a structured `overload_rejected:` error instead of
+  /// queueing without bound. 0 (the default) disables the limit.
+  int max_pending_queries = 0;
+
   // --- Serving observability ---
   /// Queries completing slower than this land in the slow-query log with
   /// their canonical pattern, plan summary, and progress snapshot. 0 (the
@@ -245,6 +289,12 @@ struct SessionStats {
   /// Slow-query log totals (recorded entries, including evicted ones).
   uint64_t slow_queries = 0;
   uint64_t stuck_queries = 0;
+
+  /// Serving outcomes: queries killed by their deadline, rejected by the
+  /// admission limit, or cancelled (Session::Cancel / disconnect).
+  uint64_t deadline_exceeded = 0;
+  uint64_t overload_rejected = 0;
+  uint64_t cancelled = 0;
 };
 
 namespace detail {
@@ -293,6 +343,10 @@ class Session {
     /// False for a default-constructed (or moved-from) ticket.
     bool valid() const { return state_ != nullptr; }
 
+    /// The submitted query's id (0 for an invalid ticket) — the handle for
+    /// Session::Cancel and the key used by trace lanes and reports.
+    uint64_t query_id() const;
+
    private:
     friend class Session;
     explicit Ticket(std::shared_ptr<detail::SessionQueryState> state);
@@ -310,6 +364,21 @@ class Session {
   /// numbering-sensitive); use RunSync. Errors (validation, plan lint)
   /// surface through Ticket::Wait, never exceptions.
   Ticket Submit(const Pattern& pattern, const RunOptions& options = {});
+
+  /// Non-blocking submit for async callers (the network server): the
+  /// callback fires exactly once with the final RunResult — from a pool
+  /// worker thread on completion, or inline from this call for
+  /// pre-execution failures (validation, lint, admission reject). The
+  /// callback must not block for long and must not destroy the session.
+  /// Returns the query id (usable with Cancel until the result fires).
+  uint64_t SubmitAsync(const Pattern& pattern, const RunOptions& options,
+                       std::function<void(const RunResult&)> callback);
+
+  /// Requests cancellation of an in-flight submitted query by id (the
+  /// disconnect path). Returns true when the abort was delivered to a
+  /// still-running query — its result arrives as `cancelled:` — and false
+  /// when the id is unknown or the query already finished.
+  bool Cancel(uint64_t query_id);
 
   /// Convenience: Submit + Wait, except that serial requests
   /// (options.threads == 1 or a visitor) run inline on the calling thread
@@ -369,7 +438,8 @@ class Session {
                                                    bool* cache_hit);
 
   Ticket SubmitInternal(const Pattern& pattern, const RunOptions& options,
-                        const char* tool);
+                        const char* tool,
+                        std::function<void(const RunResult&)> callback);
   RunResult RunSyncWithTool(const Pattern& pattern, const RunOptions& options,
                             const char* tool);
   RunResult RunSerial(const Pattern& pattern, const RunOptions& opts,
@@ -387,6 +457,16 @@ class Session {
   void WatchdogMain();
   void RecordStuckQueries(
       const std::vector<MultiQueryQueue::QueryProgress>& stuck);
+
+  /// Deadline machinery: a dedicated timer thread (same cv-timed loop
+  /// shape as the watchdog, started lazily on the first finite-deadline
+  /// submission) pops a min-heap of {fire time, query} and maps expiries
+  /// onto WorkerPool::Cancel → MultiQueryQueue::Abort.
+  void RegisterDeadline(uint64_t fire_ns,
+                        const std::shared_ptr<detail::SessionQueryState>& s);
+  void DeadlineTimerMain();
+  void FireDeadline(const std::shared_ptr<detail::SessionQueryState>& s);
+  void UnregisterQuery(uint64_t query_id);
 
   const Graph& graph_;
   const SessionOptions options_;
@@ -409,6 +489,9 @@ class Session {
   obs::Counter* obs_queries_completed_ = nullptr;
   obs::Counter* obs_cache_hits_ = nullptr;
   obs::Counter* obs_cache_misses_ = nullptr;
+  obs::Counter* obs_deadline_exceeded_ = nullptr;
+  obs::Counter* obs_overload_rejected_ = nullptr;
+  obs::Counter* obs_cancelled_ = nullptr;
 
   // Always-on lifecycle histograms (lazy per-thread shards keep an idle
   // histogram at a few pointers). Values in nanoseconds. The registry
@@ -441,6 +524,32 @@ class Session {
   mutable std::mutex watchdog_mutex_;
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;
+
+  // Deadline timer (lazy thread; heap ordered by fire time). Expired
+  // entries whose query already finished resolve to a dead weak_ptr or a
+  // no-op Cancel, so completion never has to search the heap.
+  struct DeadlineEntry {
+    uint64_t fire_ns = 0;
+    std::weak_ptr<detail::SessionQueryState> state;
+  };
+  struct DeadlineLater {
+    bool operator()(const DeadlineEntry& a, const DeadlineEntry& b) const {
+      return a.fire_ns > b.fire_ns;
+    }
+  };
+  std::thread deadline_thread_;
+  mutable std::mutex deadline_mutex_;
+  std::condition_variable deadline_cv_;
+  bool deadline_stop_ = false;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      DeadlineLater>
+      deadline_heap_;
+
+  // Cancel index: query id -> live submitted query (pool path only;
+  // entries retire when the result is recorded).
+  mutable std::mutex cancel_mutex_;
+  std::unordered_map<uint64_t, std::weak_ptr<detail::SessionQueryState>>
+      cancelable_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,110 @@
+#ifndef LIGHT_NET_SERVER_H_
+#define LIGHT_NET_SERVER_H_
+
+/// Single-machine async serving layer in front of light::Session: a
+/// poll()-driven event loop (one thread) speaking the length-prefixed
+/// protocol of net/wire.h over TCP. Requests submit through
+/// Session::SubmitAsync, so the loop thread never blocks on query
+/// execution; completions land on a queue the loop drains via a wake pipe.
+/// Per-query deadlines and priorities ride the session's machinery; a
+/// client disconnect cancels that connection's in-flight queries.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "light.h"
+#include "net/wire.h"
+
+namespace light::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  int backlog = 64;
+};
+
+/// Point-in-time serving counters (see Server::stats()).
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t requests_received = 0;
+  uint64_t responses_sent = 0;
+  uint64_t protocol_errors = 0;
+  uint64_t cancelled_on_disconnect = 0;
+  /// Queries submitted to the session and not yet answered.
+  uint64_t inflight = 0;
+};
+
+class Server {
+ public:
+  /// The session (and its graph) must outlive the server.
+  Server(Session* session, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens + starts the event-loop thread. On success port()
+  /// returns the bound port (resolves ephemeral 0).
+  Status Start();
+
+  int port() const { return port_; }
+
+  /// Stops accepting, cancels every in-flight query, waits for their
+  /// results to drain, flushes what can be flushed, closes all
+  /// connections, and joins the loop thread. Idempotent; also run by the
+  /// destructor.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;      // bytes read, not yet framed
+    std::string out;     // encoded frames not yet written
+    /// Session query ids in flight for this connection (cancelled if the
+    /// peer disconnects).
+    std::unordered_map<uint64_t, uint64_t> inflight;  // query_id -> req id
+    bool draining = false;  // protocol error: flush out, accept no more
+  };
+
+  void LoopMain();
+  void AcceptReady();
+  bool ReadReady(uint64_t conn_id, Conn* conn);   // false: drop conn
+  bool WriteReady(Conn* conn);                    // false: drop conn
+  bool HandleFrame(uint64_t conn_id, Conn* conn, const std::string& payload);
+  void DrainCompletions();
+  void DropConn(uint64_t conn_id, Conn* conn);
+  void Wake();
+
+  Session* session_;
+  const ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};
+  int port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  uint64_t next_conn_id_ = 1;  // loop thread only
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+
+  /// Completions from session callbacks (any thread) to the loop.
+  std::mutex completions_mutex_;
+  std::vector<std::pair<uint64_t, Response>> completions_;  // conn_id, resp
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace light::net
+
+#endif  // LIGHT_NET_SERVER_H_

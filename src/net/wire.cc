@@ -1,0 +1,252 @@
+#include "net/wire.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <sstream>
+
+namespace light::net {
+namespace {
+
+constexpr char kRequestSchema[] = "light.request.v1";
+constexpr char kResponseSchema[] = "light.response.v1";
+
+/// Newlines delimit keys, so values must not contain them; error messages
+/// (the only free-form values) get flattened.
+std::string Sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+void AppendKV(const char* key, const std::string& value, std::string* out) {
+  out->append(key);
+  out->push_back('=');
+  out->append(value);
+  out->push_back('\n');
+}
+
+void AppendKV(const char* key, uint64_t value, std::string* out) {
+  AppendKV(key, std::to_string(value), out);
+}
+
+void AppendKV(const char* key, double value, std::string* out) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  AppendKV(key, os.str(), out);
+}
+
+/// Splits `payload` into key/value lines and dispatches each to `visit`.
+/// The first line must equal `schema`.
+Status ParseKV(const std::string& payload, const char* schema,
+               const std::function<Status(const std::string& key,
+                                          const std::string& value)>& visit) {
+  size_t pos = 0;
+  bool first = true;
+  while (pos < payload.size()) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    const std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (first) {
+      if (line != schema) {
+        return Status::InvalidArgument("expected schema line " +
+                                       std::string(schema) + ", got " + line);
+      }
+      first = false;
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed key=value line: " + line);
+    }
+    if (Status s = visit(line.substr(0, eq), line.substr(eq + 1)); !s.ok()) {
+      return s;
+    }
+  }
+  if (first) return Status::InvalidArgument("empty payload");
+  return Status::OK();
+}
+
+Status ParseU64(const std::string& value, uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad integer: " + value);
+  }
+  *out = static_cast<uint64_t>(v);
+  return Status::OK();
+}
+
+Status ParseDouble(const std::string& value, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad number: " + value);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string Request::Encode() const {
+  std::string out;
+  out.append(kRequestSchema);
+  out.push_back('\n');
+  AppendKV("id", id, &out);
+  std::string edge_list;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (i > 0) edge_list.push_back(' ');
+    edge_list += std::to_string(edges[i]);
+  }
+  AppendKV("edges", edge_list, &out);
+  AppendKV("threads", static_cast<uint64_t>(threads < 0 ? 0 : threads), &out);
+  AppendKV("time_limit_seconds", time_limit_seconds, &out);
+  AppendKV("priority",
+           std::to_string(priority), &out);
+  AppendKV("unique_subgraphs", static_cast<uint64_t>(unique_subgraphs ? 1 : 0),
+           &out);
+  AppendKV("induced", static_cast<uint64_t>(induced ? 1 : 0), &out);
+  return out;
+}
+
+Status Request::Decode(const std::string& payload, Request* out) {
+  *out = Request();
+  return ParseKV(
+      payload, kRequestSchema,
+      [out](const std::string& key, const std::string& value) -> Status {
+        if (key == "id") return ParseU64(value, &out->id);
+        if (key == "edges") {
+          out->edges.clear();
+          std::istringstream is(value);
+          uint64_t v = 0;
+          std::string tok;
+          while (is >> tok) {
+            if (Status s = ParseU64(tok, &v); !s.ok()) return s;
+            out->edges.push_back(static_cast<uint32_t>(v));
+          }
+          if (out->edges.size() % 2 != 0) {
+            return Status::InvalidArgument("odd edge list length");
+          }
+          return Status::OK();
+        }
+        if (key == "threads") {
+          uint64_t v = 0;
+          if (Status s = ParseU64(value, &v); !s.ok()) return s;
+          out->threads = static_cast<int>(v);
+          return Status::OK();
+        }
+        if (key == "time_limit_seconds") {
+          return ParseDouble(value, &out->time_limit_seconds);
+        }
+        if (key == "priority") {
+          errno = 0;
+          char* end = nullptr;
+          const long v = std::strtol(value.c_str(), &end, 10);
+          if (errno != 0 || end == value.c_str() || *end != '\0') {
+            return Status::InvalidArgument("bad priority: " + value);
+          }
+          out->priority = static_cast<int>(v);
+          return Status::OK();
+        }
+        if (key == "unique_subgraphs") {
+          out->unique_subgraphs = value != "0";
+          return Status::OK();
+        }
+        if (key == "induced") {
+          out->induced = value != "0";
+          return Status::OK();
+        }
+        return Status::OK();  // unknown keys: forward compatibility
+      });
+}
+
+std::string Response::Encode() const {
+  std::string out;
+  out.append(kResponseSchema);
+  out.push_back('\n');
+  AppendKV("id", id, &out);
+  AppendKV("status", Sanitize(status), &out);
+  AppendKV("matches", matches, &out);
+  AppendKV("timed_out", static_cast<uint64_t>(timed_out ? 1 : 0), &out);
+  AppendKV("elapsed_seconds", elapsed_seconds, &out);
+  AppendKV("error", Sanitize(error), &out);
+  AppendKV("plan_ns", plan_ns, &out);
+  AppendKV("queue_wait_ns", queue_wait_ns, &out);
+  AppendKV("execute_ns", execute_ns, &out);
+  AppendKV("total_ns", total_ns, &out);
+  AppendKV("plan_cache_hit", static_cast<uint64_t>(plan_cache_hit ? 1 : 0),
+           &out);
+  return out;
+}
+
+Status Response::Decode(const std::string& payload, Response* out) {
+  *out = Response();
+  return ParseKV(
+      payload, kResponseSchema,
+      [out](const std::string& key, const std::string& value) -> Status {
+        if (key == "id") return ParseU64(value, &out->id);
+        if (key == "status") {
+          out->status = value;
+          return Status::OK();
+        }
+        if (key == "matches") return ParseU64(value, &out->matches);
+        if (key == "timed_out") {
+          out->timed_out = value != "0";
+          return Status::OK();
+        }
+        if (key == "elapsed_seconds") {
+          return ParseDouble(value, &out->elapsed_seconds);
+        }
+        if (key == "error") {
+          out->error = value;
+          return Status::OK();
+        }
+        if (key == "plan_ns") return ParseU64(value, &out->plan_ns);
+        if (key == "queue_wait_ns") {
+          return ParseU64(value, &out->queue_wait_ns);
+        }
+        if (key == "execute_ns") return ParseU64(value, &out->execute_ns);
+        if (key == "total_ns") return ParseU64(value, &out->total_ns);
+        if (key == "plan_cache_hit") {
+          out->plan_cache_hit = value != "0";
+          return Status::OK();
+        }
+        return Status::OK();
+      });
+}
+
+void AppendFrame(const std::string& payload, std::string* out) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  char prefix[4];
+  prefix[0] = static_cast<char>(n & 0xff);
+  prefix[1] = static_cast<char>((n >> 8) & 0xff);
+  prefix[2] = static_cast<char>((n >> 16) & 0xff);
+  prefix[3] = static_cast<char>((n >> 24) & 0xff);
+  out->append(prefix, 4);
+  out->append(payload);
+}
+
+int TryExtractFrame(std::string* buffer, std::string* payload) {
+  if (buffer->size() < 4) return 0;
+  const auto* p = reinterpret_cast<const unsigned char*>(buffer->data());
+  const uint32_t n = static_cast<uint32_t>(p[0]) |
+                     (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16) |
+                     (static_cast<uint32_t>(p[3]) << 24);
+  if (n > kMaxFrameBytes) return -1;
+  if (buffer->size() < 4 + static_cast<size_t>(n)) return 0;
+  payload->assign(*buffer, 4, n);
+  buffer->erase(0, 4 + static_cast<size_t>(n));
+  return 1;
+}
+
+}  // namespace light::net

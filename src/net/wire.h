@@ -1,0 +1,83 @@
+#ifndef LIGHT_NET_WIRE_H_
+#define LIGHT_NET_WIRE_H_
+
+/// Wire protocol of the single-machine serving layer (tools/light_server /
+/// tools/light_client).
+///
+/// Framing: every message is a 4-byte little-endian payload length followed
+/// by that many payload bytes. Frames above kMaxFrameBytes are a protocol
+/// error (the server closes the connection rather than buffering without
+/// bound).
+///
+/// Payload: a line-oriented `key=value` text document. The first line names
+/// the schema (`light.request.v1` / `light.response.v1`); unknown keys are
+/// ignored so either side can be extended without breaking the other.
+/// Values never contain newlines; error strings are sanitized on encode.
+///
+/// A request carries the pattern edge list plus per-query options; a
+/// response carries the outcome (`status` is one of ok / error /
+/// deadline_exceeded / overload_rejected / cancelled — the structured
+/// serving outcomes of light::RunResult), the count, and the query_stats
+/// lifecycle breakdown.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace light::net {
+
+/// Hard cap on one frame's payload. Patterns are <= 8 vertices and stats
+/// are a handful of integers; 1 MiB is generous for both directions.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// One query request. `id` is caller-chosen and echoed verbatim in the
+/// response so a pipelined client can match responses out of order.
+struct Request {
+  uint64_t id = 0;
+  /// Pattern edge list, flattened pairs (u0 v0 u1 v1 ...), 0-based.
+  std::vector<uint32_t> edges;
+  int threads = 0;  // per-query worker cap; 0 = whole pool
+  double time_limit_seconds = 0;  // 0 = unlimited
+  int priority = 0;
+  bool unique_subgraphs = true;
+  bool induced = false;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& payload, Request* out);
+};
+
+/// One query response; `id` echoes the request.
+struct Response {
+  uint64_t id = 0;
+  /// ok | error | deadline_exceeded | overload_rejected | cancelled.
+  std::string status = "ok";
+  uint64_t matches = 0;
+  bool timed_out = false;
+  double elapsed_seconds = 0;
+  std::string error;  // empty when status == ok
+  // query_stats lifecycle breakdown (nanoseconds).
+  uint64_t plan_ns = 0;
+  uint64_t queue_wait_ns = 0;
+  uint64_t execute_ns = 0;
+  uint64_t total_ns = 0;
+  bool plan_cache_hit = false;
+
+  std::string Encode() const;
+  static Status Decode(const std::string& payload, Response* out);
+};
+
+/// Appends the 4-byte length prefix + payload to `out`.
+void AppendFrame(const std::string& payload, std::string* out);
+
+/// Incremental frame splitter over a connection's receive buffer: when
+/// `buffer` starts with a complete frame, moves its payload into *payload,
+/// erases it from the buffer, and returns 1. Returns 0 when more bytes are
+/// needed and -1 on a protocol violation (frame longer than
+/// kMaxFrameBytes).
+int TryExtractFrame(std::string* buffer, std::string* payload);
+
+}  // namespace light::net
+
+#endif  // LIGHT_NET_WIRE_H_

@@ -340,6 +340,9 @@ std::string SessionReport::ToJson() const {
   w.KV("queries_completed", queries_completed);
   w.KV("plan_cache_hits", plan_cache_hits);
   w.KV("plan_cache_misses", plan_cache_misses);
+  w.KV("deadline_exceeded", deadline_exceeded);
+  w.KV("overload_rejected", overload_rejected);
+  w.KV("cancelled", cancelled);
   w.EndObject();
 
   WriteHistogramSummary(&w, "latency_ns", latency);
@@ -418,6 +421,10 @@ Status SessionReport::FromJson(const std::string& json, SessionReport* out) {
   out->queries_completed = pool["queries_completed"].AsUint();
   out->plan_cache_hits = pool["plan_cache_hits"].AsUint();
   out->plan_cache_misses = pool["plan_cache_misses"].AsUint();
+  // Absent in pre-serving documents; the null JsonValue reads as zero.
+  out->deadline_exceeded = pool["deadline_exceeded"].AsUint();
+  out->overload_rejected = pool["overload_rejected"].AsUint();
+  out->cancelled = pool["cancelled"].AsUint();
 
   out->latency = ReadHistogramSummary(root["latency_ns"]);
   out->queue_wait = ReadHistogramSummary(root["queue_wait_ns"]);

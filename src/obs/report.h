@@ -178,6 +178,11 @@ struct SessionReport {
   uint64_t queries_completed = 0;
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
+  // Serving outcomes (additive in-place extension of the v1 schema: absent
+  // keys parse as zero, so older documents stay readable).
+  uint64_t deadline_exceeded = 0;
+  uint64_t overload_rejected = 0;
+  uint64_t cancelled = 0;
 
   // Pool-level latency breakdown, nanoseconds (end-to-end, scheduling
   // wait, execution, plan resolution).

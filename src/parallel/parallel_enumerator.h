@@ -51,6 +51,13 @@ struct ParallelResult {
   EngineStats stats;  // merged across workers
   double elapsed_seconds = 0.0;
   bool timed_out = false;
+  /// The query was killed via MultiQueryQueue::Abort (deadline timer,
+  /// explicit cancel, or a worker tripping the time limit). Counts are
+  /// partial. Always false for plain ParallelCount runs that finish.
+  bool aborted = false;
+  /// The pool's admission limit rejected the query at Submit; no work ran
+  /// and every other field is zero. Always false for plain ParallelCount.
+  bool rejected = false;
   /// Workers that actually processed at least one root (<= configured; an
   /// oversubscribed run on a tiny graph may leave workers starved).
   int threads_used = 0;

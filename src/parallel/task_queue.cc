@@ -13,6 +13,7 @@ struct MultiQueryQueue::Query {
   void* context = nullptr;
   uint64_t query_id = 0;
   int max_leases = 0;  // <= 0: uncapped
+  int priority = 0;    // higher drains first
   bool active = false;
   bool completed = false;
   int leases = 0;
@@ -32,15 +33,40 @@ MultiQueryQueue::~MultiQueryQueue() {
 }
 
 MultiQueryQueue::Query* MultiQueryQueue::Open(void* context, int max_leases,
-                                              uint64_t query_id) {
+                                              uint64_t query_id,
+                                              int priority) {
   auto* q = new Query();
   q->context = context;
   q->query_id = query_id;
   q->max_leases = max_leases;
-  std::lock_guard<std::mutex> lock(mutex_);
-  assert(!shutdown_ && "Open after Shutdown");
-  queries_.push_back(q);
+  q->priority = priority;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(!shutdown_ && "Open after Shutdown");
+    // Admission control: bound the number of open queries so a burst past
+    // the serving capacity is rejected immediately instead of queueing
+    // without bound (the RADS overload argument). Completed-but-unreleased
+    // queries don't count — their work is done, only their finalizer is
+    // pending.
+    if (max_open_queries_ > 0) {
+      int open = 0;
+      for (const Query* other : queries_) {
+        if (!other->completed) ++open;
+      }
+      if (open >= max_open_queries_) {
+        num_rejected_.fetch_add(1, std::memory_order_relaxed);
+        delete q;
+        return nullptr;
+      }
+    }
+    queries_.push_back(q);
+  }
   return q;
+}
+
+void MultiQueryQueue::SetMaxOpenQueries(int limit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_open_queries_ = limit;
 }
 
 void MultiQueryQueue::Push(Query* q, RootRange range) {
@@ -75,19 +101,27 @@ bool MultiQueryQueue::Activate(Query* q) {
 }
 
 MultiQueryQueue::Query* MultiQueryQueue::PickLocked() {
-  // Round-robin over open queries starting at cursor_, so concurrent
-  // queries share the pool instead of the earliest-opened one starving the
-  // rest. A query is poppable when active, has pending work, and has a free
-  // lease slot.
+  // Highest priority class first; round-robin within the class starting at
+  // cursor_, so concurrent queries of equal priority share the pool instead
+  // of the earliest-opened one starving the rest. A query is poppable when
+  // active, has pending work, and has a free lease slot. Priority is
+  // non-preemptive: leases already held by lower-priority queries run to
+  // completion, but no new range of a lower class is handed out while a
+  // higher class has poppable work.
   const size_t n = queries_.size();
+  Query* best = nullptr;
+  size_t best_offset = 0;
   for (size_t i = 0; i < n; ++i) {
     Query* q = queries_[(cursor_ + i) % n];
     if (!q->active || q->completed || q->pending.empty()) continue;
     if (q->max_leases > 0 && q->leases >= q->max_leases) continue;
-    cursor_ = (cursor_ + i + 1) % n;
-    return q;
+    if (best == nullptr || q->priority > best->priority) {
+      best = q;
+      best_offset = i;
+    }
   }
-  return nullptr;
+  if (best != nullptr) cursor_ = (cursor_ + best_offset + 1) % n;
+  return best;
 }
 
 bool MultiQueryQueue::Pop(Lease* out) {
@@ -133,6 +167,10 @@ bool MultiQueryQueue::Abort(Query* q) {
   bool last;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Completion already won the race: the query drained cleanly, so the
+    // abort is a no-op — its counts are full and must not be flagged
+    // partial.
+    if (q->completed) return false;
     q->aborted.store(true, std::memory_order_relaxed);
     q->pending.clear();
     ++q->progress;
@@ -146,10 +184,13 @@ bool MultiQueryQueue::aborted(const Query* q) const {
   return q->aborted.load(std::memory_order_relaxed);
 }
 
-void MultiQueryQueue::Release(Query* q) {
+bool MultiQueryQueue::Release(Query* q) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    assert(q->completed && "Release of uncompleted query");
+    // Reaping a query that still has pending work or outstanding leases
+    // would free state a worker is about to touch; reject instead of
+    // freeing (the completing Done/Abort call re-Releases it).
+    if (!q->completed) return false;
     for (size_t i = 0; i < queries_.size(); ++i) {
       if (queries_[i] == q) {
         queries_.erase(queries_.begin() + static_cast<ptrdiff_t>(i));
@@ -159,6 +200,7 @@ void MultiQueryQueue::Release(Query* q) {
     if (cursor_ >= queries_.size()) cursor_ = 0;
   }
   delete q;
+  return true;
 }
 
 void MultiQueryQueue::Shutdown() {
@@ -191,6 +233,7 @@ MultiQueryQueue::SnapshotProgress() const {
     p.progress = q->progress;
     p.pending_ranges = q->pending.size();
     p.leases = q->leases;
+    p.priority = q->priority;
     p.active = q->active;
     p.aborted = q->aborted.load(std::memory_order_relaxed);
     snapshot.push_back(p);

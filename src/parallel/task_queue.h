@@ -68,7 +68,23 @@ class MultiQueryQueue {
   /// one of its ranges concurrently (<= 0: uncapped) — how a query asking
   /// for fewer threads than the pool has shares the pool. `query_id` tags
   /// the query in progress snapshots (the watchdog's identity key).
-  Query* Open(void* context, int max_leases = 0, uint64_t query_id = 0);
+  /// `priority` orders scheduling: higher-priority queries are always
+  /// drained before lower ones; within one priority class the round-robin
+  /// fairness of PR 5 is preserved. Returns nullptr when the admission
+  /// limit (SetMaxOpenQueries) is reached — the structured overload-reject
+  /// signal; the caller must not Push/Activate anything in that case.
+  Query* Open(void* context, int max_leases = 0, uint64_t query_id = 0,
+              int priority = 0);
+
+  /// Admission control: caps the number of open (uncompleted) queries.
+  /// Open beyond the cap returns nullptr instead of queueing. <= 0 (the
+  /// default) disables the limit. Takes effect for subsequent Opens only.
+  void SetMaxOpenQueries(int limit);
+
+  /// Total Opens rejected by the admission limit since construction.
+  uint64_t num_rejected() const {
+    return num_rejected_.load(std::memory_order_relaxed);
+  }
 
   /// Adds a range (empty ranges are ignored). Legal before Activate
   /// (bootstrap) and from a lease holder afterwards (donation).
@@ -94,7 +110,9 @@ class MultiQueryQueue {
   /// holders via aborted(), the cooperative cancellation signal on
   /// time-out). Outstanding leases still finish through Done. Returns true
   /// when this call itself completed the query (no leases were out); the
-  /// caller must then finalize and Release, exactly as for Done.
+  /// caller must then finalize and Release, exactly as for Done. Aborting
+  /// an already-completed query is a no-op (aborted() stays false): clean
+  /// completion winning the race keeps its full counts.
   bool Abort(Query* q);
 
   bool aborted(const Query* q) const;
@@ -106,9 +124,11 @@ class MultiQueryQueue {
     return num_waiting_.load(std::memory_order_relaxed) > 0;
   }
 
-  /// Frees a completed query's state. Must only be called after Done/Abort
-  /// returned true for it (or Activate returned true).
-  void Release(Query* q);
+  /// Frees a completed query's state. Legal only after Done/Abort returned
+  /// true for it (or Activate returned true); a premature Release — the
+  /// query still has pending ranges or outstanding leases — is rejected
+  /// (returns false, nothing freed) instead of use-after-freeing workers.
+  bool Release(Query* q);
 
   /// Wakes everyone; Pop keeps draining already-pushed ranges, then returns
   /// false. New Opens are not accepted afterwards.
@@ -134,6 +154,7 @@ class MultiQueryQueue {
     uint64_t progress = 0;
     uint64_t pending_ranges = 0;
     int leases = 0;
+    int priority = 0;
     bool active = false;
     bool aborted = false;
   };
@@ -149,8 +170,10 @@ class MultiQueryQueue {
   std::vector<Query*> queries_;  // open, not yet completed
   size_t cursor_ = 0;            // round-robin position into queries_
   bool shutdown_ = false;
+  int max_open_queries_ = 0;  // <= 0: unlimited
   std::atomic<int> num_waiting_{0};
   std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> num_rejected_{0};
 };
 
 /// Stuck-query detection (pure; the watchdog's core): ids of queries that

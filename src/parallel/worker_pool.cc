@@ -64,7 +64,13 @@ struct PoolQueryState : std::enable_shared_from_this<PoolQueryState> {
   uint64_t activate_ns = 0;
   std::atomic<uint64_t> first_range_ns{0};
 
+  // Guards the q pointer against the Cancel-vs-finalize race: the
+  // finalizer detaches q under this mutex *before* Release frees it, so a
+  // concurrent Cancel either sees the live query or nullptr — never a
+  // dangling pointer.
+  std::mutex abort_mutex;
   MultiQueryQueue::Query* q = nullptr;
+  bool rejected = false;
 
   // Per-pool-slot attribution; slot s is only written by worker s.
   std::vector<obs::WorkerStats> slots;
@@ -100,6 +106,8 @@ WorkerPool::WorkerPool(int num_threads) {
   obs::MetricsRegistry& registry = obs::DefaultRegistry();
   obs_queries_submitted_ = registry.GetCounter("pool.queries_submitted");
   obs_queries_completed_ = registry.GetCounter("pool.queries_completed");
+  obs_queries_rejected_ = registry.GetCounter("pool.queries_rejected");
+  obs_queries_aborted_ = registry.GetCounter("pool.queries_aborted");
   obs_ranges_executed_ = registry.GetCounter("pool.ranges_executed");
   obs_queue_wait_hist_ = registry.GetHistogram("pool.queue_wait_ns");
   obs_execute_hist_ = registry.GetHistogram("pool.execute_ns");
@@ -137,7 +145,19 @@ WorkerPool::QueryHandle WorkerPool::Submit(const QuerySpec& spec) {
       static_cast<int>(threads_.size()),
       spec.options.num_threads > 0 ? spec.options.num_threads
                                    : static_cast<int>(threads_.size()));
-  qs->q = queue_.Open(qs.get(), effective_threads, qs->query_id);
+  qs->q = queue_.Open(qs.get(), effective_threads, qs->query_id,
+                      spec.priority);
+  if (qs->q == nullptr) {
+    // Admission limit reached: reject immediately with an already-done
+    // handle. No worker ever sees the query; FinalizeQuery delivers the
+    // structured rejection (zero counts, rejected=true).
+    qs->rejected = true;
+    if (obs::MetricsEnabled()) obs_queries_rejected_->Inc();
+    qs->timer.Restart();
+    qs->activate_ns = MonotonicNs();
+    FinalizeQuery(qs.get());
+    return QueryHandle(std::move(qs));
+  }
 
   // Bootstrap chunks; donation keeps the tail balanced afterwards. The
   // chunk product stays in 64 bits: num_threads * chunks_per_worker can
@@ -221,11 +241,30 @@ void WorkerPool::ProcessLease(PoolQueryState* qs, Enumerator* enumerator,
   }
 
   // The query's wall-clock budget, re-anchored per range: the enumerator's
-  // own clock restarts here, so hand it whatever budget remains since
-  // Submit (<= 0 trips the deadline on the first check, unwinding as OOT).
+  // own clock restarts here, so hand it whatever budget remains since the
+  // query was admitted (<= 0 trips the deadline on the first check,
+  // unwinding as OOT). Anchoring at admit_ns — not range start — means
+  // plan build and queue wait consume the budget too, so a query cannot
+  // exceed its limit by sitting in the queue.
   const double limit = qs->opts.time_limit_seconds;
   if (std::isfinite(limit)) {
-    enumerator->SetTimeLimit(limit - qs->timer.ElapsedSeconds());
+    const double since_admit =
+        static_cast<double>(busy_start_ns - qs->admit_ns) * 1e-9;
+    const double remaining = limit - since_admit;
+    if (remaining <= 0) {
+      // Budget already gone: don't start the range at all (the in-range
+      // deadline check fires only every ~1k extensions, which a short
+      // range never reaches). Abort cannot complete here — we hold a
+      // lease — so Done() in the worker loop still settles the query
+      // exactly once.
+      {
+        std::lock_guard<std::mutex> lock(qs->merge_mutex);
+        qs->merged.timed_out = true;
+      }
+      queue_.Abort(lease->query);
+      return;
+    }
+    enumerator->SetTimeLimit(remaining);
   } else {
     enumerator->SetTimeLimit(std::numeric_limits<double>::infinity());
   }
@@ -316,15 +355,35 @@ void WorkerPool::FinalizeQuery(PoolQueryState* qs) {
     lc.park_ns += ws.idle_ns;
   }
   result.workers = std::move(qs->slots);
+  result.rejected = qs->rejected;
 
-  queue_.Release(qs->q);
-  qs->q = nullptr;
+  // Detach the queue entry under abort_mutex *before* Release frees it:
+  // a concurrent Cancel synchronizes on the same mutex and so never
+  // dereferences a freed Query.
+  MultiQueryQueue::Query* q = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(qs->abort_mutex);
+    q = qs->q;
+    qs->q = nullptr;
+  }
+  if (q != nullptr) {
+    result.aborted = queue_.aborted(q);
+    queue_.Release(q);
+  }
   if (obs::MetricsEnabled()) {
-    obs_queries_completed_->Inc();
-    obs_queue_wait_hist_->Observe(lc.queue_wait_ns);
-    obs_execute_hist_->Observe(lc.execute_ns);
+    if (!qs->rejected) {
+      obs_queries_completed_->Inc();
+      obs_queue_wait_hist_->Observe(lc.queue_wait_ns);
+      obs_execute_hist_->Observe(lc.execute_ns);
+    }
+    if (result.aborted) obs_queries_aborted_->Inc();
   }
 
+  // The callback fires before done is published so a caller whose Wait()
+  // has returned can rely on the callback's side effects having happened.
+  // FinalizeQuery runs at most once per query, so "before Wait unblocks"
+  // also means "exactly once".
+  if (qs->spec.on_done) qs->spec.on_done(result);
   {
     std::lock_guard<std::mutex> lock(qs->done_mutex);
     qs->result = std::move(result);
@@ -334,6 +393,27 @@ void WorkerPool::FinalizeQuery(PoolQueryState* qs) {
   // Drop the self-reference last: if the caller already discarded its
   // handle, this line destroys qs.
   std::shared_ptr<PoolQueryState> self = std::move(qs->keepalive);
+}
+
+bool WorkerPool::Cancel(const QueryHandle& handle) {
+  PoolQueryState* qs = handle.state_.get();
+  if (qs == nullptr) return false;
+  bool completing = false;
+  bool delivered = false;
+  {
+    std::lock_guard<std::mutex> lock(qs->abort_mutex);
+    if (qs->q == nullptr) return false;  // already finalized (or rejected)
+    completing = queue_.Abort(qs->q);
+    // Abort is a no-op when clean completion won the race; report delivery
+    // only when the aborted flag actually stuck.
+    delivered = queue_.aborted(qs->q);
+  }
+  // Abort returning true means no lease was outstanding and this call
+  // completed the query: no worker will ever finalize it, so we must.
+  // (Exactly one of Done/Abort completes a query, so there is no race with
+  // a worker's FinalizeQuery here.)
+  if (completing) FinalizeQuery(qs);
+  return delivered;
 }
 
 }  // namespace light

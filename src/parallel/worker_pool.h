@@ -2,6 +2,7 @@
 #define LIGHT_PARALLEL_WORKER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -59,8 +60,18 @@ class WorkerPool {
     uint64_t query_id = 0;
     /// Steady-clock admit timestamp for end-to-end latency (0: Submit
     /// stamps its own entry time). Sessions stamp this before plan
-    /// resolution so total_ns covers plan build too.
+    /// resolution so total_ns covers plan build too. The per-query
+    /// time-limit budget is anchored here as well, so plan build and queue
+    /// wait count against options.time_limit_seconds.
     uint64_t admit_ns = 0;
+    /// Scheduling priority (higher drains first; see MultiQueryQueue::Open).
+    int priority = 0;
+    /// Completion callback, invoked exactly once when the result becomes
+    /// available — from a worker thread, or inline from Submit when the
+    /// query completes immediately (empty graph, admission reject). Must
+    /// not call back into the pool for this query. The result reference is
+    /// valid only for the duration of the call.
+    std::function<void(const ParallelResult&)> on_done;
   };
 
   /// Blocking future for one submitted query.
@@ -96,8 +107,21 @@ class WorkerPool {
 
   /// Submits one query; returns immediately. The result (counts, merged
   /// engine stats, per-worker breakdown — same contract as ParallelCount)
-  /// is delivered through the handle.
+  /// is delivered through the handle. When the admission limit is reached
+  /// the returned handle is already done with result.rejected set.
   QueryHandle Submit(const QuerySpec& spec);
+
+  /// Requests cancellation of an in-flight query: drops its pending ranges
+  /// and signals lease holders to unwind (the deadline/disconnect path).
+  /// Returns true when the abort was delivered while the query was still
+  /// open — its result will arrive with aborted=true and partial counts —
+  /// and false when the query had already completed (or the handle is
+  /// empty). Safe to call concurrently with completion and repeatedly.
+  bool Cancel(const QueryHandle& handle);
+
+  /// Admission control: caps concurrently open queries; Submit beyond the
+  /// cap returns an immediately-done rejected handle. <= 0: unlimited.
+  void SetMaxOpenQueries(int limit) { queue_.SetMaxOpenQueries(limit); }
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
@@ -124,6 +148,8 @@ class WorkerPool {
   // the registry is armed.
   obs::Counter* obs_queries_submitted_ = nullptr;
   obs::Counter* obs_queries_completed_ = nullptr;
+  obs::Counter* obs_queries_rejected_ = nullptr;
+  obs::Counter* obs_queries_aborted_ = nullptr;
   obs::Counter* obs_ranges_executed_ = nullptr;
   obs::Histogram* obs_queue_wait_hist_ = nullptr;
   obs::Histogram* obs_execute_hist_ = nullptr;

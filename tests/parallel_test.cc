@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <thread>
@@ -134,6 +135,128 @@ TEST(MultiQueryQueueTest, AbortDropsPendingAndFlagsLeaseHolders) {
   queue.Release(q);
 }
 
+TEST(MultiQueryQueueTest, ReleaseAfterAbortWithOutstandingLeases) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr);
+  queue.Push(q, {0, 10});
+  queue.Push(q, {10, 20});
+  queue.Push(q, {20, 30});
+  EXPECT_FALSE(queue.Activate(q));
+  MultiQueryQueue::Lease a;
+  MultiQueryQueue::Lease b;
+  ASSERT_TRUE(queue.Pop(&a));
+  ASSERT_TRUE(queue.Pop(&b));
+  // Two leases out: Abort drops the third (pending) range but cannot be
+  // the completing call.
+  EXPECT_FALSE(queue.Abort(q));
+  EXPECT_TRUE(queue.aborted(q));
+  // Exactly one of the lease returns completes the query; Release is only
+  // legal after that one.
+  EXPECT_FALSE(queue.Done(a));
+  EXPECT_TRUE(queue.Done(b));
+  EXPECT_TRUE(queue.Release(q));
+  EXPECT_EQ(queue.num_open_queries(), 0);
+}
+
+TEST(MultiQueryQueueTest, PrematureReleaseRejected) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr);
+  queue.Push(q, {0, 10});
+  EXPECT_FALSE(queue.Activate(q));
+  MultiQueryQueue::Lease lease;
+  ASSERT_TRUE(queue.Pop(&lease));
+  // Reaping while a lease is outstanding must be refused, not freed.
+  EXPECT_FALSE(queue.Release(q));
+  EXPECT_EQ(queue.num_open_queries(), 1);
+  EXPECT_TRUE(queue.Done(lease));
+  EXPECT_TRUE(queue.Release(q));
+  EXPECT_EQ(queue.num_open_queries(), 0);
+}
+
+TEST(MultiQueryQueueTest, AbortAfterCompletionIsNoOp) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr);
+  queue.Push(q, {0, 1});
+  EXPECT_FALSE(queue.Activate(q));
+  MultiQueryQueue::Lease lease;
+  ASSERT_TRUE(queue.Pop(&lease));
+  EXPECT_TRUE(queue.Done(lease));
+  // Clean completion won the race: a late Abort (e.g. a deadline firing
+  // just as the query finishes) must not retroactively flag it.
+  EXPECT_FALSE(queue.Abort(q));
+  EXPECT_FALSE(queue.aborted(q));
+  EXPECT_TRUE(queue.Release(q));
+}
+
+TEST(MultiQueryQueueTest, PriorityDrainsHigherClassFirst) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* low = queue.Open(nullptr, 0, /*query_id=*/1,
+                                           /*priority=*/0);
+  MultiQueryQueue::Query* high = queue.Open(nullptr, 0, /*query_id=*/2,
+                                            /*priority=*/5);
+  for (VertexID i = 0; i < 3; ++i) {
+    queue.Push(low, {i, i + 1});
+    queue.Push(high, {i, i + 1});
+  }
+  EXPECT_FALSE(queue.Activate(low));
+  EXPECT_FALSE(queue.Activate(high));
+  // All of the high class drains before any of the low class
+  // (non-preemptive strict priority across classes).
+  MultiQueryQueue::Lease lease;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.Pop(&lease));
+    EXPECT_EQ(lease.query, high) << "pop " << i;
+    if (queue.Done(lease)) queue.Release(high);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(queue.Pop(&lease));
+    EXPECT_EQ(lease.query, low) << "pop " << i;
+    if (queue.Done(lease)) queue.Release(low);
+  }
+  EXPECT_EQ(queue.num_open_queries(), 0);
+}
+
+TEST(MultiQueryQueueTest, EqualPriorityKeepsRoundRobin) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q1 = queue.Open(nullptr, 0, 1, /*priority=*/3);
+  MultiQueryQueue::Query* q2 = queue.Open(nullptr, 0, 2, /*priority=*/3);
+  for (VertexID i = 0; i < 3; ++i) {
+    queue.Push(q1, {i, i + 1});
+    queue.Push(q2, {i, i + 1});
+  }
+  EXPECT_FALSE(queue.Activate(q1));
+  EXPECT_FALSE(queue.Activate(q2));
+  MultiQueryQueue::Lease lease;
+  std::vector<MultiQueryQueue::Query*> order;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.Pop(&lease));
+    order.push_back(lease.query);
+    if (queue.Done(lease)) queue.Release(lease.query);
+  }
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_NE(order[i], order[i - 1]) << "pop " << i << " did not alternate";
+  }
+}
+
+TEST(MultiQueryQueueTest, AdmissionLimitRejectsOpenUntilRelease) {
+  MultiQueryQueue queue;
+  queue.SetMaxOpenQueries(1);
+  MultiQueryQueue::Query* q = queue.Open(nullptr);
+  ASSERT_NE(q, nullptr);
+  // Depth limit reached: the second Open is rejected outright.
+  EXPECT_EQ(queue.Open(nullptr), nullptr);
+  EXPECT_EQ(queue.num_rejected(), 1u);
+  EXPECT_EQ(queue.num_open_queries(), 1);
+  // Completing + releasing the first frees the slot.
+  EXPECT_TRUE(queue.Activate(q));  // nothing pushed: immediate completion
+  EXPECT_TRUE(queue.Release(q));
+  MultiQueryQueue::Query* next = queue.Open(nullptr);
+  ASSERT_NE(next, nullptr);
+  EXPECT_TRUE(queue.Activate(next));
+  EXPECT_TRUE(queue.Release(next));
+  EXPECT_EQ(queue.num_rejected(), 1u);
+}
+
 TEST(MultiQueryQueueTest, ShutdownWakesWaitersAfterDrain) {
   MultiQueryQueue queue;
   MultiQueryQueue::Query* q = queue.Open(nullptr);
@@ -248,6 +371,84 @@ TEST(WorkerPoolTest, EmptyGraphCompletesImmediately) {
   const ParallelResult result = handle.Wait();
   EXPECT_EQ(result.num_matches, 0u);
   EXPECT_FALSE(result.timed_out);
+}
+
+TEST(WorkerPoolTest, CancelAbortsInFlightQuery) {
+  // Big enough that the query is still running when Cancel lands; one
+  // worker thread so ranges queue up behind a single consumer.
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/29));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  Pattern p6;
+  ASSERT_TRUE(FindPattern("P6", &p6).ok());
+  const ExecutionPlan plan = BuildPlan(p6, stats, PlanOptions::Light());
+  WorkerPool pool(1);
+  WorkerPool::QuerySpec spec;
+  spec.graph = &g;
+  spec.plan = &plan;
+  WorkerPool::QueryHandle handle = pool.Submit(spec);
+  // Cancel returns true while the abort could still be delivered; the
+  // query then finishes as aborted with whatever partial count it had.
+  const bool delivered = pool.Cancel(handle);
+  const ParallelResult result = handle.Wait();
+  if (delivered) {
+    EXPECT_TRUE(result.aborted);
+  } else {
+    // Lost the race to clean completion: full result, not flagged.
+    EXPECT_FALSE(result.aborted);
+  }
+  // A second Cancel after completion is always a no-op.
+  EXPECT_FALSE(pool.Cancel(handle));
+}
+
+TEST(WorkerPoolTest, AdmissionLimitRejectsSubmitImmediately) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/31));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  Pattern p6;
+  ASSERT_TRUE(FindPattern("P6", &p6).ok());
+  const ExecutionPlan plan = BuildPlan(p6, stats, PlanOptions::Light());
+  WorkerPool pool(1);
+  pool.SetMaxOpenQueries(1);
+  WorkerPool::QuerySpec spec;
+  spec.graph = &g;
+  spec.plan = &plan;
+  WorkerPool::QueryHandle running = pool.Submit(spec);
+  // Second submit while the first occupies the only slot: rejected
+  // without queueing — the handle is already done and flagged.
+  WorkerPool::QueryHandle rejected = pool.Submit(spec);
+  EXPECT_TRUE(rejected.done());
+  const ParallelResult reject_result = rejected.Wait();
+  EXPECT_TRUE(reject_result.rejected);
+  EXPECT_EQ(reject_result.num_matches, 0u);
+  pool.Cancel(running);
+  const ParallelResult first = running.Wait();
+  EXPECT_FALSE(first.rejected);
+  // Slot free again: the next submit is admitted.
+  WorkerPool::QueryHandle admitted = pool.Submit(spec);
+  pool.Cancel(admitted);
+  EXPECT_FALSE(admitted.Wait().rejected);
+}
+
+TEST(WorkerPoolTest, OnDoneCallbackFiresExactlyOnce) {
+  const Graph g = RelabelByDegree(ErdosRenyi(300, 900, /*seed=*/7));
+  const GraphStats stats = ComputeGraphStats(g, true);
+  Pattern tri;
+  ASSERT_TRUE(FindPattern("triangle", &tri).ok());
+  const ExecutionPlan plan = BuildPlan(tri, stats, PlanOptions::Light());
+  WorkerPool pool(2);
+  WorkerPool::QuerySpec spec;
+  spec.graph = &g;
+  spec.plan = &plan;
+  std::atomic<int> fired{0};
+  std::atomic<uint64_t> async_matches{0};
+  spec.on_done = [&](const ParallelResult& r) {
+    fired.fetch_add(1);
+    async_matches.store(r.num_matches);
+  };
+  WorkerPool::QueryHandle handle = pool.Submit(spec);
+  const ParallelResult result = handle.Wait();
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(async_matches.load(), result.num_matches);
+  EXPECT_GT(result.num_matches, 0u);
 }
 
 class ParallelCountTest : public ::testing::TestWithParam<int> {};

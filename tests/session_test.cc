@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -176,8 +179,135 @@ TEST(SessionTest, TimeLimitAbortsSessionQuery) {
   RunOptions options;
   options.time_limit_seconds = 1e-3;
   const RunResult r = session.Submit(Named("P5"), options).Wait();
-  EXPECT_TRUE(r.error.empty());
+  // Pool-path deadlines are structured errors now: timed_out plus a
+  // machine-readable deadline_exceeded prefix (partial count retained).
   EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.outcome, QueryOutcome::kDeadlineExceeded);
+  EXPECT_EQ(r.error.rfind(kDeadlineExceededPrefix, 0), 0u) << r.error;
+  EXPECT_EQ(session.stats().deadline_exceeded, 1u);
+}
+
+TEST(SessionTest, DeadlineCoversQueueWait) {
+  // One worker + a long-running head query: the victim spends its whole
+  // budget waiting in the queue, so its deadline must fire even though it
+  // never executed a range.
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/5));
+  SessionOptions so;
+  so.threads = 1;
+  Session session(g, so);
+  Session::Ticket head = session.Submit(Named("P6"));
+  RunOptions options;
+  options.time_limit_seconds = 1e-3;
+  Session::Ticket victim = session.Submit(Named("P5"), options);
+  const RunResult r = victim.Wait();
+  EXPECT_EQ(r.outcome, QueryOutcome::kDeadlineExceeded);
+  EXPECT_EQ(r.error.rfind(kDeadlineExceededPrefix, 0), 0u) << r.error;
+  session.Cancel(head.query_id());
+  head.Wait();
+}
+
+TEST(SessionTest, SerialInlinePathKeepsClassicOot) {
+  // RunSync with threads == 1 is the one-shot Run contract: timed_out set,
+  // no error, outcome stays kOk.
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/5));
+  Session session(g, {});
+  RunOptions options;
+  options.threads = 1;
+  options.time_limit_seconds = 1e-4;
+  const RunResult r = session.RunSync(Named("P6"), options);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.outcome, QueryOutcome::kOk);
+}
+
+TEST(SessionTest, AdmissionLimitRejectsWithStructuredError) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/5));
+  SessionOptions so;
+  so.threads = 1;
+  so.max_pending_queries = 1;
+  Session session(g, so);
+  Session::Ticket head = session.Submit(Named("P6"));
+  // The only slot is taken: this submit is rejected at admission, before
+  // any plan work or queueing.
+  const RunResult rejected = session.Submit(Named("triangle")).Wait();
+  EXPECT_EQ(rejected.outcome, QueryOutcome::kOverloadRejected);
+  EXPECT_EQ(rejected.error.rfind(kOverloadRejectedPrefix, 0), 0u)
+      << rejected.error;
+  EXPECT_EQ(rejected.num_matches, 0u);
+  EXPECT_EQ(session.stats().overload_rejected, 1u);
+  session.Cancel(head.query_id());
+  head.Wait();
+  // Slot freed: the next query is admitted and completes normally.
+  const RunResult ok = session.Submit(Named("triangle")).Wait();
+  EXPECT_TRUE(ok.ok()) << ok.error;
+}
+
+TEST(SessionTest, CancelDeliversCancelledOutcome) {
+  const Graph g = RelabelByDegree(BarabasiAlbert(20000, 8, /*seed=*/5));
+  SessionOptions so;
+  so.threads = 1;
+  Session session(g, so);
+  Session::Ticket t = session.Submit(Named("P6"));
+  const bool delivered = session.Cancel(t.query_id());
+  const RunResult r = t.Wait();
+  if (delivered) {
+    EXPECT_EQ(r.outcome, QueryOutcome::kCancelled);
+    EXPECT_EQ(r.error.rfind(kCancelledPrefix, 0), 0u) << r.error;
+    EXPECT_EQ(session.stats().cancelled, 1u);
+  } else {
+    // Lost the race to clean completion: full result, no error.
+    EXPECT_TRUE(r.ok()) << r.error;
+  }
+  // Unknown / already-finished ids are a no-op false.
+  EXPECT_FALSE(session.Cancel(t.query_id()));
+  EXPECT_FALSE(session.Cancel(0));
+}
+
+TEST(SessionTest, SubmitAsyncDeliversCallbackResult) {
+  const Graph g = TestGraph();
+  const Pattern triangle = Named("triangle");
+  RunOptions serial;
+  serial.threads = 1;
+  const uint64_t expected = light::Run(g, triangle, serial).num_matches;
+
+  Session session(g, {});
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool fired = false;
+  RunResult async_result;
+  const uint64_t qid = session.SubmitAsync(
+      triangle, RunOptions{}, [&](const RunResult& r) {
+        std::lock_guard<std::mutex> lock(mutex);
+        async_result = r;
+        fired = true;
+        cv.notify_all();
+      });
+  EXPECT_NE(qid, 0u);
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30), [&] {
+    return fired;
+  }));
+  EXPECT_TRUE(async_result.ok()) << async_result.error;
+  EXPECT_EQ(async_result.num_matches, expected);
+  EXPECT_EQ(async_result.query_stats.query_id, qid);
+  EXPECT_EQ(session.stats().queries_completed, 1u);
+}
+
+TEST(SessionTest, SubmitAsyncReportsValidationErrorInline) {
+  const Graph g = TestGraph();
+  Session session(g, {});
+  RunOptions bad;
+  bad.threads = -2;
+  std::atomic<int> fired{0};
+  RunResult r;
+  session.SubmitAsync(Named("triangle"), bad, [&](const RunResult& result) {
+    r = result;
+    fired.fetch_add(1);
+  });
+  // Pre-execution failures fire the callback inline from SubmitAsync.
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.outcome, QueryOutcome::kError);
 }
 
 TEST(SessionTest, ReportStampsSessionTool) {
@@ -333,6 +463,27 @@ TEST(SessionObsTest, FindStuckQueriesComparesProgressSnapshots) {
 
   EXPECT_TRUE(FindStuckQueries({}, curr).empty());
   EXPECT_TRUE(FindStuckQueries(prev, {}).empty());
+}
+
+TEST(SessionObsTest, WatchdogIgnoresAbortedQueryWithOutstandingLease) {
+  // Regression: a deadline-killed query whose worker still holds a lease
+  // legitimately stops advancing — the watchdog must not report it stuck.
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr, 0, /*query_id=*/42);
+  queue.Push(q, {0, 100});
+  EXPECT_FALSE(queue.Activate(q));
+  MultiQueryQueue::Lease lease;
+  ASSERT_TRUE(queue.Pop(&lease));
+  EXPECT_FALSE(queue.Abort(q));  // lease outstanding: not the completing call
+  const auto before = queue.SnapshotProgress();
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_TRUE(before[0].aborted);
+  // No lease movement across the window, exactly the stuck signature —
+  // but the abort makes it expected.
+  const auto after = queue.SnapshotProgress();
+  EXPECT_TRUE(FindStuckQueries(before, after).empty());
+  EXPECT_TRUE(queue.Done(lease));
+  EXPECT_TRUE(queue.Release(q));
 }
 
 TEST(SessionObsTest, FillSessionReportMirrorsSessionState) {

@@ -378,10 +378,22 @@ int main(int argc, char** argv) {
                    "warning: --metrics-json is not supported with --batch\n");
     }
 
+    // Failed queries must be loud and must fail the run: a hard error
+    // (validation, lint) exits 1, a budget kill (deadline / classic OOT)
+    // exits 2. Only completed queries count toward the throughput line.
     bool any_error = false;
     bool any_timeout = false;
+    size_t completed = 0;
     for (size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
+      if (r.outcome == QueryOutcome::kDeadlineExceeded) {
+        any_timeout = true;
+        std::printf("[%zu] %s: DEADLINE matches=%llu (partial) time=%s: %s\n",
+                    i, names[i].c_str(),
+                    static_cast<unsigned long long>(r.num_matches),
+                    FormatSeconds(r.elapsed_seconds).c_str(), r.error.c_str());
+        continue;
+      }
       if (!r.ok()) {
         any_error = true;
         std::printf("[%zu] %s: error: %s\n", i, names[i].c_str(),
@@ -389,6 +401,7 @@ int main(int argc, char** argv) {
         continue;
       }
       any_timeout = any_timeout || r.timed_out;
+      if (!r.timed_out) ++completed;
       const obs::QueryStats& qs = r.query_stats;
       std::printf(
           "[%zu] %s: %s matches=%llu time=%s queue=%s plan=%s%s exec=%s\n", i,
@@ -402,10 +415,10 @@ int main(int argc, char** argv) {
     }
     const SessionStats session_stats = session.stats();
     std::printf(
-        "batch: %zu queries in %s (%.1f queries/s) threads=%d "
+        "batch: %zu/%zu queries completed in %s (%.1f queries/s) threads=%d "
         "plan_cache hits=%llu misses=%llu\n",
-        results.size(), FormatSeconds(batch_seconds).c_str(),
-        batch_seconds > 0 ? static_cast<double>(results.size()) / batch_seconds
+        completed, results.size(), FormatSeconds(batch_seconds).c_str(),
+        batch_seconds > 0 ? static_cast<double>(completed) / batch_seconds
                           : 0.0,
         session_stats.pool_threads,
         static_cast<unsigned long long>(session_stats.plan_cache_hits),

@@ -119,13 +119,15 @@ int main(int argc, char** argv) {
   const Status status = fuzz::RunFuzz(options, &summary);
   std::printf(
       "light_fuzz: seed=%llu cases=%llu divergences=%llu bitmap_cases=%llu "
-      "lint_violations=%llu session_cases=%llu time=%.1fs\n",
+      "lint_violations=%llu session_cases=%llu deadline_cases=%llu "
+      "time=%.1fs\n",
       static_cast<unsigned long long>(options.seed),
       static_cast<unsigned long long>(summary.cases_run),
       static_cast<unsigned long long>(summary.divergences),
       static_cast<unsigned long long>(summary.bitmap_routed_cases),
       static_cast<unsigned long long>(summary.lint_violations),
       static_cast<unsigned long long>(summary.session_cases),
+      static_cast<unsigned long long>(summary.deadline_cases),
       summary.elapsed_seconds);
   if (summary.session_cases > 0) {
     std::printf(
