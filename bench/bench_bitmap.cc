@@ -157,7 +157,7 @@ int main(int argc, char** argv) {
     RunOptions opts;
     opts.threads = 1;
     opts.time_limit_seconds = args.time_limit_seconds;
-    opts.bitmap_min_degree = i == 0 ? kBitmapDegreeNever : 0;
+    opts.plan_options.bitmap_min_degree = i == 0 ? kBitmapDegreeNever : 0;
     const light::RunResult r = Run(egraph, triangle, opts);
     if (!r.ok()) {
       std::fprintf(stderr, "FATAL: %s\n", r.error.c_str());

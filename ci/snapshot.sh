@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Perf-snapshot harness: runs the CI-gated benches (bench_obs_overhead,
-# bench_bitmap, bench_session) and the light_server/light_client load-gen
-# leg with --json, consolidates their records into one
+# bench_bitmap, bench_session, bench_iep) and the light_server/light_client
+# load-gen leg with --json, consolidates their records into one
 # light.bench_snapshot.v1 document, and — in comparison mode — fails when a
 # dimensionless metric regressed more than the tolerance against a
-# committed baseline (BENCH_PR7.json).
+# committed baseline (BENCH_PR8.json).
 #
 # Only RATIOS and SPEEDUPS are compared, never absolute seconds: snapshots
 # are taken on different machines, and wall-clock times do not transfer.
@@ -37,7 +37,7 @@ if [[ ! -x "$build_dir/bench/bench_obs_overhead" || \
   echo "==> benches missing; building $build_dir"
   cmake -B "$build_dir" -S . >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
-    --target bench_obs_overhead bench_bitmap bench_session \
+    --target bench_obs_overhead bench_bitmap bench_session bench_iep \
              light_server light_client
 fi
 
@@ -54,6 +54,16 @@ echo "==> bench_bitmap (both-bitmap intersections >= 1.3x array)"
 
 echo "==> bench_session (batch amortization >= 1.15x, single-query parity)"
 "$build_dir/bench/bench_session" --check --json "$tmp/session.jsonl"
+
+# Counting leg: IEP must beat plain enumeration >= 3x on at least two dense
+# workloads (stars on hub-heavy graphs). Scale 0.25 lets the star4
+# enumeration leg finish (counts cross-checked); star5 enumeration cannot
+# finish at any scale, so its speedup is a time-limit floor and the
+# snapshot metric below uses the SECOND-best workload speedup, which comes
+# from a fully measured leg.
+echo "==> bench_iep (inclusion-exclusion counting >= 3x on two workloads)"
+"$build_dir/bench/bench_iep" --check 3 --scale 0.25 --time-limit 20 \
+  --json "$tmp/iep.jsonl"
 
 # Serving load-gen: light_client against a live light_server, once closed
 # loop (one request outstanding) and once saturating with a deep window.
@@ -125,6 +135,20 @@ speedups = [v["micro_array"] / v["micro_bitmap"]
 # single_ratio (lower = better).
 session = jsonl(f"{tmp}/session.jsonl")[-1]
 
+# bench_iep: enumerate/iep rows per (dataset, pattern) workload; speedup is
+# enumerate/iep seconds (higher = better). OOT enumerate legs are floors,
+# so the gated metric is the second-best workload speedup — star5's floor
+# always ranks first, leaving a fully measured ratio as the metric.
+iep_runs = {}
+for row in jsonl(f"{tmp}/iep.jsonl"):
+    key = f'{row["dataset"]}/{row["pattern"]}'
+    iep_runs.setdefault(key, {})[row["variant"]] = row
+iep_speedups = {k: v["enumerate"]["seconds"] / v["iep"]["seconds"]
+                for k, v in iep_runs.items()
+                if v.get("enumerate") and v.get("iep")
+                and v["iep"]["seconds"] > 0}
+iep_second_best = sorted(iep_speedups.values(), reverse=True)[1]
+
 # light_client: two fixed (closed-loop) and two saturate records; the
 # dimensionless saturation speedup is the ratio of the best throughput per
 # mode. It measures how much the serving stack gains from pipelining +
@@ -154,6 +178,10 @@ metrics = {
     # entry's own tolerance (read by the compare pass) absorbs that.
     "server.saturation_speedup": {"value": saturation_speedup,
                                   "better": "higher", "tolerance": 20},
+    # The IEP leg finishes in milliseconds while enumeration runs seconds,
+    # so the ratio is huge and its denominator timer-noisy; widen the band.
+    "count.iep_speedup": {"value": iep_second_best,
+                          "better": "higher", "tolerance": 40},
 }
 snapshot = {
     "schema": "light.bench_snapshot.v1",
@@ -164,6 +192,8 @@ snapshot = {
                                              for k, v in micro.items()},
                          "best_speedup": max(speedups)},
         "bench_session": session,
+        "bench_iep": {"workload_speedups": iep_speedups,
+                      "second_best_speedup": iep_second_best},
         "light_client": {"fixed": fixed, "saturate": saturate,
                          "saturation_speedup": saturation_speedup},
     },

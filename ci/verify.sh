@@ -56,14 +56,15 @@ if [[ "$skip_tidy" -eq 0 ]]; then
 fi
 
 if [[ "$skip_bench" -eq 0 ]]; then
-  # ci/snapshot.sh runs the three CI-gated benches (each enforcing its own
+  # ci/snapshot.sh runs the four CI-gated benches (each enforcing its own
   # acceptance gate: obs overhead < 3% with lifecycle armed, bitmap >= 1.3x,
-  # session batch >= 1.15x) plus the light_server/light_client load-gen leg,
-  # consolidates their JSON into one snapshot, and fails on >10% regression
-  # of any dimensionless metric vs the committed baseline. Regenerate the
-  # baseline with: ci/snapshot.sh --out BENCH_PR7.json
+  # session batch >= 1.15x, IEP counting >= 3x on two dense workloads) plus
+  # the light_server/light_client load-gen leg, consolidates their JSON into
+  # one snapshot, and fails on >10% regression of any dimensionless metric
+  # vs the committed baseline. Regenerate the baseline with:
+  # ci/snapshot.sh --out BENCH_PR8.json
   echo "==> perf snapshot: CI-gated benches vs committed baseline"
-  ci/snapshot.sh --out build/bench_snapshot.json --compare BENCH_PR7.json
+  ci/snapshot.sh --out build/bench_snapshot.json --compare BENCH_PR8.json
 
   echo "==> session report: --batch emits a parseable light.session_report.v1"
   printf 'triangle\nP1\nP2\ntriangle\nP1\n' > build/verify_batch.txt
@@ -233,6 +234,21 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   # summary line going missing means the lifecycle plumbing went dark.
   if ! grep -q "session_latency p50=" "$fuzz_log"; then
     echo "==> fuzz smoke printed no session-latency quantiles" >&2
+    exit 1
+  fi
+  # The GraphPi-style restriction oracle (co-optimized order + restriction
+  # plans cross-checked against the GK baseline) must have run at least
+  # once; zero means the restriction planner went untested.
+  restriction_cases="$(sed -n 's/.*restriction_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
+  if [[ -z "$restriction_cases" || "$restriction_cases" -lt 1 ]]; then
+    echo "==> fuzz smoke exercised no restriction-plan cases" >&2
+    exit 1
+  fi
+  # Likewise the inclusion-exclusion counting oracle (IEP decomposition
+  # linted for exactness, term-combined count vs direct enumeration).
+  iep_cases="$(sed -n 's/.*iep_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
+  if [[ -z "$iep_cases" || "$iep_cases" -lt 1 ]]; then
+    echo "==> fuzz smoke exercised no IEP-counting cases" >&2
     exit 1
   fi
 fi

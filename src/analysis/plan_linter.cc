@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <unordered_map>
@@ -112,14 +113,97 @@ void CheckOrder(const Pattern& pattern, const ExecutionPlan& plan,
 
 void CheckSigma(const Pattern& pattern, const ExecutionPlan& plan,
                 LintReport* report) {
-  if (!ValidateExecutionOrder(pattern, plan.pi, plan.sigma)) {
+  if (!ValidateExecutionOrder(pattern, plan.pi, plan.sigma,
+                              plan.counted_tail)) {
     report->Add(LintSeverity::kError, "sigma-structure",
                 "execution order violates the Section-IV invariants "
                 "(one MAT per vertex, COMP per non-first vertex in pi "
                 "order, backward neighbors materialized before COMP, "
-                "COMP before MAT): " +
+                "COMP before MAT; counted tail vertices close sigma with "
+                "bare COMP ops): " +
                     ExecutionOrderToString(plan.sigma));
   }
+}
+
+// --- Counted-tail (IEP term plan) rules ------------------------------------
+
+/// The counted tail trades materialization for a candidate-count product:
+/// tail candidates are never bound to data vertices, so no per-candidate
+/// check (symmetry bound, non-adjacency, another vertex's operand) may
+/// involve them, and the tail must be pattern-independent for the product
+/// to be exact. Returns false when the tail indices are unusable.
+bool CheckCountedTail(const Pattern& pattern, const ExecutionPlan& plan,
+                      LintReport* report) {
+  if (plan.counted_tail.empty()) return true;
+  const int n = pattern.NumVertices();
+  uint32_t tail_mask = 0;
+  for (const int t : plan.counted_tail) {
+    if (t < 0 || t >= n) {
+      report->Add(LintSeverity::kError, "plan-shape",
+                  "counted tail vertex " + std::to_string(t) +
+                      " is out of range for a " + std::to_string(n) +
+                      "-vertex pattern");
+      return false;
+    }
+    tail_mask |= 1u << t;
+  }
+
+  if (plan.options.symmetry_breaking) {
+    report->Add(LintSeverity::kError, "iep-tail-symmetry",
+                "counted-tail plan built with symmetry breaking: IEP "
+                "closure needs every kernel embedding, restrictions would "
+                "undercount");
+  }
+
+  for (size_t i = 0; i < plan.counted_tail.size(); ++i) {
+    for (size_t j = i + 1; j < plan.counted_tail.size(); ++j) {
+      const int a = plan.counted_tail[i];
+      const int b = plan.counted_tail[j];
+      if (pattern.HasEdge(a, b)) {
+        report->Add(LintSeverity::kError, "iep-tail-not-independent",
+                    "counted tail vertices " + VertexName(a) + " and " +
+                        VertexName(b) +
+                        " are adjacent: their candidate sets are not "
+                        "independent, so counting |C| products overcounts",
+                    a, {a, b});
+      }
+    }
+  }
+
+  auto constrained = [&](int u, const std::string& how) {
+    report->Add(LintSeverity::kError, "iep-tail-constrained",
+                "counted tail vertex " + VertexName(u) + " " + how +
+                    ": tail candidates are counted, never materialized, so "
+                    "per-candidate checks cannot run",
+                u);
+  };
+  for (const auto& [a, b] : plan.partial_order) {
+    if (a >= 0 && a < n && ((tail_mask >> a) & 1u)) {
+      constrained(a, "appears in the symmetry-breaking partial order");
+    }
+    if (b >= 0 && b < n && ((tail_mask >> b) & 1u)) {
+      constrained(b, "appears in the symmetry-breaking partial order");
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    const bool u_tail = ((tail_mask >> u) & 1u) != 0;
+    auto scan = [&](const std::vector<int>& list, const char* kind) {
+      if (u_tail && !list.empty()) {
+        constrained(u, std::string("carries ") + kind + " checks");
+        return;
+      }
+      for (const int w : list) {
+        if (w >= 0 && w < n && ((tail_mask >> w) & 1u)) {
+          constrained(w, std::string("is referenced by a ") + kind +
+                             " check of " + VertexName(u));
+        }
+      }
+    };
+    scan(plan.lower_bounds[static_cast<size_t>(u)], "lower-bound");
+    scan(plan.upper_bounds[static_cast<size_t>(u)], "upper-bound");
+    scan(plan.non_adjacent[static_cast<size_t>(u)], "non-adjacency");
+  }
+  return true;
 }
 
 // --- Symmetry-breaking rules ----------------------------------------------
@@ -456,7 +540,10 @@ void CheckOperands(const Pattern& pattern, const ExecutionPlan& plan,
       vertex_ok = false;
     }
 
-    if (vertex_ok && plan.options.minimum_set_cover &&
+    const bool counted =
+        std::find(plan.counted_tail.begin(), plan.counted_tail.end(), u) !=
+        plan.counted_tail.end();
+    if (vertex_ok && !counted && plan.options.minimum_set_cover &&
         options.check_cover_minimality && universe != 0) {
       // Rebuild Algorithm 3's candidate collection and compare sizes.
       std::vector<uint32_t> sets;
@@ -678,12 +765,16 @@ LintReport LintPlan(const Pattern& pattern, const ExecutionPlan& plan,
   CheckOrder(p, plan, &report);
   CheckSigma(p, plan, &report);
   const SigmaIndex sigma(p.NumVertices(), plan.sigma);
+  CheckCountedTail(p, plan, &report);
 
   const bool sb_structurally_ok =
       CheckPartialOrderStructure(p, plan, &report);
   if (sb_structurally_ok) {
     CheckConstraintWiring(p, plan, sigma, &report);
-    if (plan.options.symmetry_breaking) {
+    // The orbit check reasons about complete embeddings; a counted-tail
+    // plan never materializes the tail (and running it with symmetry
+    // breaking is already an iep-tail-symmetry error), so skip it there.
+    if (plan.options.symmetry_breaking && !plan.HasCountedTail()) {
       CheckAutomorphismConsistency(p, plan, options, &report);
     }
   }
@@ -691,6 +782,271 @@ LintReport LintPlan(const Pattern& pattern, const ExecutionPlan& plan,
   CheckOperands(p, plan, sigma, options, &report);
   CheckInducedWiring(p, plan, sigma, &report);
   CheckCardinality(p, plan, options, &report);
+  return report;
+}
+
+LintReport LintIepDecomposition(const Pattern& pattern,
+                                const IepDecomposition& dec) {
+  LintReport report;
+  const int n = pattern.NumVertices();
+
+  // --- iep-partition: kernel + tail must partition V(P), kernel non-empty.
+  if (dec.kernel.empty() || dec.tail.empty()) {
+    report.Add(LintSeverity::kError, "iep-partition",
+               dec.kernel.empty() ? "kernel is empty"
+                                  : "tail is empty (invalid decomposition)");
+    return report;
+  }
+  std::vector<int> seen(static_cast<size_t>(n), 0);
+  bool in_range = true;
+  for (const std::vector<int>* part : {&dec.kernel, &dec.tail}) {
+    for (const int u : *part) {
+      if (u < 0 || u >= n) {
+        report.Add(LintSeverity::kError, "iep-partition",
+                   "vertex " + std::to_string(u) + " is out of range");
+        in_range = false;
+      } else {
+        ++seen[static_cast<size_t>(u)];
+      }
+    }
+  }
+  if (!in_range) return report;
+  for (int u = 0; u < n; ++u) {
+    if (seen[static_cast<size_t>(u)] != 1) {
+      report.Add(LintSeverity::kError, "iep-partition",
+                 VertexName(u) + " appears " +
+                     std::to_string(seen[static_cast<size_t>(u)]) +
+                     " times across kernel and tail (must be exactly once)",
+                 u);
+    }
+  }
+  if (!report.ok()) return report;
+
+  // --- iep-tail-not-independent: no pattern edge inside the tail.
+  const int m = static_cast<int>(dec.tail.size());
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      const int a = dec.tail[static_cast<size_t>(i)];
+      const int b = dec.tail[static_cast<size_t>(j)];
+      if (pattern.HasEdge(a, b)) {
+        report.Add(LintSeverity::kError, "iep-tail-not-independent",
+                   "tail vertices " + VertexName(a) + " and " +
+                       VertexName(b) + " are adjacent",
+                   a, {a, b});
+      }
+    }
+  }
+
+  // --- iep-kernel-disconnected.
+  uint32_t kernel_mask = 0;
+  for (const int u : dec.kernel) kernel_mask |= 1u << u;
+  if (!pattern.InducedConnected(kernel_mask)) {
+    report.Add(LintSeverity::kError, "iep-kernel-disconnected",
+               "the kernel does not induce a connected sub-pattern: kernel "
+               "embeddings cannot be enumerated as one component");
+  }
+  if (!report.ok()) return report;
+
+  // --- iep-automorphism-count.
+  const uint64_t aut = FindAutomorphisms(pattern).size();
+  if (aut != dec.automorphism_count) {
+    report.Add(LintSeverity::kError, "iep-automorphism-count",
+               "decomposition stores |Aut(P)| = " +
+                   std::to_string(dec.automorphism_count) +
+                   " but the group has order " + std::to_string(aut) +
+                   ": the emb(P) -> unique division is wrong");
+  }
+
+  // --- Independent re-expansion of the partition lattice. A merged vertex
+  // is (kernel-neighborhood mask over kernel indices, required label); a
+  // term key is the sorted multiset of its merged vertices.
+  using Merged = std::pair<uint32_t, uint32_t>;
+  const int k = static_cast<int>(dec.kernel.size());
+  std::vector<int> old_to_kernel(static_cast<size_t>(n), -1);
+  for (int i = 0; i < k; ++i) {
+    old_to_kernel[static_cast<size_t>(dec.kernel[static_cast<size_t>(i)])] = i;
+  }
+  std::vector<Merged> tail_info(static_cast<size_t>(m));
+  for (int t = 0; t < m; ++t) {
+    const int u = dec.tail[static_cast<size_t>(t)];
+    uint32_t mask = 0;
+    for (int w = 0; w < n; ++w) {
+      if (pattern.HasEdge(u, w) && old_to_kernel[static_cast<size_t>(w)] >= 0) {
+        mask |= 1u << old_to_kernel[static_cast<size_t>(w)];
+      }
+    }
+    tail_info[static_cast<size_t>(t)] = {mask, pattern.Label(u)};
+  }
+
+  std::map<std::vector<Merged>, int64_t> expected;
+  std::vector<int> assign(static_cast<size_t>(m), 0);
+  auto expand = [&](auto&& self, int i, int num_blocks) -> void {
+    if (i == m) {
+      std::vector<Merged> key;
+      key.reserve(static_cast<size_t>(num_blocks));
+      int64_t coefficient = 1;
+      for (int b = 0; b < num_blocks; ++b) {
+        uint32_t mask = 0;
+        uint32_t label = 0;
+        int size = 0;
+        for (int t = 0; t < m; ++t) {
+          if (assign[static_cast<size_t>(t)] != b) continue;
+          ++size;
+          mask |= tail_info[static_cast<size_t>(t)].first;
+          const uint32_t member = tail_info[static_cast<size_t>(t)].second;
+          if (member == 0) continue;
+          if (label != 0 && label != member) {
+            coefficient = 0;  // conflicting labels: empty intersection
+            break;
+          }
+          label = member;
+        }
+        if (coefficient == 0) break;
+        int64_t fact = 1;
+        for (int f = 2; f < size; ++f) fact *= f;
+        coefficient *= (size % 2 == 1 ? 1 : -1) * fact;
+        key.emplace_back(mask, label);
+      }
+      if (coefficient != 0) {
+        std::sort(key.begin(), key.end());
+        expected[key] += coefficient;
+      }
+      return;
+    }
+    for (int b = 0; b <= num_blocks; ++b) {
+      assign[static_cast<size_t>(i)] = b;
+      self(self, i + 1, std::max(num_blocks, b + 1));
+    }
+  };
+  expand(expand, 0, 0);
+  for (auto it = expected.begin(); it != expected.end();) {
+    it = it->second == 0 ? expected.erase(it) : std::next(it);
+  }
+
+  // --- Extract the stored terms into the same key space, validating each
+  // term's structure along the way.
+  std::map<std::vector<Merged>, int64_t> actual;
+  for (size_t ti = 0; ti < dec.terms.size(); ++ti) {
+    const IepTerm& term = dec.terms[ti];
+    const std::string where = "term " + std::to_string(ti);
+    const int blocks = static_cast<int>(term.counted_tail.size());
+    bool shape_ok = term.pattern.NumVertices() == k + blocks && blocks >= 1;
+    for (int b = 0; shape_ok && b < blocks; ++b) {
+      shape_ok = term.counted_tail[static_cast<size_t>(b)] == k + b;
+    }
+    if (!shape_ok) {
+      report.Add(LintSeverity::kError, "iep-term-mismatch",
+                 where + " is malformed: counted tail must be the trailing "
+                         "vertices k..k+blocks-1 of the term pattern");
+      continue;
+    }
+    if (term.coefficient == 0) {
+      report.Add(LintSeverity::kError, "iep-term-mismatch",
+                 where + " carries a zero coefficient (should have been "
+                         "dropped)");
+      continue;
+    }
+    bool kernel_ok = true;
+    for (int i = 0; i < k && kernel_ok; ++i) {
+      const int u = dec.kernel[static_cast<size_t>(i)];
+      kernel_ok = term.pattern.Label(i) == pattern.Label(u);
+      for (int j = i + 1; j < k && kernel_ok; ++j) {
+        kernel_ok = term.pattern.HasEdge(i, j) ==
+                    pattern.HasEdge(u, dec.kernel[static_cast<size_t>(j)]);
+      }
+    }
+    if (!kernel_ok) {
+      report.Add(LintSeverity::kError, "iep-term-mismatch",
+                 where + "'s kernel sub-pattern differs from the induced "
+                         "kernel of the original pattern");
+      continue;
+    }
+    std::vector<Merged> key;
+    bool merged_ok = true;
+    const uint32_t kernel_bits = (1u << k) - 1u;  // k <= 31: blocks >= 1
+    for (int b = 0; b < blocks; ++b) {
+      const uint32_t neighbors = term.pattern.NeighborMask(k + b);
+      if (neighbors == 0 || (neighbors & ~kernel_bits) != 0) {
+        merged_ok = false;
+        break;
+      }
+      key.emplace_back(neighbors, term.pattern.Label(k + b));
+    }
+    if (!merged_ok) {
+      report.Add(LintSeverity::kError, "iep-term-mismatch",
+                 where + "'s merged vertices must be adjacent to kernel "
+                         "vertices only (and at least one)");
+      continue;
+    }
+    std::sort(key.begin(), key.end());
+    actual[key] += term.coefficient;
+  }
+
+  int reported = 0;
+  for (const auto& [key, coefficient] : expected) {
+    const auto it = actual.find(key);
+    const int64_t got = it == actual.end() ? 0 : it->second;
+    if (got != coefficient && reported < 5) {
+      ++reported;
+      report.Add(LintSeverity::kError, "iep-term-mismatch",
+                 "a " + std::to_string(key.size()) +
+                     "-block term has coefficient " + std::to_string(got) +
+                     " but the partition lattice requires " +
+                     std::to_string(coefficient));
+    }
+  }
+  for (const auto& [key, coefficient] : actual) {
+    if (expected.find(key) == expected.end() && reported < 5) {
+      ++reported;
+      report.Add(LintSeverity::kError, "iep-term-mismatch",
+                 "a " + std::to_string(key.size()) +
+                     "-block term (coefficient " +
+                     std::to_string(coefficient) +
+                     ") does not arise from any partition of the tail");
+    }
+  }
+
+  // --- Falling-factorial identity. Substituting a common candidate count x
+  // for every |C| turns the signed term sum into
+  //   sum_theta mu(theta) x^{#blocks(theta)},
+  // which by Mobius inversion equals the number of injective tail
+  // placements x (x-1) ... (x-|S|+1). Both sides are degree-|S|
+  // polynomials, so agreement at |S|+3 points proves the identity. Label
+  // conflicts legitimately drop partitions (their blocks intersect to the
+  // empty set for EVERY x), so the identity only binds label-compatible
+  // tails.
+  bool droppable = false;
+  for (int i = 0; i < m && !droppable; ++i) {
+    for (int j = i + 1; j < m && !droppable; ++j) {
+      const uint32_t a = tail_info[static_cast<size_t>(i)].second;
+      const uint32_t b = tail_info[static_cast<size_t>(j)].second;
+      droppable = a != 0 && b != 0 && a != b;
+    }
+  }
+  if (droppable) {
+    report.Add(LintSeverity::kInfo, "iep-sum-skipped",
+               "falling-factorial identity skipped: conflicting tail labels "
+               "legitimately dropped partition terms");
+  } else {
+    for (int64_t x = 0; x <= m + 2; ++x) {
+      int64_t lhs = 0;
+      for (const auto& [key, coefficient] : actual) {
+        int64_t power = 1;
+        for (size_t b = 0; b < key.size(); ++b) power *= x;
+        lhs += coefficient * power;
+      }
+      int64_t rhs = 1;
+      for (int64_t f = 0; f < m; ++f) rhs *= x - f;
+      if (lhs != rhs) {
+        report.Add(LintSeverity::kError, "iep-sum-inexact",
+                   "sign-weighted term sum at x = " + std::to_string(x) +
+                       " is " + std::to_string(lhs) +
+                       " but x(x-1)...(x-|S|+1) = " + std::to_string(rhs) +
+                       ": the inclusion-exclusion closure is not exact");
+        break;
+      }
+    }
+  }
   return report;
 }
 

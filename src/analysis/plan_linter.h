@@ -48,6 +48,36 @@
 ///                         every possible degree (warning)
 ///   bitmap-budget-zero    index enabled with a zero byte budget (warning)
 ///
+/// Counted-tail plans (plan/iep.h term plans) add:
+///
+///   iep-tail-not-independent  two counted tail vertices are adjacent in
+///                         the pattern (tail candidate sets would not be
+///                         independent, so the product closure is wrong)
+///   iep-tail-constrained  a counted tail vertex carries symmetry bounds or
+///                         non-adjacency checks (tail candidates are
+///                         counted, never materialized — nothing can be
+///                         checked per candidate)
+///   iep-tail-symmetry     counted-tail plan built with symmetry breaking
+///                         (IEP needs every kernel embedding; restrictions
+///                         would undercount)
+///
+/// LintIepDecomposition proves an inclusion–exclusion decomposition exact:
+///
+///   iep-partition         kernel + tail is not a partition of V(P), or the
+///                         kernel is empty
+///   iep-kernel-disconnected   the kernel does not induce a connected
+///                         sub-pattern
+///   iep-automorphism-count    stored |Aut(P)| differs from the recomputed
+///                         group order
+///   iep-term-mismatch     the term multiset differs from an independent
+///                         re-expansion of the partition lattice (missing,
+///                         extra, malformed, or mis-weighted term)
+///   iep-sum-inexact       the sign-weighted term sum violates the
+///                         falling-factorial identity
+///                         sum_theta mu(theta) x^{#blocks} = x^(|S|) falling
+///   iep-sum-skipped       the identity was skipped: label conflicts
+///                         legitimately dropped terms (info)
+///
 /// The automorphism consistency check is exhaustive and exact: a
 /// symmetry-breaking partial order is correct iff every orbit of the n!
 /// relative orderings of pattern vertices under Aut(P) contains exactly one
@@ -67,6 +97,7 @@
 #include <vector>
 
 #include "pattern/pattern.h"
+#include "plan/iep.h"
 #include "plan/plan.h"
 
 namespace light::analysis {
@@ -136,6 +167,19 @@ struct LintOptions {
 /// enumerate; checked against plan.pattern). Pure function, no I/O.
 LintReport LintPlan(const Pattern& pattern, const ExecutionPlan& plan,
                     const LintOptions& options = {});
+
+/// Proves an inclusion–exclusion decomposition (plan/iep.h) of `pattern`
+/// exact: the kernel/tail split partitions V(P) with an independent tail
+/// and a connected kernel, the stored |Aut(P)| matches the recomputed group
+/// order, the deduplicated term multiset matches an independent
+/// re-expansion of the partition lattice, and the sign-weighted term sum
+/// satisfies the falling-factorial identity
+///   sum_terms coeff * x^{#merged} = x (x-1) ... (x-|S|+1)
+/// at x = 0..|S|+2 (a degree-|S| polynomial identity, so |S|+3 points pin
+/// it; skipped with an info note when label conflicts legitimately dropped
+/// partition terms). Pure function, no I/O.
+LintReport LintIepDecomposition(const Pattern& pattern,
+                                const IepDecomposition& decomposition);
 
 /// Value-range lint of the facade's bitmap-routing knobs (the
 /// threshold/density/budget preconditions RunOptions::Validate enforces,

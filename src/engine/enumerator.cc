@@ -72,6 +72,8 @@ Enumerator::Enumerator(const Graph& graph, const ExecutionPlan& plan,
   LIGHT_CHECK(num_ops_ >= 1);
   LIGHT_CHECK(plan_.sigma[0].type == OpType::kMaterialize);
   LIGHT_CHECK(plan_.sigma[0].vertex == plan_.FirstVertex());
+  LIGHT_CHECK(plan_.counted_tail.size() < num_ops_);
+  tail_begin_op_ = num_ops_ - plan_.counted_tail.size();
   if (!KernelAvailable(kernel_)) kernel_ = IntersectKernel::kHybrid;
 
   mapping_.assign(static_cast<size_t>(n), kInvalidVertex);
@@ -151,6 +153,10 @@ uint64_t Enumerator::Count() {
 }
 
 uint64_t Enumerator::Enumerate(MatchVisitor* visitor) {
+  // Counted-tail plans never materialize their tail, so there is no full
+  // mapping to visit — they exist for counting only (light::Run routes
+  // visitor queries to ordinary plans).
+  LIGHT_CHECK(!plan_.HasCountedTail());
   ResetStats();
   visitor_ = visitor;
   timer_.Restart();
@@ -257,6 +263,11 @@ void Enumerator::EmitMatch() {
 }
 
 void Enumerator::Run(size_t op_index) {
+  if (op_index == tail_begin_op_) {
+    // Kernel fully bound; close the match count analytically.
+    RunCountedTail();
+    return;
+  }
   if (plan_.sigma[op_index].type == OpType::kCompute) {
     RunCompute(op_index);
   } else {
@@ -293,6 +304,10 @@ void Enumerator::RunCompute(size_t op_index) {
     Run(op_index + 1);
     return;
   }
+  if (ComputeCandidateSet(u) > 0) Run(op_index + 1);
+}
+
+uint32_t Enumerator::ComputeCandidateSet(int u) {
   const Operands& ops = plan_.operands[static_cast<size_t>(u)];
   // K1 operands are graph neighborhoods and may carry bitmap-index rows;
   // K2 operands are earlier candidate sets and are always array-only. With
@@ -341,7 +356,27 @@ void Enumerator::RunCompute(size_t op_index) {
     cand_data_[static_cast<size_t>(u)] = buffer.data();
     cand_size_[static_cast<size_t>(u)] = static_cast<uint32_t>(size);
   }
-  if (cand_size_[static_cast<size_t>(u)] > 0) Run(op_index + 1);
+  return cand_size_[static_cast<size_t>(u)];
+}
+
+void Enumerator::RunCountedTail() {
+  if (CheckDeadline()) return;
+  // Every tail candidate set is a kernel-neighborhood intersection, so it
+  // is sorted and disjoint from other tails' injectivity concerns (terms
+  // account for tail-tail collisions by construction); only bound KERNEL
+  // vertices must be subtracted.
+  uint64_t product = 1;
+  for (int t : plan_.counted_tail) {
+    const uint32_t size = ComputeCandidateSet(t);
+    const VertexID* data = cand_data_[static_cast<size_t>(t)];
+    uint64_t count = size;
+    for (VertexID b : bound_values_) {
+      if (std::binary_search(data, data + size, b)) --count;
+    }
+    if (count == 0) return;
+    product *= count;
+  }
+  stats_.num_matches += product;
 }
 
 void Enumerator::RunMaterialize(size_t op_index) {

@@ -128,6 +128,13 @@ class Enumerator {
   void Run(size_t op_index);
   void RunCompute(size_t op_index);
   void RunMaterialize(size_t op_index);
+  /// Terminal for counted-tail (IEP term) plans: with the whole kernel
+  /// bound, multiplies each tail vertex's candidate-set size (minus bound
+  /// kernel vertices inside it) into num_matches instead of recursing.
+  void RunCountedTail();
+  /// Intersection core shared by RunCompute and RunCountedTail: fills
+  /// cand_data_/cand_size_ for non-universal vertex u, returns the size.
+  uint32_t ComputeCandidateSet(int u);
   void EmitMatch();
   bool CheckDeadline();
 
@@ -150,6 +157,9 @@ class Enumerator {
   std::vector<uint64_t> word_scratch_;  // BitmapWords(|V|) when index attached
   IntersectKernel kernel_;
   size_t num_ops_ = 0;
+  /// Index in sigma of the first counted-tail COMP; num_ops_ when the plan
+  /// has no counted tail.
+  size_t tail_begin_op_ = 0;
 
   // Per pattern vertex.
   std::vector<VertexID> mapping_;

@@ -110,6 +110,14 @@ struct OracleOutcome {
   /// skipped. The driver aggregates these into a latency histogram so every
   /// fuzz sweep doubles as a serving-latency soak.
   uint64_t session_latency_ns = 0;
+  /// True when the restriction leg ran: the case was re-planned with
+  /// co-optimized (GraphPi-style, per-order) restriction sets and its count
+  /// cross-checked against the GK-restriction pivot.
+  bool restriction_checked = false;
+  /// True when the IEP leg ran: the pattern admitted an inclusion–exclusion
+  /// decomposition (plan/iep.h) and light::Run with count_strategy=kIep was
+  /// cross-checked against the enumerated pivot.
+  bool iep_checked = false;
   /// True when the session oracle's random tiny-deadline submission was
   /// actually killed by its deadline (structured deadline_exceeded error).
   /// The driver counts these so a sweep provably exercises the deadline
@@ -174,6 +182,12 @@ struct FuzzSummary {
   /// deadline (OracleOutcome::deadline_fired); the rest beat the deadline
   /// and had to reproduce the pivot count exactly.
   uint64_t deadline_cases = 0;
+  /// Cases the co-optimized-restriction leg ran on (CI asserts the smoke
+  /// run exercises the GraphPi restriction path).
+  uint64_t restriction_cases = 0;
+  /// Cases the inclusion–exclusion leg ran on (CI asserts the smoke run
+  /// exercises the IEP counting path).
+  uint64_t iep_cases = 0;
   /// Per-case session-query latency quantiles (nanoseconds), read off the
   /// histogram the driver fills from OracleOutcome::session_latency_ns.
   uint64_t session_latency_p50_ns = 0;

@@ -114,6 +114,74 @@ OracleOutcome RunOracles(const FuzzCase& c) {
   outcome.engines.push_back(RunSerial("serial_light", graph, light_plan, c));
   outcome.engines.push_back(RunSerial("serial_se", graph, se_plan, c));
 
+  // GraphPi-restriction leg: the same case planned with per-order
+  // co-optimized restriction sets (plan/restriction.h) must reproduce the
+  // pivot count — the restrictions kill exactly the automorphic images the
+  // GK partial order does, just potentially at different plan positions.
+  // Only meaningful with symmetry breaking on (off, both modes coincide).
+  if (c.symmetry_breaking) {
+    PlanOptions restricted_options = light_options;
+    restricted_options.restriction_mode = RestrictionMode::kCoOptimized;
+    const ExecutionPlan restricted_plan =
+        BuildPlan(c.pattern, graph, stats, restricted_options);
+    {
+      analysis::LintOptions lint_options;
+      lint_options.cardinality = analysis::AnalyticCardinalityFn(stats);
+      const analysis::LintReport report =
+          analysis::LintPlan(c.pattern, restricted_plan, lint_options);
+      const uint64_t violations = report.errors() + report.warnings();
+      if (violations > 0) {
+        outcome.lint_violations += violations;
+        outcome.lint_text += "restricted_plan:\n" + report.ToString();
+      }
+    }
+    outcome.engines.push_back(
+        RunSerial("serial_restriction", graph, restricted_plan, c));
+    outcome.restriction_checked = true;
+  }
+
+  // Inclusion–exclusion leg: when the pattern decomposes (independent
+  // counted tail + connected kernel), light::Run with count_strategy=kIep
+  // must reproduce the pivot count through an entirely different evaluation
+  // (signed kernel-embedding sums instead of full enumeration). lint_plan
+  // is forced on so every counted-tail term plan passes the linter.
+  if (const IepDecomposition dec = BuildIepDecomposition(c.pattern);
+      dec.valid()) {
+    // Decomposition-level proof first: partition/independence/connectivity
+    // plus the exactness of the signed term expansion
+    // (analysis::LintIepDecomposition). A violation here is a planner bug
+    // even when the counts happen to agree.
+    {
+      const analysis::LintReport report =
+          analysis::LintIepDecomposition(c.pattern, dec);
+      const uint64_t violations = report.errors() + report.warnings();
+      if (violations > 0) {
+        outcome.lint_violations += violations;
+        outcome.lint_text += "iep_decomposition:\n" + report.ToString();
+      }
+    }
+    EngineCount e;
+    e.name = "iep";
+    RunOptions iep_options;
+    iep_options.threads = 1;
+    iep_options.unique_subgraphs = c.symmetry_breaking;
+    iep_options.data_labels = c.Labeled() ? &c.labels : nullptr;
+    iep_options.lint_plan = true;
+    iep_options.plan_options.kernel = c.kernel;
+    iep_options.plan_options.auto_kernel = false;
+    iep_options.plan_options.bitmap_min_degree = c.bitmap_min_degree;
+    iep_options.plan_options.count_strategy = CountStrategy::kIep;
+    const RunResult result = Run(graph, c.pattern, iep_options);
+    if (result.ok()) {
+      e.count = result.num_matches;
+    } else {
+      e.count = std::numeric_limits<uint64_t>::max();
+      e.note = result.error;
+    }
+    outcome.engines.push_back(std::move(e));
+    outcome.iep_checked = true;
+  }
+
   {
     EngineCount e;
     e.name = "parallel";
@@ -189,9 +257,9 @@ OracleOutcome RunOracles(const FuzzCase& c) {
     run_options.threads = 1;
     run_options.unique_subgraphs = c.symmetry_breaking;
     run_options.data_labels = c.Labeled() ? &c.labels : nullptr;
-    run_options.kernel = c.kernel;
-    run_options.auto_kernel = false;
-    run_options.bitmap_min_degree = c.bitmap_min_degree;
+    run_options.plan_options.kernel = c.kernel;
+    run_options.plan_options.auto_kernel = false;
+    run_options.plan_options.bitmap_min_degree = c.bitmap_min_degree;
     const RunResult result = Run(graph, c.pattern, run_options);
     if (result.ok()) {
       e.count = result.num_matches;
@@ -211,14 +279,14 @@ OracleOutcome RunOracles(const FuzzCase& c) {
   {
     SessionOptions session_options;
     session_options.threads = 2;
-    session_options.bitmap_min_degree = c.bitmap_min_degree;
+    session_options.plan_options.bitmap_min_degree = c.bitmap_min_degree;
     Session session(graph, session_options);
 
     RunOptions query;
     query.unique_subgraphs = c.symmetry_breaking;
     query.data_labels = c.Labeled() ? &c.labels : nullptr;
-    query.kernel = c.kernel;
-    query.auto_kernel = false;
+    query.plan_options.kernel = c.kernel;
+    query.plan_options.auto_kernel = false;
     // Seed-derived priority classes: results must be identical no matter
     // which admission order the scheduler picks, so priorities only change
     // interleaving, never counts.
@@ -227,8 +295,8 @@ OracleOutcome RunOracles(const FuzzCase& c) {
     Pattern triangle;
     static_cast<void>(FindPattern("triangle", &triangle));
     RunOptions tri_query;
-    tri_query.kernel = c.kernel;
-    tri_query.auto_kernel = false;
+    tri_query.plan_options.kernel = c.kernel;
+    tri_query.plan_options.auto_kernel = false;
     tri_query.priority = static_cast<int>((c.seed >> 23) % 7) - 3;
 
     Session::Ticket t1 = session.Submit(c.pattern, query);
@@ -255,7 +323,7 @@ OracleOutcome RunOracles(const FuzzCase& c) {
 
     RunOptions tri_direct = tri_query;
     tri_direct.threads = 1;
-    tri_direct.bitmap_min_degree = c.bitmap_min_degree;
+    tri_direct.plan_options.bitmap_min_degree = c.bitmap_min_degree;
     const RunResult tri_expected = Run(graph, triangle, tri_direct);
     EngineCount interleaved;
     interleaved.name = "session_interleaved";

@@ -49,39 +49,76 @@ void FillReportContext(const Graph& graph, const ExecutionPlan& plan,
   obs::SnapshotCounters(report);
 }
 
-RunOptions ToRunOptions(const CountOptions& options) {
-  RunOptions run_options;
-  run_options.threads = options.threads;
-  run_options.unique_subgraphs = options.unique_subgraphs;
-  run_options.induced = options.induced;
-  run_options.data_labels = options.data_labels;
-  run_options.time_limit_seconds = options.time_limit_seconds;
-  run_options.report = options.report;
-  return run_options;
-}
+// The deprecated flat shims are folded here, the one place allowed to
+// read them during their sunset release.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
-CountResult ToCountResult(const RunResult& result) {
-  CountResult out;
-  out.num_matches = result.num_matches;
-  out.elapsed_seconds = result.elapsed_seconds;
-  out.timed_out = result.timed_out;
-  out.error = result.error;
+/// The plan options a RunOptions resolves to: each engaged flat shim wins
+/// over the corresponding plan_options field, and unique_subgraphs is
+/// authoritative for symmetry breaking.
+PlanOptions FoldPlanOptions(const RunOptions& opts) {
+  PlanOptions out = opts.plan_options;
+  if (opts.lazy_materialization) {
+    out.lazy_materialization = *opts.lazy_materialization;
+  }
+  if (opts.minimum_set_cover) out.minimum_set_cover = *opts.minimum_set_cover;
+  if (opts.induced) out.induced = *opts.induced;
+  if (opts.kernel) out.kernel = *opts.kernel;
+  if (opts.auto_kernel) out.auto_kernel = *opts.auto_kernel;
+  if (opts.bitmap_min_degree) out.bitmap_min_degree = *opts.bitmap_min_degree;
+  if (opts.bitmap_density) out.bitmap_density = *opts.bitmap_density;
+  if (opts.bitmap_max_bytes) out.bitmap_max_bytes = *opts.bitmap_max_bytes;
+  out.symmetry_breaking = opts.unique_subgraphs;
   return out;
 }
 
-/// Appends the plan-shaping option fields to a canonical-pattern key: two
-/// patterns share a cached plan only when shape AND plan options agree.
-void AppendPlanOptionBits(const RunOptions& opts, std::string* key) {
-  char bits = 0;
-  if (opts.lazy_materialization) bits |= 1;
-  if (opts.minimum_set_cover) bits |= 2;
-  if (opts.unique_subgraphs) bits |= 4;
-  if (opts.induced) bits |= 8;
-  key->push_back(bits);
-  key->push_back(static_cast<char>(opts.kernel));
+void ClearPlanOptionShims(RunOptions* opts) {
+  opts->lazy_materialization.reset();
+  opts->minimum_set_cover.reset();
+  opts->induced.reset();
+  opts->kernel.reset();
+  opts->auto_kernel.reset();
+  opts->bitmap_min_degree.reset();
+  opts->bitmap_density.reset();
+  opts->bitmap_max_bytes.reset();
 }
 
+PlanOptions FoldSessionPlanOptions(const SessionOptions& opts) {
+  PlanOptions out = opts.plan_options;
+  if (opts.bitmap_min_degree) out.bitmap_min_degree = *opts.bitmap_min_degree;
+  if (opts.bitmap_density) out.bitmap_density = *opts.bitmap_density;
+  if (opts.bitmap_max_bytes) out.bitmap_max_bytes = *opts.bitmap_max_bytes;
+  return out;
+}
+
+void ClearSessionPlanOptionShims(SessionOptions* opts) {
+  opts->bitmap_min_degree.reset();
+  opts->bitmap_density.reset();
+  opts->bitmap_max_bytes.reset();
+}
+
+#pragma GCC diagnostic pop
+
 }  // namespace
+
+// Out-of-line defaulted special members (see light.h): keeps the
+// deprecated-shim warnings out of every copy/move site.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+RunOptions::RunOptions() = default;
+RunOptions::RunOptions(const RunOptions&) = default;
+RunOptions::RunOptions(RunOptions&&) noexcept = default;
+RunOptions& RunOptions::operator=(const RunOptions&) = default;
+RunOptions& RunOptions::operator=(RunOptions&&) noexcept = default;
+RunOptions::~RunOptions() = default;
+SessionOptions::SessionOptions() = default;
+SessionOptions::SessionOptions(const SessionOptions&) = default;
+SessionOptions::SessionOptions(SessionOptions&&) noexcept = default;
+SessionOptions& SessionOptions::operator=(const SessionOptions&) = default;
+SessionOptions& SessionOptions::operator=(SessionOptions&&) noexcept = default;
+SessionOptions::~SessionOptions() = default;
+#pragma GCC diagnostic pop
 
 Status RunOptions::Validate() const {
   if (threads < 0) {
@@ -91,19 +128,12 @@ Status RunOptions::Validate() const {
     return Status::InvalidArgument(
         "time_limit_seconds must be >= 0 (0 = unlimited)");
   }
-  if (std::isnan(bitmap_density) || bitmap_density < 0) {
-    return Status::InvalidArgument("bitmap_density must be >= 0");
-  }
-  if (!auto_kernel && !KernelAvailable(kernel)) {
-    return Status::InvalidArgument("kernel " + KernelName(kernel) +
-                                   " is not available on this build/CPU");
-  }
   if (visitor != nullptr && threads > 1) {
     return Status::InvalidArgument(
         "streaming visitor requires threads <= 1: parallel enumeration "
         "with a visitor is unsupported");
   }
-  return Status::OK();
+  return FoldPlanOptions(*this).Validate();
 }
 
 RunOptions RunOptions::Normalized() const {
@@ -115,17 +145,19 @@ RunOptions RunOptions::Normalized() const {
   if (std::isnan(o.time_limit_seconds) || o.time_limit_seconds < 0) {
     o.time_limit_seconds = 0;
   }
-  if (std::isnan(o.bitmap_density) || o.bitmap_density < 0) {
-    o.bitmap_density = kDefaultBitmapDensity;
-  }
-  if (o.auto_kernel || !KernelAvailable(o.kernel)) {
-    o.kernel = BestAvailableKernel();
-    o.auto_kernel = false;
-  }
+  o.plan_options = FoldPlanOptions(o).Normalized();
+  ClearPlanOptionShims(&o);
   return o;
 }
 
-uint32_t EffectiveBitmapThreshold(const RunOptions& options, VertexID n) {
+SessionOptions SessionOptions::Normalized() const {
+  SessionOptions o = *this;
+  o.plan_options = FoldSessionPlanOptions(o).Normalized();
+  ClearSessionPlanOptionShims(&o);
+  return o;
+}
+
+uint32_t EffectiveBitmapThreshold(const PlanOptions& options, VertexID n) {
   if (options.bitmap_min_degree == kBitmapDegreeNever) {
     return kBitmapDegreeNever;
   }
@@ -147,13 +179,7 @@ ExecutionPlan BuildRunPlan(const Graph& graph, const GraphStats& stats,
                            const Pattern& pattern,
                            const RunOptions& options) {
   const RunOptions opts = options.Normalized();
-  PlanOptions plan_options = PlanOptions::Light();
-  plan_options.lazy_materialization = opts.lazy_materialization;
-  plan_options.minimum_set_cover = opts.minimum_set_cover;
-  plan_options.symmetry_breaking = opts.unique_subgraphs;
-  plan_options.induced = opts.induced;
-  plan_options.kernel = opts.kernel;
-  return BuildPlan(pattern, graph, stats, plan_options);
+  return BuildPlan(pattern, graph, stats, opts.plan_options);
 }
 
 // ---------------------------------------------------------------------------
@@ -292,7 +318,7 @@ uint64_t Session::Ticket::query_id() const {
 }
 
 Session::Session(const Graph& graph, const SessionOptions& options)
-    : graph_(graph), options_(options) {
+    : graph_(graph), options_(options.Normalized()) {
   obs::MetricsRegistry& registry = obs::DefaultRegistry();
   obs_queries_started_ = registry.GetCounter("session.queries_started");
   obs_queries_completed_ = registry.GetCounter("session.queries_completed");
@@ -350,17 +376,13 @@ const BitmapIndex& Session::EnsureBitmap() {
   std::lock_guard<std::mutex> lock(init_mutex_);
   if (bitmap_index_ == nullptr) {
     auto index = std::make_unique<BitmapIndex>();
-    RunOptions bitmap_opts;
-    bitmap_opts.bitmap_min_degree = options_.bitmap_min_degree;
-    bitmap_opts.bitmap_density = options_.bitmap_density;
-    bitmap_opts.bitmap_max_bytes = options_.bitmap_max_bytes;
     const uint32_t threshold =
-        EffectiveBitmapThreshold(bitmap_opts, graph_.NumVertices());
+        EffectiveBitmapThreshold(options_.plan_options, graph_.NumVertices());
     if (threshold != kBitmapDegreeNever) {
       obs::TraceSpan span("bitmap_index");
       BitmapIndexOptions build_options;
       build_options.min_degree = threshold;
-      build_options.max_bytes = options_.bitmap_max_bytes;
+      build_options.max_bytes = options_.plan_options.bitmap_max_bytes;
       *index = BitmapIndex::Build(graph_, build_options);
     }
     bitmap_index_ = std::move(index);
@@ -403,9 +425,9 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
     }
     analysis::LintReport report =
         analysis::LintPlan(plan_pattern, plan, lint_options);
-    analysis::LintBitmapConfig(options_.bitmap_min_degree,
-                               options_.bitmap_density,
-                               options_.bitmap_max_bytes, &report);
+    analysis::LintBitmapConfig(options_.plan_options.bitmap_min_degree,
+                               options_.plan_options.bitmap_density,
+                               options_.plan_options.bitmap_max_bytes, &report);
     if (!report.ok()) {
       *error = "plan lint failed:\n" + report.ToString();
       return false;
@@ -427,9 +449,12 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
     return plan;
   }
 
+  // Two patterns share a cached plan only when canonical shape AND the
+  // plan-shaping options agree (unique_subgraphs is already folded into
+  // plan_options.symmetry_breaking by Normalized, so CacheKey covers it).
   const CanonicalForm form = Canonicalize(pattern);
   std::string key = form.Key();
-  AppendPlanOptionBits(opts, &key);
+  key += opts.plan_options.CacheKey();
 
   bool hit = false;
   bool linted = false;
@@ -564,9 +589,9 @@ Session::Ticket Session::SubmitInternal(
       obs::TraceSpan span("plan_lint");
       analysis::LintReport lint =
           analysis::LintPlan(pattern, *plan, analysis::LintOptions{});
-      analysis::LintBitmapConfig(options_.bitmap_min_degree,
-                                 options_.bitmap_density,
-                                 options_.bitmap_max_bytes, &lint);
+      analysis::LintBitmapConfig(options_.plan_options.bitmap_min_degree,
+                                 options_.plan_options.bitmap_density,
+                                 options_.plan_options.bitmap_max_bytes, &lint);
       if (!lint.ok()) {
         return immediate_error("plan lint failed:\n" + lint.ToString());
       }
@@ -694,9 +719,9 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
     obs::TraceSpan span("plan_lint");
     analysis::LintReport lint =
         analysis::LintPlan(pattern, *plan, analysis::LintOptions{});
-    analysis::LintBitmapConfig(options_.bitmap_min_degree,
-                               options_.bitmap_density,
-                               options_.bitmap_max_bytes, &lint);
+    analysis::LintBitmapConfig(options_.plan_options.bitmap_min_degree,
+                               options_.plan_options.bitmap_density,
+                               options_.plan_options.bitmap_max_bytes, &lint);
     if (!lint.ok()) {
       result.error = "plan lint failed:\n" + lint.ToString();
       result.outcome = QueryOutcome::kError;
@@ -740,6 +765,198 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
   return result;
 }
 
+std::shared_ptr<const ExecutionPlan> Session::ResolveIepTermPlan(
+    const IepTerm& term, const RunOptions& opts, const std::string& base_key,
+    std::string* error) {
+  const auto lint = [&](const ExecutionPlan& plan) -> bool {
+    obs::TraceSpan span("plan_lint");
+    analysis::LintReport report =
+        analysis::LintPlan(term.pattern, plan, analysis::LintOptions{});
+    if (!report.ok()) {
+      *error = "iep term plan lint failed:\n" + report.ToString();
+      return false;
+    }
+    return true;
+  };
+  const GraphStats& stats = EnsureStats();
+  const auto build = [&] {
+    obs::TraceSpan span("build_plan");
+    return BuildIepTermPlan(term, stats, &graph_, opts.plan_options);
+  };
+
+  if (options_.plan_cache_capacity == 0) {
+    auto plan = std::make_shared<ExecutionPlan>(build());
+    if (opts.lint_plan && !lint(*plan)) return nullptr;
+    return plan;
+  }
+
+  // Exact-structure key (pattern ToString + labels + tail size): unlike
+  // ResolvePlan there is no canonicalization — two isomorphic submissions
+  // with different numberings decompose differently, and their term plans
+  // must not mix.
+  std::string key = "iep-term:" + base_key + "|" + term.pattern.ToString();
+  for (int u = 0; u < term.pattern.NumVertices(); ++u) {
+    key += ":" + std::to_string(term.pattern.Label(u));
+  }
+  key += "|t" + std::to_string(term.counted_tail.size());
+  key += opts.plan_options.CacheKey();
+
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      it->second.last_used = ++cache_tick_;
+      // Exact-key entries are linted at insert when any submitter lints;
+      // the lint-once upgrade dance of ResolvePlan is skipped for terms.
+      return it->second.plan;
+    }
+  }
+  auto built = std::make_shared<ExecutionPlan>(build());
+  if (opts.lint_plan && !lint(*built)) return nullptr;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = plan_cache_.find(key);
+    if (it == plan_cache_.end()) {
+      PlanEntry entry;
+      entry.plan = built;
+      entry.pattern = term.pattern;
+      entry.linted = opts.lint_plan;
+      entry.last_used = ++cache_tick_;
+      plan_cache_.emplace(std::move(key), std::move(entry));
+      while (plan_cache_.size() > options_.plan_cache_capacity) {
+        auto victim = plan_cache_.begin();
+        for (auto walk = plan_cache_.begin(); walk != plan_cache_.end();
+             ++walk) {
+          if (walk->second.last_used < victim->second.last_used) victim = walk;
+        }
+        plan_cache_.erase(victim);
+      }
+    } else {
+      it->second.last_used = ++cache_tick_;
+    }
+  }
+  return built;
+}
+
+RunResult Session::RunIep(const Pattern& pattern, const IepDecomposition& dec,
+                          const RunOptions& opts, const char* tool) {
+  RunResult result;
+  obs::QueryStats& qstats = result.query_stats;
+  qstats.query_id = obs::NextQueryId();
+  const uint64_t admit_ns = MonotonicNs();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++session_stats_.queries_submitted;
+  }
+  if (obs::MetricsEnabled()) obs_queries_started_->Inc();
+
+  // One counted-tail plan per surviving term, resolved up front so a lint
+  // failure aborts before any counting work.
+  std::string base_key = pattern.ToString();
+  for (int u = 0; u < pattern.NumVertices(); ++u) {
+    base_key += ":" + std::to_string(pattern.Label(u));
+  }
+  std::vector<std::shared_ptr<const ExecutionPlan>> plans;
+  plans.reserve(dec.terms.size());
+  for (const IepTerm& term : dec.terms) {
+    std::string error;
+    auto plan = ResolveIepTermPlan(term, opts, base_key, &error);
+    if (plan == nullptr) {
+      result.error = std::move(error);
+      result.outcome = QueryOutcome::kError;
+      RecordQueryDone(result, pattern, nullptr);
+      OnResultDelivered();
+      return result;
+    }
+    plans.push_back(std::move(plan));
+  }
+  qstats.plan_ns = MonotonicNs() - admit_ns;
+
+  const BitmapIndex& bitmap = EnsureBitmap();
+  const uint64_t exec_start_ns = MonotonicNs();
+  __int128 total = 0;
+  bool timed_out = false;
+  EngineStats agg;
+  if (opts.threads == 1) {
+    // Inline term loop, sharing one wall-clock budget anchored at admit.
+    const double limit = Limit(opts.time_limit_seconds);
+    for (size_t i = 0; i < dec.terms.size() && !timed_out; ++i) {
+      Enumerator enumerator(graph_, *plans[i], opts.data_labels);
+      enumerator.SetBitmapIndex(&bitmap);
+      double remaining = limit;
+      if (std::isfinite(limit)) {
+        remaining = limit - static_cast<double>(MonotonicNs() - admit_ns) * 1e-9;
+      }
+      enumerator.SetTimeLimit(remaining);
+      const uint64_t count = enumerator.Count();
+      agg.Add(enumerator.stats());
+      timed_out = enumerator.stats().timed_out;
+      total += static_cast<__int128>(dec.terms[i].coefficient) *
+               static_cast<__int128>(count);
+    }
+  } else {
+    // Pool path: each term is its own plan-override query (the term plans
+    // stay alive in `plans` across the waits). Term plans are linted above;
+    // skip the per-submit structural relint.
+    std::vector<Ticket> tickets;
+    tickets.reserve(dec.terms.size());
+    for (size_t i = 0; i < dec.terms.size(); ++i) {
+      RunOptions term_opts = opts;
+      term_opts.plan = plans[i].get();
+      term_opts.report = nullptr;
+      term_opts.lint_plan = false;
+      term_opts.unique_subgraphs = false;
+      term_opts.plan_options.count_strategy = CountStrategy::kEnumerate;
+      tickets.push_back(
+          SubmitInternal(dec.terms[i].pattern, term_opts, tool, nullptr));
+    }
+    for (size_t i = 0; i < tickets.size(); ++i) {
+      const RunResult term_result = tickets[i].Wait();
+      if (!term_result.ok() && !term_result.timed_out) {
+        result.error = term_result.error;
+        result.outcome = term_result.outcome;
+        RecordQueryDone(result, pattern, plans[i].get());
+        OnResultDelivered();
+        return result;
+      }
+      timed_out = timed_out || term_result.timed_out;
+      total += static_cast<__int128>(dec.terms[i].coefficient) *
+               static_cast<__int128>(term_result.num_matches);
+    }
+  }
+
+  // The signed sum is exact for complete runs; a timeout leaves a partial
+  // (possibly negative) sum — clamp, keep timed_out, like partial counts.
+  if (total < 0) total = 0;
+  uint64_t matches = static_cast<uint64_t>(total);
+  if (opts.unique_subgraphs && dec.automorphism_count > 1) {
+    matches /= dec.automorphism_count;
+  }
+  result.num_matches = matches;
+  // Classic timed_out-no-error contract (see RunSerial): a partial signed
+  // sum is delivered with the flag set; pool-path term queries already
+  // recorded their own deadline outcomes.
+  result.timed_out = timed_out;
+  const uint64_t done_ns = MonotonicNs();
+  result.elapsed_seconds = static_cast<double>(done_ns - exec_start_ns) * 1e-9;
+  qstats.execute_ns = done_ns - exec_start_ns;
+  qstats.busy_ns = qstats.execute_ns;
+  qstats.total_ns = done_ns - admit_ns;
+  qstats.ranges_executed = dec.terms.size();
+  if (opts.report != nullptr && !plans.empty()) {
+    FillReportContext(graph_, *plans[0], agg, bitmap, opts.report);
+    opts.report->tool = tool;
+    opts.report->elapsed_seconds = result.elapsed_seconds;
+    // `agg` holds the raw per-term engine work (its num_matches is the
+    // unsigned sum over terms); the report's answer must be the combined
+    // signed count the caller sees.
+    opts.report->num_matches = result.num_matches;
+  }
+  RecordQueryDone(result, pattern, plans.empty() ? nullptr : plans[0].get());
+  OnResultDelivered();
+  return result;
+}
+
 RunResult Session::RunSyncWithTool(const Pattern& pattern,
                                    const RunOptions& options,
                                    const char* tool) {
@@ -750,6 +967,19 @@ RunResult Session::RunSyncWithTool(const Pattern& pattern,
     return result;
   }
   const RunOptions opts = options.Normalized();
+  if (opts.plan_options.count_strategy != CountStrategy::kEnumerate &&
+      opts.visitor == nullptr && !opts.plan_options.induced &&
+      opts.plan == nullptr) {
+    // Counting-only query with IEP requested (or auto): decompose, and take
+    // the IEP path when the decomposition exists and — under kAuto — the
+    // tail is big enough to plausibly pay for the extra term queries.
+    const IepDecomposition dec = BuildIepDecomposition(pattern);
+    const bool use_iep =
+        dec.valid() &&
+        (opts.plan_options.count_strategy == CountStrategy::kIep ||
+         dec.tail.size() >= 2);
+    if (use_iep) return RunIep(pattern, dec, opts, tool);
+  }
   if (opts.threads == 1) {
     // Serial queries run inline on the caller thread — the one-shot Run
     // code path, with no pool involvement (and exact visitor semantics).
@@ -1057,46 +1287,17 @@ RunResult Run(const Graph& graph, const Pattern& pattern,
     result.outcome = QueryOutcome::kError;
     return result;
   }
-  // One-query session: the bitmap fields map onto the session, the plan
-  // cache is disabled (nothing to amortize across a single call), and the
-  // pool — for parallel requests — is sized to the request. Serial requests
-  // run inline and never start a pool, so one-shot latency is unchanged.
+  // One-query session: the bitmap knobs map onto the session (through the
+  // shim-folded plan options), the plan cache is disabled (nothing to
+  // amortize across a single call), and the pool — for parallel requests —
+  // is sized to the request. Serial requests run inline and never start a
+  // pool, so one-shot latency is unchanged.
   SessionOptions session_options;
   session_options.threads = options.threads;
-  session_options.bitmap_min_degree = options.bitmap_min_degree;
-  session_options.bitmap_density = options.bitmap_density;
-  session_options.bitmap_max_bytes = options.bitmap_max_bytes;
+  session_options.plan_options = options.Normalized().plan_options;
   session_options.plan_cache_capacity = 0;
   Session session(graph, session_options);
   return session.RunSyncWithTool(pattern, options, "light::Run");
 }
-
-// Back-compat adapters over the deprecated entry points; silence the
-// self-referential warnings their definitions would otherwise emit.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-CountResult CountSubgraphs(const Graph& graph, const Pattern& pattern,
-                           const CountOptions& options) {
-  const RunResult result = Run(graph, pattern, ToRunOptions(options));
-  if (options.report != nullptr && result.ok()) {
-    options.report->tool = "light::CountSubgraphs";
-  }
-  return ToCountResult(result);
-}
-
-CountResult EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
-                               MatchVisitor* visitor,
-                               const CountOptions& options) {
-  RunOptions run_options = ToRunOptions(options);
-  run_options.visitor = visitor;
-  const RunResult result = Run(graph, pattern, run_options);
-  if (options.report != nullptr && result.ok()) {
-    options.report->tool = "light::EnumerateSubgraphs";
-  }
-  return ToCountResult(result);
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace light

@@ -7,14 +7,22 @@
 /// embeddings of this pattern in this graph" — use light::Run below.
 ///
 /// light::Run is the single entry point for one-shot queries: one
-/// RunOptions carries every knob (threads, kernels, bitmap-index
-/// thresholds, time limit, labels, induced semantics, visitor, report sink)
-/// with Validate()/Normalized() mirroring ParallelOptions, and one
+/// RunOptions carries the execution knobs (threads, time limit, labels,
+/// visitor, report sink) plus a nested light::PlanOptions
+/// (RunOptions::plan_options) holding every plan-shaping knob — algorithm
+/// variant, kernel, restriction mode, count strategy, order override,
+/// bitmap thresholds — with Validate()/Normalized() on both layers, and one
 /// RunResult carries every outcome (matches, elapsed, timed_out, error
 /// string). For a stream of queries against one data graph, light::Session
 /// below amortizes what Run rebuilds per call (worker threads, plans,
-/// bitmap index, per-worker scratch). The older CountSubgraphs /
-/// EnumerateSubgraphs entry points remain as deprecated thin wrappers.
+/// bitmap index, per-worker scratch).
+///
+/// The pre-Run CountSubgraphs / EnumerateSubgraphs wrappers are GONE (see
+/// README "Migration"): use light::Run, passing the visitor through
+/// RunOptions::visitor. The flat plan-shaping RunOptions fields of earlier
+/// releases (lazy_materialization, minimum_set_cover, kernel, auto_kernel,
+/// induced, bitmap_*) remain for one release as deprecated std::optional
+/// shims that Normalized() folds into plan_options.
 
 #include <atomic>
 #include <condition_variable>
@@ -23,6 +31,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <string>
 #include <thread>
@@ -47,23 +56,14 @@
 #include "pattern/catalog.h"
 #include "pattern/parse.h"
 #include "pattern/pattern.h"
+#include "plan/iep.h"
 #include "plan/plan.h"
 
 namespace light {
 
-/// Default relative density threshold delta_b for the bitmap index: a vertex
-/// neighborhood gets a bitmap row when degree >= delta_b * |V|. At 64
-/// vertices per word, a 10%-dense neighborhood makes the word-AND several
-/// times cheaper than streaming both sorted arrays (see bench_bitmap).
-inline constexpr double kDefaultBitmapDensity = 0.1;
-
-/// Sentinel for RunOptions::bitmap_min_degree: derive the absolute degree
-/// threshold from bitmap_density (the delta_b * |V| rule).
-inline constexpr uint32_t kBitmapDegreeAuto = kBitmapDegreeNever - 1;
-
 /// Options of the one-call API. Field groups mirror the layer they
-/// configure: execution (threads/time limit), matching semantics, plan
-/// construction, kernel + bitmap-index thresholds, and output sinks.
+/// configure: execution (threads/time limit), matching semantics, the
+/// nested plan-shaping surface (plan_options), and output sinks.
 struct RunOptions {
   // --- Execution ---
   /// Worker threads; 0 = hardware concurrency, 1 = serial.
@@ -82,42 +82,51 @@ struct RunOptions {
 
   // --- Matching semantics ---
   /// Report each subgraph once (symmetry breaking). With false, all
-  /// automorphic images are counted.
+  /// automorphic images are counted. The facade derives
+  /// plan_options.symmetry_breaking from this flag (unique_subgraphs is
+  /// authoritative; the nested field is overwritten by Normalized()).
   bool unique_subgraphs = true;
-  /// Vertex-induced (motif) semantics instead of Definition II.1.
-  bool induced = false;
   /// Optional data vertex labels (see Enumerator); must outlive the call.
   const std::vector<uint32_t>* data_labels = nullptr;
 
-  // --- Plan construction ---
-  /// Lazy within-block materialization (Section IV). Off + msc off = the
-  /// SE baseline plan.
-  bool lazy_materialization = true;
-  /// Minimum-set-cover candidate reuse (Section V).
-  bool minimum_set_cover = true;
+  // --- Plan shaping ---
+  /// Every plan-shaping knob in one struct (plan/plan.h): algorithm
+  /// variant (lazy/msc), induced semantics, intersection kernel,
+  /// restriction mode, count strategy, order override, bitmap-index
+  /// thresholds. Shared verbatim with SessionOptions; the session plan
+  /// cache keys on PlanOptions::CacheKey().
+  ///
+  /// count_strategy is honored by Run/RunSync (kIep/kAuto route counting
+  /// queries through the inclusion–exclusion driver, which itself uses the
+  /// pool when threads != 1); Submit/SubmitAsync/RunBatch tickets always
+  /// enumerate.
+  PlanOptions plan_options;
   /// Precompiled plan override (e.g. from BuildRunPlan or a baseline plan
   /// builder); must outlive the call and match `pattern`. When set, the
-  /// plan-construction fields above are ignored.
+  /// plan-shaping fields of plan_options are ignored.
   const ExecutionPlan* plan = nullptr;
 
-  // --- Intersection kernels ---
-  /// Pairwise sorted-array kernel (Figure 6). Ignored while auto_kernel is
-  /// true.
-  IntersectKernel kernel = IntersectKernel::kHybrid;
-  /// Pick the best kernel available on this build/CPU (HybridAVX512 >
-  /// HybridAVX2 > Hybrid). Set false to pin `kernel`.
-  bool auto_kernel = true;
-
-  // --- Bitmap index (hybrid candidate sets) ---
-  /// Absolute degree threshold for bitmap rows: vertices with degree >=
-  /// this get their neighborhoods materialized as bitmaps. 0 indexes every
-  /// vertex, kBitmapDegreeNever disables the index, kBitmapDegreeAuto
-  /// (default) derives the threshold as ceil(bitmap_density * |V|).
-  uint32_t bitmap_min_degree = kBitmapDegreeAuto;
-  /// Relative density threshold delta_b used by kBitmapDegreeAuto.
-  double bitmap_density = kDefaultBitmapDensity;
-  /// Byte budget for bitmap rows (densest kept first).
-  size_t bitmap_max_bytes = size_t{512} << 20;
+  // --- Deprecated flat plan-shaping shims (one release) ---
+  // The pre-PlanOptions spellings. A set optional wins over the
+  // corresponding plan_options field: Normalized() folds each engaged shim
+  // into plan_options and disengages it. New code sets plan_options
+  // directly.
+  [[deprecated("use plan_options.lazy_materialization")]]
+  std::optional<bool> lazy_materialization;
+  [[deprecated("use plan_options.minimum_set_cover")]]
+  std::optional<bool> minimum_set_cover;
+  [[deprecated("use plan_options.induced")]]
+  std::optional<bool> induced;
+  [[deprecated("use plan_options.kernel")]]
+  std::optional<IntersectKernel> kernel;
+  [[deprecated("use plan_options.auto_kernel")]]
+  std::optional<bool> auto_kernel;
+  [[deprecated("use plan_options.bitmap_min_degree")]]
+  std::optional<uint32_t> bitmap_min_degree;
+  [[deprecated("use plan_options.bitmap_density")]]
+  std::optional<double> bitmap_density;
+  [[deprecated("use plan_options.bitmap_max_bytes")]]
+  std::optional<size_t> bitmap_max_bytes;
 
   // --- Static plan verification ---
   /// Lint the execution plan before running it (analysis/plan_linter.h):
@@ -143,21 +152,33 @@ struct RunOptions {
   /// adds no hot-path cost beyond the counters the engine already keeps.
   obs::RunReport* report = nullptr;
 
+  // Copy/move are defaulted out-of-line (light.cc): the deprecated shims
+  // above would otherwise trip -Wdeprecated-declarations inside every
+  // implicitly-defined special member at each use site.
+  RunOptions();
+  RunOptions(const RunOptions&);
+  RunOptions(RunOptions&&) noexcept;
+  RunOptions& operator=(const RunOptions&);
+  RunOptions& operator=(RunOptions&&) noexcept;
+  ~RunOptions();
+
   /// Rejects configurations outside the documented domain: negative
-  /// threads, NaN or negative time limits, NaN or negative bitmap density,
-  /// a pinned kernel this build/CPU cannot run, or a visitor combined with
+  /// threads, NaN or negative time limits, a visitor combined with
   /// threads > 1 (streaming is serial; parallel enumeration with a visitor
-  /// is unsupported, not silently serialized). Callers that surface user
-  /// input (CLI, fuzz harness, services) should Validate and report;
-  /// light::Run validates internally and returns the message in
-  /// RunResult::error.
+  /// is unsupported, not silently serialized), plus everything
+  /// PlanOptions::Validate rejects on the shim-folded plan options
+  /// (out-of-range bitmap density, an unavailable pinned kernel, a
+  /// malformed order override). Callers that surface user input (CLI, fuzz
+  /// harness, services) should Validate and report; light::Run validates
+  /// internally and returns the message in RunResult::error.
   Status Validate() const;
 
   /// Returns a copy with every field forced into its valid domain:
   /// threads < 0 clamps to 0 (and, with a visitor, 0 resolves to 1),
-  /// NaN/negative time limits become unlimited, NaN/negative densities fall
-  /// back to the default, and an unavailable pinned kernel falls back to
-  /// the best available one.
+  /// NaN/negative time limits become unlimited, each engaged deprecated
+  /// shim folded into plan_options (then disengaged),
+  /// plan_options.symmetry_breaking overwritten from unique_subgraphs, and
+  /// plan_options itself normalized (kernel resolution, density clamp).
   RunOptions Normalized() const;
 };
 
@@ -222,24 +243,46 @@ ExecutionPlan BuildRunPlan(const Graph& graph, const GraphStats& stats,
 /// vertices: an explicit bitmap_min_degree wins; kBitmapDegreeAuto derives
 /// ceil(bitmap_density * n) (at least 1 so density 0 still excludes
 /// isolated vertices); kBitmapDegreeNever disables.
-uint32_t EffectiveBitmapThreshold(const RunOptions& options, VertexID n);
+uint32_t EffectiveBitmapThreshold(const PlanOptions& options, VertexID n);
 
 // ---------------------------------------------------------------------------
 // Sessions: the persistent multi-query service layer.
 // ---------------------------------------------------------------------------
 
-/// Configuration of a Session. The bitmap fields are session-level: the
-/// index is built once per session and shared read-only by every query, so
-/// the per-query RunOptions bitmap fields are ignored for session queries.
+/// Configuration of a Session. The bitmap thresholds are session-level:
+/// the index is built once per session and shared read-only by every
+/// query, so the per-query bitmap fields are ignored for session queries.
 struct SessionOptions {
   /// Persistent pool workers; 0 = hardware concurrency.
   int threads = 0;
 
-  /// Bitmap-index thresholds, as in RunOptions (applied once at index
-  /// build).
-  uint32_t bitmap_min_degree = kBitmapDegreeAuto;
-  double bitmap_density = kDefaultBitmapDensity;
-  size_t bitmap_max_bytes = size_t{512} << 20;
+  /// Session-level plan options. Only the bitmap_* fields are consumed
+  /// here (applied once at index build); plan shaping is per query through
+  /// RunOptions::plan_options.
+  PlanOptions plan_options;
+
+  // --- Deprecated flat bitmap shims (one release) ---
+  // Folded into plan_options by Normalized(), exactly as in RunOptions.
+  [[deprecated("use plan_options.bitmap_min_degree")]]
+  std::optional<uint32_t> bitmap_min_degree;
+  [[deprecated("use plan_options.bitmap_density")]]
+  std::optional<double> bitmap_density;
+  [[deprecated("use plan_options.bitmap_max_bytes")]]
+  std::optional<size_t> bitmap_max_bytes;
+
+  // Copy/move defaulted out-of-line (light.cc), as in RunOptions, so the
+  // deprecated shims do not trip -Wdeprecated-declarations in the
+  // implicitly-defined special members.
+  SessionOptions();
+  SessionOptions(const SessionOptions&);
+  SessionOptions(SessionOptions&&) noexcept;
+  SessionOptions& operator=(const SessionOptions&);
+  SessionOptions& operator=(SessionOptions&&) noexcept;
+  ~SessionOptions();
+
+  /// Copy with the deprecated shims folded into plan_options and the
+  /// plan options normalized.
+  SessionOptions Normalized() const;
 
   /// Plan-cache entries kept (LRU evicted beyond this); 0 disables caching
   /// (every query builds its own plan, as one-shot Run does).
@@ -444,6 +487,21 @@ class Session {
                             const char* tool);
   RunResult RunSerial(const Pattern& pattern, const RunOptions& opts,
                       const char* tool);
+  /// Inclusion–exclusion counting driver (plan/iep.h): resolves one
+  /// counted-tail plan per term through the plan cache, counts each term
+  /// (inline when opts.threads == 1, else as plan-override pool queries),
+  /// and combines the signed term counts; emb(P) / |Aut(P)| when
+  /// opts.unique_subgraphs. `opts` is normalized and IEP-eligible (no
+  /// visitor, not induced, no plan override) and `dec` is valid.
+  RunResult RunIep(const Pattern& pattern, const IepDecomposition& dec,
+                   const RunOptions& opts, const char* tool);
+  /// ResolvePlan's counterpart for IEP term plans: cache key =
+  /// "iep-term:" + exact term structure (term sharing requires identical
+  /// submitter numbering — canonical-form sharing would mix decompositions
+  /// of different numberings).
+  std::shared_ptr<const ExecutionPlan> ResolveIepTermPlan(
+      const IepTerm& term, const RunOptions& opts, const std::string& base_key,
+      std::string* error);
   const GraphStats& EnsureStats();
   const BitmapIndex& EnsureBitmap();
   WorkerPool& EnsurePool();
@@ -551,54 +609,6 @@ class Session {
   std::unordered_map<uint64_t, std::weak_ptr<detail::SessionQueryState>>
       cancelable_;
 };
-
-// ---------------------------------------------------------------------------
-// Back-compat wrappers. DEPRECATED: use light::Run / RunOptions for new
-// code — these remain as thin adapters and receive no new knobs.
-// ---------------------------------------------------------------------------
-
-/// DEPRECATED alias-level options of the pre-Run facade; maps 1:1 onto the
-/// corresponding RunOptions fields.
-struct CountOptions {
-  /// Worker threads; 0 = hardware concurrency, 1 = serial.
-  int threads = 0;
-  /// Report each subgraph once (symmetry breaking). With false, all
-  /// automorphic images are counted.
-  bool unique_subgraphs = true;
-  /// Vertex-induced (motif) semantics instead of Definition II.1.
-  bool induced = false;
-  /// Optional data vertex labels (see Enumerator); must outlive the call.
-  const std::vector<uint32_t>* data_labels = nullptr;
-  /// Wall-clock budget in seconds; 0 = unlimited.
-  double time_limit_seconds = 0;
-  /// Optional structured-report sink (see RunOptions::report).
-  obs::RunReport* report = nullptr;
-};
-
-/// DEPRECATED result of the pre-Run facade. `error` mirrors
-/// RunResult::error (empty on success) so wrapper callers see validation
-/// failures instead of silent zero counts.
-struct CountResult {
-  uint64_t num_matches = 0;
-  double elapsed_seconds = 0;
-  bool timed_out = false;
-  std::string error;
-};
-
-/// DEPRECATED: thin wrapper over light::Run. Counts the embeddings of
-/// `pattern` in `graph` with the default pipeline.
-[[deprecated("use light::Run")]] CountResult CountSubgraphs(
-    const Graph& graph, const Pattern& pattern,
-    const CountOptions& options = {});
-
-/// DEPRECATED: thin wrapper over light::Run with a visitor. Streams every
-/// match through `visitor` (serial; matches arrive in a deterministic
-/// order) honoring the report sink and time limit. options.threads > 1 is
-/// unsupported with a visitor and returns a CountResult with `error` set
-/// (threads 0 and 1 both run serially, as before).
-[[deprecated("use light::Run with RunOptions::visitor")]] CountResult
-EnumerateSubgraphs(const Graph& graph, const Pattern& pattern,
-                   MatchVisitor* visitor, const CountOptions& options = {});
 
 }  // namespace light
 

@@ -358,7 +358,7 @@ bool Server::HandleFrame(uint64_t conn_id, Conn* conn,
   opts.time_limit_seconds = req.time_limit_seconds;
   opts.priority = req.priority;
   opts.unique_subgraphs = req.unique_subgraphs;
-  opts.induced = req.induced;
+  opts.plan_options.induced = req.induced;
 
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);

@@ -55,6 +55,14 @@ ExecutionOrder GenerateEagerExecutionOrder(const Pattern& pattern,
 bool ValidateExecutionOrder(const Pattern& pattern, const std::vector<int>& pi,
                             const ExecutionOrder& sigma);
 
+/// Counted-tail variant (plan/iep.h): the tail vertices must fill the last
+/// |tail| slots of pi with their COMP ops closing sigma in pi order (no MAT
+/// ops), and the kernel prefix must validate as an ordinary plan over the
+/// induced kernel sub-pattern. With an empty tail this is the plain check.
+bool ValidateExecutionOrder(const Pattern& pattern, const std::vector<int>& pi,
+                            const ExecutionOrder& sigma,
+                            const std::vector<int>& counted_tail);
+
 /// Anchor vertices A^pi(u) (Definition IV.1): vertices before u in pi whose
 /// MAT precedes COMP(u) in sigma. For pi[1] this is empty. Returned as a
 /// bitmask per vertex.

@@ -1,12 +1,94 @@
 #include "plan/plan.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "plan/cardinality.h"
 #include "plan/order_optimizer.h"
+#include "plan/restriction.h"
 
 namespace light {
+
+const char* RestrictionModeName(RestrictionMode mode) {
+  switch (mode) {
+    case RestrictionMode::kGrochowKellis:
+      return "gk";
+    case RestrictionMode::kCoOptimized:
+      return "co-optimized";
+    case RestrictionMode::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+const char* CountStrategyName(CountStrategy strategy) {
+  switch (strategy) {
+    case CountStrategy::kEnumerate:
+      return "enumerate";
+    case CountStrategy::kIep:
+      return "iep";
+    case CountStrategy::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+Status PlanOptions::Validate() const {
+  if (std::isnan(bitmap_density) || bitmap_density < 0.0 ||
+      bitmap_density > 1.0) {
+    return Status::InvalidArgument("bitmap_density must be within [0, 1]");
+  }
+  if (!auto_kernel && !KernelAvailable(kernel)) {
+    return Status::InvalidArgument(
+        std::string("intersection kernel not available on this build: ") +
+        KernelName(kernel));
+  }
+  if (!order_override.empty()) {
+    // Pattern-independent part of the check: values must form a permutation
+    // of 0..size-1 (the size is matched against the pattern at build time).
+    uint32_t seen = 0;
+    for (int u : order_override) {
+      if (u < 0 || u >= static_cast<int>(order_override.size()) ||
+          ((seen >> u) & 1u) != 0) {
+        return Status::InvalidArgument(
+            "order_override must be a permutation of the pattern vertices");
+      }
+      seen |= uint32_t{1} << u;
+    }
+  }
+  return Status::OK();
+}
+
+PlanOptions PlanOptions::Normalized() const {
+  PlanOptions out = *this;
+  if (out.auto_kernel || !KernelAvailable(out.kernel)) {
+    out.kernel = BestAvailableKernel();
+    out.auto_kernel = false;
+  }
+  if (std::isnan(out.bitmap_density) || out.bitmap_density < 0.0 ||
+      out.bitmap_density > 1.0) {
+    out.bitmap_density = kDefaultBitmapDensity;
+  }
+  return out;
+}
+
+std::string PlanOptions::CacheKey() const {
+  // Bitmap knobs are deliberately absent: the compiled plan is
+  // bitmap-agnostic (the index is attached at execution time).
+  std::string key;
+  key.push_back(static_cast<char>((lazy_materialization ? 1 : 0) |
+                                  (minimum_set_cover ? 2 : 0) |
+                                  (symmetry_breaking ? 4 : 0) |
+                                  (induced ? 8 : 0) |
+                                  (auto_kernel ? 16 : 0)));
+  key.push_back(static_cast<char>(kernel));
+  key.push_back(static_cast<char>(restriction_mode));
+  key.push_back(static_cast<char>(count_strategy));
+  key.push_back(static_cast<char>(order_override.size()));
+  for (int u : order_override) key.push_back(static_cast<char>(u));
+  return key;
+}
 namespace {
 
 void WireConstraints(ExecutionPlan* plan) {
@@ -87,13 +169,48 @@ ExecutionPlan BuildPlanWithEstimator(const Pattern& pattern,
                                      const CardinalityEstimator& estimator,
                                      const PlanOptions& options) {
   LIGHT_CHECK(pattern.IsConnected());
-  PartialOrder partial_order =
+  if (!options.order_override.empty()) {
+    LIGHT_CHECK(static_cast<int>(options.order_override.size()) ==
+                pattern.NumVertices());
+    PartialOrder partial_order;
+    if (options.symmetry_breaking) {
+      partial_order = options.restriction_mode == RestrictionMode::kGrochowKellis
+                          ? ComputeSymmetryBreaking(pattern)
+                          : ComputeRestrictionsForOrder(pattern,
+                                                        options.order_override);
+    }
+    return Assemble(pattern, options.order_override, options,
+                    std::move(partial_order));
+  }
+  // Classic path: restrictions first (fixed GK pivots), then the order.
+  PartialOrder gk_order =
       options.symmetry_breaking ? ComputeSymmetryBreaking(pattern)
                                 : PartialOrder{};
-  const std::vector<int> pi = OptimizeEnumerationOrder(
-      pattern, estimator, partial_order, options.lazy_materialization,
+  if (!options.symmetry_breaking ||
+      options.restriction_mode == RestrictionMode::kGrochowKellis) {
+    const std::vector<int> pi = OptimizeEnumerationOrder(
+        pattern, estimator, gk_order, options.lazy_materialization,
+        options.minimum_set_cover);
+    return Assemble(pattern, pi, options, std::move(gk_order));
+  }
+  // GraphPi path: restriction sets generated per candidate order, the pair
+  // scored jointly.
+  RestrictedPlanChoice choice = CoOptimizeOrderAndRestrictions(
+      pattern, estimator, options.lazy_materialization,
       options.minimum_set_cover);
-  return Assemble(pattern, pi, options, std::move(partial_order));
+  if (options.restriction_mode == RestrictionMode::kAuto) {
+    const std::vector<int> gk_pi = OptimizeEnumerationOrder(
+        pattern, estimator, gk_order, options.lazy_materialization,
+        options.minimum_set_cover);
+    const double gk_cost = RestrictionAdjustedCost(
+        pattern, gk_pi, gk_order, estimator, options.lazy_materialization,
+        options.minimum_set_cover);
+    // Ties keep the classic plan: it is the better-tested default.
+    if (gk_cost <= choice.adjusted_cost * (1.0 + 1e-12)) {
+      return Assemble(pattern, gk_pi, options, std::move(gk_order));
+    }
+  }
+  return Assemble(pattern, choice.pi, options, std::move(choice.restrictions));
 }
 
 }  // namespace
@@ -113,9 +230,12 @@ ExecutionPlan BuildPlan(const Pattern& pattern, const Graph& graph,
 ExecutionPlan BuildPlanWithOrder(const Pattern& pattern,
                                  const std::vector<int>& pi,
                                  const PlanOptions& options) {
-  PartialOrder partial_order =
-      options.symmetry_breaking ? ComputeSymmetryBreaking(pattern)
-                                : PartialOrder{};
+  PartialOrder partial_order;
+  if (options.symmetry_breaking) {
+    partial_order = options.restriction_mode == RestrictionMode::kGrochowKellis
+                        ? ComputeSymmetryBreaking(pattern)
+                        : ComputeRestrictionsForOrder(pattern, pi);
+  }
   return Assemble(pattern, pi, options, std::move(partial_order));
 }
 
@@ -156,6 +276,11 @@ std::string ExecutionPlan::ToString() const {
     for (const auto& [a, b] : partial_order) {
       out += " u" + std::to_string(a) + "<u" + std::to_string(b);
     }
+    out += "\n";
+  }
+  if (!counted_tail.empty()) {
+    out += "counted tail:";
+    for (int t : counted_tail) out += " u" + std::to_string(t);
     out += "\n";
   }
   return out;

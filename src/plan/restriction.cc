@@ -1,0 +1,158 @@
+#include "plan/restriction.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "plan/order_optimizer.h"
+
+namespace light {
+namespace {
+
+/// Stabilizer of `vertex` inside `group`: the elements fixing it.
+std::vector<Permutation> Stabilizer(const std::vector<Permutation>& group,
+                                    int vertex) {
+  std::vector<Permutation> out;
+  for (const Permutation& g : group) {
+    if (g[static_cast<size_t>(vertex)] == vertex) out.push_back(g);
+  }
+  return out;
+}
+
+bool GroupIsTrivial(const std::vector<Permutation>& group) {
+  return group.size() <= 1;
+}
+
+}  // namespace
+
+PartialOrder RestrictionsFromGroup(const AutomorphismGroup& group,
+                                   int num_vertices,
+                                   const std::vector<int>& pivot_priority) {
+  LIGHT_CHECK(static_cast<int>(pivot_priority.size()) == num_vertices);
+  PartialOrder constraints;
+  std::vector<Permutation> current = group.elements;
+  while (!GroupIsTrivial(current)) {
+    // Pivot: the moved vertex with the smallest priority (ties -> smaller id).
+    int pivot = -1;
+    for (int u = 0; u < num_vertices; ++u) {
+      bool moved = false;
+      for (const Permutation& g : current) {
+        if (g[static_cast<size_t>(u)] != u) {
+          moved = true;
+          break;
+        }
+      }
+      if (!moved) continue;
+      if (pivot == -1 || pivot_priority[static_cast<size_t>(u)] <
+                             pivot_priority[static_cast<size_t>(pivot)]) {
+        pivot = u;
+      }
+    }
+    LIGHT_CHECK(pivot != -1);
+    // Orbit of the pivot under the current subgroup: constrain the pivot's
+    // data vertex below every other member's, then recurse into the
+    // stabilizer — the Grochow–Kellis argument verbatim, which is sound for
+    // ANY pivot choice among the moved vertices.
+    std::vector<int> orbit;
+    for (const Permutation& g : current) {
+      const int v = g[static_cast<size_t>(pivot)];
+      if (std::find(orbit.begin(), orbit.end(), v) == orbit.end()) {
+        orbit.push_back(v);
+      }
+    }
+    std::sort(orbit.begin(), orbit.end());
+    for (int v : orbit) {
+      if (v != pivot) constraints.emplace_back(pivot, v);
+    }
+    current = Stabilizer(current, pivot);
+  }
+  std::sort(constraints.begin(), constraints.end());
+  return constraints;
+}
+
+PartialOrder ComputeRestrictionsForOrder(const Pattern& pattern,
+                                         const std::vector<int>& pi) {
+  const int n = pattern.NumVertices();
+  LIGHT_CHECK(static_cast<int>(pi.size()) == n);
+  std::vector<int> priority(static_cast<size_t>(n), 0);
+  for (int pos = 0; pos < n; ++pos) {
+    priority[static_cast<size_t>(pi[static_cast<size_t>(pos)])] = pos;
+  }
+  return RestrictionsFromGroup(FindAutomorphismGroup(pattern), n, priority);
+}
+
+double LinearExtensionFraction(const PartialOrder& constraints,
+                               int num_vertices) {
+  if (constraints.empty()) return 1.0;
+  if (num_vertices > 20) return 1.0;
+  const int n = num_vertices;
+  // succ[u]: vertices constrained to come after u. Adding elements from the
+  // back, u may close a prefix S only if none of its successors is in S.
+  std::vector<uint32_t> succ(static_cast<size_t>(n), 0);
+  for (const auto& [a, b] : constraints) {
+    succ[static_cast<size_t>(a)] |= 1u << b;
+  }
+  std::vector<double> extensions(size_t{1} << n, 0.0);
+  extensions[0] = 1.0;
+  for (uint32_t mask = 1; mask < (uint32_t{1} << n); ++mask) {
+    double total = 0.0;
+    for (int u = 0; u < n; ++u) {
+      if (!((mask >> u) & 1u)) continue;
+      if (succ[static_cast<size_t>(u)] & mask) continue;
+      total += extensions[mask & ~(1u << u)];
+    }
+    extensions[mask] = total;
+  }
+  double factorial = 1.0;
+  for (int k = 2; k <= n; ++k) factorial *= k;
+  return extensions[(size_t{1} << n) - 1] / factorial;
+}
+
+double RestrictionAdjustedCost(const Pattern& pattern,
+                               const std::vector<int>& pi,
+                               const PartialOrder& restrictions,
+                               const CardinalityEstimator& estimator,
+                               bool lazy_materialization,
+                               bool minimum_set_cover) {
+  const double base = EvaluateOrderCost(pattern, pi, estimator,
+                                        lazy_materialization,
+                                        minimum_set_cover)
+                          .Total();
+  return base * LinearExtensionFraction(restrictions, pattern.NumVertices());
+}
+
+RestrictedPlanChoice CoOptimizeOrderAndRestrictions(
+    const Pattern& pattern, const CardinalityEstimator& estimator,
+    bool lazy_materialization, bool minimum_set_cover) {
+  const AutomorphismGroup group = FindAutomorphismGroup(pattern);
+  const int n = pattern.NumVertices();
+  // No precedence pruning here: restriction sets differ per order, so every
+  // connected order stays a candidate.
+  const std::vector<std::vector<int>> orders =
+      EnumerateConnectedOrders(pattern, PartialOrder{});
+  LIGHT_CHECK(!orders.empty());
+  RestrictedPlanChoice best;
+  best.adjusted_cost = std::numeric_limits<double>::infinity();
+  std::vector<int> priority(static_cast<size_t>(n), 0);
+  for (const std::vector<int>& pi : orders) {
+    for (int pos = 0; pos < n; ++pos) {
+      priority[static_cast<size_t>(pi[static_cast<size_t>(pos)])] = pos;
+    }
+    PartialOrder restrictions = RestrictionsFromGroup(group, n, priority);
+    const double cost =
+        RestrictionAdjustedCost(pattern, pi, restrictions, estimator,
+                                lazy_materialization, minimum_set_cover);
+    // Deterministic: strict improvement beyond tolerance wins; the first
+    // candidate at a tied cost is kept (orders enumerate lexicographically).
+    if (cost < best.adjusted_cost * (1.0 - 1e-12) ||
+        best.pi.empty()) {
+      best.pi = pi;
+      best.restrictions = std::move(restrictions);
+      best.adjusted_cost = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace light

@@ -1,0 +1,78 @@
+#ifndef LIGHT_PLAN_RESTRICTION_H_
+#define LIGHT_PLAN_RESTRICTION_H_
+
+/// GraphPi-style restriction sets (arXiv:2009.10955, Section 4).
+///
+/// The classic Grochow–Kellis scheme (pattern/symmetry_breaking.h) breaks
+/// symmetry with a FIXED pivot order — the smallest moved vertex — chosen
+/// with no knowledge of the matching order, so the constraints often land on
+/// vertices materialized late, where they prune little. GraphPi's insight is
+/// that the pivot sequence is a free parameter: ANY sequence of moved
+/// vertices yields a correct restriction set (each step constrains the pivot
+/// below its orbit and recurses into the stabilizer, exactly the GK
+/// argument), so the planner can generate one restriction set per candidate
+/// matching order — pivoting on early-matched vertices first — and score the
+/// (order, restrictions) pair jointly.
+///
+/// The joint score multiplies the Equation-8 cost of the order by the
+/// restriction selectivity: the fraction of the n! relative orderings of the
+/// pattern vertices that satisfy the constraints (= linear extensions of the
+/// constraint poset / n!), which is exactly the asymptotic fraction of
+/// partial embeddings the restrictions let through under a uniform-ID model.
+
+#include <vector>
+
+#include "pattern/automorphism.h"
+#include "pattern/pattern.h"
+#include "pattern/symmetry_breaking.h"
+#include "plan/cardinality.h"
+
+namespace light {
+
+/// Grochow–Kellis restriction generation from an explicit group, picking
+/// each round's pivot as the moved vertex with the smallest
+/// pivot_priority[u] (ties toward the smaller vertex id). With
+/// pivot_priority[u] = u this reproduces ComputeSymmetryBreaking exactly.
+PartialOrder RestrictionsFromGroup(const AutomorphismGroup& group,
+                                   int num_vertices,
+                                   const std::vector<int>& pivot_priority);
+
+/// Restriction set tailored to a matching order: pivots are preferred in pi
+/// order, so constraints attach to the earliest-materialized vertices and
+/// cut enumeration near the root.
+PartialOrder ComputeRestrictionsForOrder(const Pattern& pattern,
+                                         const std::vector<int>& pi);
+
+/// Fraction of the num_vertices! strict total orders satisfying every
+/// constraint: linear extensions of the poset / n!, by bitmask DP (O(2^n n)).
+/// 1.0 for an empty set; patterns beyond 20 vertices fall back to 1.0.
+double LinearExtensionFraction(const PartialOrder& constraints,
+                               int num_vertices);
+
+/// Equation-8 cost of pi scaled by the selectivity of `restrictions` — the
+/// joint objective of the co-optimization.
+double RestrictionAdjustedCost(const Pattern& pattern,
+                               const std::vector<int>& pi,
+                               const PartialOrder& restrictions,
+                               const CardinalityEstimator& estimator,
+                               bool lazy_materialization,
+                               bool minimum_set_cover);
+
+struct RestrictedPlanChoice {
+  std::vector<int> pi;
+  PartialOrder restrictions;
+  double adjusted_cost = 0.0;
+};
+
+/// GraphPi joint optimization: every connected matching order paired with
+/// its order-tailored restriction set, scored by RestrictionAdjustedCost;
+/// returns the minimum (deterministic tie-break toward the lexicographically
+/// smaller order). With a trivial automorphism group this degenerates to the
+/// plain Equation-8 order optimization.
+RestrictedPlanChoice CoOptimizeOrderAndRestrictions(
+    const Pattern& pattern, const CardinalityEstimator& estimator,
+    bool lazy_materialization, bool minimum_set_cover);
+
+}  // namespace light
+
+#endif  // LIGHT_PLAN_RESTRICTION_H_

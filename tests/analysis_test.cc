@@ -17,6 +17,7 @@
 #include "light.h"
 #include "obs/json.h"
 #include "pattern/catalog.h"
+#include "plan/iep.h"
 #include "plan/plan.h"
 
 namespace light::analysis {
@@ -348,6 +349,127 @@ TEST(AnalysisTest, DiagnosticJsonRoundTrips) {
     start = end + 1;
   }
   EXPECT_EQ(lines, report.diagnostics.size());
+}
+
+// --- Counted-tail and IEP-decomposition rules ------------------------------
+
+Pattern Star3() {
+  return Pattern::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+}
+
+/// A term plan of Star3 whose counted tail has at least two merged
+/// vertices (the 2-block partition term).
+ExecutionPlan TwoTailTermPlan(IepDecomposition* dec_out = nullptr) {
+  const IepDecomposition dec = BuildIepDecomposition(Star3());
+  for (const IepTerm& term : dec.terms) {
+    if (term.counted_tail.size() == 2) {
+      if (dec_out != nullptr) *dec_out = dec;
+      return BuildIepTermPlan(term, TestStats(), nullptr,
+                              PlanOptions::Light());
+    }
+  }
+  ADD_FAILURE() << "star3 decomposition lacks a 2-block term";
+  return {};
+}
+
+TEST(AnalysisTest, IepTermPlansAndDecompositionsLintClean) {
+  const GraphStats stats = TestStats();
+  size_t decomposable = 0;
+  for (const PatternEntry& entry : PatternCatalog()) {
+    const IepDecomposition dec = BuildIepDecomposition(entry.pattern);
+    if (!dec.valid()) continue;
+    ++decomposable;
+    const LintReport dec_report = LintIepDecomposition(entry.pattern, dec);
+    EXPECT_TRUE(dec_report.empty())
+        << entry.name << ":\n" << dec_report.ToString();
+    for (const IepTerm& term : dec.terms) {
+      const ExecutionPlan plan =
+          BuildIepTermPlan(term, stats, nullptr, PlanOptions::Light());
+      const LintReport report = LintPlan(term.pattern, plan, TestOptions());
+      EXPECT_TRUE(report.empty())
+          << entry.name << ":\n" << report.ToString();
+    }
+  }
+  EXPECT_GE(decomposable, 5u);  // stars, paths, trees all shed a tail
+}
+
+TEST(AnalysisTest, CountedTailSymmetryBreakingIsCaught) {
+  ExecutionPlan plan = TwoTailTermPlan();
+  plan.options.symmetry_breaking = true;
+  const LintReport report = LintPlan(plan.pattern, plan, TestOptions());
+  EXPECT_TRUE(HasRule(report, "iep-tail-symmetry")) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AnalysisTest, CountedTailAdjacencyIsCaught) {
+  ExecutionPlan plan = TwoTailTermPlan();
+  ASSERT_EQ(plan.counted_tail.size(), 2u);
+  plan.pattern.AddEdge(plan.counted_tail[0], plan.counted_tail[1]);
+  const LintReport report = LintPlan(plan.pattern, plan, TestOptions());
+  EXPECT_TRUE(HasRule(report, "iep-tail-not-independent"))
+      << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AnalysisTest, CountedTailConstraintIsCaught) {
+  ExecutionPlan plan = TwoTailTermPlan();
+  const int t = plan.counted_tail.front();
+  plan.lower_bounds[static_cast<size_t>(t)].push_back(0);
+  const LintReport report = LintPlan(plan.pattern, plan, TestOptions());
+  EXPECT_TRUE(HasRule(report, "iep-tail-constrained")) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AnalysisTest, IepPartitionViolationsAreCaught) {
+  IepDecomposition dec = BuildIepDecomposition(Star3());
+  ASSERT_TRUE(dec.valid());
+  dec.kernel.push_back(dec.tail.front());  // vertex now in both parts
+  const LintReport report = LintIepDecomposition(Star3(), dec);
+  EXPECT_TRUE(HasRule(report, "iep-partition")) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AnalysisTest, IepKernelDisconnectedIsCaught) {
+  // path3 with the middle vertex shed: the endpoints do not touch.
+  const Pattern path = Path2();
+  IepDecomposition dec;
+  dec.kernel = {0, 2};
+  dec.tail = {1};
+  const LintReport report = LintIepDecomposition(path, dec);
+  EXPECT_TRUE(HasRule(report, "iep-kernel-disconnected"))
+      << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AnalysisTest, IepWrongAutomorphismCountIsCaught) {
+  IepDecomposition dec = BuildIepDecomposition(Star3());
+  ASSERT_TRUE(dec.valid());
+  dec.automorphism_count += 1;
+  const LintReport report = LintIepDecomposition(Star3(), dec);
+  EXPECT_TRUE(HasRule(report, "iep-automorphism-count"))
+      << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AnalysisTest, IepTermCoefficientMutationIsCaught) {
+  IepDecomposition dec = BuildIepDecomposition(Star3());
+  ASSERT_TRUE(dec.valid());
+  ASSERT_FALSE(dec.terms.empty());
+  dec.terms.front().coefficient += 1;
+  const LintReport report = LintIepDecomposition(Star3(), dec);
+  EXPECT_TRUE(HasRule(report, "iep-term-mismatch")) << report.ToString();
+  EXPECT_TRUE(HasRule(report, "iep-sum-inexact")) << report.ToString();
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AnalysisTest, IepDroppedTermIsCaught) {
+  IepDecomposition dec = BuildIepDecomposition(Star3());
+  ASSERT_TRUE(dec.valid());
+  ASSERT_GE(dec.terms.size(), 2u);
+  dec.terms.pop_back();
+  const LintReport report = LintIepDecomposition(Star3(), dec);
+  EXPECT_TRUE(HasRule(report, "iep-term-mismatch")) << report.ToString();
+  EXPECT_FALSE(report.ok());
 }
 
 // --- The facade gate -------------------------------------------------------

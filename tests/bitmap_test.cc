@@ -356,8 +356,8 @@ TEST(FacadeRunTest, ValidateRejectsBadOptions) {
 
   if (!KernelAvailable(IntersectKernel::kHybridAvx512)) {
     RunOptions pinned;
-    pinned.kernel = IntersectKernel::kHybridAvx512;
-    pinned.auto_kernel = false;
+    pinned.plan_options.kernel = IntersectKernel::kHybridAvx512;
+    pinned.plan_options.auto_kernel = false;
     EXPECT_FALSE(pinned.Validate().ok());
   }
 }
@@ -367,8 +367,8 @@ TEST(FacadeRunTest, NormalizedResolvesKernelAndThreads) {
   opts.threads = -3;
   const RunOptions norm = opts.Normalized();
   EXPECT_EQ(norm.threads, 0);
-  EXPECT_FALSE(norm.auto_kernel);
-  EXPECT_TRUE(KernelAvailable(norm.kernel));
+  EXPECT_FALSE(norm.plan_options.auto_kernel);
+  EXPECT_TRUE(KernelAvailable(norm.plan_options.kernel));
 
   CollectingVisitor visitor;
   RunOptions streaming;
@@ -378,7 +378,7 @@ TEST(FacadeRunTest, NormalizedResolvesKernelAndThreads) {
 }
 
 TEST(FacadeRunTest, EffectiveBitmapThresholdRules) {
-  RunOptions opts;  // auto threshold, default density 0.1
+  PlanOptions opts;  // auto threshold, default density 0.1
   EXPECT_EQ(EffectiveBitmapThreshold(opts, 100), 10u);
   opts.bitmap_density = 0.0;
   EXPECT_EQ(EffectiveBitmapThreshold(opts, 100), 1u);  // floor at 1
@@ -395,7 +395,7 @@ TEST(FacadeRunTest, BitmapOnOffCountsAgree) {
 
   RunOptions off;
   off.threads = 1;
-  off.bitmap_min_degree = kBitmapDegreeNever;
+  off.plan_options.bitmap_min_degree = kBitmapDegreeNever;
   const RunResult base = light::Run(g, triangle, off);
   ASSERT_TRUE(base.ok());
   EXPECT_GT(base.num_matches, 0u);
@@ -403,7 +403,7 @@ TEST(FacadeRunTest, BitmapOnOffCountsAgree) {
   obs::RunReport report;
   RunOptions on;
   on.threads = 1;
-  on.bitmap_min_degree = 0;
+  on.plan_options.bitmap_min_degree = 0;
   on.report = &report;
   const RunResult hybrid = light::Run(g, triangle, on);
   ASSERT_TRUE(hybrid.ok());

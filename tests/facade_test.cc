@@ -78,7 +78,7 @@ TEST(FacadeTest, InducedFlagTightensCounts) {
   RunOptions plain;
   plain.threads = 1;
   RunOptions induced = plain;
-  induced.induced = true;
+  induced.plan_options.induced = true;
   EXPECT_LE(light::Run(g, square, induced).num_matches,
             light::Run(g, square, plain).num_matches);
 }
@@ -142,56 +142,130 @@ TEST(FacadeTest, EnumerateHonorsTimeLimitAndReport) {
 }
 
 // -------------------------------------------------------------------------
-// Deprecated-wrapper back-compat coverage. The wrappers carry
-// [[deprecated]] so new in-repo callers fail under -Werror; this section
-// deliberately keeps exercising them until removal.
+// Deprecated flat-shim back-compat coverage. The shims carry [[deprecated]]
+// so new in-repo callers fail under -Werror; this section deliberately
+// keeps exercising them until removal.
 // -------------------------------------------------------------------------
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
-TEST(FacadeTest, RunMatchesDeprecatedWrappers) {
+TEST(FacadeTest, DeprecatedShimsFoldIntoPlanOptions) {
   const Graph g = TestGraph();
-  Pattern p2;
-  ASSERT_TRUE(FindPattern("P2", &p2).ok());
+  Pattern square;
+  ASSERT_TRUE(FindPattern("square", &square).ok());
 
-  CountOptions count_options;
-  count_options.threads = 1;
-  const CountResult old_api = CountSubgraphs(g, p2, count_options);
+  // An engaged flat shim must behave exactly like the nested field...
+  RunOptions via_shim;
+  via_shim.threads = 1;
+  via_shim.induced = true;
+  via_shim.lazy_materialization = false;
+  RunOptions via_nested;
+  via_nested.threads = 1;
+  via_nested.plan_options.induced = true;
+  via_nested.plan_options.lazy_materialization = false;
+  EXPECT_EQ(light::Run(g, square, via_shim).num_matches,
+            light::Run(g, square, via_nested).num_matches);
 
-  RunOptions run_options;
-  run_options.threads = 1;
-  const RunResult new_api = light::Run(g, p2, run_options);
-  ASSERT_TRUE(new_api.ok());
-  EXPECT_EQ(new_api.num_matches, old_api.num_matches);
+  // ...and win over a conflicting nested value, then disengage.
+  RunOptions conflict;
+  conflict.plan_options.induced = false;
+  conflict.induced = true;
+  const RunOptions folded = conflict.Normalized();
+  EXPECT_TRUE(folded.plan_options.induced);
+  EXPECT_FALSE(folded.induced.has_value());
 
-  // Default-constructed options on both APIs agree too.
-  EXPECT_EQ(light::Run(g, p2).num_matches,
-            CountSubgraphs(g, p2, {}).num_matches);
-}
-
-TEST(FacadeTest, DeprecatedWrappersStampTheirToolNames) {
-  const Graph g = TestGraph();
-  Pattern triangle;
-  ASSERT_TRUE(FindPattern("triangle", &triangle).ok());
-
-  obs::RunReport count_report;
-  CountOptions count_options;
-  count_options.threads = 1;
-  count_options.report = &count_report;
-  CountSubgraphs(g, triangle, count_options);
-  EXPECT_EQ(count_report.tool, "light::CountSubgraphs");
-
-  CollectingVisitor visitor;
-  obs::RunReport enum_report;
-  CountOptions enum_options;
-  enum_options.threads = 1;
-  enum_options.report = &enum_report;
-  const CountResult r = EnumerateSubgraphs(g, triangle, &visitor, enum_options);
-  EXPECT_EQ(enum_report.tool, "light::EnumerateSubgraphs");
-  EXPECT_EQ(r.num_matches, visitor.matches().size());
+  SessionOptions session_conflict;
+  session_conflict.plan_options.bitmap_min_degree = 7;
+  session_conflict.bitmap_min_degree = 3;
+  EXPECT_EQ(session_conflict.Normalized().plan_options.bitmap_min_degree, 3u);
 }
 
 #pragma GCC diagnostic pop
+
+TEST(FacadeTest, UniqueSubgraphsOverridesNestedSymmetryBreaking) {
+  // unique_subgraphs is authoritative: Normalized() overwrites the nested
+  // field from it, so a stale plan_options.symmetry_breaking cannot leak.
+  RunOptions options;
+  options.unique_subgraphs = false;
+  options.plan_options.symmetry_breaking = true;
+  EXPECT_FALSE(options.Normalized().plan_options.symmetry_breaking);
+}
+
+TEST(FacadeTest, IepCountingMatchesEnumeration) {
+  const Graph g = TestGraph();
+  for (const char* name : {"star4", "triangle", "book4", "diamond"}) {
+    Pattern pattern;
+    ASSERT_TRUE(FindPattern(name, &pattern).ok());
+
+    RunOptions enumerate;
+    enumerate.threads = 1;
+    const RunResult expected = light::Run(g, pattern, enumerate);
+    ASSERT_TRUE(expected.ok()) << name;
+
+    RunOptions iep;
+    iep.threads = 1;
+    iep.lint_plan = true;
+    iep.plan_options.count_strategy = CountStrategy::kIep;
+    obs::RunReport iep_report;
+    iep.report = &iep_report;
+    const RunResult via_iep = light::Run(g, pattern, iep);
+    ASSERT_TRUE(via_iep.ok()) << name << ": " << via_iep.error;
+    EXPECT_EQ(via_iep.num_matches, expected.num_matches) << name;
+    // The report's answer is the combined signed count, not the raw
+    // unsigned sum of per-term enumerations.
+    EXPECT_EQ(iep_report.num_matches, via_iep.num_matches) << name;
+
+    // All-embeddings mode goes through IEP without the |Aut| division.
+    RunOptions iep_all = iep;
+    iep_all.unique_subgraphs = false;
+    RunOptions enum_all = enumerate;
+    enum_all.unique_subgraphs = false;
+    EXPECT_EQ(light::Run(g, pattern, iep_all).num_matches,
+              light::Run(g, pattern, enum_all).num_matches)
+        << name;
+
+    // Parallel IEP (per-term pool queries) agrees with serial IEP.
+    RunOptions iep_parallel = iep;
+    iep_parallel.threads = 4;
+    EXPECT_EQ(light::Run(g, pattern, iep_parallel).num_matches,
+              expected.num_matches)
+        << name;
+  }
+}
+
+TEST(FacadeTest, CountStrategyAutoMatchesEnumeration) {
+  const Graph g = TestGraph();
+  Pattern star;
+  ASSERT_TRUE(FindPattern("star5", &star).ok());
+  RunOptions enumerate;
+  enumerate.threads = 1;
+  RunOptions aut = enumerate;
+  aut.plan_options.count_strategy = CountStrategy::kAuto;
+  EXPECT_EQ(light::Run(g, star, aut).num_matches,
+            light::Run(g, star, enumerate).num_matches);
+}
+
+TEST(FacadeTest, CoOptimizedRestrictionsMatchDefaultPlan) {
+  const Graph g = TestGraph();
+  for (const char* name : {"square", "diamond", "house"}) {
+    Pattern pattern;
+    ASSERT_TRUE(FindPattern(name, &pattern).ok());
+    RunOptions classic;
+    classic.threads = 1;
+    RunOptions restricted = classic;
+    restricted.lint_plan = true;
+    restricted.plan_options.restriction_mode = RestrictionMode::kCoOptimized;
+    const RunResult a = light::Run(g, pattern, classic);
+    const RunResult b = light::Run(g, pattern, restricted);
+    ASSERT_TRUE(b.ok()) << name << ": " << b.error;
+    EXPECT_EQ(a.num_matches, b.num_matches) << name;
+
+    RunOptions auto_mode = classic;
+    auto_mode.plan_options.restriction_mode = RestrictionMode::kAuto;
+    EXPECT_EQ(light::Run(g, pattern, auto_mode).num_matches, a.num_matches)
+        << name;
+  }
+}
 
 TEST(MatchWriterTest, WritesMatchesToFile) {
   const Graph g = TestGraph();

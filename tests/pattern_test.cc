@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "pattern/automorphism.h"
@@ -120,6 +121,55 @@ TEST(AutomorphismTest, AllPermutationsPreserveEdges) {
             << name;
       }
     }
+  }
+}
+
+TEST(AutomorphismTest, GroupMatchesBruteForceOnFullCatalog) {
+  // Cross-check FindAutomorphismGroup against an independent brute force:
+  // try all n! permutations, keep the edge-preserving, label-preserving
+  // ones. The backtracking enumeration must find exactly that set, and the
+  // greedy generating set must close back onto it.
+  for (const PatternEntry& entry : PatternCatalog()) {
+    const Pattern& p = entry.pattern;
+    const int n = p.NumVertices();
+
+    std::vector<int> perm(static_cast<size_t>(n));
+    for (int u = 0; u < n; ++u) perm[static_cast<size_t>(u)] = u;
+    std::set<Permutation> brute;
+    do {
+      bool preserves = true;
+      for (int u = 0; u < n && preserves; ++u) {
+        preserves = p.Label(u) == p.Label(perm[static_cast<size_t>(u)]);
+        for (int v = u + 1; v < n && preserves; ++v) {
+          preserves = p.HasEdge(u, v) ==
+                      p.HasEdge(perm[static_cast<size_t>(u)],
+                                perm[static_cast<size_t>(v)]);
+        }
+      }
+      if (preserves) brute.insert(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+
+    const AutomorphismGroup group = FindAutomorphismGroup(p);
+    EXPECT_EQ(group.order(), brute.size()) << entry.name;
+    const std::set<Permutation> elements(group.elements.begin(),
+                                         group.elements.end());
+    EXPECT_EQ(elements, brute) << entry.name;
+
+    // Generator closure reproduces the full group, and a trivial group has
+    // no generators.
+    const std::set<Permutation> closed = [&] {
+      const auto closure = GenerateClosure(group.generators, n);
+      return std::set<Permutation>(closure.begin(), closure.end());
+    }();
+    EXPECT_EQ(closed, brute) << entry.name;
+    EXPECT_EQ(group.generators.empty(), brute.size() == 1) << entry.name;
+
+    // Orbits partition the vertex set.
+    int orbit_vertices = 0;
+    for (const auto& orbit : group.Orbits(n)) {
+      orbit_vertices += static_cast<int>(orbit.size());
+    }
+    EXPECT_EQ(orbit_vertices, n) << entry.name;
   }
 }
 

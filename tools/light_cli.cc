@@ -32,7 +32,16 @@ void Usage() {
   --graph PATH       load an edge-list file instead of a catalog graph
   --pattern NAME     pattern (P1..P7, triangle, k4, k5, house, ... )
   --pattern-edges S  ad-hoc pattern, e.g. "0-1,1-2,0-2" (see pattern/parse.h)
+                     (--edges is accepted as an alias)
   --algorithm A      light (default) | se | lm | msc | cfl | eh | seed | crystal
+  --restriction R    symmetry-breaking restriction set: gk (default,
+                     Grochow-Kellis partial order) | co-optimized (GraphPi-
+                     style order+restriction joint optimization) | auto
+                     (co-optimize, keep the classic plan on ties)
+  --count-strategy C counting-only execution: enumerate (default) | iep
+                     (inclusion-exclusion decomposition; light/se/lm/msc,
+                     no --induced) | auto (iep when the decomposition
+                     looks profitable)
   --threads K        worker threads (default 1; light/se/lm/msc only)
   --kernel NAME      merge | merge_avx2 | galloping | hybrid | hybrid_avx2 | merge_avx512 | hybrid_avx512
                      (default: best available; pinning an unavailable one errors)
@@ -160,6 +169,11 @@ int main(int argc, char** argv) {
   const char* graph_path = FlagValue(argc, argv, "--graph");
   const char* pattern_name = FlagValue(argc, argv, "--pattern");
   const char* pattern_edges = FlagValue(argc, argv, "--pattern-edges");
+  // --edges is the unified short spelling shared with plan_lint; the long
+  // form stays as an alias so existing scripts keep working.
+  if (pattern_edges == nullptr) {
+    pattern_edges = FlagValue(argc, argv, "--edges");
+  }
   const char* algorithm = FlagValue(argc, argv, "--algorithm");
   const char* kernel_name = FlagValue(argc, argv, "--kernel");
   const char* threads_str = FlagValue(argc, argv, "--threads");
@@ -220,6 +234,36 @@ int main(int argc, char** argv) {
                                 ? std::atof(limit_str)
                                 : std::numeric_limits<double>::infinity();
   const bool symmetry = !FlagSet(argc, argv, "--no-symmetry");
+
+  PlanOptions cli_plan_options;  // restriction/count knobs shared by all modes
+  if (const char* v = FlagValue(argc, argv, "--restriction")) {
+    const std::string r = v;
+    if (r == "gk") {
+      cli_plan_options.restriction_mode = RestrictionMode::kGrochowKellis;
+    } else if (r == "co-optimized") {
+      cli_plan_options.restriction_mode = RestrictionMode::kCoOptimized;
+    } else if (r == "auto") {
+      cli_plan_options.restriction_mode = RestrictionMode::kAuto;
+    } else {
+      std::fprintf(stderr,
+                   "error: --restriction must be gk, co-optimized, or auto\n");
+      return 1;
+    }
+  }
+  if (const char* v = FlagValue(argc, argv, "--count-strategy")) {
+    const std::string c = v;
+    if (c == "enumerate") {
+      cli_plan_options.count_strategy = CountStrategy::kEnumerate;
+    } else if (c == "iep") {
+      cli_plan_options.count_strategy = CountStrategy::kIep;
+    } else if (c == "auto") {
+      cli_plan_options.count_strategy = CountStrategy::kAuto;
+    } else {
+      std::fprintf(stderr,
+                   "error: --count-strategy must be enumerate, iep, or auto\n");
+      return 1;
+    }
+  }
 
   // Observability wiring: all of it is off (and near-free) by default.
   const char* metrics_json = FlagValue(argc, argv, "--metrics-json");
@@ -345,27 +389,34 @@ int main(int argc, char** argv) {
     session_options.threads = threads_str != nullptr ? std::atoi(threads_str)
                                                      : 0;  // all cores
     if (const char* v = FlagValue(argc, argv, "--bitmap-threshold")) {
-      session_options.bitmap_min_degree =
+      session_options.plan_options.bitmap_min_degree =
           std::strcmp(v, "never") == 0
               ? kBitmapDegreeNever
               : static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     }
     if (const char* v = FlagValue(argc, argv, "--bitmap-density")) {
-      session_options.bitmap_density = std::atof(v);
+      session_options.plan_options.bitmap_density = std::atof(v);
     }
     const char* session_report_path = FlagValue(argc, argv, "--session-report");
     if (const char* v = FlagValue(argc, argv, "--slow-query-threshold")) {
       session_options.slow_query_threshold_seconds = std::atof(v);
     }
 
+    if (cli_plan_options.count_strategy != CountStrategy::kEnumerate) {
+      std::fprintf(stderr,
+                   "warning: --count-strategy is ignored with --batch "
+                   "(session queries always enumerate)\n");
+    }
+
     RunOptions query;
     query.time_limit_seconds = limit_str != nullptr ? std::atof(limit_str) : 0;
     query.unique_subgraphs = symmetry;
-    query.induced = FlagSet(argc, argv, "--induced");
-    query.kernel = kernel;
-    query.auto_kernel = !kernel_pinned;
-    query.lazy_materialization = algo == "light" || algo == "lm";
-    query.minimum_set_cover = algo == "light" || algo == "msc";
+    query.plan_options.induced = FlagSet(argc, argv, "--induced");
+    query.plan_options.kernel = kernel;
+    query.plan_options.auto_kernel = !kernel_pinned;
+    query.plan_options.lazy_materialization = algo == "light" || algo == "lm";
+    query.plan_options.minimum_set_cover = algo == "light" || algo == "msc";
+    query.plan_options.restriction_mode = cli_plan_options.restriction_mode;
 
     Timer batch_timer;
     Session session(graph, session_options);
@@ -495,20 +546,27 @@ int main(int argc, char** argv) {
   run_options.time_limit_seconds =
       limit_str != nullptr ? std::atof(limit_str) : 0;
   run_options.unique_subgraphs = symmetry;
-  run_options.induced = FlagSet(argc, argv, "--induced");
-  run_options.kernel = kernel;
-  run_options.auto_kernel = !kernel_pinned;
+  run_options.plan_options = cli_plan_options;
+  run_options.plan_options.induced = FlagSet(argc, argv, "--induced");
+  run_options.plan_options.kernel = kernel;
+  run_options.plan_options.auto_kernel = !kernel_pinned;
   if (algo == "se") {
-    run_options.lazy_materialization = false;
-    run_options.minimum_set_cover = false;
+    run_options.plan_options.lazy_materialization = false;
+    run_options.plan_options.minimum_set_cover = false;
   } else if (algo == "lm") {
-    run_options.lazy_materialization = true;
-    run_options.minimum_set_cover = false;
+    run_options.plan_options.lazy_materialization = true;
+    run_options.plan_options.minimum_set_cover = false;
   } else if (algo == "msc") {
-    run_options.lazy_materialization = false;
-    run_options.minimum_set_cover = true;
+    run_options.plan_options.lazy_materialization = false;
+    run_options.plan_options.minimum_set_cover = true;
   } else if (algo != "light" && algo != "cfl") {
     std::fprintf(stderr, "error: unknown algorithm %s\n", algo.c_str());
+    return 1;
+  }
+  if (algo == "cfl" &&
+      run_options.plan_options.count_strategy != CountStrategy::kEnumerate) {
+    std::fprintf(stderr,
+                 "error: --count-strategy applies to light/se/lm/msc only\n");
     return 1;
   }
 
@@ -517,22 +575,26 @@ int main(int argc, char** argv) {
   const char* bitmap_density_str = FlagValue(argc, argv, "--bitmap-density");
   if (bitmap_threshold_str != nullptr) {
     if (std::strcmp(bitmap_threshold_str, "never") == 0) {
-      run_options.bitmap_min_degree = kBitmapDegreeNever;
+      run_options.plan_options.bitmap_min_degree = kBitmapDegreeNever;
     } else {
-      run_options.bitmap_min_degree =
+      run_options.plan_options.bitmap_min_degree =
           static_cast<uint32_t>(std::strtoul(bitmap_threshold_str, nullptr, 10));
     }
   }
   if (bitmap_density_str != nullptr) {
-    run_options.bitmap_density = std::atof(bitmap_density_str);
+    run_options.plan_options.bitmap_density = std::atof(bitmap_density_str);
   }
 
   // Build the plan once (reusing the stats computed above) and hand it to
-  // Run as an override; cfl uses its own plan builder.
+  // Run as an override; cfl uses its own plan builder. An IEP-eligible run
+  // keeps the override empty: the facade must be free to decompose the
+  // pattern instead of executing one monolithic plan.
   const ExecutionPlan plan =
       algo == "cfl" ? BuildCflLikePlan(pattern, symmetry)
                     : BuildRunPlan(graph, stats, pattern, run_options);
-  run_options.plan = &plan;
+  if (run_options.plan_options.count_strategy == CountStrategy::kEnumerate) {
+    run_options.plan = &plan;
+  }
   if (FlagSet(argc, argv, "--show-plan")) {
     std::printf("%s", plan.ToString().c_str());
   }

@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
   std::printf(
       "light_fuzz: seed=%llu cases=%llu divergences=%llu bitmap_cases=%llu "
       "lint_violations=%llu session_cases=%llu deadline_cases=%llu "
-      "time=%.1fs\n",
+      "restriction_cases=%llu iep_cases=%llu time=%.1fs\n",
       static_cast<unsigned long long>(options.seed),
       static_cast<unsigned long long>(summary.cases_run),
       static_cast<unsigned long long>(summary.divergences),
@@ -128,6 +128,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(summary.lint_violations),
       static_cast<unsigned long long>(summary.session_cases),
       static_cast<unsigned long long>(summary.deadline_cases),
+      static_cast<unsigned long long>(summary.restriction_cases),
+      static_cast<unsigned long long>(summary.iep_cases),
       summary.elapsed_seconds);
   if (summary.session_cases > 0) {
     std::printf(

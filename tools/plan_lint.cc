@@ -46,9 +46,11 @@ void Usage() {
 
   --pattern NAME      lint one catalog pattern (P1..P7, triangle, k4, ...)
   --pattern-edges S   lint an ad-hoc pattern, e.g. "0-1,1-2,0-2;0:5"
+                      (--edges is accepted as an alias)
   --pattern-file P    lint a pattern read from a file (same syntax)
   --all               lint the entire pattern catalog (default)
   --algo A            plan variant: light | lm | msc | se (default light)
+  --restriction R     restriction sets: gk (default) | co-optimized | auto
   --no-symmetry       build the plan without symmetry breaking
   --induced           vertex-induced (motif) matching semantics
   --order i,j,...     pinned enumeration order instead of the optimizer
@@ -190,6 +192,19 @@ int main(int argc, char** argv) {
   }
   config.plan_options.symmetry_breaking = !FlagSet(argc, argv, "--no-symmetry");
   config.plan_options.induced = FlagSet(argc, argv, "--induced");
+  if (const char* v = FlagValue(argc, argv, "--restriction")) {
+    if (std::strcmp(v, "gk") == 0) {
+      config.plan_options.restriction_mode = RestrictionMode::kGrochowKellis;
+    } else if (std::strcmp(v, "co-optimized") == 0) {
+      config.plan_options.restriction_mode = RestrictionMode::kCoOptimized;
+    } else if (std::strcmp(v, "auto") == 0) {
+      config.plan_options.restriction_mode = RestrictionMode::kAuto;
+    } else {
+      std::fprintf(stderr,
+                   "error: --restriction must be gk, co-optimized, or auto\n");
+      return 1;
+    }
+  }
 
   if (const char* v = FlagValue(argc, argv, "--order")) {
     std::stringstream ss(v);
@@ -228,7 +243,11 @@ int main(int argc, char** argv) {
     }
     patterns.emplace_back(v, p);
   }
-  if (const char* v = FlagValue(argc, argv, "--pattern-edges")) {
+  const char* edges_arg = FlagValue(argc, argv, "--pattern-edges");
+  // --edges is the unified short spelling shared with light_cli; the long
+  // form stays as an alias so existing scripts keep working.
+  if (edges_arg == nullptr) edges_arg = FlagValue(argc, argv, "--edges");
+  if (const char* v = edges_arg) {
     Pattern p;
     if (Status s = ParsePattern(v, &p); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
