@@ -10,8 +10,14 @@
 # also soaks the plan linter on every generated plan) under
 # -fsanitize=undefined.
 #
+# A clang thread-safety-analysis leg (-Wthread-safety -Werror) compiles the
+# annotated serving stack when clang++ is available, proving the
+# guarded_by/requires/excludes contracts statically; the debug lock-rank
+# checker (LIGHT_LOCK_RANKS=ON on the sanitizer legs) is the runtime
+# complement, aborting on any out-of-order or re-entrant acquisition.
+#
 # Usage: ci/verify.sh [--skip-tsan] [--skip-ubsan] [--skip-asan]
-#                     [--skip-tidy] [--skip-bench]
+#                     [--skip-tidy] [--skip-bench] [--skip-tsa]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,6 +27,7 @@ skip_ubsan=0
 skip_asan=0
 skip_tidy=0
 skip_bench=0
+skip_tsa=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) skip_tsan=1 ;;
@@ -28,6 +35,7 @@ for arg in "$@"; do
     --skip-asan) skip_asan=1 ;;
     --skip-tidy) skip_tidy=1 ;;
     --skip-bench) skip_bench=1 ;;
+    --skip-tsa) skip_tsa=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -40,6 +48,24 @@ cmake --build build -j "$(nproc)"
 echo "==> plan linter: catalog sweep (strict)"
 ./build/tools/plan_lint --all --strict
 ./build/tools/plan_lint --all --strict --algo se
+
+if [[ "$skip_tsa" -eq 0 ]]; then
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "==> thread-safety analysis: clang -Wthread-safety -Werror"
+    # Static verification of the mutex contracts (guarded_by / requires /
+    # excludes) across the annotated serving stack. Werror=thread-safety:
+    # any unprotected guarded-field access fails the build.
+    cmake -B build-tsa -S . \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DLIGHT_THREAD_SAFETY_ANALYSIS=ON \
+      -DLIGHT_BUILD_BENCHMARKS=OFF \
+      -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
+    cmake --build build-tsa -j "$(nproc)" \
+      --target light_common light_obs light_parallel light_facade light_net
+  else
+    echo "==> clang++ not installed; skipping thread-safety-analysis leg" >&2
+  fi
+fi
 
 if [[ "$skip_tidy" -eq 0 ]]; then
   if command -v clang-tidy >/dev/null 2>&1; then
@@ -152,17 +178,59 @@ print(f"server smoke OK: {fixed['queries']} fixed queries "
 EOF
 
 if [[ "$skip_tsan" -eq 0 ]]; then
-  echo "==> TSan: parallel + obs + session + net tests"
+  echo "==> TSan: parallel + obs + session + net + concurrency tests"
+  # LIGHT_LOCK_RANKS=ON arms the lock-rank checker under TSan too, so the
+  # sweep validates both data-race freedom and acquisition order.
   cmake -B build-tsan -S . \
     -DLIGHT_SANITIZE=thread \
+    -DLIGHT_LOCK_RANKS=ON \
     -DLIGHT_BUILD_BENCHMARKS=OFF \
     -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
-    --target parallel_test obs_test session_test net_test
+    --target parallel_test obs_test session_test net_test concurrency_test \
+    light_server light_client
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/session_test
   ./build-tsan/tests/net_test
+  ./build-tsan/tests/concurrency_test
+
+  echo "==> TSan: light_server/light_client loopback soak"
+  # The full serving path (event loop, session callbacks, pool workers,
+  # deadline/watchdog threads) under ThreadSanitizer: saturate over
+  # loopback for ~2s, then SIGTERM and require a clean zero-leak exit.
+  tsan_server_log="build-tsan/soak_server.log"
+  ./build-tsan/tools/light_server --dataset yt_s --scale 0.02 --threads 4 \
+    --port 0 >"$tsan_server_log" 2>build-tsan/soak_server.err &
+  tsan_server_pid=$!
+  tsan_port=""
+  for _ in $(seq 1 200); do
+    tsan_port="$(sed -n 's/^listening on \([0-9]*\)$/\1/p' "$tsan_server_log")"
+    [[ -n "$tsan_port" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "$tsan_port" ]]; then
+    echo "==> TSan light_server did not start:" >&2
+    cat build-tsan/soak_server.err >&2
+    kill "$tsan_server_pid" 2>/dev/null || true
+    exit 1
+  fi
+  printf 'triangle\nsquare\nP3 deadline=0.000001\n' > build-tsan/soak_trace.txt
+  ./build-tsan/tools/light_client --port "$tsan_port" \
+    --trace build-tsan/soak_trace.txt \
+    --mode saturate --window 8 --duration 2 --quiet \
+    --json build-tsan/soak_client.jsonl
+  kill -TERM "$tsan_server_pid"
+  if ! wait "$tsan_server_pid"; then
+    echo "==> TSan light_server exited nonzero (race or leaked query):" >&2
+    cat "$tsan_server_log" build-tsan/soak_server.err >&2
+    exit 1
+  fi
+  grep -q "open_queries=0" "$tsan_server_log" || {
+    echo "==> TSan soak: server shut down with leaked queries" >&2
+    exit 1
+  }
+  echo "TSan soak OK: saturating loopback traffic, clean drain on SIGTERM"
 fi
 
 if [[ "$skip_asan" -eq 0 ]]; then
@@ -184,6 +252,7 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   echo "==> UBSan: edge-case tests + fuzz smoke"
   cmake -B build-ubsan -S . \
     -DLIGHT_SANITIZE=undefined \
+    -DLIGHT_LOCK_RANKS=ON \
     -DLIGHT_BUILD_BENCHMARKS=OFF \
     -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-ubsan -j "$(nproc)" \
@@ -249,6 +318,14 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   iep_cases="$(sed -n 's/.*iep_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
   if [[ -z "$iep_cases" || "$iep_cases" -lt 1 ]]; then
     echo "==> fuzz smoke exercised no IEP-counting cases" >&2
+    exit 1
+  fi
+  # This build arms the lock-rank checker (LIGHT_LOCK_RANKS=ON above); a
+  # zero counter means the checker silently went dark and the whole sweep
+  # proved nothing about acquisition order.
+  rank_checks="$(sed -n 's/.*rank_checks=\([0-9]*\).*/\1/p' "$fuzz_log")"
+  if [[ -z "$rank_checks" || "$rank_checks" -lt 1 ]]; then
+    echo "==> fuzz smoke performed no lock-rank checks (checker dark?)" >&2
     exit 1
   fi
 fi

@@ -1,0 +1,122 @@
+#include "common/mutex.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace light {
+namespace {
+
+#if defined(LIGHT_LOCK_RANK_CHECKS)
+
+std::atomic<std::uint64_t> g_rank_checks{0};
+
+// Per-thread stack of held mutexes. Fixed capacity: the deepest verified
+// chain in the codebase is 3 (state -> session leaf -> net completions);
+// 32 leaves generous headroom for tests.
+constexpr int kMaxHeld = 32;
+
+struct HeldStack {
+  const Mutex* held[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack t_held;
+
+[[noreturn]] void RankAbort(const char* what, const Mutex* acquiring) {
+  std::fprintf(stderr,
+               "light: LOCK RANK VIOLATION: %s while acquiring \"%s\" "
+               "(rank %d)\n",
+               what, acquiring->name(), acquiring->rank());
+  std::fprintf(stderr, "light: held mutexes (outermost first):\n");
+  for (int i = 0; i < t_held.depth; ++i) {
+    std::fprintf(stderr, "light:   [%d] \"%s\" (rank %d)\n", i,
+                 t_held.held[i]->name(), t_held.held[i]->rank());
+  }
+  std::abort();
+}
+
+void NoteAcquire(const Mutex* mu, bool check_rank) {
+  g_rank_checks.fetch_add(1, std::memory_order_relaxed);
+  int max_held_rank = kNoRank;
+  for (int i = 0; i < t_held.depth; ++i) {
+    if (t_held.held[i] == mu) {
+      RankAbort("re-entrant acquisition", mu);
+    }
+    if (t_held.held[i]->rank() > max_held_rank) {
+      max_held_rank = t_held.held[i]->rank();
+    }
+  }
+  if (check_rank && mu->rank() != kNoRank && max_held_rank != kNoRank &&
+      mu->rank() <= max_held_rank) {
+    RankAbort("rank not strictly greater than a held mutex", mu);
+  }
+  if (t_held.depth < kMaxHeld) {
+    t_held.held[t_held.depth] = mu;
+    ++t_held.depth;
+  }
+}
+
+void NoteRelease(const Mutex* mu) {
+  // Remove by value, not LIFO: guards may be released out of construction
+  // order (e.g. MutexLock::Unlock before an inner guard's destructor).
+  for (int i = t_held.depth - 1; i >= 0; --i) {
+    if (t_held.held[i] == mu) {
+      for (int j = i; j + 1 < t_held.depth; ++j) {
+        t_held.held[j] = t_held.held[j + 1];
+      }
+      --t_held.depth;
+      return;
+    }
+  }
+}
+
+#endif  // LIGHT_LOCK_RANK_CHECKS
+
+}  // namespace
+
+std::uint64_t LockRankChecksPerformed() {
+#if defined(LIGHT_LOCK_RANK_CHECKS)
+  return g_rank_checks.load(std::memory_order_relaxed);
+#else
+  return 0;
+#endif
+}
+
+bool LockRankCheckingArmed() {
+#if defined(LIGHT_LOCK_RANK_CHECKS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Mutex::lock() {
+#if defined(LIGHT_LOCK_RANK_CHECKS)
+  NoteAcquire(this, /*check_rank=*/true);
+#endif
+  mu_.lock();
+}
+
+void Mutex::unlock() {
+  mu_.unlock();
+#if defined(LIGHT_LOCK_RANK_CHECKS)
+  NoteRelease(this);
+#endif
+}
+
+bool Mutex::try_lock() {
+#if defined(LIGHT_LOCK_RANK_CHECKS)
+  // try_lock never blocks, so out-of-rank order cannot deadlock; still
+  // detect re-entrant acquisition (UB on std::mutex) and track the hold.
+  if (mu_.try_lock()) {
+    NoteAcquire(this, /*check_rank=*/false);
+    return true;
+  }
+  return false;
+#else
+  return mu_.try_lock();
+#endif
+}
+
+}  // namespace light

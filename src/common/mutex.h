@@ -1,0 +1,138 @@
+#ifndef LIGHT_COMMON_MUTEX_H_
+#define LIGHT_COMMON_MUTEX_H_
+
+// Annotated mutex layer for the serving stack.
+//
+// light::Mutex wraps std::mutex with two additions:
+//   1. Clang thread-safety capability annotations (see thread_annotations.h),
+//      so `-Wthread-safety` statically proves guarded_by / requires /
+//      excludes contracts across all paths.
+//   2. A debug-build lock-rank checker: each mutex may be given a rank at
+//      construction (see common/lock_ranks.h). When armed, acquiring a
+//      ranked mutex while holding another ranked mutex of an equal or higher
+//      rank — or re-acquiring a held mutex — aborts immediately, printing the
+//      acquiring mutex and the full chain of ranked mutexes the thread holds.
+//      This makes cross-layer deadlocks deterministic single-thread failures
+//      instead of rare multi-thread hangs.
+//
+// The checker is compiled in when LIGHT_LOCK_RANK_CHECKS is defined (cmake
+// option LIGHT_LOCK_RANKS: AUTO = debug builds only, ON, OFF). Unranked
+// mutexes (rank == kNoRank) skip ordering checks but still abort on
+// re-entrant acquisition when the checker is armed.
+//
+// light::Mutex is BasicLockable/Lockable (lock/unlock/try_lock), so
+// light::CondVar — a thin std::condition_variable_any — waits through it and
+// the rank bookkeeping stays correct across the unlock/relock inside wait.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace light {
+
+inline constexpr int kNoRank = -1;
+
+// Number of rank-order checks performed since process start. Zero when the
+// checker is compiled out; CI asserts this is nonzero in the armed debug
+// sweep to prove the checker actually ran.
+std::uint64_t LockRankChecksPerformed();
+
+// True when the lock-rank checker is compiled in.
+bool LockRankCheckingArmed();
+
+class LIGHT_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(int rank = kNoRank, const char* name = "mutex")
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LIGHT_ACQUIRE();
+  void unlock() LIGHT_RELEASE();
+  bool try_lock() LIGHT_TRY_ACQUIRE(true);
+
+  int rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const int rank_;
+  const char* const name_;
+};
+
+// RAII lock guard over light::Mutex, in the style of absl::MutexLock, with
+// explicit Unlock/Lock for the rare drop-the-lock-around-a-callback pattern.
+class LIGHT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LIGHT_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() LIGHT_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() LIGHT_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void Lock() LIGHT_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool held_;
+};
+
+// Condition variable that waits through light::Mutex so the lock-rank
+// bookkeeping tracks the implicit unlock/relock inside each wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.mu_); }
+
+  template <typename Pred>
+  void Wait(MutexLock& lock, Pred pred) {
+    cv_.wait(lock.mu_, std::move(pred));
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.mu_, dur);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(MutexLock& lock, const std::chrono::duration<Rep, Period>& dur,
+               Pred pred) {
+    return cv_.wait_for(lock.mu_, dur, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.mu_, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace light
+
+#endif  // LIGHT_COMMON_MUTEX_H_

@@ -1,0 +1,100 @@
+#ifndef LIGHT_COMMON_THREAD_ANNOTATIONS_H_
+#define LIGHT_COMMON_THREAD_ANNOTATIONS_H_
+
+// Portable wrappers over Clang's thread-safety (capability) attribute family.
+//
+// Under Clang, `-Wthread-safety` turns every annotation below into a
+// compile-time check: reading or writing a LIGHT_GUARDED_BY(mu) field without
+// holding `mu`, calling a LIGHT_REQUIRES(mu) function without `mu`, or calling
+// a LIGHT_EXCLUDES(mu) function while holding `mu` is an error on *all* paths,
+// not just the interleavings a TSan run happens to execute. Under GCC (which
+// does not implement the analysis) every macro expands to nothing, so the
+// annotations are free documentation.
+//
+// Conventions used across the codebase:
+//   - Every mutex-protected member is annotated LIGHT_GUARDED_BY(mutex_).
+//   - Private `...Locked()` helpers that assume the caller holds the lock are
+//     annotated LIGHT_REQUIRES(mutex_).
+//   - Public entry points that take the lock themselves are annotated
+//     LIGHT_EXCLUDES(mutex_) so re-entrant misuse is caught statically.
+//   - `light::Mutex` is the LIGHT_CAPABILITY; `light::MutexLock` is the
+//     LIGHT_SCOPED_CAPABILITY RAII guard (see common/mutex.h).
+
+#if defined(__clang__) && (!defined(SWIG))
+#define LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+// Marks a class as a lockable capability ("mutex" is the diagnostic noun).
+#define LIGHT_CAPABILITY(x) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability.
+#define LIGHT_SCOPED_CAPABILITY \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// Declares that a data member or variable is protected by the given
+// capability(ies); access requires holding them.
+#define LIGHT_GUARDED_BY(x) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+// Declares that the memory pointed to by this pointer member is protected by
+// the given capability (the pointer itself is not).
+#define LIGHT_PT_GUARDED_BY(x) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+// Declares that the annotated function must be called with the given
+// capability(ies) held (and does not release them).
+#define LIGHT_REQUIRES(...) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+// Shared (reader) flavour of LIGHT_REQUIRES.
+#define LIGHT_REQUIRES_SHARED(...) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+// Declares that the annotated function acquires the given capability(ies) and
+// holds them on return.
+#define LIGHT_ACQUIRE(...) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+// Declares that the annotated function releases the given capability(ies).
+#define LIGHT_RELEASE(...) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+// Declares that the annotated function tries to acquire the capability and
+// returns `result` on success.
+#define LIGHT_TRY_ACQUIRE(result, ...) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(result, __VA_ARGS__))
+
+// Declares that the caller must *not* hold the given capability(ies); the
+// function acquires them internally.
+#define LIGHT_EXCLUDES(...) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// Declares that the annotated function returns a reference to the given
+// capability.
+#define LIGHT_RETURN_CAPABILITY(x) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+// Declares an ordering between capabilities: this one must be acquired after
+// the listed ones.
+#define LIGHT_ACQUIRED_AFTER(...) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define LIGHT_ACQUIRED_BEFORE(...) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+// Opts a function out of the analysis entirely. Used sparingly: only where
+// the locking pattern is deliberately too dynamic for the static checker
+// (e.g. lock handoff across threads), with a comment explaining why.
+#define LIGHT_NO_THREAD_SAFETY_ANALYSIS \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+// Assert-style escape hatch: tells the analysis the capability is held here
+// without generating code.
+#define LIGHT_ASSERT_CAPABILITY(x) \
+  LIGHT_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#endif  // LIGHT_COMMON_THREAD_ANNOTATIONS_H_

@@ -197,7 +197,20 @@ constexpr int kKillCancelled = 2;
 /// Shared state behind one Ticket: either an immediate (pre-execution)
 /// error, or a pool handle plus everything needed to assemble the
 /// RunResult and fill the report sink when the pool result lands.
+/// Live SessionQueryState instances (test hook): SubmitAsync used to leak
+/// every query state through an on_done <-> handle shared_ptr cycle, and the
+/// regression test asserts this returns to its baseline after async
+/// completions.
+std::atomic<uint64_t> g_live_query_states{0};
+
+uint64_t LiveQueryStates() {
+  return g_live_query_states.load(std::memory_order_relaxed);
+}
+
 struct SessionQueryState {
+  SessionQueryState() { g_live_query_states.fetch_add(1); }
+  ~SessionQueryState() { g_live_query_states.fetch_sub(1); }
+
   Session* session = nullptr;
   const char* tool = "light::Session";
   obs::RunReport* report = nullptr;
@@ -225,17 +238,18 @@ struct SessionQueryState {
   /// FinalizeFromPool.
   std::function<void(const RunResult&)> callback;
 
-  std::mutex mutex;
-  bool finalized = false;
-  RunResult result;
+  Mutex mutex{lockrank::kSessionQueryState, "SessionQueryState::mutex"};
+  bool finalized LIGHT_GUARDED_BY(mutex) = false;
+  RunResult result LIGHT_GUARDED_BY(mutex);
 
   /// Maps the pool result into the final RunResult exactly once —
   /// callable from Ticket::Wait (caller thread) and from the pool's
   /// on_done (worker thread); whichever arrives second returns the cached
   /// result. Also fires the async callback and the session bookkeeping on
   /// the winning call.
-  RunResult FinalizeFromPool(const ParallelResult& presult) {
-    std::unique_lock<std::mutex> lock(mutex);
+  RunResult FinalizeFromPool(const ParallelResult& presult)
+      LIGHT_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     if (finalized) return result;
     result.num_matches = presult.num_matches;
     result.elapsed_seconds = presult.elapsed_seconds;
@@ -284,9 +298,9 @@ struct SessionQueryState {
     return result;
   }
 
-  RunResult Wait() {
+  RunResult Wait() LIGHT_EXCLUDES(mutex) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      MutexLock lock(mutex);
       if (finalized) return result;
       if (!has_handle) {
         // Immediate pre-execution error: nothing ran, deliver as-is.
@@ -337,18 +351,18 @@ Session::Session(const Graph& graph, const SessionOptions& options)
 Session::~Session() {
   if (watchdog_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      MutexLock lock(watchdog_mutex_);
       watchdog_stop_ = true;
     }
-    watchdog_cv_.notify_all();
+    watchdog_cv_.NotifyAll();
     watchdog_.join();
   }
   if (deadline_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(deadline_mutex_);
+      MutexLock lock(deadline_mutex_);
       deadline_stop_ = true;
     }
-    deadline_cv_.notify_all();
+    deadline_cv_.NotifyAll();
     deadline_thread_.join();
   }
   // Drain the pool while the session's logs/histograms are still alive:
@@ -356,14 +370,14 @@ Session::~Session() {
   // and touch session members that would otherwise already be destroyed.
   std::unique_ptr<WorkerPool> pool;
   {
-    std::lock_guard<std::mutex> lock(init_mutex_);
+    MutexLock lock(init_mutex_);
     pool = std::move(pool_);
   }
   pool.reset();
 }
 
 const GraphStats& Session::EnsureStats() {
-  std::lock_guard<std::mutex> lock(init_mutex_);
+  MutexLock lock(init_mutex_);
   if (graph_stats_ == nullptr) {
     obs::TraceSpan span("graph_stats");
     graph_stats_ = std::make_unique<GraphStats>(
@@ -373,7 +387,7 @@ const GraphStats& Session::EnsureStats() {
 }
 
 const BitmapIndex& Session::EnsureBitmap() {
-  std::lock_guard<std::mutex> lock(init_mutex_);
+  MutexLock lock(init_mutex_);
   if (bitmap_index_ == nullptr) {
     auto index = std::make_unique<BitmapIndex>();
     const uint32_t threshold =
@@ -391,7 +405,7 @@ const BitmapIndex& Session::EnsureBitmap() {
 }
 
 WorkerPool& Session::EnsurePool() {
-  std::lock_guard<std::mutex> lock(init_mutex_);
+  MutexLock lock(init_mutex_);
   if (pool_ == nullptr) {
     pool_ = std::make_unique<WorkerPool>(options_.threads);
     if (options_.max_pending_queries > 0) {
@@ -403,7 +417,7 @@ WorkerPool& Session::EnsurePool() {
 
 void Session::OnResultDelivered() {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++session_stats_.queries_completed;
   }
   if (obs::MetricsEnabled()) obs_queries_completed_->Inc();
@@ -461,7 +475,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
   std::shared_ptr<const ExecutionPlan> plan;
   Pattern plan_pattern;  // the numbering the cached plan was built for
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       it->second.last_used = ++cache_tick_;
@@ -475,7 +489,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
   if (hit) {
     if (cache_hit != nullptr) *cache_hit = true;
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++session_stats_.plan_cache_hits;
     }
     if (obs::MetricsEnabled()) obs_cache_hits_->Inc();
@@ -484,7 +498,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
       // and remember so the check runs at most once per entry.
       const GraphStats& stats = EnsureStats();
       if (!lint(plan_pattern, *plan, &stats)) return nullptr;
-      std::lock_guard<std::mutex> lock(cache_mutex_);
+      MutexLock lock(cache_mutex_);
       auto it = plan_cache_.find(key);
       if (it != plan_cache_.end()) it->second.linted = true;
     }
@@ -492,7 +506,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
   }
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++session_stats_.plan_cache_misses;
   }
   if (obs::MetricsEnabled()) obs_cache_misses_->Inc();
@@ -512,7 +526,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
   if (opts.lint_plan && !lint(pattern, *built, &stats)) return nullptr;
 
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       // Lost an insert race: exactly one entry per key — keep the winner's
@@ -551,7 +565,7 @@ Session::Ticket Session::SubmitInternal(
   state->query_id = obs::NextQueryId();
   state->admit_ns = MonotonicNs();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++session_stats_.queries_submitted;
   }
   if (obs::MetricsEnabled()) obs_queries_started_->Inc();
@@ -562,7 +576,7 @@ Session::Ticket Session::SubmitInternal(
     state->result.error = std::move(error);
     state->result.outcome = QueryOutcome::kError;
     if (callback) {
-      std::lock_guard<std::mutex> lock(state->mutex);
+      MutexLock lock(state->mutex);
       state->finalized = true;
       OnResultDelivered();
       callback(state->result);
@@ -639,7 +653,7 @@ Session::Ticket Session::SubmitInternal(
     info.pattern = pattern;
     info.plan_sigma = obs::PlanSigmaString(*plan);
     info.admit_ns = state->admit_ns;
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     inflight_.emplace(state->query_id, std::move(info));
   }
   state->handle = EnsurePool().Submit(spec);
@@ -648,9 +662,15 @@ Session::Ticket Session::SubmitInternal(
     // Cancel index entry after the handle exists (Cancel dereferences it;
     // cancel_mutex_ publishes the write). Callers can only know this id
     // once SubmitInternal returned, so nothing is missed. Retired by
-    // RecordQueryDone.
-    std::lock_guard<std::mutex> lock(cancel_mutex_);
-    cancelable_.emplace(state->query_id, state);
+    // RecordQueryDone — which can already have run for queries the pool
+    // finalized inline (admission reject, empty graph, async callback):
+    // registering those here would leave a dead entry in the map forever,
+    // so the finalized check under the state lock closes that race.
+    MutexLock state_lock(state->mutex);
+    if (!state->finalized) {
+      MutexLock lock(cancel_mutex_);
+      cancelable_.emplace(state->query_id, state);
+    }
   }
   // Wall-clock deadline, anchored at admit: plan build above already
   // consumed budget. Registration after Submit keeps the timer from
@@ -681,7 +701,7 @@ uint64_t Session::SubmitAsync(const Pattern& pattern,
 bool Session::Cancel(uint64_t query_id) {
   std::shared_ptr<detail::SessionQueryState> state;
   {
-    std::lock_guard<std::mutex> lock(cancel_mutex_);
+    MutexLock lock(cancel_mutex_);
     auto it = cancelable_.find(query_id);
     if (it != cancelable_.end()) state = it->second.lock();
   }
@@ -691,7 +711,7 @@ bool Session::Cancel(uint64_t query_id) {
                                              std::memory_order_acq_rel);
   WorkerPool* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(init_mutex_);
+    MutexLock lock(init_mutex_);
     pool = pool_.get();
   }
   return pool != nullptr && state->has_handle && pool->Cancel(state->handle);
@@ -802,7 +822,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolveIepTermPlan(
   key += opts.plan_options.CacheKey();
 
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       it->second.last_used = ++cache_tick_;
@@ -814,7 +834,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolveIepTermPlan(
   auto built = std::make_shared<ExecutionPlan>(build());
   if (opts.lint_plan && !lint(*built)) return nullptr;
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     auto it = plan_cache_.find(key);
     if (it == plan_cache_.end()) {
       PlanEntry entry;
@@ -845,7 +865,7 @@ RunResult Session::RunIep(const Pattern& pattern, const IepDecomposition& dec,
   qstats.query_id = obs::NextQueryId();
   const uint64_t admit_ns = MonotonicNs();
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++session_stats_.queries_submitted;
   }
   if (obs::MetricsEnabled()) obs_queries_started_->Inc();
@@ -984,7 +1004,7 @@ RunResult Session::RunSyncWithTool(const Pattern& pattern,
     // Serial queries run inline on the caller thread — the one-shot Run
     // code path, with no pool involvement (and exact visitor semantics).
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++session_stats_.queries_submitted;
     }
     if (obs::MetricsEnabled()) obs_queries_started_->Inc();
@@ -1018,15 +1038,15 @@ std::vector<RunResult> Session::RunBatch(const std::vector<Pattern>& patterns,
 SessionStats Session::stats() const {
   SessionStats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     out = session_stats_;
   }
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    MutexLock lock(cache_mutex_);
     out.plan_cache_size = plan_cache_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(init_mutex_);
+    MutexLock lock(init_mutex_);
     out.pool_threads = pool_ == nullptr ? 0 : pool_->num_threads();
   }
   out.latency = obs::HistogramSummary::FromSnapshot(hist_latency_.Snap());
@@ -1041,24 +1061,24 @@ void Session::RecordQueryDone(const RunResult& result, const Pattern& pattern,
   const obs::QueryStats& qstats = result.query_stats;
   UnregisterQuery(qstats.query_id);
   if (options_.stuck_query_window_seconds > 0) {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    MutexLock lock(inflight_mutex_);
     inflight_.erase(qstats.query_id);
   }
   switch (result.outcome) {
     case QueryOutcome::kDeadlineExceeded: {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++session_stats_.deadline_exceeded;
     }
       if (obs::MetricsEnabled()) obs_deadline_exceeded_->Inc();
       break;
     case QueryOutcome::kOverloadRejected: {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++session_stats_.overload_rejected;
     }
       if (obs::MetricsEnabled()) obs_overload_rejected_->Inc();
       break;
     case QueryOutcome::kCancelled: {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++session_stats_.cancelled;
     }
       if (obs::MetricsEnabled()) obs_cancelled_->Inc();
@@ -1087,7 +1107,7 @@ void Session::RecordQueryDone(const RunResult& result, const Pattern& pattern,
   const bool slow = options_.slow_query_threshold_seconds > 0 &&
                     latency_seconds >= options_.slow_query_threshold_seconds;
   {
-    std::lock_guard<std::mutex> lock(log_mutex_);
+    MutexLock lock(log_mutex_);
     query_log_.push_back(std::move(record));
     while (query_log_.size() > options_.query_log_capacity) {
       query_log_.pop_front();
@@ -1107,7 +1127,7 @@ void Session::RecordQueryDone(const RunResult& result, const Pattern& pattern,
     }
   }
   if (slow) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++session_stats_.slow_queries;
   }
 }
@@ -1116,16 +1136,22 @@ void Session::WatchdogMain() {
   const auto window =
       std::chrono::duration<double>(options_.stuck_query_window_seconds);
   std::vector<MultiQueryQueue::QueryProgress> prev;
-  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  MutexLock lock(watchdog_mutex_);
   while (!watchdog_stop_) {
-    if (watchdog_cv_.wait_for(lock, window,
-                              [this] { return watchdog_stop_; })) {
-      break;
+    // Sleep one full window, re-waiting across spurious wakeups, unless the
+    // destructor sets watchdog_stop_ first.
+    const auto deadline = std::chrono::steady_clock::now() + window;
+    while (!watchdog_stop_ &&
+           std::chrono::steady_clock::now() < deadline) {
+      watchdog_cv_.WaitUntil(lock, deadline);
     }
-    lock.unlock();
+    if (watchdog_stop_) break;
+    // The snapshot pass must not hold watchdog_mutex_: it takes init_mutex_
+    // and the queue/log/stats locks, which rank below it.
+    lock.Unlock();
     WorkerPool* pool = nullptr;
     {
-      std::lock_guard<std::mutex> init_lock(init_mutex_);
+      MutexLock init_lock(init_mutex_);
       pool = pool_.get();
     }
     if (pool != nullptr) {
@@ -1144,7 +1170,7 @@ void Session::WatchdogMain() {
       }
       prev = std::move(curr);
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -1159,7 +1185,7 @@ void Session::RecordStuckQueries(
     entry.pending_ranges = progress.pending_ranges;
     entry.leases = progress.leases;
     {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      MutexLock lock(inflight_mutex_);
       auto it = inflight_.find(progress.query_id);
       if (it != inflight_.end()) {
         entry.pattern = FormatPattern(Canonicalize(it->second.pattern).pattern);
@@ -1168,7 +1194,7 @@ void Session::RecordStuckQueries(
             static_cast<double>(now_ns - it->second.admit_ns) / 1e9;
       }
     }
-    std::lock_guard<std::mutex> lock(log_mutex_);
+    MutexLock lock(log_mutex_);
     // Each query is reported stuck at most once per session (it stays in
     // the progress snapshot every window until it completes or aborts).
     if (!stuck_reported_.insert(progress.query_id).second) continue;
@@ -1179,7 +1205,7 @@ void Session::RecordStuckQueries(
     ++newly_stuck;
   }
   if (newly_stuck > 0) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     session_stats_.stuck_queries += newly_stuck;
   }
 }
@@ -1187,7 +1213,7 @@ void Session::RecordStuckQueries(
 void Session::RegisterDeadline(
     uint64_t fire_ns, const std::shared_ptr<detail::SessionQueryState>& s) {
   {
-    std::lock_guard<std::mutex> lock(deadline_mutex_);
+    MutexLock lock(deadline_mutex_);
     deadline_heap_.push(DeadlineEntry{fire_ns, s});
     if (!deadline_thread_.joinable()) {
       // Lazy start, like the pool: sessions that never set a deadline
@@ -1195,32 +1221,34 @@ void Session::RegisterDeadline(
       deadline_thread_ = std::thread(&Session::DeadlineTimerMain, this);
     }
   }
-  deadline_cv_.notify_all();
+  deadline_cv_.NotifyAll();
 }
 
 void Session::DeadlineTimerMain() {
   // The watchdog's cv-timed loop shape, driven by the heap's earliest fire
   // time instead of a fixed window. Spurious wakeups and new earlier
   // registrations both just re-derive the wait.
-  std::unique_lock<std::mutex> lock(deadline_mutex_);
+  MutexLock lock(deadline_mutex_);
   while (!deadline_stop_) {
     if (deadline_heap_.empty()) {
-      deadline_cv_.wait(lock);
+      deadline_cv_.Wait(lock);
       continue;
     }
     const uint64_t fire_ns = deadline_heap_.top().fire_ns;
     const uint64_t now_ns = MonotonicNs();
     if (now_ns < fire_ns) {
-      deadline_cv_.wait_for(lock, std::chrono::nanoseconds(fire_ns - now_ns));
+      deadline_cv_.WaitFor(lock, std::chrono::nanoseconds(fire_ns - now_ns));
       continue;
     }
     std::shared_ptr<detail::SessionQueryState> state =
         deadline_heap_.top().state.lock();
     deadline_heap_.pop();
     if (state == nullptr) continue;  // query long gone
-    lock.unlock();
+    // FireDeadline walks into init_mutex_ and the pool/queue locks, which
+    // rank below deadline_mutex_ — it must run with the mutex dropped.
+    lock.Unlock();
     FireDeadline(state);
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -1233,14 +1261,14 @@ void Session::FireDeadline(
                                          std::memory_order_acq_rel);
   WorkerPool* pool = nullptr;
   {
-    std::lock_guard<std::mutex> lock(init_mutex_);
+    MutexLock lock(init_mutex_);
     pool = pool_.get();
   }
   if (pool != nullptr && s->has_handle) pool->Cancel(s->handle);
 }
 
 void Session::UnregisterQuery(uint64_t query_id) {
-  std::lock_guard<std::mutex> lock(cancel_mutex_);
+  MutexLock lock(cancel_mutex_);
   cancelable_.erase(query_id);
 }
 
@@ -1263,7 +1291,7 @@ void Session::FillSessionReport(obs::SessionReport* out) const {
   out->execute = s.execute;
   out->plan_resolve = s.plan_resolve;
   {
-    std::lock_guard<std::mutex> lock(log_mutex_);
+    MutexLock lock(log_mutex_);
     out->queries.assign(query_log_.begin(), query_log_.end());
     out->slow_queries.assign(slow_log_.begin(), slow_log_.end());
   }
@@ -1275,7 +1303,7 @@ void Session::FillSessionReport(obs::SessionReport* out) const {
 }
 
 std::vector<obs::SlowQueryRecord> Session::slow_queries() const {
-  std::lock_guard<std::mutex> lock(log_mutex_);
+  MutexLock lock(log_mutex_);
   return {slow_log_.begin(), slow_log_.end()};
 }
 

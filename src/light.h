@@ -25,12 +25,10 @@
 /// shims that Normalized() folds into plan_options.
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
@@ -39,6 +37,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/enumerator.h"
 #include "engine/visitors.h"
 #include "obs/metrics.h"
@@ -342,6 +343,12 @@ struct SessionStats {
 
 namespace detail {
 struct SessionQueryState;
+
+/// Number of SessionQueryState instances currently alive (test hook).
+/// Async submissions used to leak their state through an on_done <->
+/// handle reference cycle; the regression test drives async queries to
+/// completion and asserts this count returns to its baseline.
+uint64_t LiveQueryStates();
 }  // namespace detail
 
 /// A reusable multi-query execution context for one data graph.
@@ -421,7 +428,7 @@ class Session {
   /// disconnect path). Returns true when the abort was delivered to a
   /// still-running query — its result arrives as `cancelled:` — and false
   /// when the id is unknown or the query already finished.
-  bool Cancel(uint64_t query_id);
+  bool Cancel(uint64_t query_id) LIGHT_EXCLUDES(cancel_mutex_, init_mutex_);
 
   /// Convenience: Submit + Wait, except that serial requests
   /// (options.threads == 1 or a visitor) run inline on the calling thread
@@ -435,7 +442,7 @@ class Session {
   std::vector<RunResult> RunBatch(const std::vector<Pattern>& patterns,
                                   const RunOptions& options = {});
 
-  SessionStats stats() const;
+  SessionStats stats() const LIGHT_EXCLUDES(stats_mutex_, cache_mutex_);
 
   /// Fills a light.session_report.v1 document: session/pool aggregates, the
   /// latency breakdown histograms, the retained per-query lifecycle
@@ -448,7 +455,8 @@ class Session {
   /// when a query completes above slow_query_threshold_seconds ("slow") or
   /// when the watchdog sees its lease count static across a window
   /// ("stuck").
-  std::vector<obs::SlowQueryRecord> slow_queries() const;
+  std::vector<obs::SlowQueryRecord> slow_queries() const
+      LIGHT_EXCLUDES(log_mutex_);
 
   const Graph& graph() const { return graph_; }
 
@@ -478,7 +486,8 @@ class Session {
   std::shared_ptr<const ExecutionPlan> ResolvePlan(const Pattern& pattern,
                                                    const RunOptions& opts,
                                                    std::string* error,
-                                                   bool* cache_hit);
+                                                   bool* cache_hit)
+      LIGHT_EXCLUDES(cache_mutex_);
 
   Ticket SubmitInternal(const Pattern& pattern, const RunOptions& options,
                         const char* tool,
@@ -501,46 +510,53 @@ class Session {
   /// of different numberings).
   std::shared_ptr<const ExecutionPlan> ResolveIepTermPlan(
       const IepTerm& term, const RunOptions& opts, const std::string& base_key,
-      std::string* error);
-  const GraphStats& EnsureStats();
-  const BitmapIndex& EnsureBitmap();
-  WorkerPool& EnsurePool();
-  void OnResultDelivered();
+      std::string* error) LIGHT_EXCLUDES(cache_mutex_);
+  const GraphStats& EnsureStats() LIGHT_EXCLUDES(init_mutex_);
+  const BitmapIndex& EnsureBitmap() LIGHT_EXCLUDES(init_mutex_);
+  WorkerPool& EnsurePool() LIGHT_EXCLUDES(init_mutex_);
+  void OnResultDelivered() LIGHT_EXCLUDES(stats_mutex_);
 
   /// Completion hook: observes the lifecycle histograms, appends the query
   /// log record, applies the slow-query threshold, and retires the
   /// query's watchdog registration. `plan` may be null (error results).
   void RecordQueryDone(const RunResult& result, const Pattern& pattern,
-                       const ExecutionPlan* plan);
-  void WatchdogMain();
+                       const ExecutionPlan* plan)
+      LIGHT_EXCLUDES(cancel_mutex_, inflight_mutex_, stats_mutex_, log_mutex_);
+  void WatchdogMain() LIGHT_EXCLUDES(watchdog_mutex_);
   void RecordStuckQueries(
-      const std::vector<MultiQueryQueue::QueryProgress>& stuck);
+      const std::vector<MultiQueryQueue::QueryProgress>& stuck)
+      LIGHT_EXCLUDES(inflight_mutex_, log_mutex_, stats_mutex_);
 
   /// Deadline machinery: a dedicated timer thread (same cv-timed loop
   /// shape as the watchdog, started lazily on the first finite-deadline
   /// submission) pops a min-heap of {fire time, query} and maps expiries
   /// onto WorkerPool::Cancel → MultiQueryQueue::Abort.
   void RegisterDeadline(uint64_t fire_ns,
-                        const std::shared_ptr<detail::SessionQueryState>& s);
-  void DeadlineTimerMain();
-  void FireDeadline(const std::shared_ptr<detail::SessionQueryState>& s);
-  void UnregisterQuery(uint64_t query_id);
+                        const std::shared_ptr<detail::SessionQueryState>& s)
+      LIGHT_EXCLUDES(deadline_mutex_);
+  void DeadlineTimerMain() LIGHT_EXCLUDES(deadline_mutex_);
+  void FireDeadline(const std::shared_ptr<detail::SessionQueryState>& s)
+      LIGHT_EXCLUDES(deadline_mutex_);
+  void UnregisterQuery(uint64_t query_id) LIGHT_EXCLUDES(cancel_mutex_);
 
   const Graph& graph_;
   const SessionOptions options_;
 
-  // Lazily built shared state (each guarded by init_mutex_, built once).
-  mutable std::mutex init_mutex_;
-  std::unique_ptr<GraphStats> graph_stats_;
-  std::unique_ptr<BitmapIndex> bitmap_index_;
-  std::unique_ptr<WorkerPool> pool_;
+  // Lazily built shared state (each built once under init_mutex_; the
+  // pointers are only written there, and every reader goes through the
+  // Ensure* accessors, which return stable references to the built objects).
+  mutable Mutex init_mutex_{lockrank::kSessionInit, "Session::init_mutex_"};
+  std::unique_ptr<GraphStats> graph_stats_ LIGHT_GUARDED_BY(init_mutex_);
+  std::unique_ptr<BitmapIndex> bitmap_index_ LIGHT_GUARDED_BY(init_mutex_);
+  std::unique_ptr<WorkerPool> pool_ LIGHT_GUARDED_BY(init_mutex_);
 
-  mutable std::mutex cache_mutex_;
-  std::unordered_map<std::string, PlanEntry> plan_cache_;
-  uint64_t cache_tick_ = 0;
+  mutable Mutex cache_mutex_{lockrank::kSessionCache, "Session::cache_mutex_"};
+  std::unordered_map<std::string, PlanEntry> plan_cache_
+      LIGHT_GUARDED_BY(cache_mutex_);
+  uint64_t cache_tick_ LIGHT_GUARDED_BY(cache_mutex_) = 0;
 
-  mutable std::mutex stats_mutex_;
-  SessionStats session_stats_;
+  mutable Mutex stats_mutex_{lockrank::kSessionStats, "Session::stats_mutex_"};
+  SessionStats session_stats_ LIGHT_GUARDED_BY(stats_mutex_);
 
   // Session-level attribution (src/obs); incremented only while armed.
   obs::Counter* obs_queries_started_ = nullptr;
@@ -563,10 +579,10 @@ class Session {
   obs::Histogram* obs_plan_hist_ = nullptr;
 
   // Query log + slow/stuck log (capped deques, newest last).
-  mutable std::mutex log_mutex_;
-  std::deque<obs::SessionQueryRecord> query_log_;
-  std::deque<obs::SlowQueryRecord> slow_log_;
-  std::unordered_set<uint64_t> stuck_reported_;
+  mutable Mutex log_mutex_{lockrank::kSessionLog, "Session::log_mutex_"};
+  std::deque<obs::SessionQueryRecord> query_log_ LIGHT_GUARDED_BY(log_mutex_);
+  std::deque<obs::SlowQueryRecord> slow_log_ LIGHT_GUARDED_BY(log_mutex_);
+  std::unordered_set<uint64_t> stuck_reported_ LIGHT_GUARDED_BY(log_mutex_);
 
   // Watchdog bookkeeping: context for in-flight pool queries (only
   // maintained while the watchdog is on), keyed by query id.
@@ -575,13 +591,16 @@ class Session {
     std::string plan_sigma;
     uint64_t admit_ns = 0;
   };
-  mutable std::mutex inflight_mutex_;
-  std::unordered_map<uint64_t, InflightQuery> inflight_;
+  mutable Mutex inflight_mutex_{lockrank::kSessionInflight,
+                                "Session::inflight_mutex_"};
+  std::unordered_map<uint64_t, InflightQuery> inflight_
+      LIGHT_GUARDED_BY(inflight_mutex_);
 
   std::thread watchdog_;
-  mutable std::mutex watchdog_mutex_;
-  std::condition_variable watchdog_cv_;
-  bool watchdog_stop_ = false;
+  mutable Mutex watchdog_mutex_{lockrank::kSessionWatchdog,
+                                "Session::watchdog_mutex_"};
+  CondVar watchdog_cv_;
+  bool watchdog_stop_ LIGHT_GUARDED_BY(watchdog_mutex_) = false;
 
   // Deadline timer (lazy thread; heap ordered by fire time). Expired
   // entries whose query already finished resolve to a dead weak_ptr or a
@@ -596,18 +615,20 @@ class Session {
     }
   };
   std::thread deadline_thread_;
-  mutable std::mutex deadline_mutex_;
-  std::condition_variable deadline_cv_;
-  bool deadline_stop_ = false;
+  mutable Mutex deadline_mutex_{lockrank::kSessionDeadline,
+                                "Session::deadline_mutex_"};
+  CondVar deadline_cv_;
+  bool deadline_stop_ LIGHT_GUARDED_BY(deadline_mutex_) = false;
   std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
                       DeadlineLater>
-      deadline_heap_;
+      deadline_heap_ LIGHT_GUARDED_BY(deadline_mutex_);
 
   // Cancel index: query id -> live submitted query (pool path only;
   // entries retire when the result is recorded).
-  mutable std::mutex cancel_mutex_;
+  mutable Mutex cancel_mutex_{lockrank::kSessionCancel,
+                              "Session::cancel_mutex_"};
   std::unordered_map<uint64_t, std::weak_ptr<detail::SessionQueryState>>
-      cancelable_;
+      cancelable_ LIGHT_GUARDED_BY(cancel_mutex_);
 };
 
 }  // namespace light

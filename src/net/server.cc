@@ -137,7 +137,7 @@ void Server::Shutdown() {
 }
 
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return stats_;
 }
 
@@ -175,7 +175,7 @@ void Server::LoopMain() {
     if (closing) {
       uint64_t inflight = 0;
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         inflight = stats_.inflight;
       }
       if (inflight == 0) {
@@ -224,7 +224,7 @@ void Server::LoopMain() {
         continue;
       }
       const uint64_t conn_id = fd_conn[i];
-      auto it = conns_.find(conn_id);
+      const auto it = conns_.find(conn_id);
       if (it == conns_.end()) continue;
       Conn* conn = it->second.get();
       bool alive = true;
@@ -242,8 +242,8 @@ void Server::LoopMain() {
       }
       if (!alive) to_drop.push_back(conn_id);
     }
-    for (uint64_t conn_id : to_drop) {
-      auto it = conns_.find(conn_id);
+    for (const uint64_t conn_id : to_drop) {
+      const auto it = conns_.find(conn_id);
       if (it != conns_.end()) DropConn(conn_id, it->second.get());
     }
   }
@@ -262,7 +262,7 @@ void Server::AcceptReady() {
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     conns_.emplace(next_conn_id_++, std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.connections_accepted;
   }
 }
@@ -276,7 +276,7 @@ bool Server::ReadReady(uint64_t conn_id, Conn* conn) {
       // Reject a sender that outruns frame extraction by more than one
       // max-size frame — it is either malicious or broken.
       if (conn->in.size() > 2 * (kMaxFrameBytes + 4)) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        MutexLock lock(stats_mutex_);
         ++stats_.protocol_errors;
         return false;
       }
@@ -296,7 +296,7 @@ bool Server::ReadReady(uint64_t conn_id, Conn* conn) {
     const int r = TryExtractFrame(&conn->in, &payload);
     if (r == 0) break;
     if (r < 0) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.protocol_errors;
       return false;
     }
@@ -308,7 +308,7 @@ bool Server::ReadReady(uint64_t conn_id, Conn* conn) {
 bool Server::HandleFrame(uint64_t conn_id, Conn* conn,
                          const std::string& payload) {
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.requests_received;
   }
   Request req;
@@ -336,7 +336,7 @@ bool Server::HandleFrame(uint64_t conn_id, Conn* conn,
     resp.error = reject;
     AppendFrame(resp.Encode(), &conn->out);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.responses_sent;
     }
     return WriteReady(conn);
@@ -361,14 +361,14 @@ bool Server::HandleFrame(uint64_t conn_id, Conn* conn,
   opts.plan_options.induced = req.induced;
 
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.inflight;
   }
   const uint64_t req_id = req.id;
   const uint64_t qid = session_->SubmitAsync(
       pattern, opts, [this, conn_id, req_id](const RunResult& result) {
         {
-          std::lock_guard<std::mutex> lock(completions_mutex_);
+          MutexLock lock(completions_mutex_);
           completions_.emplace_back(conn_id, MakeResponse(req_id, result));
         }
         Wake();
@@ -380,19 +380,19 @@ bool Server::HandleFrame(uint64_t conn_id, Conn* conn,
 void Server::DrainCompletions() {
   std::vector<std::pair<uint64_t, Response>> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mutex_);
+    MutexLock lock(completions_mutex_);
     batch.swap(completions_);
   }
   if (batch.empty()) return;
   std::vector<uint64_t> to_drop;
   for (auto& [conn_id, resp] : batch) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       --stats_.inflight;
     }
-    auto it = conns_.find(conn_id);
+    const auto it = conns_.find(conn_id);
     if (it == conns_.end()) continue;  // peer already gone
-    Conn* conn = it->second.get();
+    Conn* const conn = it->second.get();
     // Retire the inflight entry by echoed request id (the completion
     // callback does not carry the session query id).
     for (auto qit = conn->inflight.begin(); qit != conn->inflight.end();
@@ -404,13 +404,13 @@ void Server::DrainCompletions() {
     }
     AppendFrame(resp.Encode(), &conn->out);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.responses_sent;
     }
     if (!WriteReady(conn)) to_drop.push_back(conn_id);
   }
-  for (uint64_t conn_id : to_drop) {
-    auto it = conns_.find(conn_id);
+  for (const uint64_t conn_id : to_drop) {
+    const auto it = conns_.find(conn_id);
     if (it != conns_.end()) DropConn(conn_id, it->second.get());
   }
 }
@@ -432,7 +432,7 @@ bool Server::WriteReady(Conn* conn) {
 void Server::DropConn(uint64_t conn_id, Conn* conn) {
   for (const auto& [qid, req_id] : conn->inflight) {
     if (session_->Cancel(qid)) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      MutexLock lock(stats_mutex_);
       ++stats_.cancelled_on_disconnect;
     }
   }

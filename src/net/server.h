@@ -12,13 +12,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "light.h"
 #include "net/wire.h"
 
@@ -63,7 +65,7 @@ class Server {
   /// destructor.
   void Shutdown();
 
-  ServerStats stats() const;
+  ServerStats stats() const LIGHT_EXCLUDES(stats_mutex_);
 
  private:
   struct Conn {
@@ -81,7 +83,7 @@ class Server {
   bool ReadReady(uint64_t conn_id, Conn* conn);   // false: drop conn
   bool WriteReady(Conn* conn);                    // false: drop conn
   bool HandleFrame(uint64_t conn_id, Conn* conn, const std::string& payload);
-  void DrainCompletions();
+  void DrainCompletions() LIGHT_EXCLUDES(completions_mutex_);
   void DropConn(uint64_t conn_id, Conn* conn);
   void Wake();
 
@@ -97,12 +99,17 @@ class Server {
   uint64_t next_conn_id_ = 1;  // loop thread only
   std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
 
-  /// Completions from session callbacks (any thread) to the loop.
-  std::mutex completions_mutex_;
-  std::vector<std::pair<uint64_t, Response>> completions_;  // conn_id, resp
+  /// Completions from session callbacks (any thread) to the loop. Ranked
+  /// above every session lock: callbacks run with SessionQueryState::mutex
+  /// held, so the session side must be acquirable first.
+  Mutex completions_mutex_{lockrank::kNetCompletions,
+                           "net::Server::completions_mutex_"};
+  std::vector<std::pair<uint64_t, Response>> completions_
+      LIGHT_GUARDED_BY(completions_mutex_);  // conn_id, resp
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  mutable Mutex stats_mutex_{lockrank::kNetStats,
+                             "net::Server::stats_mutex_"};
+  ServerStats stats_ LIGHT_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace light::net

@@ -161,7 +161,7 @@ MetricsSnapshot MetricsSnapshot::DeltaSince(
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& counter : counters_) {
     if (counter->name() == name) return counter.get();
   }
@@ -170,7 +170,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& histogram : histograms_) {
     if (histogram->name() == name) return histogram.get();
   }
@@ -179,7 +179,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& counter : counters_) {
     if (counter->name() == name) return counter.get();
   }
@@ -187,7 +187,7 @@ const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
 }
 
 const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& histogram : histograms_) {
     if (histogram->name() == name) return histogram.get();
   }
@@ -195,13 +195,13 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& counter : counters_) counter->Reset();
   for (const auto& histogram : histograms_) histogram->Reset();
 }
 
 MetricsSnapshot MetricsRegistry::Snap() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& counter : counters_) {
@@ -216,13 +216,13 @@ MetricsSnapshot MetricsRegistry::Snap() const {
 
 void MetricsRegistry::ForEachCounter(
     const std::function<void(const Counter&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& counter : counters_) fn(*counter);
 }
 
 void MetricsRegistry::ForEachHistogram(
     const std::function<void(const Histogram&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& histogram : histograms_) fn(*histogram);
 }
 

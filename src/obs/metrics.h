@@ -12,10 +12,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace light::obs {
 
@@ -220,30 +223,37 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(std::string_view name);
-  Histogram* GetHistogram(std::string_view name);
+  Counter* GetCounter(std::string_view name) LIGHT_EXCLUDES(mutex_);
+  Histogram* GetHistogram(std::string_view name) LIGHT_EXCLUDES(mutex_);
 
   /// Counter named lookup without creation; null when absent.
-  const Counter* FindCounter(std::string_view name) const;
-  const Histogram* FindHistogram(std::string_view name) const;
+  const Counter* FindCounter(std::string_view name) const
+      LIGHT_EXCLUDES(mutex_);
+  const Histogram* FindHistogram(std::string_view name) const
+      LIGHT_EXCLUDES(mutex_);
 
   /// Zeroes every metric (names stay registered).
-  void ResetAll();
+  void ResetAll() LIGHT_EXCLUDES(mutex_);
 
   /// Epoch snapshot of every registered metric, in registration order.
   /// Pair with MetricsSnapshot::DeltaSince for per-query/batch attribution.
-  MetricsSnapshot Snap() const;
+  MetricsSnapshot Snap() const LIGHT_EXCLUDES(mutex_);
 
   /// Visits metrics in registration order (stable across a run).
   void ForEachCounter(
-      const std::function<void(const Counter&)>& fn) const;
+      const std::function<void(const Counter&)>& fn) const
+      LIGHT_EXCLUDES(mutex_);
   void ForEachHistogram(
-      const std::function<void(const Histogram&)>& fn) const;
+      const std::function<void(const Histogram&)>& fn) const
+      LIGHT_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Counter>> counters_;
-  std::vector<std::unique_ptr<Histogram>> histograms_;
+  /// Registration-order metric storage. The mutex is cold: taken only to
+  /// register/look up/snapshot, never on the Inc/Observe hot path (returned
+  /// metric pointers are stable, so callers resolve once and go lock-free).
+  mutable Mutex mutex_{lockrank::kObsMetrics, "obs::MetricsRegistry::mutex_"};
+  std::vector<std::unique_ptr<Counter>> counters_ LIGHT_GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<Histogram>> histograms_ LIGHT_GUARDED_BY(mutex_);
 };
 
 /// The process-default registry the engine/runtime instrumentation uses.

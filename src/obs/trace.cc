@@ -25,7 +25,7 @@ Tracer& Tracer::Global() {
 }
 
 void Tracer::Start(size_t events_per_thread) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   buffers_.clear();
   events_per_thread_ = events_per_thread == 0 ? 1 : events_per_thread;
   epoch_start_ = std::chrono::steady_clock::now();
@@ -46,12 +46,14 @@ TraceBuffer* Tracer::ThisThreadBuffer() {
   thread_local Slot slot;
   const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
   if (slot.owner != this || slot.epoch != epoch) {
+    // events_per_thread_ is guarded by mutex_ (Start writes it), so the
+    // buffer is sized and registered under the lock.
+    MutexLock lock(mutex_);
     auto buffer = std::make_unique<TraceBuffer>(
         static_cast<uint32_t>(ThisThreadOrdinal()), events_per_thread_);
     slot.owner = this;
     slot.epoch = epoch;
     slot.buffer = buffer.get();
-    std::lock_guard<std::mutex> lock(mutex_);
     buffers_.push_back(std::move(buffer));
   }
   return slot.buffer;
@@ -59,14 +61,14 @@ TraceBuffer* Tracer::ThisThreadBuffer() {
 
 std::vector<TraceEvent> Tracer::Collect() const {
   // Intended after Stop() + thread join; a live writer could race the scan.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<TraceEvent> events;
   for (const auto& buffer : buffers_) buffer->Drain(&events);
   return events;
 }
 
 uint64_t Tracer::DroppedEvents() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t dropped = 0;
   for (const auto& buffer : buffers_) dropped += buffer->dropped();
   return dropped;

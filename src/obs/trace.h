@@ -13,11 +13,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace light::obs {
 
@@ -72,7 +74,8 @@ class Tracer {
   static Tracer& Global();
 
   /// Arms the tracer. Buffers from a previous Start are discarded.
-  void Start(size_t events_per_thread = size_t{1} << 16);
+  void Start(size_t events_per_thread = size_t{1} << 16)
+      LIGHT_EXCLUDES(mutex_);
   void Stop() { enabled_.store(false, std::memory_order_relaxed); }
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -110,8 +113,10 @@ class Tracer {
   }
 
   /// All retained events merged across threads, in per-thread order.
-  std::vector<TraceEvent> Collect() const;
-  uint64_t DroppedEvents() const;
+  /// Callers must quiesce writer threads first (collect-after-join): the
+  /// mutex guards the buffer list, not the per-thread single-writer rings.
+  std::vector<TraceEvent> Collect() const LIGHT_EXCLUDES(mutex_);
+  uint64_t DroppedEvents() const LIGHT_EXCLUDES(mutex_);
 
   /// Chrome trace-event JSON ("traceEvents" object form; timestamps in
   /// microseconds as the format requires).
@@ -119,17 +124,21 @@ class Tracer {
   Status WriteChromeJson(const std::string& path) const;
 
  private:
-  TraceBuffer* ThisThreadBuffer();
+  TraceBuffer* ThisThreadBuffer() LIGHT_EXCLUDES(mutex_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> root_sample_mask_{63};
   std::atomic<uint64_t> epoch_{0};  // bumped by Start; invalidates TLS slots
+  /// Read by NowNs() on the hot path without the mutex; safe because Start
+  /// happens-before any traced span (callers arm the tracer first).
   std::chrono::steady_clock::time_point epoch_start_ =
       std::chrono::steady_clock::now();
-  size_t events_per_thread_ = size_t{1} << 16;
+  size_t events_per_thread_ LIGHT_GUARDED_BY(mutex_) = size_t{1} << 16;
 
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  /// Guards buffer registration/collection only; each TraceBuffer has a
+  /// single writer thread and is read after writers quiesce.
+  mutable Mutex mutex_{lockrank::kObsTrace, "obs::Tracer::mutex_"};
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_ LIGHT_GUARDED_BY(mutex_);
 };
 
 /// RAII span against the global tracer. Construction when the tracer is

@@ -26,7 +26,7 @@ struct MultiQueryQueue::Query {
 };
 
 MultiQueryQueue::~MultiQueryQueue() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Completed queries are freed by Release; anything still listed here was
   // abandoned by the caller (pool torn down mid-query). Free it defensively.
   for (Query* q : queries_) delete q;
@@ -41,7 +41,7 @@ MultiQueryQueue::Query* MultiQueryQueue::Open(void* context, int max_leases,
   q->max_leases = max_leases;
   q->priority = priority;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     assert(!shutdown_ && "Open after Shutdown");
     // Admission control: bound the number of open queries so a burst past
     // the serving capacity is rejected immediately instead of queueing
@@ -65,7 +65,7 @@ MultiQueryQueue::Query* MultiQueryQueue::Open(void* context, int max_leases,
 }
 
 void MultiQueryQueue::SetMaxOpenQueries(int limit) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   max_open_queries_ = limit;
 }
 
@@ -73,20 +73,24 @@ void MultiQueryQueue::Push(Query* q, RootRange range) {
   if (range.size() <= 0) return;
   bool notify;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     assert(!q->completed && "Push on completed query");
+    // A lease holder may donate after the query was aborted (it has not
+    // polled aborted() yet); re-queueing the range would only hand doomed
+    // work to another worker, so drop it.
+    if (q->aborted.load(std::memory_order_relaxed)) return;
     q->pending.push_back(range);
     // Before Activate nobody can pop this query, so waking a worker would
     // be a spurious wakeup; Activate notifies instead.
     notify = q->active;
   }
-  if (notify) cv_.notify_one();
+  if (notify) cv_.NotifyOne();
 }
 
 bool MultiQueryQueue::Activate(Query* q) {
   bool completed_immediately;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     assert(!q->active && "double Activate");
     q->active = true;
     // Nothing was ever pushed (e.g. zero root candidates): no Pop/Done
@@ -96,7 +100,7 @@ bool MultiQueryQueue::Activate(Query* q) {
     if (completed_immediately) q->completed = true;
     generation_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!completed_immediately) cv_.notify_all();
+  if (!completed_immediately) cv_.NotifyAll();
   return completed_immediately;
 }
 
@@ -125,7 +129,7 @@ MultiQueryQueue::Query* MultiQueryQueue::PickLocked() {
 }
 
 bool MultiQueryQueue::Pop(Lease* out) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     Query* q = PickLocked();
     if (q != nullptr) {
@@ -139,7 +143,7 @@ bool MultiQueryQueue::Pop(Lease* out) {
     }
     if (shutdown_) return false;
     num_waiting_.fetch_add(1, std::memory_order_relaxed);
-    cv_.wait(lock);
+    cv_.Wait(lock);
     num_waiting_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
@@ -149,7 +153,7 @@ bool MultiQueryQueue::Done(const Lease& lease) {
   bool notify;
   bool last;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     assert(q->leases > 0 && "Done without a lease");
     --q->leases;
     ++q->progress;
@@ -159,14 +163,14 @@ bool MultiQueryQueue::Done(const Lease& lease) {
     // other worker parked; make sure somebody picks it up.
     notify = !last && !q->pending.empty();
   }
-  if (notify) cv_.notify_one();
+  if (notify) cv_.NotifyOne();
   return last;
 }
 
 bool MultiQueryQueue::Abort(Query* q) {
   bool last;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Completion already won the race: the query drained cleanly, so the
     // abort is a no-op — its counts are full and must not be flagged
     // partial.
@@ -186,7 +190,7 @@ bool MultiQueryQueue::aborted(const Query* q) const {
 
 bool MultiQueryQueue::Release(Query* q) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Reaping a query that still has pending work or outstanding leases
     // would free state a worker is about to touch; reject instead of
     // freeing (the completing Done/Abort call re-Releases it).
@@ -205,15 +209,15 @@ bool MultiQueryQueue::Release(Query* q) {
 
 void MultiQueryQueue::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
     generation_.fetch_add(1, std::memory_order_relaxed);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int MultiQueryQueue::num_open_queries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   int n = 0;
   for (const Query* q : queries_) {
     if (!q->completed) ++n;
@@ -223,7 +227,7 @@ int MultiQueryQueue::num_open_queries() const {
 
 std::vector<MultiQueryQueue::QueryProgress>
 MultiQueryQueue::SnapshotProgress() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<QueryProgress> snapshot;
   snapshot.reserve(queries_.size());
   for (const Query* q : queries_) {

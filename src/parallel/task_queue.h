@@ -2,11 +2,12 @@
 #define LIGHT_PARALLEL_TASK_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace light {
@@ -74,12 +75,12 @@ class MultiQueryQueue {
   /// limit (SetMaxOpenQueries) is reached — the structured overload-reject
   /// signal; the caller must not Push/Activate anything in that case.
   Query* Open(void* context, int max_leases = 0, uint64_t query_id = 0,
-              int priority = 0);
+              int priority = 0) LIGHT_EXCLUDES(mutex_);
 
   /// Admission control: caps the number of open (uncompleted) queries.
   /// Open beyond the cap returns nullptr instead of queueing. <= 0 (the
   /// default) disables the limit. Takes effect for subsequent Opens only.
-  void SetMaxOpenQueries(int limit);
+  void SetMaxOpenQueries(int limit) LIGHT_EXCLUDES(mutex_);
 
   /// Total Opens rejected by the admission limit since construction.
   uint64_t num_rejected() const {
@@ -88,23 +89,23 @@ class MultiQueryQueue {
 
   /// Adds a range (empty ranges are ignored). Legal before Activate
   /// (bootstrap) and from a lease holder afterwards (donation).
-  void Push(Query* q, RootRange range);
+  void Push(Query* q, RootRange range) LIGHT_EXCLUDES(mutex_);
 
   /// Publishes q to the workers and stamps a new task epoch. Returns true
   /// when the query completed immediately (nothing was pushed — e.g. an
   /// empty graph); the caller must then finalize and Release it, since no
   /// worker will ever see it.
-  bool Activate(Query* q);
+  bool Activate(Query* q) LIGHT_EXCLUDES(mutex_);
 
   /// Blocks until a range from some active query is available (honoring
   /// per-query lease caps, round-robin across queries) or Shutdown was
   /// called and every pending range has been handed out (returns false).
-  bool Pop(Lease* out);
+  bool Pop(Lease* out) LIGHT_EXCLUDES(mutex_);
 
   /// Returns a lease. True when this was the query's last outstanding work —
   /// the caller must finalize the query (exactly one Done per query returns
   /// true) and eventually Release it.
-  bool Done(const Lease& lease);
+  bool Done(const Lease& lease) LIGHT_EXCLUDES(mutex_);
 
   /// Drops q's pending ranges and marks it aborted (visible to lease
   /// holders via aborted(), the cooperative cancellation signal on
@@ -113,7 +114,7 @@ class MultiQueryQueue {
   /// caller must then finalize and Release, exactly as for Done. Aborting
   /// an already-completed query is a no-op (aborted() stays false): clean
   /// completion winning the race keeps its full counts.
-  bool Abort(Query* q);
+  bool Abort(Query* q) LIGHT_EXCLUDES(mutex_);
 
   bool aborted(const Query* q) const;
 
@@ -128,11 +129,11 @@ class MultiQueryQueue {
   /// true for it (or Activate returned true); a premature Release — the
   /// query still has pending ranges or outstanding leases — is rejected
   /// (returns false, nothing freed) instead of use-after-freeing workers.
-  bool Release(Query* q);
+  bool Release(Query* q) LIGHT_EXCLUDES(mutex_);
 
   /// Wakes everyone; Pop keeps draining already-pushed ranges, then returns
   /// false. New Opens are not accepted afterwards.
-  void Shutdown();
+  void Shutdown() LIGHT_EXCLUDES(mutex_);
 
   /// Task-epoch stamp: bumped on every Activate and on Shutdown. Lets
   /// observers (tests, obs counters) tell scheduling rounds apart without
@@ -142,7 +143,7 @@ class MultiQueryQueue {
   }
 
   /// Number of open (activated or not, uncompleted) queries; test hook.
-  int num_open_queries() const;
+  int num_open_queries() const LIGHT_EXCLUDES(mutex_);
 
   /// Point-in-time scheduling state of one open query, for the stuck-query
   /// watchdog and slow-query log. `progress` counts lease grants and
@@ -160,17 +161,23 @@ class MultiQueryQueue {
   };
 
   /// Snapshots every open, uncompleted query (one lock acquisition).
-  std::vector<QueryProgress> SnapshotProgress() const;
+  std::vector<QueryProgress> SnapshotProgress() const
+      LIGHT_EXCLUDES(mutex_);
 
  private:
-  Query* PickLocked();
+  Query* PickLocked() LIGHT_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<Query*> queries_;  // open, not yet completed
-  size_t cursor_ = 0;            // round-robin position into queries_
-  bool shutdown_ = false;
-  int max_open_queries_ = 0;  // <= 0: unlimited
+  mutable Mutex mutex_{lockrank::kTaskQueue, "MultiQueryQueue::mutex_"};
+  CondVar cv_;
+  /// Open, not yet completed queries. The Query structs themselves (defined
+  /// in the .cc) are also guarded by mutex_, except their atomic `aborted`
+  /// flag which lease holders poll lock-free.
+  std::vector<Query*> queries_ LIGHT_GUARDED_BY(mutex_);
+  /// Round-robin position into queries_.
+  size_t cursor_ LIGHT_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ LIGHT_GUARDED_BY(mutex_) = false;
+  /// <= 0: unlimited.
+  int max_open_queries_ LIGHT_GUARDED_BY(mutex_) = 0;
   std::atomic<int> num_waiting_{0};
   std::atomic<uint64_t> generation_{0};
   std::atomic<uint64_t> num_rejected_{0};

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <limits>
-#include <mutex>
 #include <utility>
 
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "engine/enumerator.h"
 #include "engine/scratch_arena.h"
@@ -68,21 +69,22 @@ struct PoolQueryState : std::enable_shared_from_this<PoolQueryState> {
   // finalizer detaches q under this mutex *before* Release frees it, so a
   // concurrent Cancel either sees the live query or nullptr — never a
   // dangling pointer.
-  std::mutex abort_mutex;
-  MultiQueryQueue::Query* q = nullptr;
+  Mutex abort_mutex{lockrank::kPoolAbort, "PoolQueryState::abort_mutex"};
+  MultiQueryQueue::Query* q LIGHT_GUARDED_BY(abort_mutex) = nullptr;
+  // Written once in Submit before the handle is published; read-only after.
   bool rejected = false;
 
   // Per-pool-slot attribution; slot s is only written by worker s.
   std::vector<obs::WorkerStats> slots;
 
-  std::mutex merge_mutex;
-  EngineStats merged;  // guarded by merge_mutex until finalize
+  Mutex merge_mutex{lockrank::kPoolMerge, "PoolQueryState::merge_mutex"};
+  EngineStats merged LIGHT_GUARDED_BY(merge_mutex);
   size_t per_worker_cand_bytes = 0;
 
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  bool done = false;
-  ParallelResult result;
+  Mutex done_mutex{lockrank::kPoolDone, "PoolQueryState::done_mutex"};
+  CondVar done_cv;
+  bool done LIGHT_GUARDED_BY(done_mutex) = false;
+  ParallelResult result LIGHT_GUARDED_BY(done_mutex);
 
   std::shared_ptr<PoolQueryState> keepalive;
 };
@@ -92,13 +94,13 @@ struct PoolQueryState : std::enable_shared_from_this<PoolQueryState> {
 using internal::PoolQueryState;
 
 ParallelResult WorkerPool::QueryHandle::Wait() {
-  std::unique_lock<std::mutex> lock(state_->done_mutex);
-  state_->done_cv.wait(lock, [&] { return state_->done; });
+  MutexLock lock(state_->done_mutex);
+  while (!state_->done) state_->done_cv.Wait(lock);
   return state_->result;
 }
 
 bool WorkerPool::QueryHandle::done() const {
-  std::lock_guard<std::mutex> lock(state_->done_mutex);
+  MutexLock lock(state_->done_mutex);
   return state_->done;
 }
 
@@ -258,7 +260,7 @@ void WorkerPool::ProcessLease(PoolQueryState* qs, Enumerator* enumerator,
       // lease — so Done() in the worker loop still settles the query
       // exactly once.
       {
-        std::lock_guard<std::mutex> lock(qs->merge_mutex);
+        MutexLock lock(qs->merge_mutex);
         qs->merged.timed_out = true;
       }
       queue_.Abort(lease->query);
@@ -308,7 +310,7 @@ void WorkerPool::ProcessLease(PoolQueryState* qs, Enumerator* enumerator,
   delta.elapsed_seconds = 0.0;
   ws.matches += delta.num_matches;
   {
-    std::lock_guard<std::mutex> lock(qs->merge_mutex);
+    MutexLock lock(qs->merge_mutex);
     qs->merged.Add(delta);
   }
   enumerator->ResetStats();
@@ -321,7 +323,7 @@ void WorkerPool::FinalizeQuery(PoolQueryState* qs) {
   {
     // The queue's Done/Abort handoff sequences all merges before this
     // point; the lock is for TSan-visible clarity, not contention.
-    std::lock_guard<std::mutex> lock(qs->merge_mutex);
+    MutexLock lock(qs->merge_mutex);
     result.stats = std::move(qs->merged);
   }
   const int threads_configured = static_cast<int>(qs->slots.size());
@@ -362,7 +364,7 @@ void WorkerPool::FinalizeQuery(PoolQueryState* qs) {
   // dereferences a freed Query.
   MultiQueryQueue::Query* q = nullptr;
   {
-    std::lock_guard<std::mutex> lock(qs->abort_mutex);
+    MutexLock lock(qs->abort_mutex);
     q = qs->q;
     qs->q = nullptr;
   }
@@ -382,14 +384,22 @@ void WorkerPool::FinalizeQuery(PoolQueryState* qs) {
   // The callback fires before done is published so a caller whose Wait()
   // has returned can rely on the callback's side effects having happened.
   // FinalizeQuery runs at most once per query, so "before Wait unblocks"
-  // also means "exactly once".
-  if (qs->spec.on_done) qs->spec.on_done(result);
+  // also means "exactly once". The callback object is destroyed right after
+  // the call: an async submitter's on_done owns a shared_ptr to the
+  // submitter-side query state, which in turn owns this handle's
+  // PoolQueryState — keeping it alive would cycle the two states and leak
+  // every async query.
+  if (qs->spec.on_done) {
+    auto on_done = std::move(qs->spec.on_done);
+    qs->spec.on_done = nullptr;
+    on_done(result);
+  }
   {
-    std::lock_guard<std::mutex> lock(qs->done_mutex);
+    MutexLock lock(qs->done_mutex);
     qs->result = std::move(result);
     qs->done = true;
   }
-  qs->done_cv.notify_all();
+  qs->done_cv.NotifyAll();
   // Drop the self-reference last: if the caller already discarded its
   // handle, this line destroys qs.
   std::shared_ptr<PoolQueryState> self = std::move(qs->keepalive);
@@ -401,7 +411,7 @@ bool WorkerPool::Cancel(const QueryHandle& handle) {
   bool completing = false;
   bool delivered = false;
   {
-    std::lock_guard<std::mutex> lock(qs->abort_mutex);
+    MutexLock lock(qs->abort_mutex);
     if (qs->q == nullptr) return false;  // already finalized (or rejected)
     completing = queue_.Abort(qs->q);
     // Abort is a no-op when clean completion won the race; report delivery

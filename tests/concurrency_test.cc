@@ -1,0 +1,237 @@
+// Tests for the annotated mutex layer: the debug lock-rank checker (death
+// tests for ordering/re-entrancy violations, plus a clean full-stack run
+// proving the production hierarchy is violation-free) and two concurrency
+// regressions the thread-safety pass surfaced (the SubmitAsync query-state
+// leak and donation into an aborted query).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
+#include "gen/generators.h"
+#include "light.h"
+#include "parallel/task_queue.h"
+
+// Death tests fork; under TSan the forked child inherits the runtime in a
+// state it dislikes, so skip them there.
+#if defined(__SANITIZE_THREAD__)
+#define LIGHT_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LIGHT_UNDER_TSAN 1
+#endif
+#endif
+#ifndef LIGHT_UNDER_TSAN
+#define LIGHT_UNDER_TSAN 0
+#endif
+
+namespace light {
+namespace {
+
+Graph TestGraph() {
+  return RelabelByDegree(BarabasiAlbertClustered(600, 4, 0.4, /*seed=*/19));
+}
+
+Pattern Named(const char* name) {
+  Pattern p;
+  EXPECT_TRUE(FindPattern(name, &p).ok());
+  return p;
+}
+
+TEST(LockRankTest, InOrderAcquisitionIsClean) {
+  Mutex low{10, "low"};
+  Mutex high{20, "high"};
+  const uint64_t before = LockRankChecksPerformed();
+  {
+    MutexLock a(low);
+    MutexLock b(high);  // strictly increasing rank: fine
+  }
+  if (LockRankCheckingArmed()) {
+    EXPECT_GT(LockRankChecksPerformed(), before);
+  } else {
+    EXPECT_EQ(LockRankChecksPerformed(), 0u);
+  }
+}
+
+TEST(LockRankTest, UnrankedMutexesIgnoreOrdering) {
+  Mutex a;  // kNoRank
+  Mutex b{30, "ranked"};
+  MutexLock l1(b);
+  MutexLock l2(a);  // unranked after ranked: no ordering constraint
+  SUCCEED();
+}
+
+#if GTEST_HAS_DEATH_TEST
+TEST(LockRankDeathTest, OutOfRankAcquisitionAborts) {
+  if (!LockRankCheckingArmed() || LIGHT_UNDER_TSAN) {
+    GTEST_SKIP() << "lock-rank checker not armed in this build";
+  }
+  Mutex low{10, "low"};
+  Mutex high{20, "high"};
+  EXPECT_DEATH(
+      {
+        MutexLock a(high);
+        MutexLock b(low);  // rank 10 after rank 20: inversion
+      },
+      "LOCK RANK VIOLATION");
+}
+
+TEST(LockRankDeathTest, EqualRankAcquisitionAborts) {
+  if (!LockRankCheckingArmed() || LIGHT_UNDER_TSAN) {
+    GTEST_SKIP() << "lock-rank checker not armed in this build";
+  }
+  Mutex a{10, "a"};
+  Mutex b{10, "b"};
+  // Strictly-greater rule: equal ranks in either order are rejected, since
+  // two threads nesting them oppositely would deadlock.
+  EXPECT_DEATH(
+      {
+        MutexLock l1(a);
+        MutexLock l2(b);
+      },
+      "LOCK RANK VIOLATION");
+}
+
+TEST(LockRankDeathTest, ReentrantAcquisitionAborts) {
+  if (!LockRankCheckingArmed() || LIGHT_UNDER_TSAN) {
+    GTEST_SKIP() << "lock-rank checker not armed in this build";
+  }
+  Mutex mu{10, "mu"};
+  EXPECT_DEATH(
+      {
+        MutexLock l1(mu);
+        mu.lock();  // re-entrant on std::mutex is UB; checker catches it
+      },
+      "re-entrant acquisition");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
+TEST(LockRankTest, TryLockSkipsOrderingButTracksHold) {
+  // try_lock can never block, so acquiring out of rank via try_lock is
+  // legal (it cannot contribute to a deadlock cycle) — must NOT abort.
+  Mutex low{10, "low"};
+  Mutex high{20, "high"};
+  MutexLock a(high);
+  ASSERT_TRUE(low.try_lock());
+  low.unlock();
+}
+
+// The production hierarchy end to end: concurrent pool-backed queries with
+// deadlines, cancellation, async callbacks, and a stats scrape, all while
+// the rank checker (when armed) validates every nested acquisition on the
+// session -> queue -> pool -> obs paths. An inversion anywhere aborts the
+// test binary.
+TEST(LockRankTest, SessionFullStackRunsCleanUnderRankChecks) {
+  const uint64_t before = LockRankChecksPerformed();
+  const Graph g = TestGraph();
+  SessionOptions opts;
+  opts.threads = 2;
+  opts.stuck_query_window_seconds = 0.05;  // exercise the watchdog path
+  Session session(g, opts);
+
+  RunOptions serial;
+  serial.threads = 1;
+  const uint64_t expected = light::Run(g, Named("triangle"), serial).num_matches;
+
+  std::atomic<int> async_done{0};
+  std::vector<Session::Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(session.Submit(Named("triangle")));
+    session.SubmitAsync(Named("square"), {},
+                        [&async_done](const RunResult&) { ++async_done; });
+  }
+  // A deadline submission arms the deadline timer thread (heap + cv path).
+  RunOptions deadline_opts;
+  deadline_opts.time_limit_seconds = 10.0;
+  Session::Ticket with_deadline =
+      session.Submit(Named("triangle"), deadline_opts);
+
+  for (auto& t : tickets) {
+    EXPECT_EQ(t.Wait().num_matches, expected);
+  }
+  EXPECT_EQ(with_deadline.Wait().num_matches, expected);
+  while (async_done.load() < 4) std::this_thread::yield();
+
+  // Cancel path on an already-finished query id (cancel_mutex_ -> init).
+  EXPECT_FALSE(session.Cancel(with_deadline.query_id()));
+  (void)session.stats();
+
+  if (LockRankCheckingArmed()) {
+    EXPECT_GT(LockRankChecksPerformed(), before);
+  }
+}
+
+// Regression: SubmitAsync leaked every query state. The pool kept the
+// spec.on_done callback alive after completion; the callback captured the
+// shared SessionQueryState, which owned the handle, which owned the pool
+// state holding the callback — a cycle no one broke. FinalizeQuery now
+// clears on_done after invoking it.
+TEST(ConcurrencyRegressionTest, AsyncQueryStatesDoNotLeak) {
+  const Graph g = TestGraph();
+  const uint64_t baseline = detail::LiveQueryStates();
+  {
+    SessionOptions opts;
+    opts.threads = 2;
+    Session session(g, opts);
+    std::atomic<int> done{0};
+    constexpr int kQueries = 8;
+    for (int i = 0; i < kQueries; ++i) {
+      session.SubmitAsync(Named("triangle"), {},
+                          [&done](const RunResult&) { ++done; });
+    }
+    while (done.load() < kQueries) std::this_thread::yield();
+  }
+  // Session destruction joins the pool; every state must be dead again.
+  EXPECT_EQ(detail::LiveQueryStates(), baseline);
+}
+
+// Synchronous tickets release their state once the ticket goes away too.
+TEST(ConcurrencyRegressionTest, SyncQueryStatesDoNotLeak) {
+  const Graph g = TestGraph();
+  const uint64_t baseline = detail::LiveQueryStates();
+  {
+    Session session(g, {});
+    for (int i = 0; i < 4; ++i) {
+      (void)session.Submit(Named("triangle")).Wait();
+    }
+  }
+  EXPECT_EQ(detail::LiveQueryStates(), baseline);
+}
+
+// Regression for donation into an aborted query: a lease holder that has
+// not yet polled aborted() may donate half its range after Abort dropped
+// the query's pending work; the queue must not re-grow an aborted query's
+// pending set (Release would then reject and the query leak).
+TEST(ConcurrencyRegressionTest, DonationAfterAbortIsDropped) {
+  MultiQueryQueue queue;
+  MultiQueryQueue::Query* q = queue.Open(nullptr);
+  ASSERT_NE(q, nullptr);
+  queue.Push(q, {0, 100, false});
+  ASSERT_FALSE(queue.Activate(q));
+
+  MultiQueryQueue::Lease lease;
+  ASSERT_TRUE(queue.Pop(&lease));
+  ASSERT_EQ(lease.query, q);
+
+  // Abort while the lease is out: not complete yet (one lease outstanding).
+  ASSERT_FALSE(queue.Abort(q));
+  EXPECT_TRUE(queue.aborted(q));
+
+  // The stale lease holder donates — must be dropped, not queued.
+  queue.Push(q, {50, 100, true});
+
+  // Returning the lease is now the query's last outstanding work; if the
+  // donation above had been queued, Done would not complete the query.
+  EXPECT_TRUE(queue.Done(lease));
+  EXPECT_TRUE(queue.Release(q));
+  EXPECT_EQ(queue.num_open_queries(), 0);
+  queue.Shutdown();
+}
+
+}  // namespace
+}  // namespace light

@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/mutex.h"
 #include "fuzz/fuzz.h"
 
 namespace {
@@ -141,6 +142,11 @@ int main(int argc, char** argv) {
         static_cast<double>(summary.session_latency_max_ns) / 1e6,
         static_cast<unsigned long long>(summary.session_cases));
   }
+  // Nonzero only when the lock-rank checker is compiled in; CI greps for it
+  // to prove the armed sweep actually exercised the checker.
+  std::printf("light_fuzz: rank_checking=%s rank_checks=%llu\n",
+              LockRankCheckingArmed() ? "armed" : "off",
+              static_cast<unsigned long long>(LockRankChecksPerformed()));
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     for (const std::string& path : summary.artifacts) {
