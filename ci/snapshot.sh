@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Perf-snapshot harness: runs the CI-gated benches (bench_obs_overhead,
-# bench_bitmap, bench_session, bench_iep) and the light_server/light_client
-# load-gen leg with --json, consolidates their records into one
-# light.bench_snapshot.v1 document, and — in comparison mode — fails when a
-# dimensionless metric regressed more than the tolerance against a
-# committed baseline (BENCH_PR8.json).
+# bench_bitmap, bench_session, bench_iep, bench_store) and the
+# light_server/light_client load-gen leg with --json, consolidates their
+# records into one light.bench_snapshot.v1 document, and — in comparison
+# mode — fails when a dimensionless metric regressed more than the
+# tolerance against a committed baseline (BENCH_PR10.json).
 #
 # Only RATIOS and SPEEDUPS are compared, never absolute seconds: snapshots
 # are taken on different machines, and wall-clock times do not transfer.
@@ -38,7 +38,7 @@ if [[ ! -x "$build_dir/bench/bench_obs_overhead" || \
   cmake -B "$build_dir" -S . >/dev/null
   cmake --build "$build_dir" -j "$(nproc)" \
     --target bench_obs_overhead bench_bitmap bench_session bench_iep \
-             light_server light_client
+             bench_store light_server light_client
 fi
 
 tmp="$(mktemp -d)"
@@ -64,6 +64,13 @@ echo "==> bench_session (batch amortization >= 1.15x, single-query parity)"
 echo "==> bench_iep (inclusion-exclusion counting >= 3x on two workloads)"
 "$build_dir/bench/bench_iep" --check 3 --scale 0.25 --time-limit 20 \
   --json "$tmp/iep.jsonl"
+
+# Storage-engine leg: one .lcsr2 snapshot opened heap/mmap/paged. The gate
+# requires warm mmap enumeration within 1.10x of the heap store and
+# bit-identical counts in every mode; cold-open speedup (full heap load vs
+# mmap header validation) is the snapshot's second store metric.
+echo "==> bench_store (warm mmap <= 1.10x heap, counts identical)"
+"$build_dir/bench/bench_store" --check --json "$tmp/store.jsonl"
 
 # Serving load-gen: light_client against a live light_server, once closed
 # loop (one request outstanding) and once saturating with a deep window.
@@ -149,6 +156,16 @@ iep_speedups = {k: v["enumerate"]["seconds"] / v["iep"]["seconds"]
                 and v["iep"]["seconds"] > 0}
 iep_second_best = sorted(iep_speedups.values(), reverse=True)[1]
 
+# bench_store: per-dataset summary records carrying the warm mmap/heap
+# enumeration ratio (lower = better, gated at 1.10 by the bench itself) and
+# the cold-open speedup (higher = better). Gate on the worst warm ratio but
+# the BEST cold-open speedup: open times are microseconds, and the largest
+# dataset's ratio is the least timer-noisy sample.
+store_rows = [r for r in jsonl(f"{tmp}/store.jsonl")
+              if r.get("variant") == "summary"]
+store_warm_ratio = max(r["mmap_warm_ratio"] for r in store_rows)
+store_cold_speedup = max(r["cold_open_speedup"] for r in store_rows)
+
 # light_client: two fixed (closed-loop) and two saturate records; the
 # dimensionless saturation speedup is the ratio of the best throughput per
 # mode. It measures how much the serving stack gains from pipelining +
@@ -182,6 +199,14 @@ metrics = {
     # so the ratio is huge and its denominator timer-noisy; widen the band.
     "count.iep_speedup": {"value": iep_second_best,
                           "better": "higher", "tolerance": 40},
+    # Warm mmap vs heap enumeration over the same .lcsr2 snapshot; the
+    # bench hard-gates this at 1.10, the snapshot band is just drift watch.
+    "store.mmap_parity": {"value": store_warm_ratio, "better": "lower"},
+    # Microsecond-scale open timings make this the noisiest ratio in the
+    # snapshot; the wide band only catches order-of-magnitude collapses
+    # (e.g. mmap open silently degrading to a full file read).
+    "store.cold_open_speedup": {"value": store_cold_speedup,
+                                "better": "higher", "tolerance": 60},
 }
 snapshot = {
     "schema": "light.bench_snapshot.v1",
@@ -194,6 +219,9 @@ snapshot = {
         "bench_session": session,
         "bench_iep": {"workload_speedups": iep_speedups,
                       "second_best_speedup": iep_second_best},
+        "bench_store": {"summaries": {r["dataset"]: r for r in store_rows},
+                        "warm_ratio": store_warm_ratio,
+                        "cold_open_speedup": store_cold_speedup},
         "light_client": {"fixed": fixed, "saturate": saturate,
                          "saturation_speedup": saturation_speedup},
     },

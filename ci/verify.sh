@@ -61,7 +61,8 @@ if [[ "$skip_tsa" -eq 0 ]]; then
       -DLIGHT_BUILD_BENCHMARKS=OFF \
       -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
     cmake --build build-tsa -j "$(nproc)" \
-      --target light_common light_obs light_parallel light_facade light_net
+      --target light_common light_obs light_storage light_parallel \
+      light_facade light_net
   else
     echo "==> clang++ not installed; skipping thread-safety-analysis leg" >&2
   fi
@@ -82,15 +83,16 @@ if [[ "$skip_tidy" -eq 0 ]]; then
 fi
 
 if [[ "$skip_bench" -eq 0 ]]; then
-  # ci/snapshot.sh runs the four CI-gated benches (each enforcing its own
+  # ci/snapshot.sh runs the five CI-gated benches (each enforcing its own
   # acceptance gate: obs overhead < 3% with lifecycle armed, bitmap >= 1.3x,
-  # session batch >= 1.15x, IEP counting >= 3x on two dense workloads) plus
+  # session batch >= 1.15x, IEP counting >= 3x on two dense workloads, warm
+  # mmap enumeration within 1.10x of heap with bit-identical counts) plus
   # the light_server/light_client load-gen leg, consolidates their JSON into
   # one snapshot, and fails on >10% regression of any dimensionless metric
   # vs the committed baseline. Regenerate the baseline with:
-  # ci/snapshot.sh --out BENCH_PR8.json
+  # ci/snapshot.sh --out BENCH_PR10.json
   echo "==> perf snapshot: CI-gated benches vs committed baseline"
-  ci/snapshot.sh --out build/bench_snapshot.json --compare BENCH_PR8.json
+  ci/snapshot.sh --out build/bench_snapshot.json --compare BENCH_PR10.json
 
   echo "==> session report: --batch emits a parseable light.session_report.v1"
   printf 'triangle\nP1\nP2\ntriangle\nP1\n' > build/verify_batch.txt
@@ -120,8 +122,14 @@ EOF
 fi
 
 echo "==> server smoke: deadline + overload + clean shutdown over loopback"
+# The server runs from a spilled .lcsr2 snapshot opened mmap, so the smoke
+# covers the full store workflow: light_cli --save-store (no query) ->
+# light_server --graph-store.
+./build/tools/light_cli --dataset yt_s --scale 0.02 \
+  --save-store build/verify_store.lcsr2
 server_log="build/verify_server.log"
-./build/tools/light_server --dataset yt_s --scale 0.02 --threads 4 \
+./build/tools/light_server --graph-store build/verify_store.lcsr2 \
+  --store-mode mmap --threads 4 \
   --max-pending 1 --port 0 >"$server_log" 2>build/verify_server.err &
 server_pid=$!
 port=""
@@ -188,12 +196,15 @@ if [[ "$skip_tsan" -eq 0 ]]; then
     -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan -j "$(nproc)" \
     --target parallel_test obs_test session_test net_test concurrency_test \
-    light_server light_client
+    storage_test light_server light_client
   ./build-tsan/tests/parallel_test
   ./build-tsan/tests/obs_test
   ./build-tsan/tests/session_test
   ./build-tsan/tests/net_test
   ./build-tsan/tests/concurrency_test
+  # Buffer-pool frame reuse + multi-threaded ParallelCount over a tiny
+  # paged pool: the kStorePool mutex contract under real contention.
+  ./build-tsan/tests/storage_test
 
   echo "==> TSan: light_server/light_client loopback soak"
   # The full serving path (event loop, session callbacks, pool workers,
@@ -240,12 +251,15 @@ if [[ "$skip_asan" -eq 0 ]]; then
     -DLIGHT_BUILD_BENCHMARKS=OFF \
     -DLIGHT_BUILD_EXAMPLES=OFF >/dev/null
   cmake --build build-asan -j "$(nproc)" \
-    --target engine_test plan_test analysis_test facade_test
+    --target engine_test plan_test analysis_test facade_test storage_test
   export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
   ./build-asan/tests/engine_test
   ./build-asan/tests/plan_test
   ./build-asan/tests/analysis_test
   ./build-asan/tests/facade_test
+  # mmap lifetime + header parsing on hostile files: the leg most likely to
+  # catch an out-of-bounds section read or a leaked mapping.
+  ./build-asan/tests/storage_test
 fi
 
 if [[ "$skip_ubsan" -eq 0 ]]; then
@@ -318,6 +332,14 @@ if [[ "$skip_ubsan" -eq 0 ]]; then
   iep_cases="$(sed -n 's/.*iep_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
   if [[ -z "$iep_cases" || "$iep_cases" -lt 1 ]]; then
     echo "==> fuzz smoke exercised no IEP-counting cases" >&2
+    exit 1
+  fi
+  # The store-parity oracle (every case spilled to .lcsr2, re-opened mmap
+  # and tiny-pool paged, counts cross-checked against the heap engines)
+  # must have run; zero means the storage leg silently went dark.
+  store_cases="$(sed -n 's/.*store_cases=\([0-9]*\).*/\1/p' "$fuzz_log")"
+  if [[ -z "$store_cases" || "$store_cases" -lt 1 ]]; then
+    echo "==> fuzz smoke exercised no store-parity cases" >&2
     exit 1
   fi
   # This build arms the lock-rank checker (LIGHT_LOCK_RANKS=ON above); a

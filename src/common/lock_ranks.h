@@ -29,6 +29,9 @@
 //   | 41   | PoolQueryState::merge_mutex        | (leaf)                       |
 //   | 42   | PoolQueryState::done_mutex         | (leaf)                       |
 //   | 50   | MultiQueryQueue::mutex_            | (leaf)                       |
+//   | 54   | GraphStore::bitmap_mutex_          | 70 (BitmapIndex::Build       |
+//   |      |                                    |  publishes obs counters)     |
+//   | 55   | BufferPool::mutex_                 | (leaf)                       |
 //   | 60   | net::Server::completions_mutex_    | (leaf)                       |
 //   | 61   | net::Server::stats_mutex_          | (leaf)                       |
 //   | 70   | obs::MetricsRegistry::mutex_       | (leaf)                       |
@@ -46,6 +49,12 @@
 //   - The deadline-timer (30) and watchdog (31) threads must NOT hold their
 //     wait mutex when they call back into the session (init 20); the checker
 //     turns a regression there into an immediate abort.
+//   - Session::EnsureBitmap under init 20 may call
+//     GraphStore::SharedBitmap, which caches under bitmap_mutex_ (54); a
+//     paged enumeration inside that window faults adjacency through
+//     BufferPool::mutex_ (55). Both sit above the queue rank (50) so a
+//     worker holding no queue lock can fault pages mid-range, and below the
+//     obs registries (70) the bitmap build publishes into.
 
 namespace light {
 namespace lockrank {
@@ -63,6 +72,8 @@ inline constexpr int kPoolAbort = 40;
 inline constexpr int kPoolMerge = 41;
 inline constexpr int kPoolDone = 42;
 inline constexpr int kTaskQueue = 50;
+inline constexpr int kStoreBitmap = 54;
+inline constexpr int kStorePool = 55;
 inline constexpr int kNetCompletions = 60;
 inline constexpr int kNetStats = 61;
 inline constexpr int kObsMetrics = 70;

@@ -10,7 +10,7 @@
 #include "engine/scratch_arena.h"
 #include "engine/visitors.h"
 #include "graph/bitmap_index.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "intersect/set_intersection.h"
 #include "obs/metrics.h"
 #include "plan/plan.h"
@@ -39,11 +39,21 @@ struct EngineStats {
 /// Enumerator holds one partial result plus one candidate buffer per pattern
 /// vertex — the O(n * d_max) footprint of Section VII-B — so the parallel
 /// runtime instantiates one per worker.
+///
+/// The data graph arrives as a GraphView, so one engine serves every
+/// GraphStore mode. Contiguous views (heap, mmap) run the zero-copy fast
+/// path: K1 operands alias Neighbors() spans and the induced check binary
+/// searches the resident adjacency. Paged views have no resident adjacency;
+/// the enumerator stages N(v) into per-pattern-vertex buffers at bind time
+/// (only for vertices some later COMP lists in its K1) and the induced
+/// check copies the smaller-degree endpoint through the store's pool.
+/// Counts are bit-identical across modes — the fuzz store oracle holds the
+/// engine to that.
 class Enumerator {
  public:
-  /// graph and plan must outlive the enumerator. The graph's vertex IDs
-  /// should be degree-ordered (graph/reorder.h) when the plan enforces
-  /// symmetry breaking.
+  /// The view's backing store and plan must outlive the enumerator. The
+  /// graph's vertex IDs should be degree-ordered (graph/reorder.h) when the
+  /// plan enforces symmetry breaking.
   ///
   /// `data_labels` (optional, size N, must outlive the enumerator) enables
   /// labeled subgraph matching: a pattern vertex with a non-zero label only
@@ -57,7 +67,7 @@ class Enumerator {
   /// by the persistent worker pool so back-to-back queries reuse the same
   /// backing memory. The arena is single-threaded: construct and destroy
   /// the enumerator on the arena's owning thread.
-  Enumerator(const Graph& graph, const ExecutionPlan& plan,
+  Enumerator(GraphView graph, const ExecutionPlan& plan,
              const std::vector<uint32_t>* data_labels = nullptr,
              ScratchArena* arena = nullptr);
   ~Enumerator();
@@ -97,8 +107,9 @@ class Enumerator {
   /// computation then routes intersections over indexed neighborhoods to the
   /// bitmap kernels per the cost model. Null or empty detaches — the engine
   /// falls back to the pure sorted-array path with identical results. The
-  /// index must have been built for `graph` and must outlive the enumerator;
-  /// it is read-only and safe to share across workers.
+  /// index must have been built for `graph` (any view of the same snapshot;
+  /// paged views apply rows to staged adjacency) and must outlive the
+  /// enumerator; it is read-only and safe to share across workers.
   void SetBitmapIndex(const BitmapIndex* index);
 
   /// Wall-clock budget; when exceeded the run unwinds and stats().timed_out
@@ -148,7 +159,22 @@ class Enumerator {
            (*data_labels_)[v] == want;
   }
 
-  const Graph& graph_;
+  /// Stages N(v) for newly-bound pattern vertex u when a later COMP lists u
+  /// in its K1 and the view is paged (contiguous views alias spans instead).
+  void StageAdjacency(int u, VertexID v) {
+    if (!paged_ || !needs_adjacency_[static_cast<size_t>(u)]) return;
+    adjacency_size_[static_cast<size_t>(u)] = graph_.CopyNeighbors(
+        v, adjacency_[static_cast<size_t>(u)].data());
+  }
+
+  /// Mode-blind edge membership for the induced non-edge check. Paged views
+  /// copy the smaller-degree endpoint's adjacency into scratch_ and binary
+  /// search it (scratch_ is free here: no intersection is in flight during
+  /// materialization).
+  bool HasDataEdge(VertexID a, VertexID b);
+
+  const GraphView graph_;
+  const bool paged_;
   const ExecutionPlan& plan_;
   const std::vector<uint32_t>* data_labels_;
   ScratchArena* arena_ = nullptr;
@@ -167,6 +193,13 @@ class Enumerator {
   std::vector<const VertexID*> cand_data_;
   std::vector<uint32_t> cand_size_;
   std::vector<bool> universal_;  // COMP with no operands: candidates = V(G)
+
+  // Paged staging (sized only when paged_): adjacency_[u] holds N(v) for
+  // the data vertex v currently bound to u, maintained at bind time for
+  // every u some COMP references through K1.
+  std::vector<bool> needs_adjacency_;
+  std::vector<std::vector<VertexID>> adjacency_;
+  std::vector<uint32_t> adjacency_size_;
 
   std::vector<VertexID> bound_values_;  // materialized data vertices (stack)
   std::vector<VertexID> scratch_;

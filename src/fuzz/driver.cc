@@ -24,6 +24,7 @@ Status RunFuzz(const FuzzOptions& options, FuzzSummary* summary) {
     if (outcome.bitmap_routed > 0) ++summary->bitmap_routed_cases;
     if (outcome.restriction_checked) ++summary->restriction_cases;
     if (outcome.iep_checked) ++summary->iep_cases;
+    if (outcome.store_checked) ++summary->store_cases;
     if (outcome.session_checked) {
       ++summary->session_cases;
       session_latency.Observe(outcome.session_latency_ns);

@@ -1,18 +1,24 @@
 #include "fuzz/fuzz.h"
 
-#include <utility>
+#include <unistd.h>
 
+#include <cstdio>
 #include <limits>
+#include <memory>
+#include <string>
+#include <utility>
 
 #include "analysis/plan_linter.h"
 #include "baselines/cfl_like.h"
 #include "baselines/eh_like.h"
 #include "engine/enumerator.h"
 #include "graph/bitmap_index.h"
+#include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "join/bsp_engine.h"
 #include "light.h"
 #include "plan/plan.h"
+#include "storage/graph_store.h"
 
 namespace light::fuzz {
 namespace {
@@ -244,6 +250,52 @@ OracleOutcome RunOracles(const FuzzCase& c) {
       }
     }
     outcome.engines.push_back(std::move(e));
+  }
+
+  // Storage-engine parity leg: the case graph written as an .lcsr2 snapshot
+  // and reopened as (a) an mmap store and (b) a deliberately tiny paged
+  // store must reproduce the pivot count bit-for-bit with the same plan —
+  // the GraphStore contract that heap/mmap/paged are observationally
+  // identical. The paged pool is sized to a couple of sub-page frames so
+  // even these small fuzz graphs actually evict and re-fault.
+  {
+    const std::string store_file =
+        "/tmp/light_fuzz_store_" +
+        std::to_string(static_cast<unsigned long>(::getpid())) + "_" +
+        std::to_string(c.seed) + ".lcsr2";
+    const Status saved =
+        SaveStoreFile(graph, store_file, c.Labeled() ? &c.labels : nullptr);
+    if (saved.ok()) {
+      const auto run_store = [&](const char* name, GraphStore::Mode mode) {
+        EngineCount e;
+        e.name = name;
+        GraphStore::OpenOptions store_options;
+        store_options.mode = mode;
+        store_options.pool_bytes = 2048;
+        store_options.page_bytes = 512;
+        std::shared_ptr<const GraphStore> store;
+        if (Status s = GraphStore::Open(store_file, store_options, &store);
+            !s.ok()) {
+          e.count = std::numeric_limits<uint64_t>::max();
+          e.note = s.ToString();
+          return e;
+        }
+        Enumerator enumerator(store->view(), light_plan,
+                              c.Labeled() ? &c.labels : nullptr);
+        e.count = enumerator.Count();
+        if (enumerator.stats().timed_out) {
+          e.skipped = true;
+          e.note = "timed out";
+        }
+        return e;
+      };
+      outcome.engines.push_back(
+          run_store("store_mmap", GraphStore::Mode::kMmap));
+      outcome.engines.push_back(
+          run_store("store_paged", GraphStore::Mode::kPaged));
+      outcome.store_checked = true;
+    }
+    std::remove(store_file.c_str());
   }
 
   // End-to-end facade check: light::Run with the case's config (serial, no

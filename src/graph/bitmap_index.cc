@@ -3,14 +3,20 @@
 #include <algorithm>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "intersect/bitmap.h"
 
 namespace light {
 
 BitmapIndex BitmapIndex::Build(const Graph& graph,
                                const BitmapIndexOptions& options) {
+  return Build(GraphView(graph), options);
+}
+
+BitmapIndex BitmapIndex::Build(const GraphView& view,
+                               const BitmapIndexOptions& options) {
   BitmapIndex index;
-  const VertexID n = graph.NumVertices();
+  const VertexID n = view.NumVertices();
   index.words_ = BitmapWords(n);
   index.row_of_.assign(n, -1);
   if (n == 0 || options.min_degree == kBitmapDegreeNever ||
@@ -20,7 +26,7 @@ BitmapIndex BitmapIndex::Build(const Graph& graph,
 
   std::vector<VertexID> qualifying;
   for (VertexID v = 0; v < n; ++v) {
-    if (graph.Degree(v) >= options.min_degree) qualifying.push_back(v);
+    if (view.Degree(v) >= options.min_degree) qualifying.push_back(v);
   }
 
   const size_t row_bytes = index.words_ * sizeof(uint64_t);
@@ -31,8 +37,8 @@ BitmapIndex BitmapIndex::Build(const Graph& graph,
     // deterministic across runs.
     std::sort(qualifying.begin(), qualifying.end(),
               [&](VertexID a, VertexID b) {
-                const uint32_t da = graph.Degree(a);
-                const uint32_t db = graph.Degree(b);
+                const uint32_t da = view.Degree(a);
+                const uint32_t db = view.Degree(b);
                 return da != db ? da > db : a < b;
               });
     qualifying.resize(budget_rows);
@@ -41,12 +47,24 @@ BitmapIndex BitmapIndex::Build(const Graph& graph,
 
   index.num_rows_ = qualifying.size();
   index.rows_.assign(index.num_rows_ * index.words_, 0);
+  // Paged views have no resident adjacency: stage each indexed neighborhood
+  // through CopyNeighbors. Contiguous views set bits straight off the span.
+  std::vector<VertexID> staged;
+  if (!view.contiguous()) staged.resize(view.MaxDegree());
   for (size_t r = 0; r < qualifying.size(); ++r) {
     const VertexID v = qualifying[r];
     index.row_of_[v] = static_cast<int64_t>(r);
     uint64_t* row = index.rows_.data() + r * index.words_;
-    for (const VertexID u : graph.Neighbors(v)) {
-      row[u >> 6] |= uint64_t{1} << (u & 63u);
+    if (view.contiguous()) {
+      for (const VertexID u : view.Neighbors(v)) {
+        row[u >> 6] |= uint64_t{1} << (u & 63u);
+      }
+    } else {
+      const uint32_t deg = view.CopyNeighbors(v, staged.data());
+      for (uint32_t i = 0; i < deg; ++i) {
+        const VertexID u = staged[i];
+        row[u >> 6] |= uint64_t{1} << (u & 63u);
+      }
     }
   }
   return index;

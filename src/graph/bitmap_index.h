@@ -22,6 +22,7 @@
 namespace light {
 
 class Graph;
+class GraphView;
 
 /// Sentinel degree threshold meaning "index no vertex" (the pure-array
 /// configuration; also what an unset fuzz-case threshold decodes to).
@@ -47,6 +48,12 @@ class BitmapIndex {
   /// Builds rows for every vertex with Degree(v) >= options.min_degree,
   /// densest-first under options.max_bytes.
   static BitmapIndex Build(const Graph& graph,
+                           const BitmapIndexOptions& options = {});
+
+  /// Same, over any GraphView — including paged views, where each indexed
+  /// neighborhood is staged through CopyNeighbors (one sequential pass, so
+  /// the build is I/O-linear in the rows it keeps).
+  static BitmapIndex Build(const GraphView& view,
                            const BitmapIndexOptions& options = {});
 
   /// True when no vertex has a row (hybrid routing is a no-op).

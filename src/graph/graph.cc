@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
@@ -11,7 +12,11 @@ Graph::Graph(std::vector<EdgeID> offsets, std::vector<VertexID> neighbors)
   LIGHT_CHECK(!offsets_.empty());
   LIGHT_CHECK(offsets_.front() == 0);
   LIGHT_CHECK(offsets_.back() == neighbors_.size());
-  const VertexID n = NumVertices();
+  offsets_ptr_ = offsets_.data();
+  neighbors_ptr_ = neighbors_.data();
+  num_vertices_ = static_cast<VertexID>(offsets_.size() - 1);
+  num_slots_ = static_cast<EdgeID>(neighbors_.size());
+  const VertexID n = num_vertices_;
   for (VertexID v = 0; v < n; ++v) {
     LIGHT_DCHECK(offsets_[v] <= offsets_[v + 1]);
     max_degree_ = std::max(max_degree_, Degree(v));
@@ -24,6 +29,65 @@ Graph::Graph(std::vector<EdgeID> offsets, std::vector<VertexID> neighbors)
     }
 #endif
   }
+}
+
+Graph Graph::External(const EdgeID* offsets, const VertexID* neighbors,
+                      VertexID num_vertices, EdgeID num_slots,
+                      uint32_t max_degree) {
+  LIGHT_CHECK(offsets != nullptr);
+  LIGHT_CHECK(num_slots == 0 || neighbors != nullptr);
+  Graph g;
+  g.offsets_ptr_ = offsets;
+  g.neighbors_ptr_ = neighbors;
+  g.num_vertices_ = num_vertices;
+  g.num_slots_ = num_slots;
+  g.max_degree_ = max_degree;
+  g.owns_ = false;
+  return g;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : offsets_(std::move(other.offsets_)),
+      neighbors_(std::move(other.neighbors_)),
+      offsets_ptr_(other.offsets_ptr_),
+      neighbors_ptr_(other.neighbors_ptr_),
+      num_vertices_(other.num_vertices_),
+      num_slots_(other.num_slots_),
+      max_degree_(other.max_degree_),
+      owns_(other.owns_) {
+  if (owns_) {
+    offsets_ptr_ = offsets_.empty() ? nullptr : offsets_.data();
+    neighbors_ptr_ = neighbors_.empty() ? nullptr : neighbors_.data();
+  }
+  other.offsets_ptr_ = nullptr;
+  other.neighbors_ptr_ = nullptr;
+  other.num_vertices_ = 0;
+  other.num_slots_ = 0;
+  other.max_degree_ = 0;
+  other.owns_ = true;
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  offsets_ = std::move(other.offsets_);
+  neighbors_ = std::move(other.neighbors_);
+  offsets_ptr_ = other.offsets_ptr_;
+  neighbors_ptr_ = other.neighbors_ptr_;
+  num_vertices_ = other.num_vertices_;
+  num_slots_ = other.num_slots_;
+  max_degree_ = other.max_degree_;
+  owns_ = other.owns_;
+  if (owns_) {
+    offsets_ptr_ = offsets_.empty() ? nullptr : offsets_.data();
+    neighbors_ptr_ = neighbors_.empty() ? nullptr : neighbors_.data();
+  }
+  other.offsets_ptr_ = nullptr;
+  other.neighbors_ptr_ = nullptr;
+  other.num_vertices_ = 0;
+  other.num_slots_ = 0;
+  other.max_degree_ = 0;
+  other.owns_ = true;
+  return *this;
 }
 
 bool Graph::HasEdge(VertexID u, VertexID v) const {

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace light {
@@ -17,6 +18,12 @@ namespace light {
 ///
 /// Construct through GraphBuilder (graph/graph_builder.h), which symmetrizes,
 /// deduplicates, and sorts the input edges.
+///
+/// A Graph either owns its CSR arrays (the default, heap mode) or borrows
+/// them from a GraphStore whose mmap region outlives it (external mode, see
+/// storage/graph_store.h). The two modes are indistinguishable to readers
+/// going through the span accessors; the vector accessors are owned-mode
+/// only and abort on a borrowed graph rather than returning empty arrays.
 class Graph {
  public:
   Graph() = default;
@@ -26,28 +33,38 @@ class Graph {
   /// free of duplicates/self-loops. Checked in debug builds.
   Graph(std::vector<EdgeID> offsets, std::vector<VertexID> neighbors);
 
+  /// Borrows externally owned CSR arrays (an mmap'd .lcsr2 section). The
+  /// caller guarantees the arrays outlive the Graph and satisfy the same
+  /// invariants as the owning constructor; validation is the store's job
+  /// (the arrays may be backed by a read-only mapping we must not touch
+  /// page-by-page at construction time).
+  static Graph External(const EdgeID* offsets, const VertexID* neighbors,
+                        VertexID num_vertices, EdgeID num_slots,
+                        uint32_t max_degree);
+
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  // Explicit moves: the raw section pointers must re-anchor onto the moved
+  // vectors in owned mode, and the source must read back as an empty graph
+  // (the defaulted-move-leaves-dangling-pointer bug class DiskGraph had).
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   /// N = |V(G)|.
-  VertexID NumVertices() const {
-    return offsets_.empty() ? 0 : static_cast<VertexID>(offsets_.size() - 1);
-  }
+  VertexID NumVertices() const { return num_vertices_; }
 
   /// M = |E(G)| counting each undirected edge once.
-  EdgeID NumEdges() const { return neighbors_.size() / 2; }
+  EdgeID NumEdges() const { return num_slots_ / 2; }
 
   /// Degree of v.
   uint32_t Degree(VertexID v) const {
-    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+    return static_cast<uint32_t>(offsets_ptr_[v + 1] - offsets_ptr_[v]);
   }
 
   /// Sorted neighbor set N(v).
   std::span<const VertexID> Neighbors(VertexID v) const {
-    return {neighbors_.data() + offsets_[v],
-            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+    return {neighbors_ptr_ + offsets_ptr_[v],
+            static_cast<size_t>(offsets_ptr_[v + 1] - offsets_ptr_[v])};
   }
 
   /// Edge membership test; binary search over the smaller adjacency list.
@@ -55,19 +72,49 @@ class Graph {
 
   uint32_t MaxDegree() const { return max_degree_; }
 
-  /// Bytes held by the CSR arrays (the "Memory" column of Table II).
+  /// Bytes held by the CSR arrays (the "Memory" column of Table II). For a
+  /// borrowed graph this is the mapped footprint, not heap usage.
   size_t MemoryBytes() const {
-    return offsets_.size() * sizeof(EdgeID) +
-           neighbors_.size() * sizeof(VertexID);
+    return (num_vertices_ + 1) * sizeof(EdgeID) +
+           num_slots_ * sizeof(VertexID);
   }
 
-  const std::vector<EdgeID>& offsets() const { return offsets_; }
-  const std::vector<VertexID>& neighbors() const { return neighbors_; }
+  /// Whether this Graph owns its arrays (false: borrowed from a store).
+  bool owns_data() const { return owns_; }
+
+  /// Raw CSR sections, valid in both modes.
+  std::span<const EdgeID> OffsetsSpan() const {
+    return {offsets_ptr_, offsets_ptr_ == nullptr
+                              ? 0
+                              : static_cast<size_t>(num_vertices_) + 1};
+  }
+  std::span<const VertexID> NeighborsSpan() const {
+    return {neighbors_ptr_, static_cast<size_t>(num_slots_)};
+  }
+
+  /// Owned-mode vector accessors (tests compare whole arrays; save paths
+  /// write them). Aborts on a borrowed graph — use the span accessors there.
+  const std::vector<EdgeID>& offsets() const {
+    LIGHT_CHECK(owns_);
+    return offsets_;
+  }
+  const std::vector<VertexID>& neighbors() const {
+    LIGHT_CHECK(owns_);
+    return neighbors_;
+  }
 
  private:
-  std::vector<EdgeID> offsets_;      // size N+1
-  std::vector<VertexID> neighbors_;  // size 2M, sorted per vertex
+  std::vector<EdgeID> offsets_;      // size N+1 (owned mode only)
+  std::vector<VertexID> neighbors_;  // size 2M, sorted per vertex (owned)
+  // Both modes read through the pointers; owned mode points them at the
+  // vectors above. Default move keeps them valid: vector moves preserve
+  // heap buffers, and a moved-from Graph re-reads as empty.
+  const EdgeID* offsets_ptr_ = nullptr;
+  const VertexID* neighbors_ptr_ = nullptr;
+  VertexID num_vertices_ = 0;
+  EdgeID num_slots_ = 0;
   uint32_t max_degree_ = 0;
+  bool owns_ = true;
 };
 
 }  // namespace light

@@ -6,18 +6,39 @@
 
 namespace light {
 
-uint64_t CountTriangles(const Graph& graph) {
+uint64_t CountTriangles(const GraphView& view) {
   // Standard forward counting: for each edge (u, v) with u < v, intersect the
   // higher-ID tails of N(u) and N(v) restricted to w > v. Counts each
-  // triangle exactly once.
-  const VertexID n = graph.NumVertices();
+  // triangle exactly once. Paged views stage both endpoints' neighborhoods —
+  // one sequential pass over the adjacency per wedge root, so the count is
+  // I/O-feasible without residency.
+  const VertexID n = view.NumVertices();
   uint64_t triangles = 0;
+  std::vector<VertexID> staged_u;
+  std::vector<VertexID> staged_v;
+  const bool paged = !view.contiguous();
+  if (paged) {
+    staged_u.resize(view.MaxDegree());
+    staged_v.resize(view.MaxDegree());
+  }
   for (VertexID u = 0; u < n; ++u) {
-    auto nu = graph.Neighbors(u);
+    std::span<const VertexID> nu;
+    if (paged) {
+      const uint32_t du = view.CopyNeighbors(u, staged_u.data());
+      nu = {staged_u.data(), du};
+    } else {
+      nu = view.Neighbors(u);
+    }
     auto u_hi = std::upper_bound(nu.begin(), nu.end(), u);
     for (auto it = u_hi; it != nu.end(); ++it) {
       const VertexID v = *it;
-      auto nv = graph.Neighbors(v);
+      std::span<const VertexID> nv;
+      if (paged) {
+        const uint32_t dv = view.CopyNeighbors(v, staged_v.data());
+        nv = {staged_v.data(), dv};
+      } else {
+        nv = view.Neighbors(v);
+      }
       auto a = std::upper_bound(nu.begin(), nu.end(), v);
       auto b = std::upper_bound(nv.begin(), nv.end(), v);
       while (a != nu.end() && b != nv.end()) {
@@ -36,22 +57,27 @@ uint64_t CountTriangles(const Graph& graph) {
   return triangles;
 }
 
-GraphStats ComputeGraphStats(const Graph& graph, bool count_triangles) {
+uint64_t CountTriangles(const Graph& graph) {
+  return CountTriangles(GraphView(graph));
+}
+
+GraphStats ComputeGraphStats(const GraphView& view, bool count_triangles) {
   GraphStats stats;
-  stats.num_vertices = graph.NumVertices();
-  stats.num_edges = graph.NumEdges();
-  stats.max_degree = graph.MaxDegree();
-  stats.memory_bytes = graph.MemoryBytes();
+  stats.num_vertices = view.NumVertices();
+  stats.num_edges = view.NumEdges();
+  stats.max_degree = view.MaxDegree();
+  stats.memory_bytes = (stats.num_vertices + 1) * sizeof(EdgeID) +
+                       2 * stats.num_edges * sizeof(VertexID);
   if (stats.num_vertices == 0) return stats;
 
   double sum_d = 0.0;
   double sum_d2 = 0.0;
   uint64_t wedges = 0;
-  for (VertexID v = 0; v < graph.NumVertices(); ++v) {
-    const double d = graph.Degree(v);
+  for (VertexID v = 0; v < view.NumVertices(); ++v) {
+    const double d = view.Degree(v);
     sum_d += d;
     sum_d2 += d * d;
-    const uint64_t dv = graph.Degree(v);
+    const uint64_t dv = view.Degree(v);
     if (dv >= 2) wedges += dv * (dv - 1) / 2;
   }
   stats.avg_degree = sum_d / static_cast<double>(stats.num_vertices);
@@ -61,13 +87,19 @@ GraphStats ComputeGraphStats(const Graph& graph, bool count_triangles) {
       sum_d > 0 ? sum_d2 / sum_d : 0.0;
 
   if (count_triangles) {
-    stats.num_triangles = CountTriangles(graph);
+    stats.num_triangles = CountTriangles(view);
     if (wedges > 0) {
       stats.closing_probability =
           3.0 * static_cast<double>(stats.num_triangles) /
           static_cast<double>(wedges);
     }
   }
+  return stats;
+}
+
+GraphStats ComputeGraphStats(const Graph& graph, bool count_triangles) {
+  GraphStats stats = ComputeGraphStats(GraphView(graph), count_triangles);
+  stats.memory_bytes = graph.MemoryBytes();
   return stats;
 }
 

@@ -22,7 +22,7 @@ Graph RelabelByDegree(const Graph& graph, std::vector<VertexID>* old_to_new) {
   for (VertexID new_id = 0; new_id < n; ++new_id) {
     offsets[new_id + 1] = offsets[new_id] + graph.Degree(order[new_id]);
   }
-  std::vector<VertexID> neighbors(graph.neighbors().size());
+  std::vector<VertexID> neighbors(graph.NeighborsSpan().size());
   for (VertexID new_id = 0; new_id < n; ++new_id) {
     EdgeID pos = offsets[new_id];
     for (VertexID old_nbr : graph.Neighbors(order[new_id])) {

@@ -34,7 +34,7 @@ const char* AlgorithmName(const PlanOptions& options) {
 }
 
 /// Metadata + graph dimensions common to every report path.
-void FillReportContext(const Graph& graph, const ExecutionPlan& plan,
+void FillReportContext(const GraphView& graph, const ExecutionPlan& plan,
                        const EngineStats& stats, const BitmapIndex& index,
                        obs::RunReport* report) {
   *report = obs::RunReport();
@@ -99,6 +99,18 @@ void ClearSessionPlanOptionShims(SessionOptions* opts) {
 }
 
 #pragma GCC diagnostic pop
+
+/// The session plan builder: samples the resident graph when one exists,
+/// else (paged stores) the pure analytic model over the same stats.
+ExecutionPlan BuildSessionPlan(const Graph* graph, const GraphStats& stats,
+                               const Pattern& pattern,
+                               const RunOptions& options) {
+  const RunOptions opts = options.Normalized();
+  if (graph != nullptr) {
+    return BuildPlan(pattern, *graph, stats, opts.plan_options);
+  }
+  return BuildPlan(pattern, stats, opts.plan_options);
+}
 
 }  // namespace
 
@@ -279,7 +291,7 @@ struct SessionQueryState {
       }
     }
     if (report != nullptr && plan != nullptr) {
-      FillReportContext(session->graph(), *plan, presult.stats,
+      FillReportContext(session->view(), *plan, presult.stats,
                         *bitmap_index, report);
       report->tool = tool;
       report->elapsed_seconds = presult.elapsed_seconds;
@@ -332,7 +344,23 @@ uint64_t Session::Ticket::query_id() const {
 }
 
 Session::Session(const Graph& graph, const SessionOptions& options)
-    : graph_(graph), options_(options.Normalized()) {
+    : store_(nullptr),
+      graph_ptr_(&graph),
+      view_(graph),
+      options_(options.Normalized()) {
+  InitCommon();
+}
+
+Session::Session(std::shared_ptr<const GraphStore> store,
+                 const SessionOptions& options)
+    : store_(std::move(store)),
+      graph_ptr_(store_->graph()),
+      view_(store_->view()),
+      options_(options.Normalized()) {
+  InitCommon();
+}
+
+void Session::InitCommon() {
   obs::MetricsRegistry& registry = obs::DefaultRegistry();
   obs_queries_started_ = registry.GetCounter("session.queries_started");
   obs_queries_completed_ = registry.GetCounter("session.queries_completed");
@@ -381,7 +409,7 @@ const GraphStats& Session::EnsureStats() {
   if (graph_stats_ == nullptr) {
     obs::TraceSpan span("graph_stats");
     graph_stats_ = std::make_unique<GraphStats>(
-        ComputeGraphStats(graph_, /*count_triangles=*/true));
+        ComputeGraphStats(view_, /*count_triangles=*/true));
   }
   return *graph_stats_;
 }
@@ -389,17 +417,24 @@ const GraphStats& Session::EnsureStats() {
 const BitmapIndex& Session::EnsureBitmap() {
   MutexLock lock(init_mutex_);
   if (bitmap_index_ == nullptr) {
-    auto index = std::make_unique<BitmapIndex>();
     const uint32_t threshold =
-        EffectiveBitmapThreshold(options_.plan_options, graph_.NumVertices());
-    if (threshold != kBitmapDegreeNever) {
-      obs::TraceSpan span("bitmap_index");
+        EffectiveBitmapThreshold(options_.plan_options, view_.NumVertices());
+    if (threshold == kBitmapDegreeNever) {
+      bitmap_index_ = std::make_shared<const BitmapIndex>();
+    } else {
       BitmapIndexOptions build_options;
       build_options.min_degree = threshold;
       build_options.max_bytes = options_.plan_options.bitmap_max_bytes;
-      *index = BitmapIndex::Build(graph_, build_options);
+      if (store_ != nullptr) {
+        // Cross-session sharing: every Session on this store with the same
+        // bitmap configuration gets one index (init 20 -> store bitmap 54).
+        bitmap_index_ = store_->SharedBitmap(build_options);
+      } else {
+        obs::TraceSpan span("bitmap_index");
+        bitmap_index_ = std::make_shared<const BitmapIndex>(
+            BitmapIndex::Build(view_, build_options));
+      }
     }
-    bitmap_index_ = std::move(index);
   }
   return *bitmap_index_;
 }
@@ -457,7 +492,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
     const GraphStats& stats = EnsureStats();
     auto plan = std::make_shared<ExecutionPlan>([&] {
       obs::TraceSpan span("build_plan");
-      return BuildRunPlan(graph_, stats, pattern, opts);
+      return BuildSessionPlan(graph_ptr_, stats, pattern, opts);
     }());
     if (opts.lint_plan && !lint(pattern, *plan, &stats)) return nullptr;
     return plan;
@@ -521,7 +556,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolvePlan(
   const GraphStats& stats = EnsureStats();
   auto built = std::make_shared<ExecutionPlan>([&] {
     obs::TraceSpan span("build_plan");
-    return BuildRunPlan(graph_, stats, pattern, opts);
+    return BuildSessionPlan(graph_ptr_, stats, pattern, opts);
   }());
   if (opts.lint_plan && !lint(pattern, *built, &stats)) return nullptr;
 
@@ -626,7 +661,7 @@ Session::Ticket Session::SubmitInternal(
   state->bitmap_index = &bitmap;
 
   WorkerPool::QuerySpec spec;
-  spec.graph = &graph_;
+  spec.graph = view_;
   spec.plan = plan;
   spec.data_labels = opts.data_labels;
   spec.bitmap_index = &bitmap;
@@ -751,7 +786,7 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
   qstats.plan_ns = MonotonicNs() - admit_ns;
 
   const BitmapIndex& bitmap = EnsureBitmap();
-  Enumerator enumerator(graph_, *plan, opts.data_labels);
+  Enumerator enumerator(view_, *plan, opts.data_labels);
   enumerator.SetBitmapIndex(&bitmap);
   // The budget is anchored at admit: plan resolution above already
   // consumed part of it, so the limit a query observes is true wall clock
@@ -775,7 +810,7 @@ RunResult Session::RunSerial(const Pattern& pattern, const RunOptions& opts,
   qstats.total_ns = done_ns - admit_ns;
   qstats.ranges_executed = 1;
   if (opts.report != nullptr) {
-    FillReportContext(graph_, *plan, enumerator.stats(), bitmap, opts.report);
+    FillReportContext(view_, *plan, enumerator.stats(), bitmap, opts.report);
     opts.report->tool = tool;
     opts.report->summary.threads_configured = 1;
     opts.report->summary.threads_used = 1;
@@ -801,7 +836,7 @@ std::shared_ptr<const ExecutionPlan> Session::ResolveIepTermPlan(
   const GraphStats& stats = EnsureStats();
   const auto build = [&] {
     obs::TraceSpan span("build_plan");
-    return BuildIepTermPlan(term, stats, &graph_, opts.plan_options);
+    return BuildIepTermPlan(term, stats, graph_ptr_, opts.plan_options);
   };
 
   if (options_.plan_cache_capacity == 0) {
@@ -901,7 +936,7 @@ RunResult Session::RunIep(const Pattern& pattern, const IepDecomposition& dec,
     // Inline term loop, sharing one wall-clock budget anchored at admit.
     const double limit = Limit(opts.time_limit_seconds);
     for (size_t i = 0; i < dec.terms.size() && !timed_out; ++i) {
-      Enumerator enumerator(graph_, *plans[i], opts.data_labels);
+      Enumerator enumerator(view_, *plans[i], opts.data_labels);
       enumerator.SetBitmapIndex(&bitmap);
       double remaining = limit;
       if (std::isfinite(limit)) {
@@ -964,7 +999,7 @@ RunResult Session::RunIep(const Pattern& pattern, const IepDecomposition& dec,
   qstats.total_ns = done_ns - admit_ns;
   qstats.ranges_executed = dec.terms.size();
   if (opts.report != nullptr && !plans.empty()) {
-    FillReportContext(graph_, *plans[0], agg, bitmap, opts.report);
+    FillReportContext(view_, *plans[0], agg, bitmap, opts.report);
     opts.report->tool = tool;
     opts.report->elapsed_seconds = result.elapsed_seconds;
     // `agg` holds the raw per-term engine work (its num_matches is the
@@ -1053,6 +1088,11 @@ SessionStats Session::stats() const {
   out.queue_wait = obs::HistogramSummary::FromSnapshot(hist_queue_wait_.Snap());
   out.execute = obs::HistogramSummary::FromSnapshot(hist_execute_.Snap());
   out.plan_resolve = obs::HistogramSummary::FromSnapshot(hist_plan_.Snap());
+  if (store_ != nullptr) {
+    out.store_mode = GraphStore::ModeName(store_->mode());
+    out.store_bytes_mapped = store_->bytes_mapped();
+    out.store_page_faults_estimated = store_->pool_stats().misses;
+  }
   return out;
 }
 
@@ -1275,9 +1315,12 @@ void Session::UnregisterQuery(uint64_t query_id) {
 void Session::FillSessionReport(obs::SessionReport* out) const {
   *out = obs::SessionReport();
   out->tool = "light::Session";
-  out->graph_vertices = graph_.NumVertices();
-  out->graph_edges = graph_.NumEdges();
+  out->graph_vertices = view_.NumVertices();
+  out->graph_edges = view_.NumEdges();
   const SessionStats s = stats();
+  out->store_mode = s.store_mode;
+  out->store_bytes_mapped = s.store_bytes_mapped;
+  out->store_page_faults_estimated = s.store_page_faults_estimated;
   out->pool_threads = s.pool_threads;
   out->queries_submitted = s.queries_submitted;
   out->queries_completed = s.queries_completed;

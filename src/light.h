@@ -51,6 +51,7 @@
 #include "graph/graph_builder.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "graph/graph_view.h"
 #include "graph/reorder.h"
 #include "parallel/parallel_enumerator.h"
 #include "parallel/worker_pool.h"
@@ -59,6 +60,7 @@
 #include "pattern/pattern.h"
 #include "plan/iep.h"
 #include "plan/plan.h"
+#include "storage/graph_store.h"
 
 namespace light {
 
@@ -339,6 +341,14 @@ struct SessionStats {
   uint64_t deadline_exceeded = 0;
   uint64_t overload_rejected = 0;
   uint64_t cancelled = 0;
+
+  /// Storage-engine attribution for store-backed sessions: the open mode
+  /// ("heap" | "mmap" | "paged"; empty for a caller-owned graph), bytes of
+  /// the snapshot mapped into this process (mmap mode), and the paged
+  /// pool's miss count — an estimate of the page faults enumeration caused.
+  std::string store_mode;
+  uint64_t store_bytes_mapped = 0;
+  uint64_t store_page_faults_estimated = 0;
 };
 
 namespace detail {
@@ -364,7 +374,8 @@ uint64_t LiveQueryStates();
 /// Thread safety: Submit/RunSync/RunBatch/stats may be called concurrently
 /// from any number of caller threads. The graph (and any data_labels /
 /// plan override passed per query) must outlive the session; tickets must
-/// be waited on before the session is destroyed.
+/// be waited on before the session is destroyed. Store-backed sessions
+/// share ownership of the GraphStore, so the caller may drop its pointer.
 ///
 /// Per-query RunOptions semantics under a session: `threads` caps how many
 /// pool workers execute that query concurrently (0 = whole pool; 1 via
@@ -404,6 +415,15 @@ class Session {
   };
 
   explicit Session(const Graph& graph, const SessionOptions& options = {});
+
+  /// Store-backed session: serves queries against a GraphStore snapshot in
+  /// whatever mode it was opened (heap, mmap, paged). Multiple Sessions —
+  /// across threads — may share one store; they see one mapping and one
+  /// lazily-built BitmapIndex per bitmap configuration
+  /// (GraphStore::SharedBitmap). Paged stores have no resident adjacency,
+  /// so plans fall back to the analytic cardinality model.
+  explicit Session(std::shared_ptr<const GraphStore> store,
+                   const SessionOptions& options = {});
   ~Session();
 
   Session(const Session&) = delete;
@@ -458,7 +478,16 @@ class Session {
   std::vector<obs::SlowQueryRecord> slow_queries() const
       LIGHT_EXCLUDES(log_mutex_);
 
-  const Graph& graph() const { return graph_; }
+  /// Mode-blind view of the session's data graph.
+  const GraphView& view() const { return view_; }
+
+  /// The backing store; null for graph-reference sessions.
+  const std::shared_ptr<const GraphStore>& store() const { return store_; }
+
+  /// Resident-adjacency Graph behind the view (the caller's graph, a heap
+  /// store's copy, or an mmap store's borrowing facade); nullptr for paged
+  /// stores.
+  const Graph* graph() const { return graph_ptr_; }
 
  private:
   friend struct detail::SessionQueryState;
@@ -539,15 +568,27 @@ class Session {
       LIGHT_EXCLUDES(deadline_mutex_);
   void UnregisterQuery(uint64_t query_id) LIGHT_EXCLUDES(cancel_mutex_);
 
-  const Graph& graph_;
+  /// Shared constructor tail: obs counter resolution + watchdog start.
+  void InitCommon();
+
+  // Data-graph identity, fixed at construction. Graph-reference sessions
+  // have a null store_ and point graph_ptr_/view_ at the caller's graph;
+  // store-backed sessions co-own the store and take its view (graph_ptr_
+  // is null for paged stores — plan builders then use the analytic model).
+  const std::shared_ptr<const GraphStore> store_;
+  const Graph* const graph_ptr_;
+  const GraphView view_;
   const SessionOptions options_;
 
   // Lazily built shared state (each built once under init_mutex_; the
   // pointers are only written there, and every reader goes through the
   // Ensure* accessors, which return stable references to the built objects).
+  // The bitmap is a shared_ptr because store-backed sessions borrow it from
+  // the store's cross-session cache (GraphStore::SharedBitmap).
   mutable Mutex init_mutex_{lockrank::kSessionInit, "Session::init_mutex_"};
   std::unique_ptr<GraphStats> graph_stats_ LIGHT_GUARDED_BY(init_mutex_);
-  std::unique_ptr<BitmapIndex> bitmap_index_ LIGHT_GUARDED_BY(init_mutex_);
+  std::shared_ptr<const BitmapIndex> bitmap_index_
+      LIGHT_GUARDED_BY(init_mutex_);
   std::unique_ptr<WorkerPool> pool_ LIGHT_GUARDED_BY(init_mutex_);
 
   mutable Mutex cache_mutex_{lockrank::kSessionCache, "Session::cache_mutex_"};

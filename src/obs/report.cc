@@ -333,6 +333,17 @@ std::string SessionReport::ToJson() const {
   w.KV("edges", graph_edges);
   w.EndObject();
 
+  // Additive v1 extension: present only for GraphStore-backed sessions;
+  // absent keys parse as empty/zero in older readers.
+  if (!store_mode.empty()) {
+    w.Key("store");
+    w.BeginObject();
+    w.KV("mode", store_mode);
+    w.KV("bytes_mapped", store_bytes_mapped);
+    w.KV("page_faults_estimated", store_page_faults_estimated);
+    w.EndObject();
+  }
+
   w.Key("pool");
   w.BeginObject();
   w.KV("threads", pool_threads);
@@ -414,6 +425,12 @@ Status SessionReport::FromJson(const std::string& json, SessionReport* out) {
   out->dataset = root["dataset"].string_value;
   out->graph_vertices = root["graph"]["vertices"].AsUint();
   out->graph_edges = root["graph"]["edges"].AsUint();
+
+  // Optional storage-engine block (additive; absent in pre-store documents).
+  const JsonValue& store = root["store"];
+  out->store_mode = store["mode"].string_value;
+  out->store_bytes_mapped = store["bytes_mapped"].AsUint();
+  out->store_page_faults_estimated = store["page_faults_estimated"].AsUint();
 
   const JsonValue& pool = root["pool"];
   out->pool_threads = static_cast<int>(pool["threads"].AsUint());

@@ -50,7 +50,7 @@ ParallelOptions ParallelOptions::Normalized() const {
   return opts;
 }
 
-ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
+ParallelResult ParallelCount(GraphView graph, const ExecutionPlan& plan,
                              const ParallelOptions& options,
                              const std::vector<uint32_t>* data_labels,
                              const BitmapIndex* bitmap_index) {
@@ -61,7 +61,7 @@ ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
   const ParallelOptions opts = options.Normalized();
   WorkerPool pool(opts.num_threads);
   WorkerPool::QuerySpec spec;
-  spec.graph = &graph;
+  spec.graph = graph;
   spec.plan = &plan;
   spec.data_labels = data_labels;
   spec.bitmap_index = bitmap_index;

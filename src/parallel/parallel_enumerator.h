@@ -7,7 +7,7 @@
 
 #include "common/status.h"
 #include "engine/enumerator.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "obs/query_stats.h"
 #include "obs/report.h"
 #include "plan/plan.h"
@@ -82,7 +82,10 @@ struct ParallelResult {
 /// constructor (optional; must outlive the call). `bitmap_index` (optional;
 /// must outlive the call) is shared read-only across workers, each of which
 /// attaches it with its own word scratch (Enumerator::SetBitmapIndex).
-ParallelResult ParallelCount(const Graph& graph, const ExecutionPlan& plan,
+/// Takes any GraphView (heap, mmap, or paged store) — `const Graph&` call
+/// sites convert implicitly; paged views must be backed by a thread-safe
+/// PagedNeighborSource (GraphStore's pool is).
+ParallelResult ParallelCount(GraphView graph, const ExecutionPlan& plan,
                              const ParallelOptions& options = {},
                              const std::vector<uint32_t>* data_labels =
                                  nullptr,

@@ -32,7 +32,8 @@ uint64_t MonotonicNs() {
 /// merged candidate_memory_bytes stays exactly `threads_configured x
 /// serial` (Table V's metric) even though pool workers build enumerators
 /// lazily (a worker that never touches a query allocates nothing).
-size_t PerWorkerCandidateBytes(const Graph& graph, const ExecutionPlan& plan) {
+size_t PerWorkerCandidateBytes(const GraphView& graph,
+                               const ExecutionPlan& plan) {
   size_t bytes = 0;
   for (const Operation& op : plan.sigma) {
     if (op.type != OpType::kCompute) continue;
@@ -134,7 +135,7 @@ WorkerPool::QueryHandle WorkerPool::Submit(const QuerySpec& spec) {
   qs->opts = spec.options.Normalized();
   qs->query_id = spec.query_id != 0 ? spec.query_id : obs::NextQueryId();
   qs->admit_ns = spec.admit_ns != 0 ? spec.admit_ns : MonotonicNs();
-  qs->per_worker_cand_bytes = PerWorkerCandidateBytes(*spec.graph, *spec.plan);
+  qs->per_worker_cand_bytes = PerWorkerCandidateBytes(spec.graph, *spec.plan);
   qs->slots.resize(threads_.size());
   for (size_t s = 0; s < qs->slots.size(); ++s) {
     qs->slots[s].worker_id = static_cast<int>(s);
@@ -164,7 +165,7 @@ WorkerPool::QueryHandle WorkerPool::Submit(const QuerySpec& spec) {
   // Bootstrap chunks; donation keeps the tail balanced afterwards. The
   // chunk product stays in 64 bits: num_threads * chunks_per_worker can
   // overflow int for adversarial configs.
-  const VertexID n = spec.graph->NumVertices();
+  const VertexID n = spec.graph.NumVertices();
   const int64_t chunks =
       std::max<int64_t>(1, static_cast<int64_t>(effective_threads) *
                                qs->opts.initial_chunks_per_worker);
@@ -211,7 +212,7 @@ void WorkerPool::WorkerMain(int slot) {
       cached_enum.reset();
       cached_state = qs->shared_from_this();
       cached_enum = std::make_unique<Enumerator>(
-          *qs->spec.graph, *qs->spec.plan, qs->spec.data_labels, &arena);
+          qs->spec.graph, *qs->spec.plan, qs->spec.data_labels, &arena);
       cached_enum->SetBitmapIndex(qs->spec.bitmap_index);
     }
     // Time blocked in Pop while this query was live is its idle time (the

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "graph/bitmap_index.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "obs/metrics.h"
 #include "parallel/parallel_enumerator.h"
 #include "parallel/task_queue.h"
@@ -37,8 +37,8 @@ struct PoolQueryState;
 /// the same query (rebuilding only when it switches query).
 ///
 /// Thread safety: Submit may be called from any number of threads. The
-/// graph/plan/labels/bitmap pointers in a QuerySpec must stay valid until
-/// that query's Wait returns.
+/// storage behind the graph view and the plan/labels/bitmap pointers in a
+/// QuerySpec must stay valid until that query's Wait returns.
 class WorkerPool {
  public:
   /// One enumeration request. Mirrors ParallelCount's signature; `options`
@@ -48,7 +48,10 @@ class WorkerPool {
   /// shared plan (e.g. a session's cached plan) alive for the query's
   /// lifetime; `plan` may point into it.
   struct QuerySpec {
-    const Graph* graph = nullptr;
+    /// Data graph as a view; `const Graph&` converts implicitly. Paged
+    /// views fan out across workers, so their neighbor source must be
+    /// thread-safe (GraphStore's is).
+    GraphView graph;
     const ExecutionPlan* plan = nullptr;
     const std::vector<uint32_t>* data_labels = nullptr;
     const BitmapIndex* bitmap_index = nullptr;

@@ -164,15 +164,16 @@ double CardinalityEstimator::SampleComponent(const Pattern& pattern,
   const int second = order.size() > 1 ? order[1] : -1;
   LIGHT_CHECK(second >= 0);  // components with >= 2 vertices only
   LIGHT_CHECK(pattern.HasEdge(root, second));
-  const auto& offsets = graph.offsets();
-  const uint64_t slots = graph.neighbors().size();
+  const std::span<const EdgeID> offsets = graph.OffsetsSpan();
+  const std::span<const VertexID> neighbors = graph.NeighborsSpan();
+  const uint64_t slots = neighbors.size();
   if (slots == 0) return 0.0;
   for (size_t i = 0; i < k; ++i) {
     const uint64_t slot = rng_.NextBounded(slots);
     const auto it =
         std::upper_bound(offsets.begin(), offsets.end(), slot) - 1;
     const VertexID u = static_cast<VertexID>(it - offsets.begin());
-    const VertexID v = graph.neighbors()[slot];
+    const VertexID v = neighbors[slot];
     population[i * max_arity + 0] = u;
     population[i * max_arity + 1] = v;
   }

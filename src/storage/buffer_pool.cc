@@ -1,32 +1,71 @@
 #include "storage/buffer_pool.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 
 #include "common/check.h"
 
 namespace light {
+namespace {
 
-BufferPool::BufferPool(std::FILE* file, uint64_t region_offset,
-                       uint64_t region_bytes, size_t page_bytes,
-                       size_t max_pages)
-    : file_(file),
+/// Positioned read that retries on EINTR and short reads. Returns false on
+/// any hard error or EOF before `want` bytes.
+bool PReadFully(int fd, uint8_t* buf, size_t want, uint64_t offset) {
+  size_t done = 0;
+  while (done < want) {
+    const ssize_t got = ::pread(fd, buf + done, want - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // unexpected EOF
+    done += static_cast<size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status BufferPool::Open(const std::string& path, uint64_t region_offset,
+                        uint64_t region_bytes, size_t page_bytes,
+                        size_t max_pages, std::unique_ptr<BufferPool>* out) {
+  if (page_bytes == 0 || max_pages == 0) {
+    return Status::InvalidArgument("buffer pool needs page_bytes > 0 and "
+                                   "max_pages > 0");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  out->reset(new BufferPool(fd, region_offset, region_bytes, page_bytes,
+                            max_pages));
+  return Status::OK();
+}
+
+BufferPool::BufferPool(int fd, uint64_t region_offset, uint64_t region_bytes,
+                       size_t page_bytes, size_t max_pages)
+    : fd_(fd),
       region_offset_(region_offset),
       region_bytes_(region_bytes),
       page_bytes_(page_bytes),
-      max_pages_(max_pages) {
-  LIGHT_CHECK(file_ != nullptr);
-  LIGHT_CHECK(page_bytes_ > 0);
-  LIGHT_CHECK(max_pages_ > 0);
-}
+      max_pages_(max_pages) {}
 
-const uint8_t* BufferPool::Fetch(uint64_t page_id) {
+BufferPool::~BufferPool() { ::close(fd_); }
+
+const BufferPool::Frame* BufferPool::FetchLocked(uint64_t page_id) const {
   LIGHT_CHECK(page_id < NumPages());
   ++stats_.lookups;
   if (const auto it = frames_.find(page_id); it != frames_.end()) {
     ++stats_.hits;
     // Move to the front of the LRU list.
     lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->data.data();
+    return &*it->second;
   }
   ++stats_.misses;
 
@@ -39,21 +78,49 @@ const uint8_t* BufferPool::Fetch(uint64_t page_id) {
 
   Frame frame;
   frame.page_id = page_id;
-  frame.data.assign(page_bytes_, 0);
+  frame.data.assign(page_bytes_, 0);  // short final page stays zero-padded
   const uint64_t offset = page_id * page_bytes_;
   const size_t want = static_cast<size_t>(
       std::min<uint64_t>(page_bytes_, region_bytes_ - offset));
-  if (std::fseek(file_, static_cast<long>(region_offset_ + offset),
-                 SEEK_SET) != 0) {
-    return nullptr;
-  }
-  if (std::fread(frame.data.data(), 1, want, file_) != want) {
+  if (!PReadFully(fd_, frame.data.data(), want, region_offset_ + offset)) {
     return nullptr;
   }
   stats_.bytes_read += want;
   lru_.push_front(std::move(frame));
   frames_[page_id] = lru_.begin();
-  return lru_.front().data.data();
+  return &lru_.front();
+}
+
+bool BufferPool::CopyRange(uint64_t offset, uint64_t length,
+                           uint8_t* out) const {
+  if (length == 0) return true;
+  LIGHT_CHECK(offset <= region_bytes_ && region_bytes_ - offset >= length);
+  MutexLock lock(mutex_);
+  uint64_t pos = offset;
+  const uint64_t end = offset + length;
+  while (pos < end) {
+    const uint64_t page_id = pos / page_bytes_;
+    const uint64_t page_start = page_id * page_bytes_;
+    const size_t in_page = static_cast<size_t>(pos - page_start);
+    const size_t chunk = static_cast<size_t>(
+        std::min<uint64_t>(end - pos, page_bytes_ - in_page));
+    const Frame* frame = FetchLocked(page_id);
+    if (frame == nullptr) return false;
+    std::memcpy(out, frame->data.data() + in_page, chunk);
+    out += chunk;
+    pos += chunk;
+  }
+  return true;
+}
+
+BufferPoolStats BufferPool::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  MutexLock lock(mutex_);
+  stats_ = BufferPoolStats();
 }
 
 }  // namespace light

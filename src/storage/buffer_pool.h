@@ -2,21 +2,24 @@
 #define LIGHT_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_ranks.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace light {
 
 /// Counters for cache behaviour; the out-of-core benchmarks report hit
 /// rates as the pool size shrinks below the file size (the regime DUALSIM
 /// is designed for — the paper gives it a 32 GB buffer so it stays
-/// in-memory, Section VIII-A).
+/// in-memory, Section VIII-A). Misses double as the store's
+/// page_faults_estimated counter.
 struct BufferPoolStats {
   uint64_t lookups = 0;
   uint64_t hits = 0;
@@ -31,47 +34,70 @@ struct BufferPoolStats {
   }
 };
 
-/// A fixed-capacity LRU page cache over one file region. Pages are read
-/// lazily; the pool owns the frames and hands out raw pointers valid until
-/// the next Fetch (single-threaded use by one enumeration worker, matching
-/// DUALSIM's per-worker buffer design).
+/// A fixed-capacity LRU page cache over one file region, shared by every
+/// worker of a paged GraphStore. Thread safety: one ranked mutex
+/// (lockrank::kStorePool) guards the LRU book-keeping; page bytes are
+/// copied out *under the lock* so an eviction on another thread can never
+/// invalidate data a reader is still consuming — there is no raw-pointer
+/// Fetch in this API for exactly that reason. Reads go through
+/// pread(2)-style positioned IO, so concurrent faults never race on a
+/// shared file position.
 class BufferPool {
  public:
-  /// `file` stays owned by the caller and must outlive the pool.
-  /// `region_offset`/`region_bytes` delimit the paged area of the file.
-  BufferPool(std::FILE* file, uint64_t region_offset, uint64_t region_bytes,
-             size_t page_bytes, size_t max_pages);
+  /// Opens `path` read-only. `region_offset`/`region_bytes` delimit the
+  /// paged area of the file; `max_pages` caps resident frames.
+  static Status Open(const std::string& path, uint64_t region_offset,
+                     uint64_t region_bytes, size_t page_bytes,
+                     size_t max_pages, std::unique_ptr<BufferPool>* out);
 
+  ~BufferPool();
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns a pointer to the page's bytes (page_bytes long, short final
-  /// page zero-padded), or null on IO failure. The pointer is invalidated
-  /// by the next Fetch that causes an eviction.
-  const uint8_t* Fetch(uint64_t page_id);
+  /// Copies region bytes [offset, offset+length) into `out`, faulting pages
+  /// as needed. Bounds-checked against the region; returns false on IO
+  /// failure. Safe for concurrent callers.
+  bool CopyRange(uint64_t offset, uint64_t length, uint8_t* out) const
+      LIGHT_EXCLUDES(mutex_);
 
   size_t PageBytes() const { return page_bytes_; }
+  uint64_t RegionBytes() const { return region_bytes_; }
   uint64_t NumPages() const {
     return (region_bytes_ + page_bytes_ - 1) / page_bytes_;
   }
-  const BufferPoolStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferPoolStats(); }
+  size_t MaxPages() const { return max_pages_; }
+
+  /// Snapshot of the counters (by value: the live struct is lock-guarded).
+  BufferPoolStats stats() const LIGHT_EXCLUDES(mutex_);
+  void ResetStats() LIGHT_EXCLUDES(mutex_);
 
  private:
+  BufferPool(int fd, uint64_t region_offset, uint64_t region_bytes,
+             size_t page_bytes, size_t max_pages);
+
   struct Frame {
     uint64_t page_id = 0;
     std::vector<uint8_t> data;
   };
 
-  std::FILE* file_;
-  uint64_t region_offset_;
-  uint64_t region_bytes_;
-  size_t page_bytes_;
-  size_t max_pages_;
+  /// Returns the frame for page_id, faulting it in (and possibly evicting
+  /// the LRU tail) on a miss; nullptr on IO failure.
+  const Frame* FetchLocked(uint64_t page_id) const LIGHT_REQUIRES(mutex_);
+
+  const int fd_;
+  const uint64_t region_offset_;
+  const uint64_t region_bytes_;
+  const size_t page_bytes_;
+  const size_t max_pages_;
+
+  // CopyRange is logically const (a cache fill), so the book-keeping is
+  // mutable behind the lock.
+  mutable Mutex mutex_{lockrank::kStorePool, "BufferPool::mutex_"};
   // LRU order: front = most recent. map: page -> iterator into lru_.
-  std::list<Frame> lru_;
-  std::unordered_map<uint64_t, std::list<Frame>::iterator> frames_;
-  BufferPoolStats stats_;
+  mutable std::list<Frame> lru_ LIGHT_GUARDED_BY(mutex_);
+  mutable std::unordered_map<uint64_t, std::list<Frame>::iterator> frames_
+      LIGHT_GUARDED_BY(mutex_);
+  mutable BufferPoolStats stats_ LIGHT_GUARDED_BY(mutex_);
 };
 
 }  // namespace light

@@ -14,8 +14,7 @@
 #include "pattern/catalog.h"
 #include "plan/plan.h"
 #include "reference.h"
-#include "storage/disk_enumerator.h"
-#include "storage/disk_graph.h"
+#include "storage/graph_store.h"
 
 namespace light {
 namespace {
@@ -86,7 +85,7 @@ INSTANTIATE_TEST_SUITE_P(Patterns, InducedAgreementTest,
                            return i.param;
                          });
 
-TEST(InducedTest, ParallelAndDiskEnginesAgree) {
+TEST(InducedTest, ParallelAndPagedStoreAgree) {
   const Graph g = RelabelByDegree(BarabasiAlbertClustered(600, 3, 0.4, 19));
   const GraphStats stats = ComputeGraphStats(g, true);
   Pattern p1;
@@ -101,12 +100,16 @@ TEST(InducedTest, ParallelAndDiskEnginesAgree) {
   popts.num_threads = 3;
   EXPECT_EQ(ParallelCount(g, plan, popts).num_matches, expected);
 
-  const std::string path = ::testing::TempDir() + "/induced.lcsr";
-  ASSERT_TRUE(SaveBinary(g, path).ok());
-  DiskGraph disk;
-  ASSERT_TRUE(DiskGraph::Open(path, 32 * 1024, &disk, 4 * 1024).ok());
-  DiskEnumerator disk_engine(&disk, plan);
-  EXPECT_EQ(disk_engine.Count(), expected);
+  const std::string path = ::testing::TempDir() + "/induced.lcsr2";
+  ASSERT_TRUE(SaveStoreFile(g, path).ok());
+  GraphStore::OpenOptions store_opts;
+  store_opts.mode = GraphStore::Mode::kPaged;
+  store_opts.pool_bytes = 32 * 1024;
+  store_opts.page_bytes = 4 * 1024;
+  std::shared_ptr<const GraphStore> store;
+  ASSERT_TRUE(GraphStore::Open(path, store_opts, &store).ok());
+  Enumerator paged_engine(store->view(), plan);
+  EXPECT_EQ(paged_engine.Count(), expected);
   std::remove(path.c_str());
 }
 

@@ -291,7 +291,7 @@ TEST(WorkerPoolTest, ServesQueriesAcrossSubmitsAndMatchesSerial) {
   WorkerPool pool(4);
   EXPECT_EQ(pool.num_threads(), 4);
   WorkerPool::QuerySpec spec;
-  spec.graph = &g;
+  spec.graph = GraphView(g);
   spec.plan = &plan;
   // Same pool, back-to-back queries: worker enumerators/arenas are reused.
   const uint64_t gen_before = pool.generation();
@@ -321,10 +321,10 @@ TEST(WorkerPoolTest, ConcurrentQueriesShareThePool) {
 
   WorkerPool pool(4);
   WorkerPool::QuerySpec spec1;
-  spec1.graph = &g;
+  spec1.graph = GraphView(g);
   spec1.plan = &plan1;
   WorkerPool::QuerySpec spec2;
-  spec2.graph = &g;
+  spec2.graph = GraphView(g);
   spec2.plan = &plan2;
   // Interleaved in-flight queries on one pool; counts stay exact.
   std::vector<WorkerPool::QueryHandle> handles;
@@ -346,7 +346,7 @@ TEST(WorkerPoolTest, HandleOutlivesWaitAndIsIdempotent) {
   const ExecutionPlan plan = BuildPlan(tri, stats, PlanOptions::Light());
   WorkerPool pool(2);
   WorkerPool::QuerySpec spec;
-  spec.graph = &g;
+  spec.graph = GraphView(g);
   spec.plan = &plan;
   WorkerPool::QueryHandle handle = pool.Submit(spec);
   const ParallelResult first = handle.Wait();
@@ -365,7 +365,7 @@ TEST(WorkerPoolTest, EmptyGraphCompletesImmediately) {
   const ExecutionPlan plan = BuildPlan(tri, stats, PlanOptions::Light());
   WorkerPool pool(2);
   WorkerPool::QuerySpec spec;
-  spec.graph = &g;
+  spec.graph = GraphView(g);
   spec.plan = &plan;
   WorkerPool::QueryHandle handle = pool.Submit(spec);
   const ParallelResult result = handle.Wait();
@@ -383,7 +383,7 @@ TEST(WorkerPoolTest, CancelAbortsInFlightQuery) {
   const ExecutionPlan plan = BuildPlan(p6, stats, PlanOptions::Light());
   WorkerPool pool(1);
   WorkerPool::QuerySpec spec;
-  spec.graph = &g;
+  spec.graph = GraphView(g);
   spec.plan = &plan;
   WorkerPool::QueryHandle handle = pool.Submit(spec);
   // Cancel returns true while the abort could still be delivered; the
@@ -409,7 +409,7 @@ TEST(WorkerPoolTest, AdmissionLimitRejectsSubmitImmediately) {
   WorkerPool pool(1);
   pool.SetMaxOpenQueries(1);
   WorkerPool::QuerySpec spec;
-  spec.graph = &g;
+  spec.graph = GraphView(g);
   spec.plan = &plan;
   WorkerPool::QueryHandle running = pool.Submit(spec);
   // Second submit while the first occupies the only slot: rejected
@@ -436,7 +436,7 @@ TEST(WorkerPoolTest, OnDoneCallbackFiresExactlyOnce) {
   const ExecutionPlan plan = BuildPlan(tri, stats, PlanOptions::Light());
   WorkerPool pool(2);
   WorkerPool::QuerySpec spec;
-  spec.graph = &g;
+  spec.graph = GraphView(g);
   spec.plan = &plan;
   std::atomic<int> fired{0};
   std::atomic<uint64_t> async_matches{0};

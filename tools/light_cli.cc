@@ -5,14 +5,18 @@
 //   light_cli --graph edges.txt --pattern k4 --algorithm se --threads 8
 //   light_cli --dataset lj_s --scale 0.5 --pattern P6 --show-plan
 //   light_cli --dataset yt_s --pattern P1 --algorithm seed|crystal|eh|cfl
+//   light_cli --dataset yt_s --save-store yt.lcsr2
+//   light_cli --graph-store yt.lcsr2 --store-mode mmap --pattern P2
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "baselines/cfl_like.h"
@@ -21,6 +25,7 @@
 #include "gen/catalog.h"
 #include "join/bsp_engine.h"
 #include "light.h"
+#include "storage/graph_store.h"
 
 namespace {
 
@@ -29,7 +34,15 @@ void Usage() {
 
   --dataset NAME     synthetic catalog graph (yt_s eu_s lj_s ot_s uk_s fs_s)
   --scale S          scale factor for --dataset (default 1.0)
-  --graph PATH       load an edge-list file instead of a catalog graph
+  --graph PATH       load a graph file instead of a catalog graph (edge list,
+                     LCSR binary, or .lcsr2 snapshot — format is sniffed)
+  --graph-store PATH query a CSR snapshot through the storage engine
+                     (.lcsr2 for mmap/paged; heap mode accepts any format;
+                     light/se/lm/msc only)
+  --store-mode MODE  heap | mmap (default) | paged — how --graph-store opens
+  --pool-mb MB       paged mode: buffer-pool budget in MiB (default 64)
+  --save-store PATH  write the loaded graph as an .lcsr2 snapshot and exit
+                     (unless a pattern/batch is also requested)
   --pattern NAME     pattern (P1..P7, triangle, k4, k5, house, ... )
   --pattern-edges S  ad-hoc pattern, e.g. "0-1,1-2,0-2" (see pattern/parse.h)
                      (--edges is accepted as an alias)
@@ -181,16 +194,21 @@ int main(int argc, char** argv) {
   const char* limit_str = FlagValue(argc, argv, "--time-limit");
 
   const char* batch_path = FlagValue(argc, argv, "--batch");
+  const char* store_path = FlagValue(argc, argv, "--graph-store");
+  const char* save_store_path = FlagValue(argc, argv, "--save-store");
   if ((pattern_name == nullptr && pattern_edges == nullptr &&
-       batch_path == nullptr) ||
-      (dataset == nullptr && graph_path == nullptr)) {
+       batch_path == nullptr && save_store_path == nullptr) ||
+      (dataset == nullptr && graph_path == nullptr && store_path == nullptr)) {
     Usage();
     return 1;
   }
 
   Pattern pattern;
-  if (batch_path != nullptr) {
-    // Patterns come from the batch file; the single-pattern flags are unused.
+  if (batch_path != nullptr || (pattern_name == nullptr &&
+                                pattern_edges == nullptr)) {
+    // Patterns come from the batch file, or there is no query at all
+    // (--save-store only spills the snapshot); the single-pattern flags
+    // are unused either way.
   } else if (pattern_edges != nullptr) {
     if (Status s = ParsePattern(pattern_edges, &pattern); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
@@ -206,11 +224,31 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Data source: either a GraphStore (one snapshot, three open modes) or a
+  // plain in-memory graph. The GraphView seam keeps the rest of the CLI
+  // mode-blind.
+  std::shared_ptr<const GraphStore> store;
   Graph graph;
   Timer load_timer;
-  if (graph_path != nullptr) {
+  if (store_path != nullptr) {
+    GraphStore::OpenOptions store_options;
+    if (const char* v = FlagValue(argc, argv, "--store-mode")) {
+      if (!GraphStore::ParseMode(v, &store_options.mode)) {
+        std::fprintf(stderr, "error: unknown --store-mode '%s'\n", v);
+        return 1;
+      }
+    }
+    if (const char* v = FlagValue(argc, argv, "--pool-mb")) {
+      store_options.pool_bytes = static_cast<size_t>(std::atof(v) * 1048576.0);
+    }
+    if (Status s = GraphStore::Open(store_path, store_options, &store);
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  } else if (graph_path != nullptr) {
     Graph raw;
-    if (Status s = LoadEdgeList(graph_path, &raw); !s.ok()) {
+    if (Status s = LoadAuto(graph_path, &raw); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
@@ -222,9 +260,38 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  const GraphStats stats = ComputeGraphStats(graph, /*count_triangles=*/true);
-  std::printf("graph: %s (loaded in %s)\n", stats.ToString().c_str(),
-              FormatSeconds(load_timer.ElapsedSeconds()).c_str());
+
+  if (save_store_path != nullptr) {
+    const Graph* source = store != nullptr ? store->graph() : &graph;
+    if (source == nullptr) {
+      std::fprintf(stderr,
+                   "error: --save-store cannot re-export a paged store "
+                   "(open it with --store-mode heap or mmap)\n");
+      return 1;
+    }
+    if (Status s = SaveStoreFile(*source, save_store_path); !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "store snapshot written to %s\n", save_store_path);
+    if (pattern_name == nullptr && pattern_edges == nullptr &&
+        batch_path == nullptr) {
+      return 0;
+    }
+  }
+
+  const GraphStats stats =
+      store != nullptr ? ComputeGraphStats(store->view(), true)
+                       : ComputeGraphStats(graph, /*count_triangles=*/true);
+  if (store != nullptr) {
+    std::printf("graph: %s [store mode=%s] (opened in %s)\n",
+                stats.ToString().c_str(),
+                GraphStore::ModeName(store->mode()),
+                FormatSeconds(load_timer.ElapsedSeconds()).c_str());
+  } else {
+    std::printf("graph: %s (loaded in %s)\n", stats.ToString().c_str(),
+                FormatSeconds(load_timer.ElapsedSeconds()).c_str());
+  }
   if (batch_path == nullptr) {
     std::printf("pattern %s: %s\n", pattern_name, pattern.ToString().c_str());
   }
@@ -286,7 +353,9 @@ int main(int argc, char** argv) {
     obs::SetMetricsEnabled(true);
   }
   ProgressMeter meter;
-  if (progress) meter.Start(graph.NumVertices());
+  if (progress) {
+    meter.Start(store != nullptr ? store->NumVertices() : graph.NumVertices());
+  }
 
   // Default kernel comes from the facade (single source of truth); a pinned
   // --kernel must actually run on this build/CPU.
@@ -419,7 +488,8 @@ int main(int argc, char** argv) {
     query.plan_options.restriction_mode = cli_plan_options.restriction_mode;
 
     Timer batch_timer;
-    Session session(graph, session_options);
+    Session session = store != nullptr ? Session(store, session_options)
+                                       : Session(graph, session_options);
     const std::vector<RunResult> results = session.RunBatch(patterns, query);
     const double batch_seconds = batch_timer.ElapsedSeconds();
     meter.Stop();
@@ -497,7 +567,10 @@ int main(int argc, char** argv) {
     if (session_report_path != nullptr) {
       obs::SessionReport session_report;
       session.FillSessionReport(&session_report);
-      session_report.dataset = dataset != nullptr ? dataset : graph_path;
+      session_report.dataset =
+          dataset != nullptr
+              ? dataset
+              : (graph_path != nullptr ? graph_path : store_path);
       if (Status s = session_report.WriteFile(session_report_path); !s.ok()) {
         std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
         sink_error = true;
@@ -509,6 +582,17 @@ int main(int argc, char** argv) {
     if (any_error) return 1;
     if (any_timeout) return 2;
     return sink_error ? 1 : 0;
+  }
+
+  // The baseline simulators and cfl run on an owning in-memory Graph; the
+  // storage engine serves the LIGHT family only.
+  if (store != nullptr && algo != "light" && algo != "se" && algo != "lm" &&
+      algo != "msc") {
+    std::fprintf(stderr,
+                 "error: --graph-store supports light/se/lm/msc only "
+                 "(got %s)\n",
+                 algo.c_str());
+    return 1;
   }
 
   // Distributed-baseline simulators.
@@ -588,15 +672,32 @@ int main(int argc, char** argv) {
   // Build the plan once (reusing the stats computed above) and hand it to
   // Run as an override; cfl uses its own plan builder. An IEP-eligible run
   // keeps the override empty: the facade must be free to decompose the
-  // pattern instead of executing one monolithic plan.
-  const ExecutionPlan plan =
-      algo == "cfl" ? BuildCflLikePlan(pattern, symmetry)
-                    : BuildRunPlan(graph, stats, pattern, run_options);
-  if (run_options.plan_options.count_strategy == CountStrategy::kEnumerate) {
+  // pattern instead of executing one monolithic plan. A paged store has no
+  // resident Graph, so the session resolves its own (analytic) plan there.
+  ExecutionPlan plan;
+  bool have_plan = false;
+  if (algo == "cfl") {
+    plan = BuildCflLikePlan(pattern, symmetry);
+    have_plan = true;
+  } else {
+    const Graph* plan_graph = store != nullptr ? store->graph() : &graph;
+    if (plan_graph != nullptr) {
+      plan = BuildRunPlan(*plan_graph, stats, pattern, run_options);
+      have_plan = true;
+    }
+  }
+  if (have_plan &&
+      run_options.plan_options.count_strategy == CountStrategy::kEnumerate) {
     run_options.plan = &plan;
   }
   if (FlagSet(argc, argv, "--show-plan")) {
-    std::printf("%s", plan.ToString().c_str());
+    if (have_plan) {
+      std::printf("%s", plan.ToString().c_str());
+    } else {
+      std::fprintf(stderr,
+                   "warning: --show-plan is unavailable for paged stores "
+                   "(plan is resolved inside the session)\n");
+    }
   }
 
   // Report sink: always attached so the result line can print the routing
@@ -610,14 +711,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const RunResult result = Run(graph, pattern, run_options);
+  RunResult result;
+  if (store != nullptr) {
+    // Store-backed single query: a short-lived Session carries the store
+    // view (and its shared bitmap cache) through the same run path.
+    SessionOptions session_options;
+    session_options.threads = run_options.threads;
+    session_options.plan_options.bitmap_min_degree =
+        run_options.plan_options.bitmap_min_degree;
+    session_options.plan_options.bitmap_density =
+        run_options.plan_options.bitmap_density;
+    Session session(store, session_options);
+    result = session.RunSync(pattern, run_options);
+  } else {
+    result = Run(graph, pattern, run_options);
+  }
   meter.Stop();
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.error.c_str());
     return 1;
   }
   report.tool = "light_cli";
-  report.dataset = dataset != nullptr ? dataset : graph_path;
+  report.dataset = dataset != nullptr
+                       ? dataset
+                       : (graph_path != nullptr ? graph_path : store_path);
   report.pattern = pattern_name;
   report.algorithm = algo;
   if (metrics_json != nullptr) {

@@ -5,17 +5,21 @@
 // Examples:
 //   light_server --dataset yt_s --port 7461
 //   light_server --graph edges.txt --port 0 --threads 8 --max-pending 32
+//   light_server --graph-store snap.lcsr2 --store-mode mmap --port 0
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "gen/catalog.h"
 #include "light.h"
 #include "net/server.h"
+#include "storage/graph_store.h"
 
 namespace {
 
@@ -25,6 +29,10 @@ void Usage() {
   --dataset NAME     synthetic catalog graph (yt_s eu_s lj_s ot_s uk_s fs_s)
   --scale S          scale factor for --dataset (default 1.0)
   --graph PATH       load an edge-list file instead of a catalog graph
+  --graph-store PATH serve a CSR snapshot through the storage engine
+                     (.lcsr2 for mmap/paged; heap mode accepts any format)
+  --store-mode MODE  heap | mmap (default) | paged — how --graph-store opens
+  --pool-mb MB       paged mode: buffer-pool budget in MiB (default 64)
   --host ADDR        bind address (default 127.0.0.1)
   --port P           TCP port; 0 (default) binds an ephemeral port
   --threads K        session worker threads (default: all cores)
@@ -76,15 +84,39 @@ int main(int argc, char** argv) {
 
   const char* dataset = FlagValue(argc, argv, "--dataset");
   const char* graph_path = FlagValue(argc, argv, "--graph");
-  if (dataset == nullptr && graph_path == nullptr) {
+  const char* store_path = FlagValue(argc, argv, "--graph-store");
+  if (dataset == nullptr && graph_path == nullptr && store_path == nullptr) {
     Usage();
     return 1;
   }
 
+  // Either a GraphStore (the storage engine: heap/mmap/paged over one
+  // snapshot format) or a plain in-memory graph. Both end up behind the
+  // same Session seam.
+  std::shared_ptr<const GraphStore> store;
   Graph graph;
-  if (graph_path != nullptr) {
+  if (store_path != nullptr) {
+    GraphStore::OpenOptions store_options;
+    if (const char* v = FlagValue(argc, argv, "--store-mode")) {
+      if (!GraphStore::ParseMode(v, &store_options.mode)) {
+        std::fprintf(stderr, "error: unknown --store-mode '%s'\n", v);
+        return 1;
+      }
+    }
+    if (const char* v = FlagValue(argc, argv, "--pool-mb")) {
+      store_options.pool_bytes = static_cast<size_t>(std::atof(v) * 1048576.0);
+    }
+    if (Status s = GraphStore::Open(store_path, store_options, &store);
+        !s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "store: mode=%s %u vertices, %llu edges\n",
+                 GraphStore::ModeName(store->mode()), store->NumVertices(),
+                 static_cast<unsigned long long>(store->NumEdges()));
+  } else if (graph_path != nullptr) {
     Graph raw;
-    if (Status s = LoadEdgeList(graph_path, &raw); !s.ok()) {
+    if (Status s = LoadAuto(graph_path, &raw); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
     }
@@ -97,8 +129,11 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::fprintf(stderr, "graph: %u vertices, %llu edges\n", graph.NumVertices(),
-               static_cast<unsigned long long>(graph.NumEdges()));
+  if (store == nullptr) {
+    std::fprintf(stderr, "graph: %u vertices, %llu edges\n",
+                 graph.NumVertices(),
+                 static_cast<unsigned long long>(graph.NumEdges()));
+  }
 
   SessionOptions session_options;
   if (const char* v = FlagValue(argc, argv, "--threads")) {
@@ -110,7 +145,9 @@ int main(int argc, char** argv) {
   if (const char* v = FlagValue(argc, argv, "--stuck-window")) {
     session_options.stuck_query_window_seconds = std::atof(v);
   }
-  Session session(graph, session_options);
+  Session session = store != nullptr
+                        ? Session(std::move(store), session_options)
+                        : Session(graph, session_options);
 
   net::ServerOptions server_options;
   if (const char* v = FlagValue(argc, argv, "--host")) server_options.host = v;
@@ -156,11 +193,19 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.cancelled),
       static_cast<unsigned long long>(st.plan_cache_hits),
       static_cast<unsigned long long>(st.plan_cache_misses));
+  if (!st.store_mode.empty()) {
+    std::printf("store: mode=%s bytes_mapped=%llu page_faults_estimated=%llu\n",
+                st.store_mode.c_str(),
+                static_cast<unsigned long long>(st.store_bytes_mapped),
+                static_cast<unsigned long long>(st.store_page_faults_estimated));
+  }
 
   if (const char* path = FlagValue(argc, argv, "--session-report")) {
     obs::SessionReport report;
     session.FillSessionReport(&report);
-    report.dataset = dataset != nullptr ? dataset : graph_path;
+    report.dataset = dataset != nullptr
+                         ? dataset
+                         : (graph_path != nullptr ? graph_path : store_path);
     if (Status s = report.WriteFile(path); !s.ok()) {
       std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
       return 1;
